@@ -1,0 +1,12 @@
+"""Table 1 — application properties extracted by the compiler."""
+
+from _util import once, save_table
+
+from repro.experiments import tab1_features
+
+
+def test_table1_features(benchmark):
+    result = once(benchmark, tab1_features.run)
+    save_table("tab1_features", result["table"])
+    # Every cell of the paper's Table 1 must be reproduced exactly.
+    assert result["all_match"], f"Table 1 mismatch: {result['matches']}"

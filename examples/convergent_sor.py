@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""SOR with a data-dependent WHILE loop (paper Section 4.1).
+
+The sweep loop runs until the global residual drops below a tolerance
+(capped at ``maxiter``).  Under dynamic ownership no slave can evaluate
+the condition alone: each reports its local residual after every sweep,
+the *master* reduces them and broadcasts the verdict — mirroring the
+slaves' loop structure exactly as Section 4.1 requires.  The distributed
+run executes the same number of sweeps as the sequential program and
+produces a bit-identical grid, even while columns migrate.
+"""
+
+import numpy as np
+
+from repro.apps.sor import build_sor, sor_sequential_convergent
+from repro.config import ClusterSpec, ProcessorSpec, RunConfig
+from repro.runtime import run_application
+from repro.sim import ConstantLoad
+
+
+def main() -> None:
+    n, maxiter, tol, seed = 24, 110, 0.55, 1
+    plan = build_sor(n=n, maxiter=maxiter, tol=tol)
+    print("compiled WHILE-repetition plan:")
+    print(f"  dynamic_reps = {plan.dynamic_reps}, cap = {plan.reps} sweeps, "
+          f"tol = {plan.convergence_tol}")
+
+    g = plan.kernels.make_global(np.random.default_rng(seed))
+    ref, sweeps = sor_sequential_convergent(g["G"], maxiter, tol)
+    print(f"sequential program converges after {sweeps} sweeps "
+          f"(cap {maxiter})")
+
+    cfg = RunConfig(
+        cluster=ClusterSpec(n_slaves=4, processor=ProcessorSpec(speed=6e3)),
+    )
+    res = run_application(plan, cfg, loads={0: ConstantLoad(k=2)}, seed=seed)
+    exact = np.array_equal(res.result, ref)
+    print(f"distributed (loaded slave 0): {res.summary()}")
+    print(f"grid bit-identical to the sequential run: {exact}")
+    assert exact
+
+
+if __name__ == "__main__":
+    main()

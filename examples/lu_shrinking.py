@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""LU decomposition: shrinking work, broadcasts, active/inactive slices.
+
+At each elimination step the owner of the pivot column broadcasts it
+(owners cannot be computed locally once work has moved, Section 4.6);
+columns at or behind the front are inactive and never move (4.7); and
+because iteration size shrinks as ``2*(n-k-1)``, the balancer's
+frequency selection stretches the hook skip automatically.
+"""
+
+import numpy as np
+
+from repro.apps import build_lu
+from repro.config import ClusterSpec, ProcessorSpec, RunConfig
+from repro.runtime import run_application
+from repro.sim import ConstantLoad
+
+
+def main() -> None:
+    n = 96
+    plan = build_lu(n=n, n_slaves_hint=4)
+
+    print("=== compiler analysis ===")
+    print(f"schedule shape: {plan.shape.value}")
+    print(f"active units at step k=0:   {plan.domain(0)}")
+    print(f"active units at step k=50:  {plan.domain(50)}")
+    print(f"unit cost at k=0:  {plan.unit_cost(0, n - 1):.0f} ops")
+    print(f"unit cost at k=80: {plan.unit_cost(80, n - 1):.0f} ops")
+    print()
+
+    cfg = RunConfig(
+        cluster=ClusterSpec(n_slaves=4, processor=ProcessorSpec(speed=3.0e4)),
+    )
+    loads = {1: ConstantLoad(k=2)}
+
+    res_static = run_application(
+        plan, RunConfig(cluster=cfg.cluster, dlb_enabled=False), loads=loads, seed=3
+    )
+    res_dlb = run_application(plan, cfg, loads=loads, seed=3)
+
+    print("=== with 2 competing tasks on slave 1 ===")
+    print(f"static: {res_static.summary()}")
+    print(f"dlb:    {res_dlb.summary()}")
+
+    g = plan.kernels.make_global(np.random.default_rng(3))
+    reference = plan.kernels.sequential(g)
+    assert np.array_equal(res_dlb.result, reference), "LU result mismatch!"
+    print("LU factors verified against the sequential elimination.")
+
+    # Reconstruct A = L @ U from the packed factors as a sanity check.
+    LU = res_dlb.result
+    L = np.tril(LU, -1) + np.eye(n)
+    U = np.triu(LU)
+    assert np.allclose(L @ U, g["M"], atol=1e-8)
+    print("L @ U == A confirmed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""SOR: pipelined execution with restricted mid-sweep work movement.
+
+Successive overrelaxation carries dependences across the distributed
+columns, so the compiler generates a strip-mined wavefront pipeline with
+boundary communication, and the balancer may only shift columns between
+logically adjacent slaves (paper Figure 1b).  Moved columns are set
+aside or caught up mid-sweep (Section 4.5) — and the distributed result
+still matches the sequential sweep bit for bit.
+"""
+
+import numpy as np
+
+from repro.apps import build_sor
+from repro.config import ClusterSpec, ProcessorSpec, RunConfig
+from repro.runtime import run_application
+from repro.sim import ConstantLoad
+
+
+def main() -> None:
+    plan = build_sor(n=64, maxiter=8, n_slaves_hint=4)
+
+    print("=== generated slave program (Figure 3 analogue) ===")
+    print(plan.source)
+    print()
+
+    # Slow processors stretch virtual time so several balancing periods
+    # fit into this small problem.
+    cfg = RunConfig(
+        cluster=ClusterSpec(n_slaves=4, processor=ProcessorSpec(speed=3.0e4)),
+    )
+    loads = {0: ConstantLoad(k=2)}  # two competing tasks on slave 0
+
+    res_static = run_application(
+        plan, RunConfig(cluster=cfg.cluster, dlb_enabled=False), loads=loads, seed=7
+    )
+    res_dlb = run_application(plan, cfg, loads=loads, seed=7)
+
+    print("=== with 2 competing tasks on slave 0 ===")
+    print(f"static: {res_static.summary()}")
+    print(f"dlb:    {res_dlb.summary()}")
+    print(f"final column distribution: {res_dlb.log.final_partition_counts}")
+
+    g = plan.kernels.make_global(np.random.default_rng(7))
+    reference = plan.kernels.sequential(g)
+    exact = np.array_equal(res_dlb.result, reference)
+    print(f"distributed result == sequential sweep, bit for bit: {exact}")
+    assert exact, "pipeline movement broke the wavefront semantics!"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""repro — reproduction of Siegell & Steenkiste (HPDC 1994).
+
+"Automatic Generation of Parallel Programs with Dynamic Load Balancing":
+a parallelizing compiler + run-time system that turns sequential loop
+nests into SPMD programs whose work redistributes at run time across a
+(simulated) network of workstations with time-varying competing load.
+
+Public layers:
+
+- :mod:`repro.sim` — discrete-event network-of-workstations simulator.
+- :mod:`repro.compiler` — loop-nest IR, dependence analysis, and the
+  code generator that produces load-balanced SPMD execution plans.
+- :mod:`repro.runtime` — master/slave dynamic load-balancing runtime.
+- :mod:`repro.apps` — the paper's applications (MM, SOR, LU).
+- :mod:`repro.baselines` — static distribution and related-work
+  schedulers for comparison.
+- :mod:`repro.experiments` — drivers reproducing every table and figure.
+"""
+
+from .config import (
+    BalancerConfig,
+    ClusterSpec,
+    GrainConfig,
+    NetworkSpec,
+    ProcessorSpec,
+    RunConfig,
+)
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BalancerConfig",
+    "ClusterSpec",
+    "GrainConfig",
+    "NetworkSpec",
+    "ProcessorSpec",
+    "RunConfig",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""The paper's applications: MM, SOR, and LU.
+
+Each application module provides the sequential loop-nest IR (what the
+paper's compiler would consume), the distribution directive, the numeric
+kernels the generated SPMD program calls, and a ``build(...)`` helper
+returning a compiled :class:`~repro.compiler.plan.ExecutionPlan`.
+"""
+
+from .adaptive import build_adaptive
+from .base import Application
+from .lu import build_lu
+from .matmul import build_matmul
+from .sor import build_sor
+
+REGISTRY = {
+    "matmul": build_matmul,
+    "sor": build_sor,
+    "lu": build_lu,
+    "adaptive": build_adaptive,
+}
+
+__all__ = [
+    "Application",
+    "build_matmul",
+    "build_sor",
+    "build_lu",
+    "build_adaptive",
+    "REGISTRY",
+]

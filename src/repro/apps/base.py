@@ -1,0 +1,40 @@
+"""Shared application plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from ..compiler.codegen import compile_program
+from ..compiler.ir import Directive, Program
+from ..compiler.plan import AppKernels, ExecutionPlan
+from ..config import GrainConfig
+
+__all__ = ["Application"]
+
+
+@dataclass
+class Application:
+    """A paper application: sequential IR + directive + kernels."""
+
+    name: str
+    program: Program
+    directive: Directive
+    kernels_factory: Callable[[Mapping[str, float]], AppKernels]
+
+    def compile(
+        self,
+        params: Mapping[str, float],
+        grain: GrainConfig | None = None,
+        n_slaves_hint: int = 8,
+    ) -> ExecutionPlan:
+        """Run the parallelizing compiler on this application."""
+        kernels = self.kernels_factory(params)
+        return compile_program(
+            self.program,
+            self.directive,
+            kernels,
+            params,
+            grain=grain,
+            n_slaves_hint=n_slaves_hint,
+        )

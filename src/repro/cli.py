@@ -1,0 +1,159 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``run``      — run one application on a simulated cluster and print
+                 the paper's metrics.
+- ``figures``  — regenerate the paper's tables/figures (all or by name).
+- ``source``   — show an application's generated SPMD program listing.
+- ``features`` — print the Table 1 feature matrix.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .apps import REGISTRY
+from .config import BalancerConfig, ClusterSpec, ProcessorSpec, RunConfig
+from .runtime import run_application
+from .sim import ConstantLoad, OscillatingLoad
+
+__all__ = ["main"]
+
+
+def _build_plan(app: str, n: int, n_slaves: int):
+    builder = REGISTRY[app]
+    if app == "sor":
+        return builder(n=n, n_slaves_hint=n_slaves)
+    return builder(n=n, n_slaves_hint=n_slaves)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    plan = _build_plan(args.app, args.n, args.slaves)
+    loads = {}
+    if args.load_slave is not None:
+        gen = (
+            OscillatingLoad(k=args.load_tasks, period=20.0, duration=10.0)
+            if args.oscillating
+            else ConstantLoad(k=args.load_tasks)
+        )
+        loads[args.load_slave] = gen
+    cfg = RunConfig(
+        cluster=ClusterSpec(
+            n_slaves=args.slaves, processor=ProcessorSpec(speed=args.speed)
+        ),
+        balancer=BalancerConfig(pipelined=not args.synchronous),
+        execute_numerics=args.numerics,
+        dlb_enabled=not args.no_dlb,
+    )
+    res = run_application(plan, cfg, loads=loads, seed=args.seed)
+    print(res.summary())
+    print(
+        f"sequential: {res.sequential_time:.2f}s  messages: {res.message_count}  "
+        f"bytes: {res.bytes_sent / 1e6:.2f} MB  "
+        f"final distribution: {res.log.final_partition_counts}"
+    )
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from . import experiments as ex
+
+    available = {
+        "tab1": lambda: print(
+            ex.tab1_features.run()["table"],
+            "\nmatches paper:",
+            ex.tab1_features.run()["all_match"],
+        ),
+        "fig3": lambda: print(ex.fig3_codegen.run()["source"]),
+        "fig4": lambda: print(ex.fig4_frequency.run().format_table()),
+        "fig5": lambda: print(ex.fig5_mm_dedicated.run().format_table()),
+        "fig6": lambda: print(ex.fig6_sor_dedicated.run().format_table()),
+        "fig7": lambda: print(ex.fig7_mm_loaded.run().format_table()),
+        "fig8": lambda: print(ex.fig8_sor_loaded.run().format_table()),
+        "fig9": lambda: print(
+            ex.fig9_oscillating.tracking_lag(ex.fig9_oscillating.run())
+        ),
+        "heterogeneous": lambda: print(ex.heterogeneous.run().format_table()),
+        "adaptive": lambda: print(ex.adaptive_irregular.run().format_table()),
+        "ablation-pipelining": lambda: print(ex.ablations.pipelining().format_table()),
+        "ablation-grain": lambda: print(ex.ablations.grain().format_table()),
+        "ablation-refinements": lambda: print(
+            ex.ablations.refinements().format_table()
+        ),
+    }
+    names = args.names or list(available)
+    for name in names:
+        if name not in available:
+            print(f"unknown figure {name!r}; choices: {', '.join(available)}")
+            return 2
+        print(f"\n===== {name} =====")
+        available[name]()
+    return 0
+
+
+def _cmd_source(args: argparse.Namespace) -> int:
+    plan = _build_plan(args.app, args.n, args.slaves)
+    print(plan.source)
+    return 0
+
+
+def _cmd_features(_args: argparse.Namespace) -> int:
+    from .experiments import tab1_features
+
+    out = tab1_features.run()
+    print(out["table"])
+    print("matches paper Table 1:", out["all_match"])
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Parse arguments and dispatch to a subcommand; returns the exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of Siegell & Steenkiste (HPDC 1994): automatic "
+            "generation of parallel programs with dynamic load balancing"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one application on the simulator")
+    p_run.add_argument("app", choices=sorted(REGISTRY))
+    p_run.add_argument("-n", type=int, default=200, help="problem size")
+    p_run.add_argument("--slaves", type=int, default=4)
+    p_run.add_argument("--speed", type=float, default=1.0e6, help="ops/sec per node")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--load-slave", type=int, default=None, metavar="PID")
+    p_run.add_argument("--load-tasks", type=int, default=1)
+    p_run.add_argument("--oscillating", action="store_true")
+    p_run.add_argument("--no-dlb", action="store_true", help="static distribution")
+    p_run.add_argument("--synchronous", action="store_true")
+    p_run.add_argument(
+        "--numerics",
+        action="store_true",
+        help="execute real kernels (default: cost-only simulation)",
+    )
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_fig = sub.add_parser("figures", help="regenerate paper tables/figures")
+    p_fig.add_argument("names", nargs="*", help="subset to run (default: all)")
+    p_fig.set_defaults(fn=_cmd_figures)
+
+    p_src = sub.add_parser("source", help="show a generated SPMD program")
+    p_src.add_argument("app", choices=sorted(REGISTRY))
+    p_src.add_argument("-n", type=int, default=200)
+    p_src.add_argument("--slaves", type=int, default=4)
+    p_src.set_defaults(fn=_cmd_source)
+
+    p_feat = sub.add_parser("features", help="print the Table 1 matrix")
+    p_feat.set_defaults(fn=_cmd_features)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Mini parallelizing compiler for loop nests.
+
+The compiler consumes a sequential loop-nest program expressed in a small
+affine IR (:mod:`repro.compiler.ir`) plus a distribution directive, and
+produces an :class:`~repro.compiler.plan.ExecutionPlan` — the "generated
+SPMD program" that the load-balancing runtime executes.  Along the way it
+performs the analyses the paper requires of a parallelizing compiler
+(Table 2):
+
+- dependence analysis on the distributed loop (:mod:`deps`),
+- application-feature extraction, reproducing paper Table 1 (:mod:`features`),
+- iteration cost estimation (:mod:`costmodel`),
+- strip mining for granularity control, Section 4.4 (:mod:`stripmine`),
+- load-balancing hook placement, Section 4.2 (:mod:`hooks`),
+- SPMD plan generation + master control generation, Sections 4.1/4.5-4.7
+  (:mod:`codegen`).
+"""
+
+from .autodistribute import DistributionChoice, choose_distribution, derive_directive
+from .codegen import compile_program
+from .deps import DependenceInfo, analyze_dependences
+from .interp import interpret
+from .transforms import can_interchange, dependence_vectors, interchange
+from .features import ApplicationFeatures, extract_features
+from .hooks import HookPlacement, place_hooks
+from .ir import (
+    Affine,
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    Conditional,
+    Directive,
+    Loop,
+    Program,
+    const,
+    var,
+)
+from .plan import ExecutionPlan, LoopShape, MovementSpec, StripSpec
+from .stripmine import choose_block_size, strip_mine
+
+__all__ = [
+    "Affine",
+    "ArrayDecl",
+    "ArrayRef",
+    "Assign",
+    "Conditional",
+    "Directive",
+    "Loop",
+    "Program",
+    "const",
+    "var",
+    "DependenceInfo",
+    "analyze_dependences",
+    "ApplicationFeatures",
+    "extract_features",
+    "HookPlacement",
+    "place_hooks",
+    "ExecutionPlan",
+    "LoopShape",
+    "MovementSpec",
+    "StripSpec",
+    "choose_block_size",
+    "strip_mine",
+    "compile_program",
+    "choose_distribution",
+    "derive_directive",
+    "DistributionChoice",
+    "interpret",
+    "can_interchange",
+    "dependence_vectors",
+    "interchange",
+]

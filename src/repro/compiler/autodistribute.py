@@ -1,0 +1,176 @@
+"""Automatic choice of the distributed loop and data distribution.
+
+The paper's compilers take programmer directives (Fortran-D style); this
+module closes the remaining gap to "automatic generation": given only
+the sequential program, it derives the data-distribution directive each
+candidate loop implies, rejects illegal candidates through dependence
+analysis, and scores the legal ones:
+
+1. schedule shape (independent iterations > broadcast fronts > pipelines
+   — less synchronization first);
+2. fewer bytes of distributed state per iteration (cheaper movement);
+3. outermost position (coarser grain, fewer hook instances);
+4. larger trip count (more units to balance with).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..errors import CompileError
+from .codegen import select_shape
+from .costmodel import cost_of_body
+from .deps import analyze_dependences
+from .ir import Directive, Loop, Program, iter_assigns
+from .plan import LoopShape
+
+__all__ = ["derive_directive", "choose_distribution", "DistributionChoice"]
+
+_SHAPE_RANK = {
+    LoopShape.PARALLEL_MAP: 3,
+    LoopShape.REDUCTION_FRONT: 2,
+    LoopShape.PIPELINE: 1,
+}
+
+
+def derive_directive(program: Program, loop_var: str) -> Directive:
+    """Infer the data distribution implied by distributing ``loop_var``.
+
+    Every array dimension subscripted (consistently) by ``loop_var``
+    marks that array distributed along that dimension; arrays never
+    subscripted by it are replicated.  Inconsistent dimensions (the same
+    array indexed by the variable in different positions) are rejected.
+    """
+    program.find_loop(loop_var)  # validates existence/uniqueness
+    dims: dict[str, set[int]] = {}
+    for a in iter_assigns(program.body):
+        for ref, _w in a.refs():
+            for d, sub in enumerate(ref.index):
+                if sub.coeff(loop_var) != 0:
+                    dims.setdefault(ref.array, set()).add(d)
+    distributed = []
+    for array, ds in sorted(dims.items()):
+        if len(ds) > 1:
+            raise CompileError(
+                f"array {array!r} is subscripted by {loop_var!r} in "
+                f"multiple dimensions {sorted(ds)}; no consistent "
+                "distribution exists"
+            )
+        distributed.append((array, ds.pop()))
+    return Directive(distribute=loop_var, distributed_arrays=tuple(distributed))
+
+
+@dataclass(frozen=True)
+class DistributionChoice:
+    """One candidate's evaluation."""
+
+    loop_var: str
+    legal: bool
+    reason: str
+    directive: Directive | None = None
+    shape: LoopShape | None = None
+    trip_count: int = 0
+    depth: int = 0
+    unit_bytes: int = 0
+    body_ops: float = 0.0
+
+    def score(self) -> tuple:
+        """Higher is better (only meaningful for legal candidates)."""
+        return (
+            _SHAPE_RANK.get(self.shape, 0),
+            -self.unit_bytes,
+            -self.depth,
+            self.trip_count,
+        )
+
+
+def _loops_with_depth(program: Program) -> list[tuple[Loop, int]]:
+    out: list[tuple[Loop, int]] = []
+
+    def walk(stmts, depth):
+        for s in stmts:
+            if isinstance(s, Loop):
+                out.append((s, depth))
+                walk(s.body, depth + 1)
+            elif hasattr(s, "body"):
+                walk(s.body, depth)
+
+    walk(program.body, 0)
+    return out
+
+
+def choose_distribution(
+    program: Program, params: Mapping[str, float]
+) -> tuple[Directive, list[DistributionChoice]]:
+    """Pick the best loop to distribute; returns the directive plus the
+    full per-candidate evaluation (for diagnostics/tests).
+
+    Raises :class:`CompileError` when no loop is parallelizable.
+    """
+    choices: list[DistributionChoice] = []
+    for loop, depth in _loops_with_depth(program):
+        var = loop.index
+        try:
+            directive = derive_directive(program, var)
+            if not directive.distributed_arrays:
+                raise CompileError(f"no array is indexed by {var!r}")
+            deps = analyze_dependences(program, directive)
+            shape = select_shape(deps, program, directive)
+            # Trip count at the first repetition (outer vars bound to
+            # their lower bounds).
+            bindings = dict(params)
+            for outer, _d in _loops_with_depth(program):
+                if outer.index != var:
+                    try:
+                        bindings.setdefault(
+                            outer.index, outer.lower.evaluate(bindings)
+                        )
+                    except CompileError:
+                        bindings.setdefault(outer.index, 0)
+            trips = int(loop.trip_count().evaluate(bindings))
+            if trips < 2:
+                raise CompileError(f"trip count {trips} too small to distribute")
+            unit_bytes = 0
+            for name, dim in directive.distributed_arrays:
+                decl = program.array(name)
+                elems = 1.0
+                for d, extent in enumerate(decl.extents):
+                    if d != dim:
+                        elems *= float(extent.evaluate(params))
+                unit_bytes += int(elems) * decl.element_bytes
+            body_bindings = dict(bindings)
+            body_bindings[var] = (
+                loop.lower.evaluate(bindings) + loop.upper.evaluate(bindings)
+            ) / 2.0
+            body_ops = cost_of_body(loop.body).evaluate(body_bindings) * trips
+            choices.append(
+                DistributionChoice(
+                    loop_var=var,
+                    legal=True,
+                    reason="ok",
+                    directive=directive,
+                    shape=shape,
+                    trip_count=trips,
+                    depth=depth,
+                    unit_bytes=unit_bytes,
+                    body_ops=body_ops,
+                )
+            )
+        except CompileError as exc:
+            choices.append(
+                DistributionChoice(loop_var=var, legal=False, reason=str(exc))
+            )
+    legal = [c for c in choices if c.legal]
+    if not legal:
+        reasons = "; ".join(f"{c.loop_var}: {c.reason}" for c in choices)
+        raise CompileError(f"no distributable loop found ({reasons})")
+    # The distributed loop must carry the bulk of the computation: keep
+    # only candidates covering at least half of the heaviest one (this
+    # rejects e.g. LU's pivot-scaling loop, whose per-invocation cost is
+    # O(n) against the update's O(n^2)).
+    heaviest = max(c.body_ops for c in legal)
+    substantial = [c for c in legal if c.body_ops >= 0.5 * heaviest]
+    best = max(substantial, key=lambda c: c.score())
+    assert best.directive is not None
+    return best.directive, choices

@@ -1,0 +1,107 @@
+"""Iteration cost estimation.
+
+Costs are polynomial in loop variables and symbolic parameters: a sum of
+terms, each a scalar coefficient times a product of affine factors (trip
+counts are affine, so nesting loops multiplies affine factors).  The
+model supports the two queries the paper's compiler needs:
+
+- evaluate the cost of one distributed-loop iteration for given bindings
+  (used to size strips, place hooks, and predict load-balancer overhead);
+- determine which variables the cost depends on (used for the Table 1
+  "index-dependent iteration size" feature, e.g. LU's ``(n - k)`` work
+  per column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..errors import CompileError
+from .ir import Affine, Assign, Conditional, Loop, Program, Directive, Stmt
+
+__all__ = ["Cost", "cost_of_body", "distributed_iteration_cost"]
+
+
+@dataclass(frozen=True)
+class Cost:
+    """Sum of ``coefficient * product(affine factors)`` terms."""
+
+    terms: tuple[tuple[float, tuple[Affine, ...]], ...] = ()
+
+    @classmethod
+    def constant(cls, value: float) -> "Cost":
+        if value == 0:
+            return cls(())
+        return cls(((float(value), ()),))
+
+    @classmethod
+    def zero(cls) -> "Cost":
+        return cls(())
+
+    def __add__(self, other: "Cost") -> "Cost":
+        return Cost(self.terms + other.terms)
+
+    def scale(self, factor: float) -> "Cost":
+        return Cost(tuple((c * factor, fs) for c, fs in self.terms))
+
+    def times_affine(self, factor: Affine) -> "Cost":
+        """Multiply every term by an affine factor (loop trip count)."""
+        if factor.is_constant():
+            return self.scale(float(factor.constant))
+        return Cost(tuple((c, fs + (factor,)) for c, fs in self.terms))
+
+    def evaluate(self, bindings: Mapping[str, float]) -> float:
+        """Numeric cost under the given variable bindings.
+
+        Affine factors are clamped at zero (a loop with negative trip
+        count executes zero iterations).
+        """
+        total = 0.0
+        for coef, factors in self.terms:
+            value = coef
+            for f in factors:
+                value *= max(0.0, float(f.evaluate(bindings)))
+            total += value
+        return total
+
+    def variables(self) -> frozenset[str]:
+        out: set[str] = set()
+        for _, factors in self.terms:
+            for f in factors:
+                out |= f.variables()
+        return frozenset(out)
+
+    def depends_on(self, names: Sequence[str]) -> bool:
+        vs = self.variables()
+        return any(n in vs for n in names)
+
+    def __str__(self) -> str:
+        if not self.terms:
+            return "0"
+        parts = []
+        for coef, factors in self.terms:
+            fs = " * ".join(f"({f})" for f in factors)
+            parts.append(f"{coef:g}" + (f" * {fs}" if fs else ""))
+        return " + ".join(parts)
+
+
+def cost_of_body(stmts: Sequence[Stmt]) -> Cost:
+    """Expected operation count of executing a statement list once."""
+    total = Cost.zero()
+    for s in stmts:
+        if isinstance(s, Assign):
+            total = total + Cost.constant(s.ops)
+        elif isinstance(s, Conditional):
+            total = total + cost_of_body(s.body).scale(s.probability)
+        elif isinstance(s, Loop):
+            total = total + cost_of_body(s.body).times_affine(s.trip_count())
+        else:  # pragma: no cover - IR is a closed union
+            raise CompileError(f"unknown statement type: {s!r}")
+    return total
+
+
+def distributed_iteration_cost(program: Program, directive: Directive) -> Cost:
+    """Cost of ONE iteration of the distributed loop (its body)."""
+    loop = program.find_loop(directive.distribute)
+    return cost_of_body(loop.body)

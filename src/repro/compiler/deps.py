@@ -1,0 +1,275 @@
+"""Dependence analysis for the distributed loop.
+
+Given a program, a distribution directive, and the loop to distribute,
+this module classifies, per array reference pair, the dependence distance
+along every loop variable (standard distance vectors restricted to
+single-index affine subscripts, which covers the paper's application
+domain).  From the distances it derives exactly what the paper's load
+balancer needs to know (Sections 2.1, 3.2, 4.5, 4.6):
+
+- whether the distributed loop has loop-carried dependences (=> work
+  movement must be *restricted* to preserve a block distribution, and
+  boundary values must be communicated between logically adjacent
+  slaves);
+- which direction(s) values flow (flow dependence from the left and/or
+  anti dependence from the right);
+- which inner loop carries a recurrence (=> the pipelined dimension);
+- which reads touch distributed data at subscripts independent of the
+  distributed index (=> broadcast-style communication outside the loop,
+  as in LU's pivot column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..errors import DependenceError
+from .ir import (
+    Affine,
+    ArrayRef,
+    Assign,
+    Directive,
+    Program,
+    iter_assigns,
+    iter_loops,
+)
+
+__all__ = ["DependenceInfo", "RefPairDependence", "analyze_dependences"]
+
+# Sentinel distance for pairs whose correspondence cannot be resolved.
+UNKNOWN = None
+
+
+@dataclass(frozen=True)
+class RefPairDependence:
+    """A (write, read) pair on one array with its distance vector.
+
+    ``distances`` maps loop-variable name to the dependence distance
+    ``d_read - d_write`` (int), or ``None`` when unknown.  A positive
+    distance along a loop means the reading iteration follows the writing
+    iteration (flow); negative means the read precedes the write (anti,
+    i.e. the reader consumes the *old* value).
+    """
+
+    array: str
+    write: ArrayRef
+    read: ArrayRef
+    distances: tuple[tuple[str, int | None], ...]
+
+    def distance_along(self, varname: str) -> int | None:
+        for v, d in self.distances:
+            if v == varname:
+                return d
+        return 0
+
+
+@dataclass(frozen=True)
+class DependenceInfo:
+    """Summary of dependences relative to the distributed loop."""
+
+    distributed_var: str
+    pairs: tuple[RefPairDependence, ...]
+    carried_distances: tuple[int, ...]
+    carried_unknown: bool
+    needs_left_values: bool  # flow dep: updated values from lower iterations
+    needs_right_values: bool  # anti dep: old values from higher iterations
+    pipeline_vars: tuple[str, ...]
+    nonlocal_reads: tuple[ArrayRef, ...]
+
+    @property
+    def loop_carried(self) -> bool:
+        """Paper Table 1, row 1."""
+        return bool(self.carried_distances) or self.carried_unknown
+
+    @property
+    def movement_restricted(self) -> bool:
+        """Loop-carried dependences force block-preserving (adjacent-only)
+        work movement (paper Section 3.2, Figure 1b)."""
+        return self.loop_carried
+
+
+def _loop_vars(program: Program) -> list[str]:
+    return [lp.index for lp in iter_loops(program.body)]
+
+
+def _single_var(expr: Affine, loop_vars: Sequence[str]) -> str | None:
+    """The unique loop variable in ``expr``, or None if zero; raises if
+    several loop variables appear (unsupported subscript shape)."""
+    present = [v for v in loop_vars if expr.coeff(v) != 0]
+    if len(present) > 1:
+        raise DependenceError(
+            f"subscript {expr} uses several loop variables {present}; "
+            "only single-index affine subscripts are supported"
+        )
+    return present[0] if present else None
+
+
+def _pair_distances(
+    write: ArrayRef,
+    read: ArrayRef,
+    loop_vars: Sequence[str],
+    params: Sequence[str],
+) -> tuple[tuple[str, int | None], ...] | None:
+    """Distance vector for a same-array (write, read) pair.
+
+    Returns None when the subscripts can never refer to the same element
+    (no dependence); otherwise a tuple of (var, distance-or-None).
+    """
+    distances: dict[str, int | None] = {}
+    for w_sub, r_sub in zip(write.index, read.index):
+        wv = _single_var(w_sub, loop_vars)
+        rv = _single_var(r_sub, loop_vars)
+        if wv is None and rv is None:
+            # Both constant/parametric: if provably unequal there is no
+            # dependence; if equal or symbolic, the dim imposes nothing.
+            diff = w_sub - r_sub
+            if diff.is_constant() and diff.constant != 0:
+                return None
+            continue
+        if wv is None or rv is None or wv != rv:
+            # Different variables index this dim (e.g. a[i][j] vs a[i][k]):
+            # correspondence depends on runtime values of both loops.
+            v = wv or rv
+            assert v is not None
+            distances[v] = UNKNOWN
+            continue
+        cw, cr = w_sub.coeff(wv), r_sub.coeff(rv)
+        if cw != cr:
+            distances[wv] = UNKNOWN
+            continue
+        diff = w_sub - r_sub  # coefficient on wv cancels
+        if not diff.is_constant():
+            # Distance depends on symbolic parameters: conservatively
+            # unknown (carried).
+            distances[wv] = UNKNOWN
+            continue
+        dist = diff.constant / cw
+        if dist != int(dist):
+            return None  # non-integer distance: never the same element
+        new = int(dist)
+        if wv in distances and distances[wv] not in (UNKNOWN, new):
+            return None  # conflicting constraints: no dependence
+        if distances.get(wv, UNKNOWN) is UNKNOWN or wv not in distances:
+            distances[wv] = new
+    return tuple(sorted(distances.items()))
+
+
+def _collect_pairs(
+    assigns: Sequence[Assign],
+    loop_vars: Sequence[str],
+    params: Sequence[str],
+) -> Iterator[RefPairDependence]:
+    writes = [a.target for a in assigns]
+    reads = [r for a in assigns for r in a.reads]
+    for w in writes:
+        for r in reads:
+            if w.array != r.array:
+                continue
+            if len(w.index) != len(r.index):
+                raise DependenceError(
+                    f"rank mismatch on array {w.array!r}: {w} vs {r}"
+                )
+            dv = _pair_distances(w, r, loop_vars, params)
+            if dv is None:
+                continue
+            yield RefPairDependence(array=w.array, write=w, read=r, distances=dv)
+
+
+def analyze_dependences(program: Program, directive: Directive) -> DependenceInfo:
+    """Analyze dependences of ``program`` relative to the directive's
+    distributed loop."""
+    d = directive.distribute
+    program.find_loop(d)  # validates the distributed loop exists
+    loop_vars = _loop_vars(program)
+    params = program.params
+    assigns = list(iter_assigns(program.body))
+
+    # Validate every subscript up front: at most one loop variable per
+    # dimension (the supported affine subscript shape).
+    for a in assigns:
+        for ref, _w in a.refs():
+            for sub in ref.index:
+                _single_var(sub, loop_vars)
+
+    pairs = tuple(_collect_pairs(assigns, loop_vars, params))
+
+    # Same-element pairs whose subscripts never mention the distributed
+    # variable are carried by it at every distance (e.g. the reduction
+    # accumulator c[i][j] relative to MM's k loop, or SOR's grid relative
+    # to the sweep loop): every iteration of d touches the same element.
+    # Only statements *inside* the distributed loop count — a write that
+    # precedes the loop (LU's pivot scaling) is a data-location concern
+    # (Section 4.6), not a carried dependence.
+    dist_loop_obj = program.find_loop(d)
+    inside = list(iter_assigns(dist_loop_obj.body))
+    inside_pairs = tuple(_collect_pairs(inside, loop_vars, params))
+
+    carried: set[int] = set()
+    carried_unknown = False
+    for pair in inside_pairs:
+        w_uses_d = any(sub.coeff(d) != 0 for sub in pair.write.index)
+        r_uses_d = any(sub.coeff(d) != 0 for sub in pair.read.index)
+        if not w_uses_d and not r_uses_d:
+            carried_unknown = True
+    needs_left = False
+    needs_right = False
+    pipeline_vars: list[str] = []
+    # Candidate pipelined dimensions: any other loop variable (SOR's row
+    # loop *encloses* the distributed column loop, so the body alone is
+    # not enough).
+    other_vars = [v for v in loop_vars if v != d]
+
+    for pair in pairs:
+        dist = pair.distance_along(d)
+        if dist is UNKNOWN:
+            # Unresolvable correspondence on the distributed dim only
+            # counts as carried if the distributed variable actually
+            # indexes one side; cross-variable dims (a[i][k] vs a[i][j])
+            # are handled as nonlocal reads below.
+            w_uses = any(sub.coeff(d) != 0 for sub in pair.write.index)
+            r_uses = any(sub.coeff(d) != 0 for sub in pair.read.index)
+            if w_uses and r_uses:
+                carried_unknown = True
+            continue
+        if dist != 0:
+            carried.add(dist)
+            if dist > 0:
+                needs_left = True
+            else:
+                needs_right = True
+        else:
+            # Same distributed iteration: look for a recurrence along
+            # another dimension (the pipelined dimension, e.g. SOR's row
+            # index).
+            for v in other_vars:
+                vd = pair.distance_along(v)
+                if vd not in (0, UNKNOWN) and v not in pipeline_vars:
+                    pipeline_vars.append(v)
+
+    # Nonlocal reads: reads of distributed arrays whose distributed-dim
+    # subscript does not involve the distributed loop variable (LU's
+    # a[i][k] pivot-column read => broadcast).
+    nonlocal_reads: list[ArrayRef] = []
+    for a in assigns:
+        for r in a.reads:
+            ddim = directive.distributed_dim(r.array)
+            if ddim is None:
+                continue
+            if ddim >= len(r.index):
+                raise DependenceError(
+                    f"distributed dim {ddim} out of range for {r}"
+                )
+            if r.index[ddim].coeff(d) == 0 and r not in nonlocal_reads:
+                nonlocal_reads.append(r)
+
+    return DependenceInfo(
+        distributed_var=d,
+        pairs=pairs,
+        carried_distances=tuple(sorted(carried)),
+        carried_unknown=carried_unknown,
+        needs_left_values=needs_left,
+        needs_right_values=needs_right,
+        pipeline_vars=tuple(pipeline_vars),
+        nonlocal_reads=tuple(nonlocal_reads),
+    )

@@ -1,0 +1,166 @@
+"""Application feature extraction — reproduces paper Table 1.
+
+The paper characterises applications by six properties of the distributed
+loop that constrain the load-balancer design (Section 2.1):
+
+=================================  ====  ====  ===
+Property (of distributed loop)      MM    SOR   LU
+=================================  ====  ====  ===
+loop-carried dependences            no    yes   no
+communication outside loop          no    yes   yes
+repeated execution of loop          yes   yes   yes
+varying loop bounds                 no    no    yes
+index-dependent iteration size      no    no    yes
+data-dependent iteration size       no    no    no
+=================================  ====  ====  ===
+
+All six are derived automatically from the IR + directive here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .costmodel import distributed_iteration_cost
+from .deps import DependenceInfo, analyze_dependences
+from .ir import (
+    Assign,
+    Conditional,
+    Directive,
+    Loop,
+    Program,
+    Stmt,
+    iter_conditionals,
+)
+
+__all__ = ["ApplicationFeatures", "extract_features"]
+
+FEATURE_NAMES = (
+    "loop_carried_dependences",
+    "communication_outside_loop",
+    "repeated_execution_of_loop",
+    "varying_loop_bounds",
+    "index_dependent_iteration_size",
+    "data_dependent_iteration_size",
+)
+
+
+@dataclass(frozen=True)
+class ApplicationFeatures:
+    """The six Table 1 properties for one application."""
+
+    loop_carried_dependences: bool
+    communication_outside_loop: bool
+    repeated_execution_of_loop: bool
+    varying_loop_bounds: bool
+    index_dependent_iteration_size: bool
+    data_dependent_iteration_size: bool
+
+    def as_row(self) -> tuple[str, ...]:
+        """Yes/no row in Table 1 order."""
+        return tuple(
+            "yes" if getattr(self, name) else "no" for name in FEATURE_NAMES
+        )
+
+    def as_dict(self) -> dict[str, bool]:
+        return {name: getattr(self, name) for name in FEATURE_NAMES}
+
+
+def _outside_references_distributed(
+    stmts: tuple[Stmt, ...], directive: Directive, inside_distributed: bool
+) -> bool:
+    """True if any assignment *outside* the distributed loop references a
+    distributed array (owner-computed prologue like LU's pivot scaling,
+    which implies communication to share its result)."""
+    for s in stmts:
+        if isinstance(s, Assign):
+            if inside_distributed:
+                continue
+            for ref, _w in s.refs():
+                if directive.distributed_dim(ref.array) is not None:
+                    return True
+        elif isinstance(s, Conditional):
+            if _outside_references_distributed(s.body, directive, inside_distributed):
+                return True
+        elif isinstance(s, Loop):
+            now_inside = inside_distributed or s.index == directive.distribute
+            if _outside_references_distributed(s.body, directive, now_inside):
+                return True
+    return False
+
+
+def extract_features(
+    program: Program,
+    directive: Directive,
+    deps: DependenceInfo | None = None,
+) -> ApplicationFeatures:
+    """Derive the Table 1 feature vector from the IR."""
+    if deps is None:
+        deps = analyze_dependences(program, directive)
+
+    dist_loop = program.find_loop(directive.distribute)
+    path = program.loop_path(directive.distribute)
+    enclosing = path[:-1]
+    enclosing_vars = [lp.index for lp in enclosing]
+
+    # 1. loop-carried dependences on the distributed loop.
+    loop_carried = deps.loop_carried
+
+    # 2. communication outside the distributed loop: broadcast-style reads
+    # (pivot column), anti-dependences that require pre-distributing old
+    # boundary values (SOR's halo), or owner-computed statements outside
+    # the loop that touch distributed data.
+    comm_outside = (
+        bool(deps.nonlocal_reads)
+        or deps.needs_right_values
+        or _outside_references_distributed(program.body, directive, False)
+    )
+
+    # 3. repeated execution: the distributed loop is nested in a sequential
+    # loop (or the directive declares a repetition loop).
+    repeated = bool(enclosing) or directive.repetitions is not None
+
+    # 4. varying loop bounds: the distributed loop's bounds depend on
+    # enclosing loop indices.
+    varying_bounds = bool(enclosing_vars) and (
+        dist_loop.lower.depends_on(enclosing_vars)
+        or dist_loop.upper.depends_on(enclosing_vars)
+    )
+
+    # 5. index-dependent iteration size: the per-iteration cost depends on
+    # loop indices (enclosing or the distributed index itself).
+    cost = distributed_iteration_cost(program, directive)
+    index_dep = cost.depends_on(enclosing_vars + [directive.distribute])
+
+    # 6. data-dependent iteration size: conditionals inside the loop.
+    data_dep = any(True for _ in iter_conditionals(dist_loop.body))
+
+    return ApplicationFeatures(
+        loop_carried_dependences=loop_carried,
+        communication_outside_loop=comm_outside,
+        repeated_execution_of_loop=repeated,
+        varying_loop_bounds=varying_bounds,
+        index_dependent_iteration_size=index_dep,
+        data_dependent_iteration_size=data_dep,
+    )
+
+
+def features_table(rows: dict[str, ApplicationFeatures]) -> str:
+    """Format applications as a Table 1 style text table."""
+    headers = ["Property (of distributed loop)"] + list(rows)
+    pretty = {
+        "loop_carried_dependences": "loop-carried dependences",
+        "communication_outside_loop": "communication outside loop",
+        "repeated_execution_of_loop": "repeated execution of loop",
+        "varying_loop_bounds": "varying loop bounds",
+        "index_dependent_iteration_size": "index-dependent iteration size",
+        "data_dependent_iteration_size": "data-dependent iteration size",
+    }
+    width = max(len(v) for v in pretty.values()) + 2
+    lines = ["".join(h.ljust(width if i == 0 else 6) for i, h in enumerate(headers))]
+    for name in FEATURE_NAMES:
+        cells = [pretty[name].ljust(width)]
+        for feats in rows.values():
+            cells.append(("yes" if getattr(feats, name) else "no").ljust(6))
+        lines.append("".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Load-balancing hook placement (paper Section 4.2).
+
+Hooks are conditional calls to the load-balancing code.  The compiler's
+placement rule:
+
+- If the distributed loop is an outermost loop, insert a hook at the end
+  of each of its iterations.
+- If the distributed loop is an inner loop, place the hook at the deepest
+  enclosing-nest level at which its cost is a negligible fraction
+  (default < 1%) of the computation executed between hook instances.
+
+``place_hooks`` works on a list of candidate levels described by the
+expected computation (in operations) between consecutive hook firings at
+that level; it returns the deepest admissible level, falling back to the
+shallowest level if none qualifies (the "not frequent enough" hook is
+better than no hook at all).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import CompileError
+
+__all__ = ["HookLevel", "HookPlacement", "place_hooks"]
+
+
+@dataclass(frozen=True)
+class HookLevel:
+    """One candidate hook position.
+
+    Attributes:
+        name: human-readable position, e.g. ``"after each j iteration"``.
+        ops_between_hooks: expected operations executed between two
+            consecutive firings of a hook at this level.
+        depth: nesting depth (larger = deeper = more frequent).
+    """
+
+    name: str
+    ops_between_hooks: float
+    depth: int
+
+
+@dataclass(frozen=True)
+class HookPlacement:
+    """Chosen hook level plus the per-level admissibility diagnosis."""
+
+    level: HookLevel
+    rejected_too_costly: tuple[HookLevel, ...]
+    admissible: tuple[HookLevel, ...]
+
+    @property
+    def ops_between_hooks(self) -> float:
+        return self.level.ops_between_hooks
+
+
+def place_hooks(
+    levels: Sequence[HookLevel],
+    hook_cost_ops: float,
+    max_cost_fraction: float = 0.01,
+) -> HookPlacement:
+    """Pick the deepest level whose hook overhead fraction is acceptable.
+
+    ``hook_cost_ops`` is the cost of executing one (non-firing) hook —
+    a counter check, in the common case.  A level is admissible when
+    ``hook_cost_ops / ops_between_hooks <= max_cost_fraction``.
+    """
+    if not levels:
+        raise CompileError("no candidate hook levels")
+    if hook_cost_ops < 0:
+        raise CompileError("hook cost must be >= 0")
+    if not 0 < max_cost_fraction < 1:
+        raise CompileError("max_cost_fraction must be in (0, 1)")
+
+    ordered = sorted(levels, key=lambda lv: lv.depth)
+    admissible = [
+        lv
+        for lv in ordered
+        if lv.ops_between_hooks > 0
+        and hook_cost_ops / lv.ops_between_hooks <= max_cost_fraction
+    ]
+    rejected = tuple(lv for lv in ordered if lv not in admissible)
+    if admissible:
+        chosen = admissible[-1]  # deepest admissible => most responsive
+    else:
+        chosen = ordered[0]  # shallowest level as a last resort
+    return HookPlacement(
+        level=chosen,
+        rejected_too_costly=rejected,
+        admissible=tuple(admissible),
+    )

@@ -1,0 +1,316 @@
+"""Execution plans: the compiler's generated SPMD program.
+
+The paper's compiler emits C code for master and slaves.  Here the
+generated program is an :class:`ExecutionPlan`: a structured description
+of the SPMD schedule (loop shape, hook placement, strip mining, movement
+constraints, per-iteration costs, communication pattern) that a generic
+plan interpreter in :mod:`repro.runtime.slave` executes, plus a rendered
+source listing equivalent to the paper's Figure 3.  Numeric kernels are
+supplied by the application through the :class:`AppKernels` interface
+(the substitution for compiled loop bodies is documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import CompileError
+from .deps import DependenceInfo
+from .features import ApplicationFeatures
+from .hooks import HookPlacement
+
+__all__ = [
+    "LoopShape",
+    "StripSpec",
+    "MovementSpec",
+    "AppKernels",
+    "ExecutionPlan",
+]
+
+
+class LoopShape(enum.Enum):
+    """Canonical SPMD schedule shapes the compiler recognises.
+
+    - ``PARALLEL_MAP``: independent distributed iterations (MM).
+    - ``PIPELINE``: loop-carried dependences at distance +-1 with an inner
+      recurrence dimension; execution proceeds in strip-mined wavefront
+      blocks with boundary communication (SOR).
+    - ``REDUCTION_FRONT``: a repeated loop in which one distributed
+      iteration's data is broadcast each step and the active iteration
+      domain shrinks (LU).
+    """
+
+    PARALLEL_MAP = "parallel_map"
+    PIPELINE = "pipeline"
+    REDUCTION_FRONT = "reduction_front"
+
+
+@dataclass
+class StripSpec:
+    """Strip mining of the pipelined dimension (PIPELINE shape only).
+
+    ``block_size`` is resolved by the runtime at startup (Section 4.4)
+    unless fixed here.
+    """
+
+    loop_var: str
+    total: int
+    block_size: int | None = None
+
+    def resolved(self) -> int:
+        if self.block_size is None:
+            raise CompileError("strip block size not resolved at startup")
+        return self.block_size
+
+    def n_blocks(self) -> int:
+        bs = self.resolved()
+        return -(-self.total // bs)
+
+    def block_range(self, block: int) -> tuple[int, int]:
+        """Half-open row range of strip ``block``."""
+        bs = self.resolved()
+        lo = block * bs
+        hi = min(lo + bs, self.total)
+        if lo >= self.total:
+            raise CompileError(f"block {block} out of range")
+        return lo, hi
+
+
+@dataclass(frozen=True)
+class MovementSpec:
+    """Work-movement constraints and costs (Sections 3.2, 4.5).
+
+    ``restricted`` forces movement only between logically adjacent slaves
+    to preserve a block distribution (required under loop-carried
+    dependences).  ``unit_bytes`` is the data payload per moved iteration,
+    used for movement-cost prediction and message sizing.
+    """
+
+    restricted: bool
+    unit_bytes: int
+    pack_cpu_per_unit: float = 2.0e-5
+    fixed_cpu: float = 1.0e-3
+
+
+class AppKernels:
+    """Numeric kernels an application supplies to the generated program.
+
+    Only the methods relevant to the plan's :class:`LoopShape` need to be
+    overridden; the base class raises for unimplemented slots.  States are
+    opaque to the runtime: the master owns a *global* state, each slave a
+    *local* state.  All cross-slave data flows through payloads returned
+    and accepted by these methods, which keeps the simulated distributed
+    memory honest.
+    """
+
+    # ---- setup / teardown -------------------------------------------
+
+    def make_global(self, rng: np.random.Generator) -> Any:
+        raise NotImplementedError
+
+    def make_local(self, global_state: Any, units: np.ndarray) -> Any:
+        """Initial local state for a slave owning ``units`` (sorted ids)."""
+        raise NotImplementedError
+
+    def input_bytes(self, n_units: int) -> int:
+        """Wire size of the initial scatter payload for ``n_units``."""
+        raise NotImplementedError
+
+    def result_bytes(self, n_units: int) -> int:
+        """Wire size of a slave's final result payload."""
+        raise NotImplementedError
+
+    def local_result(self, local: Any) -> Any:
+        """Payload a slave returns to the master at the end."""
+        raise NotImplementedError
+
+    def merge_results(self, global_state: Any, parts: Mapping[int, Any]) -> Any:
+        """Master-side merge of slave payloads into the final result."""
+        raise NotImplementedError
+
+    def sequential(self, global_state: Any) -> Any:
+        """Reference result computed sequentially (for verification)."""
+        raise NotImplementedError
+
+    # ---- PARALLEL_MAP ------------------------------------------------
+
+    def run_units(self, local: Any, rep: int, units: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def unit_ops(self, local: Any, rep: int, unit: int) -> float | None:
+        """Actual operation count of one iteration, when it depends on
+        data (Table 1's data-dependent iteration size).  ``None`` means
+        the compiler's static cost model is exact and should be used.
+        The cost model still provides the *expected* cost for planning
+        (strip sizing, hook placement, movement prediction)."""
+        return None
+
+    # ---- PIPELINE ----------------------------------------------------
+
+    def sweep_first_boundary(self, local: Any, rep: int) -> Any:
+        """Old-value halo column sent to the LEFT neighbour at sweep start."""
+        raise NotImplementedError
+
+    def set_right_halo(self, local: Any, rep: int, halo: Any) -> None:
+        raise NotImplementedError
+
+    def run_block(
+        self, local: Any, rep: int, rows: tuple[int, int], left_halo: Any | None
+    ) -> Any:
+        """Update the strip ``rows`` for all owned columns; returns the
+        boundary values to send to the RIGHT neighbour for this strip."""
+        raise NotImplementedError
+
+    def boundary_bytes(self, n_rows: int) -> int:
+        raise NotImplementedError
+
+    def sweep_residual(self, local: Any, rep: int) -> float | None:
+        """Local convergence measure after sweep ``rep`` (dynamic-reps
+        plans only): the master reduces these across slaves to evaluate
+        the WHILE condition (Section 4.1)."""
+        return None
+
+    def catchup_and_refresh(
+        self,
+        local: Any,
+        rep: int,
+        units: "np.ndarray",
+        row_blocks: Sequence[tuple[int, int]],
+    ) -> list[Any]:
+        """Bring just-received (behind) units up to the local pipeline
+        position by computing them over ``row_blocks``; returns the
+        refreshed boundary values (one entry per block) that must be
+        re-sent to the right neighbour (Section 4.5's catch-up)."""
+        raise NotImplementedError
+
+    # ---- REDUCTION_FRONT ----------------------------------------------
+
+    def compute_front(self, local: Any, rep: int) -> Any:
+        """Owner-side computation of step ``rep``'s shared data (e.g. the
+        normalised pivot column); returns the broadcast payload."""
+        raise NotImplementedError
+
+    def apply_front(self, local: Any, rep: int, payload: Any, units: np.ndarray) -> None:
+        """Update the owned ``units`` using the broadcast payload."""
+        raise NotImplementedError
+
+    def front_bytes(self, rep: int) -> int:
+        raise NotImplementedError
+
+    # ---- work movement -------------------------------------------------
+
+    def pack_units(self, local: Any, units: np.ndarray, ctx: dict) -> Any:
+        """Extract the state of ``units`` for transfer to another slave.
+
+        ``ctx`` carries shape-specific phase info (e.g. the pipeline block
+        index at which the movement is applied)."""
+        raise NotImplementedError
+
+    def unpack_units(self, local: Any, units: np.ndarray, payload: Any, ctx: dict) -> None:
+        raise NotImplementedError
+
+
+@dataclass
+class ExecutionPlan:
+    """The generated SPMD program.
+
+    Attributes:
+        name: application name.
+        shape: canonical schedule shape chosen by the compiler.
+        params: numeric problem parameters (e.g. ``{"n": 500}``).
+        n_units: exclusive upper bound of the unit id space; unit ids are
+            the distributed loop's index values, living in
+            ``[unit_lo, n_units)``.
+        unit_lo: inclusive lower bound of the unit id space (0 for MM/LU,
+            1 for SOR whose interior columns start at 1).
+        reps: number of invocations of the distributed loop (sweeps for
+            SOR, elimination steps for LU, repetitions for MM).
+        unit_cost: ``(rep, unit) -> ops`` for one full distributed
+            iteration in repetition ``rep``.
+        front_cost: owner-side cost of ``compute_front`` per rep
+            (REDUCTION_FRONT only).
+        unit_domain: ``rep -> (lo, hi)`` half-open range of units that
+            still carry work in repetition ``rep`` (active slices,
+            Section 4.7).
+        movement: movement constraints/costs.
+        hooks: hook placement decision (Section 4.2).
+        strip: strip-mining spec (PIPELINE only).
+        kernels: application kernels.
+        deps / features: analysis artifacts.
+        source: rendered generated source listing (Figure 3 analogue).
+    """
+
+    name: str
+    shape: LoopShape
+    params: dict[str, float]
+    n_units: int
+    reps: int
+    unit_cost: Callable[[int, int], float]
+    movement: MovementSpec
+    hooks: HookPlacement
+    kernels: AppKernels
+    deps: DependenceInfo
+    features: ApplicationFeatures
+    source: str
+    strip: StripSpec | None = None
+    front_cost: Callable[[int], float] | None = None
+    unit_domain: Callable[[int], tuple[int, int]] | None = None
+    unit_lo: int = 0
+    cost_uniform_in_unit: bool = True
+    # Data-dependent WHILE repetition (Section 4.1): ``reps`` is the cap;
+    # the master evaluates the exit condition from slave-reduced
+    # residuals each repetition and broadcasts continue/stop.
+    dynamic_reps: bool = False
+    convergence_tol: float | None = None
+
+    def units_cost(self, rep: int, units: Sequence[int]) -> float:
+        """Total cost of a set of units in one repetition; O(1) when the
+        per-iteration cost does not depend on the iteration index."""
+        n = len(units)
+        if n == 0:
+            return 0.0
+        if self.cost_uniform_in_unit:
+            return self.unit_cost(rep, int(units[0])) * n
+        return sum(self.unit_cost(rep, int(u)) for u in units)
+
+    @property
+    def unit_count(self) -> int:
+        """Number of unit ids in the ownership space."""
+        return self.n_units - self.unit_lo
+
+    def unit_space(self) -> tuple[int, int]:
+        """Half-open range of all unit ids that need an owner."""
+        return self.unit_lo, self.n_units
+
+    def __post_init__(self) -> None:
+        if self.n_units - self.unit_lo < 1:
+            raise CompileError(
+                f"plan needs >= 1 unit, got [{self.unit_lo}, {self.n_units})"
+            )
+        if self.reps < 1:
+            raise CompileError(f"plan needs >= 1 rep, got {self.reps}")
+        if self.shape is LoopShape.PIPELINE and self.strip is None:
+            raise CompileError("PIPELINE plans require a StripSpec")
+        if self.shape is LoopShape.REDUCTION_FRONT and self.front_cost is None:
+            raise CompileError("REDUCTION_FRONT plans require front_cost")
+
+    def domain(self, rep: int) -> tuple[int, int]:
+        """Active unit range in repetition ``rep``."""
+        if self.unit_domain is not None:
+            lo, hi = self.unit_domain(rep)
+            return max(self.unit_lo, lo), min(self.n_units, hi)
+        return self.unit_lo, self.n_units
+
+    def total_ops(self) -> float:
+        """Whole-application operation count (for sizing experiments)."""
+        total = 0.0
+        for rep in range(self.reps):
+            lo, hi = self.domain(rep)
+            total += self.units_cost(rep, range(lo, hi))
+            if self.front_cost is not None:
+                total += self.front_cost(rep)
+        return total

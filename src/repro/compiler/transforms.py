@@ -1,0 +1,141 @@
+"""Loop restructuring transforms (paper Section 2.2).
+
+"If synchronization occurs frequently, the code should be restructured,
+e.g., by strip mining, loop interchange, etc., to minimize the frequency
+of these synchronizations."  Strip mining lives in
+:mod:`repro.compiler.stripmine`; this module provides **loop
+interchange** with the classic dependence-direction legality test, plus
+the direction-vector computation it rests on.
+
+A dependence between two statement instances is summarised as a distance
+vector over the loop nest (in nest order).  Lexicographically negative
+raw vectors describe anti dependences (the read precedes the write) and
+are negated, so every dependence vector is lexicographically
+non-negative.  Interchanging two adjacent loops swaps their vector
+components; the interchange is legal iff no dependence vector has the
+pattern ``(+, -)`` on those two positions — such a vector would become
+lexicographically negative, i.e. the transformed order would consume
+values before producing them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Sequence
+
+from ..errors import CompileError
+from .deps import _collect_pairs
+from .ir import Loop, Program, Stmt, iter_assigns, iter_loops
+
+__all__ = [
+    "dependence_vectors",
+    "can_interchange",
+    "interchange",
+]
+
+UNKNOWN = None
+
+
+def _nest_order(program: Program) -> list[str]:
+    return [lp.index for lp in iter_loops(program.body)]
+
+
+def dependence_vectors(
+    program: Program, loop_vars: Sequence[str] | None = None
+) -> list[tuple]:
+    """All dependence vectors over ``loop_vars`` (nest order by default).
+
+    Components are ints or ``None`` (statically unknown distance).
+    Raw vectors that are lexicographically negative (anti dependences)
+    are negated so every returned vector is lexicographically
+    non-negative; unknown components are kept as ``None`` and treated
+    conservatively by consumers.
+    """
+    order = list(loop_vars) if loop_vars is not None else _nest_order(program)
+    assigns = list(iter_assigns(program.body))
+    pairs = _collect_pairs(assigns, _nest_order(program), program.params)
+    vectors: list[tuple] = []
+    for pair in pairs:
+        vec = tuple(pair.distance_along(v) for v in order)
+        if all(c == 0 for c in vec if c is not UNKNOWN) and UNKNOWN not in vec:
+            if all(c == 0 for c in vec):
+                continue  # loop-independent
+        vectors.append(_canonical(vec))
+    return vectors
+
+
+def _canonical(vec: tuple) -> tuple:
+    """Negate lexicographically negative vectors (anti dependences)."""
+    for c in vec:
+        if c is UNKNOWN:
+            return vec  # direction unknown; keep as-is (conservative)
+        if c > 0:
+            return vec
+        if c < 0:
+            return tuple(UNKNOWN if x is UNKNOWN else -x for x in vec)
+    return vec
+
+
+def can_interchange(
+    program: Program, outer_var: str, inner_var: str
+) -> tuple[bool, str]:
+    """Is interchanging the (perfectly nested, adjacent) loops legal?
+
+    Returns ``(legal, reason)``; ``reason`` explains a refusal.
+    """
+    outer = program.find_loop(outer_var)
+    if len(outer.body) != 1 or not isinstance(outer.body[0], Loop):
+        return False, f"loop {outer_var!r} is not perfectly nested"
+    inner = outer.body[0]
+    if inner.index != inner_var:
+        return False, f"loop {inner_var!r} is not directly inside {outer_var!r}"
+    if inner.lower.depends_on([outer_var]) or inner.upper.depends_on([outer_var]):
+        return False, f"bounds of {inner_var!r} depend on {outer_var!r} (triangular)"
+    if outer.is_while or inner.is_while:
+        return False, "WHILE loops cannot be interchanged"
+
+    # Vectors are projected onto (outer, inner); dependences carried by
+    # an enclosing loop project too, which can only make the test MORE
+    # conservative (a legal interchange may be refused, never the
+    # reverse).
+    for vec in dependence_vectors(program, [outer_var, inner_var]):
+        a, b = vec
+        if a is UNKNOWN or b is UNKNOWN:
+            return False, f"dependence direction unknown: {vec}"
+        if a > 0 and b < 0:
+            return (
+                False,
+                f"dependence vector ({a}, {b}) would become lexicographically "
+                "negative",
+            )
+    return True, "legal"
+
+
+def interchange(program: Program, outer_var: str, inner_var: str) -> Program:
+    """Return a new program with the two loops interchanged.
+
+    Raises :class:`CompileError` when the interchange is illegal or the
+    nest shape does not allow it.
+    """
+    legal, reason = can_interchange(program, outer_var, inner_var)
+    if not legal:
+        raise CompileError(f"cannot interchange {outer_var}/{inner_var}: {reason}")
+
+    def rewrite(stmts: tuple[Stmt, ...]) -> tuple[Stmt, ...]:
+        out: list[Stmt] = []
+        for s in stmts:
+            if isinstance(s, Loop):
+                if s.index == outer_var:
+                    inner = s.body[0]
+                    assert isinstance(inner, Loop)
+                    new_outer = replace(
+                        inner, body=(replace(s, body=inner.body),)
+                    )
+                    out.append(new_outer)
+                else:
+                    out.append(replace(s, body=rewrite(s.body)))
+            else:
+                out.append(s)
+        return tuple(out)
+
+    return replace(program, body=rewrite(program.body))

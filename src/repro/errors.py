@@ -1,0 +1,43 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """Raised for inconsistencies inside the discrete-event simulator."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the event queue drains while tasks are still blocked."""
+
+
+class ProtocolError(ReproError):
+    """Raised when master/slave messages violate the runtime protocol."""
+
+
+class CompileError(ReproError):
+    """Raised when the mini-compiler cannot parallelize a loop nest."""
+
+
+class DependenceError(CompileError):
+    """Raised when a requested distribution violates data dependences."""
+
+
+class PartitionError(ReproError):
+    """Raised for invalid iteration-partition operations."""
+
+
+class MovementError(ReproError):
+    """Raised when a work-movement instruction cannot be applied."""
+
+
+class ConfigError(ReproError):
+    """Raised for invalid configuration values."""

@@ -1,0 +1,51 @@
+"""Experiment drivers reproducing every table and figure in the paper.
+
+Each module runs one experiment on the simulated cluster and returns a
+structured result with a ``format_table()`` paper-style rendering plus
+the paper's expected qualitative shape, so EXPERIMENTS.md can record
+paper-vs-measured for every artifact:
+
+- :mod:`tab1_features` — Table 1 (application properties).
+- :mod:`fig3_codegen` — Figure 3 (generated SOR code, hooks, strip mining).
+- :mod:`fig4_frequency` — Figure 4 (load-balancing period selection).
+- :mod:`fig5_mm_dedicated` / :mod:`fig6_sor_dedicated` — dedicated
+  homogeneous runs: time, speedup, efficiency vs processors.
+- :mod:`fig7_mm_loaded` / :mod:`fig8_sor_loaded` — one processor with a
+  constant competing load: time + efficiency vs processors.
+- :mod:`fig9_oscillating` — rate/work traces under an oscillating load.
+- :mod:`ablations` — pipelined vs synchronous interactions (3.3), strip
+  granularity (4.4), and balancer refinement toggles (3.2).
+"""
+
+from . import (
+    ablations,
+    adaptive_irregular,
+    fig3_codegen,
+    fig4_frequency,
+    fig5_mm_dedicated,
+    fig6_sor_dedicated,
+    fig7_mm_loaded,
+    fig8_sor_loaded,
+    fig9_oscillating,
+    heterogeneous,
+    quantum_noise,
+    tab1_features,
+)
+from .common import ExperimentSeries, run_point
+
+__all__ = [
+    "ExperimentSeries",
+    "run_point",
+    "tab1_features",
+    "fig3_codegen",
+    "fig4_frequency",
+    "fig5_mm_dedicated",
+    "fig6_sor_dedicated",
+    "fig7_mm_loaded",
+    "fig8_sor_loaded",
+    "fig9_oscillating",
+    "heterogeneous",
+    "adaptive_irregular",
+    "quantum_noise",
+    "ablations",
+]

@@ -1,0 +1,67 @@
+"""Figure 5 — 500x500 matrix multiplication, dedicated homogeneous cluster.
+
+Panels: (a) execution time, (b) speedup, (c) efficiency vs number of
+processors, for sequential execution, parallel execution, and parallel
+execution with dynamic load balancing.  The paper's qualitative result:
+DLB overhead is small, so the parallel and parallel-with-DLB curves lie
+nearly on top of each other, with near-linear speedup.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..apps.matmul import build_matmul
+from ..runtime.launcher import sequential_time
+from .common import ExperimentSeries, run_point
+
+__all__ = ["run"]
+
+
+def run(
+    n: int = 500,
+    processors: Sequence[int] = (1, 2, 3, 4, 5, 6, 7),
+    execute_numerics: bool = False,
+    seed: int = 0,
+) -> ExperimentSeries:
+    series = ExperimentSeries(
+        name=f"Figure 5: {n}x{n} MM, dedicated homogeneous environment",
+        headers=(
+            "P",
+            "t_seq",
+            "t_par",
+            "t_dlb",
+            "speedup_par",
+            "speedup_dlb",
+            "eff_par",
+            "eff_dlb",
+            "dlb_overhead_%",
+        ),
+        expected=(
+            "sequential ~275 s; near-linear speedup; DLB overhead small "
+            "(parallel and parallel+DLB curves nearly coincide); "
+            "efficiency stays above ~0.9"
+        ),
+    )
+    for P in processors:
+        plan = build_matmul(n=n, n_slaves_hint=P)
+        r_sta = run_point(
+            plan, P, dlb=False, execute_numerics=execute_numerics, seed=seed
+        )
+        r_dlb = run_point(
+            plan, P, dlb=True, execute_numerics=execute_numerics, seed=seed
+        )
+        t_seq = r_sta.sequential_time
+        overhead = 100.0 * (r_dlb.elapsed - r_sta.elapsed) / r_sta.elapsed
+        series.add(
+            P,
+            t_seq,
+            r_sta.elapsed,
+            r_dlb.elapsed,
+            r_sta.speedup,
+            r_dlb.speedup,
+            r_sta.efficiency,
+            r_dlb.efficiency,
+            overhead,
+        )
+    return series

@@ -1,0 +1,63 @@
+"""Figure 6 — 2000x2000 SOR, dedicated homogeneous cluster.
+
+Same panels as Figure 5 but for the pipelined application: speedup is
+sub-linear because of per-strip boundary communication and pipeline
+fill/drain, and DLB overhead stays small.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..apps.sor import build_sor
+from .common import ExperimentSeries, run_point
+
+__all__ = ["run"]
+
+
+def run(
+    n: int = 2000,
+    maxiter: int = 15,
+    processors: Sequence[int] = (1, 2, 3, 4, 5, 6, 7),
+    execute_numerics: bool = False,
+    seed: int = 0,
+) -> ExperimentSeries:
+    series = ExperimentSeries(
+        name=f"Figure 6: {n}x{n} SOR ({maxiter} sweeps), dedicated homogeneous environment",
+        headers=(
+            "P",
+            "t_seq",
+            "t_par",
+            "t_dlb",
+            "speedup_par",
+            "speedup_dlb",
+            "eff_par",
+            "eff_dlb",
+            "dlb_overhead_%",
+        ),
+        expected=(
+            "sequential ~350 s; speedup sub-linear (communication + "
+            "pipeline fill/drain), ~6 at 7 processors; DLB overhead small"
+        ),
+    )
+    for P in processors:
+        plan = build_sor(n=n, maxiter=maxiter, n_slaves_hint=P)
+        r_sta = run_point(
+            plan, P, dlb=False, execute_numerics=execute_numerics, seed=seed
+        )
+        r_dlb = run_point(
+            plan, P, dlb=True, execute_numerics=execute_numerics, seed=seed
+        )
+        overhead = 100.0 * (r_dlb.elapsed - r_sta.elapsed) / r_sta.elapsed
+        series.add(
+            P,
+            r_sta.sequential_time,
+            r_sta.elapsed,
+            r_dlb.elapsed,
+            r_sta.speedup,
+            r_dlb.speedup,
+            r_sta.efficiency,
+            r_dlb.efficiency,
+            overhead,
+        )
+    return series

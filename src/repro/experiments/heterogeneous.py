@@ -1,0 +1,75 @@
+"""Heterogeneous cluster (extension of Section 3.2's claim).
+
+"Slave performance is specified in work units per second ... With this
+application-specific measure, there is no need to explicitly measure
+the loads on the processors or to give different weights to different
+processors in a heterogeneous processing environment."
+
+This experiment runs MM on clusters mixing fast and slow workstations —
+with no configuration describing the speeds — and checks that the
+balancer discovers the speed ratio from measured rates and assigns work
+proportionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..apps.matmul import build_matmul
+from ..config import ClusterSpec, ProcessorSpec, RunConfig
+from ..runtime.launcher import run_application
+from .common import ExperimentSeries, PAPER_QUANTUM, PAPER_SPEED
+
+__all__ = ["run"]
+
+
+def run(n: int = 500, seed: int = 0) -> ExperimentSeries:
+    series = ExperimentSeries(
+        name="Heterogeneous cluster: MM on mixed-speed workstations",
+        headers=(
+            "speeds",
+            "t_static",
+            "t_dlb",
+            "eff_static",
+            "eff_dlb",
+            "final_counts",
+        ),
+        expected=(
+            "the balancer discovers speed ratios from work-units/sec with "
+            "no per-processor weights; final work shares track the speeds"
+        ),
+    )
+    scenarios = [
+        (1.0, 1.0, 1.0, 1.0),
+        (2.0, 1.0, 1.0, 1.0),
+        (3.0, 2.0, 1.0, 1.0),
+        (4.0, 1.0, 1.0, 0.5),
+    ]
+    for speeds in scenarios:
+        base = ProcessorSpec(speed=PAPER_SPEED, quantum=PAPER_QUANTUM)
+        overrides = tuple(
+            (pid, replace(base, speed=PAPER_SPEED * f))
+            for pid, f in enumerate(speeds)
+            if f != 1.0
+        )
+        cluster = ClusterSpec(
+            n_slaves=len(speeds), processor=base, processor_overrides=overrides
+        )
+        plan = build_matmul(n=n, n_slaves_hint=len(speeds))
+        r_sta = run_application(
+            plan,
+            RunConfig(cluster=cluster, execute_numerics=False, dlb_enabled=False),
+            seed=seed,
+        )
+        r_dlb = run_application(
+            plan, RunConfig(cluster=cluster, execute_numerics=False), seed=seed
+        )
+        series.add(
+            "/".join(f"{f:g}x" for f in speeds),
+            r_sta.elapsed,
+            r_dlb.elapsed,
+            r_sta.efficiency,
+            r_dlb.efficiency,
+            "/".join(str(c) for c in r_dlb.log.final_partition_counts),
+        )
+    return series

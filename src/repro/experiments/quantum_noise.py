@@ -1,0 +1,89 @@
+"""Section 4.3 — measurement windows vs scheduling-quantum noise.
+
+"If the measurement period is near the time quantum for the system,
+context switching between processes will cause dramatic oscillations in
+the performance measurements ... the load balancing period must be at
+least several times the time quantum so that the context switching
+effects average out."
+
+This experiment measures it directly at the processor level: a loaded
+workstation executes back-to-back work bursts; each burst's observed
+rate (work per wall second) is a rate *sample* of the kind a slave
+reports.  The sample spread collapses as the window grows past a few
+quanta under the round-robin scheduler, while an idealised fair-share
+scheduler shows no window dependence at all — isolating the quantum as
+the noise source and justifying the paper's >= 5 quanta rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import ProcessorSpec
+from ..sim.load import ConstantLoad
+from ..sim.processor import Processor
+from .common import ExperimentSeries, PAPER_QUANTUM
+
+__all__ = ["run", "rate_samples"]
+
+
+def rate_samples(
+    window_cpu: float,
+    scheduler: str,
+    k: int = 1,
+    quantum: float = PAPER_QUANTUM,
+    n_samples: int = 60,
+    phase: float = 0.013,
+    seed: int = 0,
+) -> np.ndarray:
+    """Observed rates of ``window_cpu``-sized work bursts on a processor
+    with ``k`` competitors (speed 1: rate 1.0 = dedicated).
+
+    Bursts are separated by small random idle gaps (message waits in a
+    real slave), so each burst lands at an arbitrary point of the
+    scheduler rotation — the realistic sampling situation.
+    """
+    proc = Processor(
+        0,
+        ProcessorSpec(speed=1.0, quantum=quantum, phase=phase, scheduler=scheduler),
+        ConstantLoad(k=k),
+    )
+    rng = np.random.default_rng(seed)
+    t = 0.0
+    rates = []
+    for _ in range(n_samples):
+        t1 = proc.run_cpu(t, window_cpu)
+        rates.append(window_cpu / (t1 - t))
+        # Idle gap before the next burst (comm wait), up to ~1.7 cycles.
+        t = t1 + rng.uniform(0.0, 1.7 * (k + 1) * quantum)
+    return np.asarray(rates)
+
+
+def run(quantum: float = PAPER_QUANTUM) -> ExperimentSeries:
+    series = ExperimentSeries(
+        name="Section 4.3: rate-sample noise vs measurement window (1 competitor)",
+        headers=(
+            "window_quanta",
+            "rr_rate_mean",
+            "rr_rate_cv",
+            "fair_rate_mean",
+            "fair_rate_cv",
+        ),
+        expected=(
+            "round-robin sample spread (coefficient of variation) is large "
+            "for sub-quantum windows and collapses by ~5 quanta; the fair "
+            "scheduler shows none — the quantum is the noise source"
+        ),
+    )
+    for mult in (0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0):
+        window = mult * quantum
+        rr = rate_samples(window, "round_robin", quantum=quantum)
+        fair = rate_samples(window, "fair", quantum=quantum)
+        series.add(
+            mult,
+            float(rr.mean()),
+            float(rr.std() / rr.mean()),
+            float(fair.mean()),
+            float(fair.std() / max(fair.mean(), 1e-12)),
+        )
+    return series

@@ -1,0 +1,39 @@
+"""Dynamic load-balancing runtime (master + slaves).
+
+This package implements the paper's run-time library: the central load
+balancer (*master*), the slave-side plan interpreter with load-balancing
+hooks, rate filtering, balancing-frequency selection, the profitability
+check, and work movement.  The entry point for whole application runs is
+:func:`repro.runtime.launcher.run_application`.
+"""
+
+from .balancer import BalancerDecision, BalancerState, decide
+from .filtering import TrendFilter
+from .frequency import PeriodBounds, select_period
+from .launcher import RunResult, run_application
+from .partition import (
+    BlockPartition,
+    IndexPartition,
+    Transfer,
+    proportional_counts,
+)
+from .profitability import movement_profitable
+from .protocol import Instructions, SlaveReport
+
+__all__ = [
+    "BalancerDecision",
+    "BalancerState",
+    "decide",
+    "TrendFilter",
+    "PeriodBounds",
+    "select_period",
+    "RunResult",
+    "run_application",
+    "BlockPartition",
+    "IndexPartition",
+    "Transfer",
+    "proportional_counts",
+    "movement_profitable",
+    "Instructions",
+    "SlaveReport",
+]

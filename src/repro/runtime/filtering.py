@@ -1,0 +1,98 @@
+"""Trend-weighted rate filtering (paper Section 3.2).
+
+"New rate information for each slave is filtered by averaging it with
+older rate information, with relative weights set according to trends
+observed in the rates."  The filter keeps an exponentially weighted
+average whose gain increases while consecutive samples keep moving in the
+same direction (a genuine load change) and decreases on direction flips
+(noise/short spikes).  This is what damps the raw-rate wiggles into the
+"adjusted rate" curve of Figure 9 while still tracking the square-wave
+load.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+__all__ = ["TrendFilter"]
+
+
+class TrendFilter:
+    """EWMA with trend-adaptive gain.
+
+    Attributes:
+        slow_gain: weight of a new sample that contradicts the current
+            trend (noise suppression).
+        fast_gain: weight of a new sample once ``trend_threshold``
+            consecutive samples moved in the same direction (fast
+            tracking of real load changes).
+    """
+
+    def __init__(
+        self,
+        slow_gain: float = 0.3,
+        fast_gain: float = 0.8,
+        trend_threshold: int = 2,
+        deadband: float = 0.02,
+        snap_fraction: float = 0.5,
+    ):
+        if not 0 < slow_gain <= fast_gain <= 1:
+            raise ConfigError(
+                f"need 0 < slow_gain <= fast_gain <= 1, got {slow_gain}, {fast_gain}"
+            )
+        if trend_threshold < 1:
+            raise ConfigError("trend_threshold must be >= 1")
+        if deadband < 0:
+            raise ConfigError("deadband must be >= 0")
+        if snap_fraction <= 0:
+            raise ConfigError("snap_fraction must be positive")
+        self.slow_gain = slow_gain
+        self.fast_gain = fast_gain
+        self.trend_threshold = trend_threshold
+        self.deadband = deadband
+        self.snap_fraction = snap_fraction
+        self._value: float | None = None
+        self._streak_dir = 0
+        self._streak_len = 0
+
+    @property
+    def value(self) -> float | None:
+        """Current filtered value (None before the first sample)."""
+        return self._value
+
+    def update(self, raw: float) -> float:
+        """Fold one raw sample in; returns the new filtered value."""
+        if raw < 0:
+            raise ConfigError(f"negative rate sample: {raw}")
+        if self._value is None:
+            self._value = raw
+            return raw
+        # Direction of this sample relative to the filtered value, with a
+        # deadband so tiny fluctuations do not count as trends.
+        rel = raw - self._value
+        band = self.deadband * max(abs(self._value), 1e-12)
+        direction = 0 if abs(rel) <= band else (1 if rel > 0 else -1)
+        if direction != 0 and direction == self._streak_dir:
+            self._streak_len += 1
+        elif direction != 0:
+            self._streak_dir = direction
+            self._streak_len = 1
+        else:
+            self._streak_len = 0
+            self._streak_dir = 0
+        # A large relative jump is weighted like an established trend
+        # immediately: a processor that just lost (or regained) most of
+        # its capacity should not wait out the trend counter.
+        snap = abs(rel) > self.snap_fraction * max(abs(self._value), 1e-12)
+        gain = (
+            self.fast_gain
+            if snap or self._streak_len >= self.trend_threshold
+            else self.slow_gain
+        )
+        self._value = self._value + gain * (raw - self._value)
+        return self._value
+
+    def reset(self) -> None:
+        self._value = None
+        self._streak_dir = 0
+        self._streak_len = 0

@@ -1,0 +1,385 @@
+"""Central load balancer (master) process.
+
+The master mirrors the slaves' load-balancing phase structure
+(Section 4.1): every slave status report gets exactly one instruction
+reply, computed from the most recent information (synchronous slaves
+block on the reply; pipelined slaves pick it up one hook later,
+Section 3.3).  Movement rounds are issued at most one at a time; the
+partition bookkeeping advances only when every involved slave has
+acknowledged (or cancelled) its side, so master and slaves can never
+disagree about ownership.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from ..compiler.plan import ExecutionPlan, LoopShape
+from ..config import RunConfig
+from ..errors import ProtocolError
+from ..sim import Recv, Send, TaskContext, Trace
+from .balancer import BalancerDecision, BalancerState, decide
+from .partition import BlockPartition, IndexPartition, Transfer
+from .protocol import INSTR_BYTES, Instructions, MoveOrder, SlaveReport, Tags
+
+__all__ = ["master_task", "MasterLog"]
+
+
+@dataclass
+class _InFlightMove:
+    order: MoveOrder
+    acked: set[int] = field(default_factory=set)
+    canceled: bool = False
+
+    def involved(self) -> tuple[int, int]:
+        return self.order.transfer.src, self.order.transfer.dst
+
+    def complete(self) -> bool:
+        return self.acked >= set(self.involved())
+
+
+@dataclass
+class MasterLog:
+    """Everything the master learned during a run (for experiments)."""
+
+    decisions: list[BalancerDecision] = field(default_factory=list)
+    moves_issued: int = 0
+    moves_applied: int = 0
+    moves_canceled: int = 0
+    units_moved: int = 0
+    reports_received: int = 0
+    final_partition_counts: list[int] = field(default_factory=list)
+    result: Any = None
+    merged_units: int = 0
+
+
+class _Master:
+    def __init__(
+        self,
+        ctx: TaskContext,
+        plan: ExecutionPlan,
+        run_cfg: RunConfig,
+        log: MasterLog,
+        trace: Trace | None,
+        global_state: Any,
+        partition: BlockPartition | IndexPartition,
+        block_size: int | None,
+    ):
+        self.ctx = ctx
+        self.plan = plan
+        self.cfg = run_cfg
+        self.log = log
+        self.trace = trace
+        self.global_state = global_state
+        self.partition = partition
+        self.block_size = block_size
+        self.n = ctx.n_slaves
+        self.state = BalancerState(
+            n_slaves=self.n,
+            config=run_cfg.balancer,
+            unit_bytes=plan.movement.unit_bytes,
+            network=run_cfg.cluster.network,
+            quantum=run_cfg.cluster.processor.quantum,
+        )
+        self.last_report: dict[int, SlaveReport] = {}
+        self.pending_orders: dict[int, list[MoveOrder]] = {p: [] for p in range(self.n)}
+        self.in_flight: dict[int, _InFlightMove] = {}
+        self.next_move_id = 0
+        self.done_units_accum = 0.0
+        self.total_work_units = self._total_work_units()
+        self.last_move_issue_time = -1.0e9
+        self.released: set[int] = set()
+        self.results: dict[int, Any] = {}
+
+    # ------------------------------------------------------------------
+
+    def _total_work_units(self) -> float:
+        plan = self.plan
+        if plan.shape is LoopShape.REDUCTION_FRONT:
+            total = 0.0
+            for rep in range(plan.reps):
+                lo, hi = plan.domain(rep)
+                total += max(0, hi - lo)
+            return total
+        return float(plan.unit_count * plan.reps)
+
+    def _units_per_hook(self) -> dict[int, float]:
+        counts = self._counts()
+        if self.plan.shape is LoopShape.PARALLEL_MAP:
+            return {p: 1.0 for p in range(self.n)}
+        if self.plan.shape is LoopShape.PIPELINE:
+            bs = self.block_size or 1
+            total = self.plan.strip.total
+            return {
+                p: max(counts[p] * bs / total, 1e-9) for p in range(self.n)
+            }
+        # REDUCTION_FRONT: one hook per repetition covering the active set.
+        return {p: max(float(counts[p]), 1.0) for p in range(self.n)}
+
+    def _counts(self) -> list[int]:
+        if isinstance(self.partition, BlockPartition):
+            return self.partition.counts()
+        return self.partition.counts(self._active_predicate())
+
+    def _remaining_sets(self) -> dict[int, tuple[int, ...]] | None:
+        """Per-slave remaining-work unit ids (PARALLEL_MAP tail phase).
+
+        In steady state the paper's ownership-proportional balancing is
+        used (remaining counts snapshotted at different report times
+        would inject progress-position noise).  Once some slave runs dry
+        while others still hold work, ownership no longer reflects load,
+        so the tail balances explicit remaining-work sets — built from
+        slave reports, intersected with current ownership so a stale
+        report cannot name a unit that has since moved."""
+        if self.plan.shape is not LoopShape.PARALLEL_MAP:
+            return None
+        sets: dict[int, tuple[int, ...]] = {}
+        for p in range(self.n):
+            owned = set(int(u) for u in self.partition.owned(p))
+            rep = self.last_report.get(p)
+            if rep is None or rep.remaining_units is None:
+                sets[p] = tuple(sorted(owned))
+            else:
+                sets[p] = tuple(sorted(owned & set(rep.remaining_units)))
+        lens = [len(s) for s in sets.values()]
+        if min(lens) > 0 or max(lens) == 0:
+            return None  # steady state (or fully done): ownership rules
+        return sets
+
+    def _active_predicate(self) -> Callable[[int], bool] | None:
+        if self.plan.shape is not LoopShape.REDUCTION_FRONT:
+            return None
+        rep_of: dict[int, int] = {}
+        for p in range(self.n):
+            rep = self.last_report[p].rep if p in self.last_report else 0
+            for u in self.partition.owned(p):
+                rep_of[int(u)] = rep
+        # A margin of one repetition protects against report staleness.
+        return lambda u: u > rep_of.get(u, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Movement round bookkeeping
+    # ------------------------------------------------------------------
+
+    def _issue_transfers(self, transfers: list[Transfer], now: float) -> None:
+        for t in transfers:
+            order = MoveOrder(move_id=self.next_move_id, transfer=t)
+            self.next_move_id += 1
+            self.in_flight[order.move_id] = _InFlightMove(order)
+            self.pending_orders[t.src].append(order)
+            self.pending_orders[t.dst].append(order)
+            self.log.moves_issued += 1
+        self.last_move_issue_time = now
+
+    def _process_acks(self, report: SlaveReport) -> None:
+        for mid in report.applied_moves:
+            fl = self.in_flight.get(mid)
+            if fl is None:
+                raise ProtocolError(f"ack for unknown move {mid}")
+            fl.acked.add(report.pid)
+        for mid in report.canceled_moves:
+            fl = self.in_flight.get(mid)
+            if fl is None:
+                raise ProtocolError(f"cancel for unknown move {mid}")
+            fl.acked.add(report.pid)
+            fl.canceled = True
+        # Close out completed moves, applying ownership changes.
+        for mid in [m for m, fl in self.in_flight.items() if fl.complete()]:
+            fl = self.in_flight.pop(mid)
+            if fl.canceled:
+                self.log.moves_canceled += 1
+            else:
+                self.partition = self.partition.apply([fl.order.transfer])
+                self.log.moves_applied += 1
+                self.log.units_moved += fl.order.transfer.count
+
+    def _movement_allowed(self, now: float) -> bool:
+        if self.in_flight:
+            return False
+        if any(self.pending_orders[p] for p in range(self.n)):
+            return False
+        period = self.state.config.min_period
+        return (now - self.last_move_issue_time) >= period
+
+    # ------------------------------------------------------------------
+    # Per-report handling
+    # ------------------------------------------------------------------
+
+    def handle_report(self, report: SlaveReport, now: float) -> Instructions:
+        self.log.reports_received += 1
+        self.last_report[report.pid] = report
+        self.done_units_accum += report.units_done
+        raw = report.rate
+        self.state.observe(report)
+        self._process_acks(report)
+
+        if self.trace is not None:
+            if raw is not None:
+                self.trace.record(f"raw_rate[{report.pid}]", now, raw)
+            filt = self.state.filters[report.pid].value
+            if filt is not None:
+                self.trace.record(f"adjusted_rate[{report.pid}]", now, filt)
+
+        remaining = max(0.0, self.total_work_units - self.done_units_accum)
+        allow = (
+            self.cfg.dlb_enabled
+            and self._movement_allowed(now)
+            and remaining > 0
+        )
+        decision = decide(
+            self.state,
+            self.partition,
+            self._units_per_hook(),
+            remaining_units=remaining,
+            active=self._active_predicate(),
+            allow_movement=allow,
+            remaining_sets=self._remaining_sets(),
+        )
+        self.log.decisions.append(decision)
+        if decision.transfers:
+            # Released slaves no longer read instructions; a transfer
+            # touching one could never be delivered and its units would
+            # vanish from the gather.
+            usable = [
+                t
+                for t in decision.transfers
+                if t.src not in self.released and t.dst not in self.released
+            ]
+            if usable:
+                self._issue_transfers(usable, now)
+
+        if self.trace is not None:
+            counts = self._counts()
+            for p in range(self.n):
+                self.trace.record(f"work[{p}]", now, counts[p])
+
+        sends = tuple(
+            o
+            for o in self.pending_orders[report.pid]
+            if o.transfer.src == report.pid
+        )
+        recvs = tuple(
+            o
+            for o in self.pending_orders[report.pid]
+            if o.transfer.dst == report.pid
+        )
+        self.pending_orders[report.pid] = []
+
+        if report.done and not sends and not recvs:
+            involved = any(
+                report.pid in fl.involved() and report.pid not in fl.acked
+                for fl in self.in_flight.values()
+            )
+            if not involved:
+                self.released.add(report.pid)
+                return Instructions(
+                    phase=decision.phase, release=True, note="release"
+                )
+        return Instructions(
+            phase=decision.phase,
+            skip_hooks=decision.skip_hooks.get(report.pid, 1),
+            sends=sends,
+            recvs=recvs,
+        )
+
+
+def master_task(
+    ctx: TaskContext,
+    plan: ExecutionPlan,
+    run_cfg: RunConfig,
+    log: MasterLog,
+    trace: Trace | None,
+    global_state: Any,
+    partition: BlockPartition | IndexPartition,
+    block_size: int | None,
+    result_sink: dict,
+):
+    """Simulator task body for the central load balancer."""
+    m = _Master(ctx, plan, run_cfg, log, trace, global_state, partition, block_size)
+    kernels = plan.kernels
+    exec_num = run_cfg.execute_numerics and global_state is not None
+
+    # Initial hook skip: measuring over less than ~5 quanta makes rates
+    # oscillate with context switching (Section 4.3), so slaves skip
+    # enough hooks that their first measurement already spans the floor
+    # period, assuming dedicated-speed execution.
+    from .frequency import hooks_to_skip
+
+    mid_unit = (plan.unit_lo + plan.n_units) // 2
+    est_rate = run_cfg.cluster.processor.speed / max(
+        plan.unit_cost(0, mid_unit), 1.0
+    )
+    floor_period = max(
+        run_cfg.balancer.min_period,
+        run_cfg.balancer.quantum_multiple * run_cfg.cluster.processor.quantum,
+    )
+    uph = m._units_per_hook()
+
+    # Initial scatter: each slave gets its units plus the data they own.
+    for pid in range(m.n):
+        units = m.partition.owned(pid)
+        payload: dict[str, Any] = {"units": tuple(int(u) for u in units)}
+        if exec_num:
+            payload["local"] = kernels.make_local(global_state, np.asarray(units))
+        if block_size is not None:
+            payload["block_size"] = block_size
+        payload["skip"] = hooks_to_skip(floor_period, est_rate, uph[pid])
+        nbytes = kernels.input_bytes(len(units)) if exec_num else 64 * max(1, len(units))
+        yield Send(pid, Tags.INIT, payload, nbytes)
+
+    # Control loop: serve reports (and, for WHILE-repetition plans, the
+    # convergence barrier of Section 4.1) until every slave is released.
+    residuals: dict[int, list[float]] = {}
+    while len(m.released) < m.n:
+        msg = yield Recv()
+        tag = msg.tag
+        if tag == Tags.STATUS:
+            report: SlaveReport = msg.payload
+            instr = m.handle_report(report, msg.t_arrived)
+            yield Send(report.pid, Tags.INSTR, instr, INSTR_BYTES)
+        elif tag.startswith("conv.res."):
+            # The master mirrors the slaves' WHILE loop: it reduces the
+            # residuals of repetition ``rep`` and broadcasts the loop
+            # condition's verdict before anyone starts ``rep + 1``.
+            rep = int(tag.rsplit(".", 1)[1])
+            residuals.setdefault(rep, []).append(float(msg.payload))
+            if len(residuals[rep]) == m.n:
+                global_residual = max(residuals.pop(rep))
+                go = rep + 1 < plan.reps and (
+                    plan.convergence_tol is None
+                    or global_residual > plan.convergence_tol
+                )
+                for pid in range(m.n):
+                    yield Send(pid, Tags.cont(rep + 1), bool(go), 16)
+        elif tag == Tags.RESULT:
+            m.results[msg.src] = msg.payload
+        else:  # pragma: no cover - no other tags target the master
+            raise ProtocolError(f"master received unexpected message {tag}")
+
+    while len(m.results) < m.n:
+        msg = yield Recv(tag=Tags.RESULT)
+        m.results[msg.src] = msg.payload
+
+    # Completeness check: every unit exactly once across slave results.
+    seen: dict[int, int] = {}
+    for pid, res in m.results.items():
+        for u in res["units"]:
+            if u in seen:
+                raise ProtocolError(f"unit {u} owned by {seen[u]} and {pid}")
+            seen[u] = pid
+    if len(seen) != plan.unit_count:
+        raise ProtocolError(
+            f"gather incomplete: {len(seen)}/{plan.unit_count} units returned"
+        )
+    log.merged_units = len(seen)
+    log.final_partition_counts = m._counts()
+    if exec_num:
+        parts = {pid: res["data"] for pid, res in m.results.items() if res["data"] is not None}
+        units_by_pid = {pid: np.asarray(res["units"]) for pid, res in m.results.items()}
+        log.result = kernels.merge_results(
+            global_state, {pid: (units_by_pid[pid], parts.get(pid)) for pid in m.results}
+        )
+    result_sink["log"] = log

@@ -1,0 +1,142 @@
+"""Master <-> slave wire protocol.
+
+All load-balancing traffic uses small fixed tags; application data
+(initial scatter, boundary columns, broadcast fronts, moved work, final
+results) uses parameterised tags so selective receive can line messages
+up exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .partition import Transfer
+
+__all__ = [
+    "Tags",
+    "SlaveReport",
+    "MoveOrder",
+    "Instructions",
+    "REPORT_BYTES",
+    "INSTR_BYTES",
+]
+
+# Modelled wire sizes of the control messages (small, paper: status and
+# instruction exchanges are cheap relative to work movement).
+REPORT_BYTES = 64
+INSTR_BYTES = 96
+
+
+class Tags:
+    """Message tag constructors."""
+
+    INIT = "app.init"
+    RESULT = "app.result"
+    STATUS = "lb.status"
+    INSTR = "lb.instr"
+    START = "lb.start"
+
+    @staticmethod
+    def move(move_id: int) -> str:
+        return f"lb.move.{move_id}"
+
+    @staticmethod
+    def boundary(rep: int, block: int, gen: int) -> str:
+        """Pipeline right-going boundary values for one strip."""
+        return f"pipe.bnd.{rep}.{block}.{gen}"
+
+    @staticmethod
+    def halo(rep: int, gen: int) -> str:
+        """Pipeline sweep-start halo (old values sent to the left)."""
+        return f"pipe.halo.{rep}.{gen}"
+
+    @staticmethod
+    def front(rep: int) -> str:
+        """Broadcast payload of a reduction-front step (LU pivot column)."""
+        return f"front.{rep}"
+
+    @staticmethod
+    def residual(rep: int) -> str:
+        """Slave's local convergence measure after repetition ``rep``."""
+        return f"conv.res.{rep}"
+
+    @staticmethod
+    def cont(rep: int) -> str:
+        """Master's WHILE-condition verdict before repetition ``rep``."""
+        return f"conv.cont.{rep}"
+
+
+@dataclass
+class SlaveReport:
+    """Performance report a slave sends at a load-balancing hook.
+
+    ``units_done``/``work_time`` are the deltas since the last report
+    (used for progress accounting).  ``meas_units``/``meas_work`` define
+    the measured computation rate in work units per second — the paper's
+    application-specific load measure, which needs no processor weighting
+    even on heterogeneous machines (Section 3.2).  Because measuring over
+    less than a few scheduling quanta gives rates biased by context
+    switching (Section 4.3), the measurement accumulators are only reset
+    once they span a valid window, so they may cover several reports.
+    """
+
+    pid: int
+    seq: int
+    units_done: float
+    work_time: float
+    owned_count: int
+    rep: int
+    meas_units: float = 0.0
+    meas_work: float = 0.0
+    block: int = 0
+    applied_moves: tuple[int, ...] = ()
+    canceled_moves: tuple[int, ...] = ()
+    measured_move_cost_per_unit: float | None = None
+    done: bool = False
+    # PARALLEL_MAP only: the ids of owned units that still carry work.
+    # Ownership alone misleads the balancer near the end of a run (a
+    # finished slave still owns its complete units), so redistribution
+    # decisions use remaining work where the shape allows tracking it.
+    remaining_units: tuple[int, ...] | None = None
+
+    @property
+    def rate(self) -> float | None:
+        """Units per second over the measurement window, or None if
+        nothing was measured."""
+        if self.meas_units <= 0 or self.meas_work <= 0:
+            return None
+        return self.meas_units / self.meas_work
+
+
+@dataclass(frozen=True)
+class MoveOrder:
+    """One work movement a slave takes part in."""
+
+    move_id: int
+    transfer: Transfer
+
+    def role(self, pid: int) -> str:
+        if pid == self.transfer.src:
+            return "send"
+        if pid == self.transfer.dst:
+            return "recv"
+        return "none"
+
+
+@dataclass
+class Instructions:
+    """Per-slave instructions from the central load balancer.
+
+    ``skip_hooks`` implements the frequency control of Section 4.3;
+    ``sends``/``recvs`` are this slave's movement orders.
+    """
+
+    phase: int
+    skip_hooks: int = 1
+    sends: tuple[MoveOrder, ...] = ()
+    recvs: tuple[MoveOrder, ...] = ()
+    release: bool = False
+    note: str = ""
+
+    def has_moves(self) -> bool:
+        return bool(self.sends or self.recvs)

@@ -1,0 +1,602 @@
+"""Slave runtime: the generated SPMD program's execution engine.
+
+A slave executes an :class:`~repro.compiler.plan.ExecutionPlan` on one
+simulated processor: it computes its owned loop iterations, fires
+load-balancing hooks (Section 4.2), measures its computation rate in
+work units per second (Section 3.2), exchanges status/instructions with
+the central balancer (synchronous or pipelined, Section 3.3), and moves
+work (Section 4.5).  The task-queue trick of Section 4.1 holds: a
+slave's "task queue" is its index array of owned iterations plus a
+per-unit completed-repetition counter, and task switching is advancing
+an index.
+
+This module implements the machinery shared by all schedule shapes plus
+the PARALLEL_MAP (MM) and REDUCTION_FRONT (LU) interpreters; the
+PIPELINE interpreter (SOR) lives in :mod:`repro.runtime.pipeline`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+import numpy as np
+
+from ..compiler.plan import ExecutionPlan, LoopShape
+from ..config import RunConfig
+from ..errors import MovementError, ProtocolError
+from ..sim import Compute, Now, Poll, Recv, Send, Sleep, TaskContext
+from .movement import MovementLedger, MovePayload
+from .protocol import Instructions, MoveOrder, REPORT_BYTES, SlaveReport, Tags
+
+__all__ = ["slave_task", "SlaveCore", "ParallelMapSlave", "ReductionFrontSlave"]
+
+
+def slave_task(ctx: TaskContext, plan: ExecutionPlan, run_cfg: RunConfig):
+    """Simulator task body for one slave (dispatches on plan shape)."""
+    msg = yield Recv(src=ctx.master_pid, tag=Tags.INIT)
+    init = msg.payload
+    if plan.shape is LoopShape.PARALLEL_MAP:
+        core: SlaveCore = ParallelMapSlave(ctx, plan, run_cfg, init)
+    elif plan.shape is LoopShape.REDUCTION_FRONT:
+        core = ReductionFrontSlave(ctx, plan, run_cfg, init)
+    elif plan.shape is LoopShape.PIPELINE:
+        from .pipeline import PipelineSlave
+
+        core = PipelineSlave(ctx, plan, run_cfg, init)
+    else:  # pragma: no cover - closed enum
+        raise ProtocolError(f"unknown shape {plan.shape}")
+    ctx.core = core  # exposes slave state for tests and diagnostics
+    yield from core.main()
+
+
+class SlaveCore:
+    """State and master-interaction machinery shared by all shapes."""
+
+    def __init__(
+        self,
+        ctx: TaskContext,
+        plan: ExecutionPlan,
+        run_cfg: RunConfig,
+        init: dict[str, Any],
+    ):
+        self.ctx = ctx
+        self.plan = plan
+        self.cfg = run_cfg
+        self.pid = ctx.pid
+        self.master = ctx.master_pid
+        self.owned: list[int] = sorted(int(u) for u in init["units"])
+        self.local = init.get("local")
+        self.exec_num = run_cfg.execute_numerics and self.local is not None
+        self.ledger = MovementLedger(self.pid)
+        # Rate measurement accumulators (units/sec, Section 3.2).  The
+        # per-report deltas feed progress accounting; the measurement
+        # accumulators only reset once they span several scheduling
+        # quanta, so sub-quantum bursts cannot bias the rate (4.3).
+        self.units_done = 0.0
+        self.work_time = 0.0
+        self.meas_units = 0.0
+        self.meas_work = 0.0
+        self.min_measurement = 2.0 * run_cfg.cluster.processor.quantum
+        # Hook frequency control (4.3).
+        self.hook_count = 0
+        self.skip = max(1, int(init.get("skip", 1)))
+        self.seq = 0
+        self.outstanding_replies = 0
+        self.rep = 0
+        self.block = 0
+        self.released = False
+
+    # -- small helpers ---------------------------------------------------
+
+    def kernels(self):
+        return self.plan.kernels
+
+    def compute(self, ops: float, fn=None) -> Generator[Any, Any, float]:
+        """Issue a measured computation; returns its wall duration."""
+        t0 = yield Now()
+        yield Compute(ops, fn=fn if self.exec_num else None)
+        t1 = yield Now()
+        self.work_time += t1 - t0
+        self.meas_work += t1 - t0
+        return t1 - t0
+
+    def count_units(self, n: float) -> None:
+        """Credit ``n`` completed work units to both accumulators."""
+        self.units_done += n
+        self.meas_units += n
+
+    # -- master interaction (hooks, Section 4.2/4.3/3.3) -----------------
+
+    def lb_hook(self) -> Generator[Any, Any, None]:
+        """Conditional call to the load-balancing code."""
+        if not self.cfg.dlb_enabled:
+            return  # static distribution: hooks compiled in but disabled
+        self.hook_count += 1
+        if self.hook_count < self.skip:
+            return
+        self.hook_count = 0
+        yield from self._exchange(done=False)
+
+    def _exchange(self, done: bool) -> Generator[Any, Any, Instructions | None]:
+        applied, canceled, move_cost = self.ledger.pop_report_fields()
+        report = SlaveReport(
+            pid=self.pid,
+            seq=self.seq,
+            units_done=self.units_done,
+            work_time=self.work_time,
+            meas_units=self.meas_units,
+            meas_work=self.meas_work,
+            owned_count=self.active_owned_count(),
+            rep=self.rep,
+            block=self.block,
+            remaining_units=self.remaining_units_list(),
+            applied_moves=applied,
+            canceled_moves=canceled,
+            measured_move_cost_per_unit=move_cost,
+            done=done,
+        )
+        self.seq += 1
+        self.units_done = 0.0
+        self.work_time = 0.0
+        if self.meas_work >= self.min_measurement:
+            self.meas_units = 0.0
+            self.meas_work = 0.0
+        yield Send(self.master, Tags.STATUS, report, REPORT_BYTES)
+        self.outstanding_replies += 1
+        if done or not self.cfg.balancer.pipelined:
+            # Synchronous interaction (Figure 2a): block for instructions.
+            msg = yield Recv(src=self.master, tag=Tags.INSTR)
+            self.outstanding_replies -= 1
+            instr: Instructions = msg.payload
+            yield from self._apply_instructions(instr)
+            return instr
+        # Pipelined interaction (Figure 2b): pick up the reply to a
+        # *previous* report if it has arrived; never block.
+        msg = yield Poll(src=self.master, tag=Tags.INSTR)
+        if msg is not None:
+            self.outstanding_replies -= 1
+            yield from self._apply_instructions(msg.payload)
+        return None
+
+    def _apply_instructions(self, instr: Instructions) -> Generator[Any, Any, None]:
+        if getattr(instr, "release", False):
+            self.released = True
+            return
+        self.skip = max(1, instr.skip_hooks)
+        self.ledger.add_orders(instr.sends, instr.recvs)
+        yield from self.execute_moves()
+
+    # -- work movement (Section 4.5) --------------------------------------
+
+    def execute_sends(self) -> Generator[Any, Any, None]:
+        """Execute pending send orders (sends first, so transfer chains
+        cannot deadlock)."""
+        for order in self.ledger.take_sends():
+            t0 = yield Now()
+            payload = self.pack_for(order)
+            yield Send(
+                order.transfer.dst,
+                Tags.move(order.move_id),
+                payload,
+                nbytes=order.transfer.count * self.plan.movement.unit_bytes,
+            )
+            t1 = yield Now()
+            self.ledger.record_cost(t1 - t0, order.transfer.count)
+            self.ledger.mark_sent(order.move_id)
+
+    def execute_moves(self) -> Generator[Any, Any, None]:
+        yield from self.execute_sends()
+        for order in self.ledger.pending_recvs():
+            msg = yield Recv(src=order.transfer.src, tag=Tags.move(order.move_id))
+            t0 = yield Now()
+            yield from self.apply_recv(order, msg.payload)
+            t1 = yield Now()
+            self.ledger.record_cost(t1 - t0, order.transfer.count)
+            self.ledger.complete_recv(order.move_id)
+
+    # -- shape-specific pieces --------------------------------------------
+
+    def active_owned_count(self) -> int:
+        return len(self.owned)
+
+    def remaining_units_list(self) -> tuple[int, ...] | None:
+        """Unit ids that still carry work (None for shapes where
+        ownership is the right balancing measure)."""
+        return None
+
+    def pack_for(self, order: MoveOrder) -> MovePayload:
+        raise NotImplementedError
+
+    def apply_recv(self, order: MoveOrder, payload: MovePayload):
+        raise NotImplementedError
+
+    def work_remaining(self) -> bool:
+        raise NotImplementedError
+
+    def work_loop(self) -> Generator[Any, Any, None]:
+        raise NotImplementedError
+
+    def result_payload(self) -> dict[str, Any]:
+        k = self.kernels()
+        return {
+            "units": tuple(self.owned),
+            "data": k.local_result(self.local) if self.exec_num else None,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def drain_moves(self) -> Generator[Any, Any, None]:
+        """Block until every pending movement order has executed (used at
+        end of run; shapes with deferred receives override)."""
+        while self.ledger.has_pending():
+            yield from self.execute_moves()
+
+    def main(self) -> Generator[Any, Any, None]:
+        while True:
+            yield from self.work_loop()
+            # Drain outstanding pipelined replies so no movement order is
+            # silently abandoned.
+            while self.outstanding_replies > 0:
+                msg = yield Recv(src=self.master, tag=Tags.INSTR)
+                self.outstanding_replies -= 1
+                yield from self._apply_instructions(msg.payload)
+            yield from self.drain_moves()
+            if self.work_remaining():
+                continue  # movement handed us fresh work
+            # Final handshake: report done; master replies with more
+            # movement (kept working) or a release.
+            yield from self._exchange(done=True)
+            if self.released:
+                break
+            if not self.work_remaining() and not self.ledger.has_pending():
+                # Master asked us to stand by (e.g. a peer still moving
+                # work toward us); back off briefly, then report again.
+                yield Sleep(0.1)
+        nbytes = self.kernels().result_bytes(len(self.owned)) if self.exec_num else 64
+        yield Send(self.master, Tags.RESULT, self.result_payload(), nbytes)
+
+
+class ParallelMapSlave(SlaveCore):
+    """Interpreter for independent distributed iterations (MM).
+
+    Hooks fire after every distributed iteration (the paper's rule for
+    outermost distributed loops).  Unrestricted movement; per-unit
+    completed-repetition counters keep moved work consistent even when
+    sender and receiver sit in different repetitions.
+    """
+
+    def __init__(self, ctx, plan, run_cfg, init):
+        super().__init__(ctx, plan, run_cfg, init)
+        self.completed: dict[int, int] = {u: 0 for u in self.owned}
+
+    def work_remaining(self) -> bool:
+        return any(self.completed[u] < self.plan.reps for u in self.owned)
+
+    def remaining_units_list(self) -> tuple[int, ...]:
+        return tuple(
+            u for u in self.owned if self.completed[u] < self.plan.reps
+        )
+
+    def active_owned_count(self) -> int:
+        return len(self.remaining_units_list())
+
+    def _next_unit(self) -> int | None:
+        best: int | None = None
+        for u in self.owned:
+            c = self.completed[u]
+            if c >= self.plan.reps:
+                continue
+            if best is None or (c, u) < (self.completed[best], best):
+                best = u
+        return best
+
+    def _unit_ops(self, rep: int, u: int) -> float:
+        """Actual iteration cost: data-dependent when the kernels know it
+        (Table 1 row 6), the compiler's static cost model otherwise."""
+        if self.local is not None:
+            actual = self.kernels().unit_ops(self.local, rep, u)
+            if actual is not None:
+                return actual
+        return self.plan.unit_cost(rep, u)
+
+    def work_loop(self):
+        k = self.kernels()
+        while True:
+            u = self._next_unit()
+            if u is None:
+                return
+            rep = self.completed[u]
+            self.rep = rep
+            ops = self._unit_ops(rep, u)
+            arr = np.array([u])
+            yield from self.compute(
+                ops, fn=(lambda: k.run_units(self.local, rep, arr))
+            )
+            self.completed[u] = rep + 1
+            self.count_units(1.0)
+            yield from self.lb_hook()
+
+    def pack_for(self, order: MoveOrder) -> MovePayload:
+        units = order.transfer.units
+        for u in units:
+            if u not in self.owned:
+                raise MovementError(f"slave {self.pid} told to send unowned {u}")
+        k = self.kernels()
+        data = (
+            k.pack_units(self.local, np.asarray(units), {"shape": "parallel_map"})
+            if self.exec_num
+            else None
+        )
+        meta = {"completed": {u: self.completed[u] for u in units}}
+        for u in units:
+            self.owned.remove(u)
+            del self.completed[u]
+        return MovePayload(order.move_id, units, data, meta)
+
+    def apply_recv(self, order: MoveOrder, payload: MovePayload):
+        k = self.kernels()
+        units = payload.units
+        if self.exec_num:
+            k.unpack_units(
+                self.local, np.asarray(units), payload.data, {"shape": "parallel_map"}
+            )
+        for u in units:
+            if u in self.completed:
+                raise MovementError(f"slave {self.pid} already owns unit {u}")
+            self.owned.append(u)
+            self.completed[u] = payload.meta["completed"][u]
+        self.owned.sort()
+        return
+        yield  # pragma: no cover - generator form for interface symmetry
+
+
+class ReductionFrontSlave(SlaveCore):
+    """Interpreter for shrinking broadcast steps (LU).
+
+    Each repetition ``k``: the owner of unit ``k`` computes the front
+    (normalised pivot column) and broadcasts it — receivers cannot know
+    the owner under dynamic ownership, so the owner sends to everyone
+    (Section 4.6).  Only *active* units (> k) are updated; hooks fire at
+    the end of each repetition (the deepest level whose overhead is
+    negligible once iteration size shrinks, Sections 4.2/4.7).
+    """
+
+    def __init__(self, ctx, plan, run_cfg, init):
+        super().__init__(ctx, plan, run_cfg, init)
+        self.completed: dict[int, int] = {u: 0 for u in self.owned}
+        self.front_sent: dict[int, bool] = {u: False for u in self.owned}
+        self.front_cache: dict[int, Any] = {}
+        self._early_moves: dict[int, Any] = {}
+
+    def active_owned_count(self) -> int:
+        lo, hi = self.plan.domain(min(self.rep, self.plan.reps - 1))
+        return sum(1 for u in self.owned if lo <= u < hi)
+
+    def work_remaining(self) -> bool:
+        return self.rep < self.plan.reps
+
+    def _unit_final_rep(self, u: int) -> int:
+        """Last repetition that updates unit ``u`` is ``u - 1`` (the
+        domain at rep k is [k+1, n)); afterwards it is inactive."""
+        return min(u, self.plan.reps)
+
+    def work_loop(self):
+        k_fns = self.kernels()
+        plan = self.plan
+        while self.rep < plan.reps:
+            k = self.rep
+            # --- front: owner computes + broadcasts; others receive.
+            if k in self.completed:
+                front = yield from self._produce_front(k)
+            else:
+                front = yield from self._recv_front(k)
+                if k in self.completed:
+                    # The front's unit moved to us while we waited (its
+                    # previous owner broadcast before sending it here).
+                    pass
+            self.front_cache[k] = front
+            # --- update my active units that are exactly at rep k.
+            lo, hi = plan.domain(k)
+            todo = [
+                u
+                for u in self.owned
+                if lo <= u < hi and self.completed[u] == k
+            ]
+            if todo:
+                ops = plan.units_cost(k, todo)
+                arr = np.asarray(sorted(todo))
+                yield from self.compute(
+                    ops,
+                    fn=(lambda: k_fns.apply_front(self.local, k, front, arr)),
+                )
+                for u in todo:
+                    self.completed[u] = k + 1
+                self.count_units(float(len(todo)))
+            self.rep += 1
+            yield from self.lb_hook()
+            yield from self._poll_moves()
+
+    def execute_moves(self) -> Generator[Any, Any, None]:
+        """Reduction-front movement receives are deferred: blocking here
+        could deadlock with a sender that waits for a front only we can
+        produce.  Payloads are picked up at polls or inside the
+        move-aware front receive."""
+        yield from self.execute_sends()
+        yield from self._poll_moves()
+
+    def _poll_moves(self) -> Generator[Any, Any, None]:
+        for order in self.ledger.pending_recvs():
+            msg = yield Poll(src=order.transfer.src, tag=Tags.move(order.move_id))
+            if msg is not None:
+                t0 = yield Now()
+                yield from self.apply_recv(order, msg.payload)
+                t1 = yield Now()
+                self.ledger.record_cost(t1 - t0, order.transfer.count)
+                self.ledger.complete_recv(order.move_id)
+
+    def drain_moves(self) -> Generator[Any, Any, None]:
+        yield from self.execute_sends()
+        for order in self.ledger.pending_recvs():
+            msg = yield Recv(src=order.transfer.src, tag=Tags.move(order.move_id))
+            yield from self.apply_recv(order, msg.payload)
+            self.ledger.complete_recv(order.move_id)
+
+    def _recv_front(self, k: int):
+        """Receive the broadcast front for step ``k``.
+
+        Blocking on the bare front tag can deadlock when the front's
+        owning unit is in flight toward us (the payload and the master's
+        order would sit unread in the mailbox), so this loop dispatches
+        whatever arrives: instructions are applied (executing any moves),
+        move payloads are applied directly, and the front is returned as
+        soon as it shows up.
+        """
+        while True:
+            if k in self.front_cache:
+                return self.front_cache[k]
+            msg = yield Poll(tag=Tags.front(k))
+            if msg is not None:
+                return msg.payload
+            msg = yield Recv()
+            tag = msg.tag
+            if tag == Tags.front(k):
+                return msg.payload
+            if tag.startswith("front."):
+                # A future step's broadcast (we lag the cluster); keep it
+                # for when our loop gets there.
+                self.front_cache[int(tag.split(".")[1])] = msg.payload
+            elif tag == Tags.INSTR:
+                self.outstanding_replies -= 1
+                yield from self._apply_instructions(msg.payload)
+                if k in self.completed:
+                    # A move just handed us the front's unit; compute and
+                    # broadcast it ourselves.
+                    return (yield from self._produce_front(k))
+            elif tag.startswith("lb.move."):
+                yield from self._apply_move_payload(msg)
+                if k in self.completed:
+                    return (yield from self._produce_front(k))
+            else:  # pragma: no cover - no other tags reach slaves here
+                raise ProtocolError(f"unexpected message {tag} at front recv")
+
+    def _apply_move_payload(self, msg):
+        """Apply a movement payload that arrived before (or without) its
+        order being read; the ledger reconciles the late order."""
+        from .partition import Transfer
+
+        payload = msg.payload
+        order = next(
+            (
+                o
+                for o in self.ledger.pending_recvs()
+                if o.move_id == payload.move_id
+            ),
+            None,
+        )
+        if order is None:
+            order = MoveOrder(
+                move_id=payload.move_id,
+                transfer=Transfer(
+                    src=msg.src, dst=self.pid, units=tuple(payload.units)
+                ),
+            )
+        yield from self.apply_recv(order, payload)
+        self.ledger.complete_recv(order.move_id)
+
+    def _produce_front(self, k: int):
+        """Owner-side front computation + broadcast (skipped if a prior
+        owner already broadcast before the unit moved here)."""
+        k_fns = self.kernels()
+        if self.front_sent.get(k, False):
+            # A previous owner broadcast it; our copy of the broadcast is
+            # still queued — consume it for the values.
+            msg = yield Poll(tag=Tags.front(k))
+            if msg is not None:
+                return msg.payload
+            return self.front_cache.get(k)
+        ops = self.plan.front_cost(k) if self.plan.front_cost else 0.0
+        holder: dict[str, Any] = {}
+
+        def _do():
+            holder["front"] = k_fns.compute_front(self.local, k)
+
+        yield from self.compute(ops, fn=_do)
+        front = holder.get("front")
+        self.front_sent[k] = True
+        nbytes = k_fns.front_bytes(k) if self.exec_num else 8 * max(1, self.plan.n_units - k)
+        for other in range(self.ctx.n_slaves):
+            if other != self.pid:
+                yield Send(other, Tags.front(k), front, nbytes)
+        return front
+
+    def pack_for(self, order: MoveOrder) -> MovePayload:
+        units = order.transfer.units
+        for u in units:
+            if u not in self.completed:
+                raise MovementError(f"slave {self.pid} told to send unowned {u}")
+        k_fns = self.kernels()
+        data = (
+            k_fns.pack_units(
+                self.local, np.asarray(units), {"shape": "reduction_front"}
+            )
+            if self.exec_num
+            else None
+        )
+        meta = {
+            "completed": {u: self.completed[u] for u in units},
+            "front_sent": {u: self.front_sent.get(u, False) for u in units},
+        }
+        for u in units:
+            self.owned.remove(u)
+            del self.completed[u]
+            self.front_sent.pop(u, None)
+        return MovePayload(order.move_id, units, data, meta)
+
+    def apply_recv(self, order: MoveOrder, payload: MovePayload):
+        k_fns = self.kernels()
+        units = payload.units
+        if self.exec_num:
+            k_fns.unpack_units(
+                self.local,
+                np.asarray(units),
+                payload.data,
+                {"shape": "reduction_front"},
+            )
+        for u in units:
+            if u in self.completed:
+                raise MovementError(f"slave {self.pid} already owns unit {u}")
+            self.owned.append(u)
+            self.completed[u] = payload.meta["completed"][u]
+            self.front_sent[u] = payload.meta["front_sent"][u]
+        self.owned.sort()
+        # Catch moved-in units up to our current repetition using the
+        # front cache (sender may have been behind us).
+        catchup_ops = 0.0
+        catchup_units = 0
+        steps: list[tuple[int, list[int]]] = []
+        for k in range(self.rep):
+            todo = [
+                u
+                for u in units
+                if self.completed[u] == k and k < self._unit_final_rep(u)
+            ]
+            if todo:
+                if k not in self.front_cache:
+                    raise MovementError(
+                        f"slave {self.pid} missing front {k} for catch-up"
+                    )
+                steps.append((k, todo))
+                catchup_ops += self.plan.units_cost(k, todo)
+                catchup_units += len(todo)
+                for u in todo:
+                    self.completed[u] = k + 1
+
+        def _do():
+            for k, todo in steps:
+                k_fns.apply_front(
+                    self.local, k, self.front_cache[k], np.asarray(sorted(todo))
+                )
+
+        if steps:
+            yield from self.compute(catchup_ops, fn=_do)
+            self.count_units(float(catchup_units))

@@ -1,0 +1,79 @@
+"""Deterministic discrete-event engine.
+
+A minimal heap-based event loop.  Events scheduled for the same virtual
+time fire in scheduling order (FIFO), which makes whole simulations
+deterministic and therefore testable.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable
+
+from ..errors import SimulationError
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """Event queue with a virtual clock.
+
+    The engine knows nothing about processors or tasks; it only orders
+    callbacks in virtual time.  Higher layers (the :mod:`repro.sim.machine`
+    module) build message passing and CPU scheduling on top of it.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        self._heap: list[tuple[float, int, Callable[[], Any]]] = []
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def call_at(self, t: float, fn: Callable[[], Any]) -> None:
+        """Schedule ``fn`` to run at virtual time ``t`` (>= now)."""
+        if math.isnan(t):
+            raise SimulationError("cannot schedule event at NaN time")
+        if t < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule event in the past: t={t} < now={self._now}"
+            )
+        heapq.heappush(self._heap, (max(t, self._now), self._seq, fn))
+        self._seq += 1
+
+    def call_after(self, dt: float, fn: Callable[[], Any]) -> None:
+        """Schedule ``fn`` to run ``dt`` seconds from now."""
+        if dt < 0:
+            raise SimulationError(f"negative delay: {dt}")
+        self.call_at(self._now + dt, fn)
+
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._heap)
+
+    def run(self, until: float = math.inf) -> float:
+        """Drain the event queue up to virtual time ``until``.
+
+        Returns the final virtual time.  Re-entrant calls are rejected.
+        """
+        if self._running:
+            raise SimulationError("engine.run() is not re-entrant")
+        self._running = True
+        try:
+            while self._heap:
+                t, _seq, fn = self._heap[0]
+                if t > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = t
+                fn()
+            if not math.isinf(until) and until > self._now:
+                self._now = until
+            return self._now
+        finally:
+            self._running = False

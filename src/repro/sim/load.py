@@ -1,0 +1,223 @@
+"""Competing-load generators.
+
+A load generator describes, as a piecewise-constant function of virtual
+time, how many CPU-bound *competing* tasks are runnable on a processor.
+The paper's experiments use a dedicated environment (no load), a constant
+load on one processor (Figures 7/8), and an oscillating load with a 20 s
+period and 10 s duration (Figure 9); all three are provided, plus step and
+composite generators for richer scenarios.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from typing import Sequence
+
+from ..errors import ConfigError
+
+__all__ = [
+    "LoadGenerator",
+    "NoLoad",
+    "ConstantLoad",
+    "OscillatingLoad",
+    "StepLoad",
+    "CompositeLoad",
+]
+
+
+class LoadGenerator:
+    """Interface: piecewise-constant competing-task count over time."""
+
+    def k_at(self, t: float) -> int:
+        """Number of competing CPU-bound tasks at time ``t``."""
+        raise NotImplementedError
+
+    def next_change(self, t: float) -> float:
+        """The first time strictly greater than ``t`` at which ``k_at``
+        may change.  Returns ``math.inf`` if the load is constant forever
+        after ``t``."""
+        raise NotImplementedError
+
+    def segment_start(self, t: float) -> float:
+        """Start time of the constant-load segment containing ``t`` (the
+        last change at or before ``t``; 0.0 if none).  Used to anchor the
+        round-robin scheduling cycle in absolute time."""
+        raise NotImplementedError
+
+    def competing_busy_time(self, t0: float, t1: float) -> float:
+        """Total time within ``[t0, t1]`` during which at least one
+        competing task is runnable (used for CPU accounting)."""
+        if t1 < t0:
+            raise ValueError(f"interval reversed: [{t0}, {t1}]")
+        busy = 0.0
+        t = t0
+        while t < t1:
+            nxt = min(self.next_change(t), t1)
+            if self.k_at(t) >= 1:
+                busy += nxt - t
+            if nxt <= t:  # pragma: no cover - defensive
+                break
+            t = nxt
+        return busy
+
+
+class NoLoad(LoadGenerator):
+    """A dedicated processor: never any competing task."""
+
+    def k_at(self, t: float) -> int:
+        return 0
+
+    def next_change(self, t: float) -> float:
+        return math.inf
+
+    def segment_start(self, t: float) -> float:
+        return 0.0
+
+    def __repr__(self) -> str:
+        return "NoLoad()"
+
+
+class ConstantLoad(LoadGenerator):
+    """``k`` competing tasks between ``start`` and ``stop``."""
+
+    def __init__(self, k: int = 1, start: float = 0.0, stop: float = math.inf):
+        if k < 0:
+            raise ConfigError(f"competing task count must be >= 0, got {k}")
+        if stop < start:
+            raise ConfigError(f"stop {stop} before start {start}")
+        self.k = k
+        self.start = start
+        self.stop = stop
+
+    def k_at(self, t: float) -> int:
+        return self.k if self.start <= t < self.stop else 0
+
+    def next_change(self, t: float) -> float:
+        if t < self.start:
+            return self.start
+        if t < self.stop:
+            return self.stop
+        return math.inf
+
+    def segment_start(self, t: float) -> float:
+        if t < self.start:
+            return 0.0
+        if t < self.stop:
+            return self.start
+        return self.stop if math.isfinite(self.stop) else self.start
+
+    def __repr__(self) -> str:
+        return f"ConstantLoad(k={self.k}, start={self.start}, stop={self.stop})"
+
+
+class OscillatingLoad(LoadGenerator):
+    """``k`` competing tasks for ``duration`` out of every ``period`` seconds.
+
+    Matches the Figure 9 experiment: period 20 s, duration 10 s.
+    """
+
+    def __init__(
+        self,
+        k: int = 1,
+        period: float = 20.0,
+        duration: float = 10.0,
+        start: float = 0.0,
+    ):
+        if k < 0:
+            raise ConfigError(f"competing task count must be >= 0, got {k}")
+        if period <= 0 or not 0 < duration <= period:
+            raise ConfigError(
+                f"need 0 < duration <= period, got duration={duration} period={period}"
+            )
+        self.k = k
+        self.period = period
+        self.duration = duration
+        self.start = start
+
+    def k_at(self, t: float) -> int:
+        if t < self.start:
+            return 0
+        phase = (t - self.start) % self.period
+        return self.k if phase < self.duration else 0
+
+    def next_change(self, t: float) -> float:
+        if t < self.start:
+            return self.start
+        elapsed = t - self.start
+        cycle = math.floor(elapsed / self.period)
+        phase = elapsed - cycle * self.period
+        if phase < self.duration:
+            return self.start + cycle * self.period + self.duration
+        return self.start + (cycle + 1) * self.period
+
+    def segment_start(self, t: float) -> float:
+        if t < self.start:
+            return 0.0
+        elapsed = t - self.start
+        cycle = math.floor(elapsed / self.period)
+        phase = elapsed - cycle * self.period
+        if phase < self.duration:
+            return self.start + cycle * self.period
+        return self.start + cycle * self.period + self.duration
+
+    def __repr__(self) -> str:
+        return (
+            f"OscillatingLoad(k={self.k}, period={self.period}, "
+            f"duration={self.duration}, start={self.start})"
+        )
+
+
+class StepLoad(LoadGenerator):
+    """Arbitrary piecewise-constant load given as ``[(time, k), ...]``.
+
+    ``k`` holds from each listed time until the next one; before the first
+    entry the load is zero.
+    """
+
+    def __init__(self, steps: Sequence[tuple[float, int]]):
+        if not steps:
+            raise ConfigError("StepLoad needs at least one step")
+        times = [t for t, _ in steps]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise ConfigError("StepLoad times must be strictly increasing")
+        if any(k < 0 for _, k in steps):
+            raise ConfigError("StepLoad counts must be >= 0")
+        self._times = list(times)
+        self._ks = [k for _, k in steps]
+
+    def k_at(self, t: float) -> int:
+        i = bisect_right(self._times, t) - 1
+        return self._ks[i] if i >= 0 else 0
+
+    def next_change(self, t: float) -> float:
+        i = bisect_right(self._times, t)
+        return self._times[i] if i < len(self._times) else math.inf
+
+    def segment_start(self, t: float) -> float:
+        i = bisect_right(self._times, t) - 1
+        return self._times[i] if i >= 0 else 0.0
+
+    def __repr__(self) -> str:
+        return f"StepLoad({list(zip(self._times, self._ks))!r})"
+
+
+class CompositeLoad(LoadGenerator):
+    """Sum of several load generators (independent competing users)."""
+
+    def __init__(self, generators: Sequence[LoadGenerator]):
+        if not generators:
+            raise ConfigError("CompositeLoad needs at least one generator")
+        self._gens = list(generators)
+
+    def k_at(self, t: float) -> int:
+        return sum(g.k_at(t) for g in self._gens)
+
+    def next_change(self, t: float) -> float:
+        return min(g.next_change(t) for g in self._gens)
+
+    def segment_start(self, t: float) -> float:
+        return max(g.segment_start(t) for g in self._gens)
+
+    def __repr__(self) -> str:
+        return f"CompositeLoad({self._gens!r})"

@@ -1,0 +1,244 @@
+"""Cluster: processors + network + task scheduler on one event engine.
+
+This is the top of the simulator substrate.  It launches application
+tasks (generator functions), satisfies their syscalls, and provides
+run-level accounting.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Generator, Iterable
+
+from ..config import ClusterSpec
+from ..errors import DeadlockError, SimulationError
+from .engine import Engine
+from .events import Message
+from .load import LoadGenerator, NoLoad
+from .network import Mailbox, snapshot_payload
+from .process import Compute, Now, Poll, Recv, Send, Sleep
+from .processor import Processor
+from .rusage import RusageReport, TaskUsage
+
+__all__ = ["Cluster", "TaskContext"]
+
+TaskFn = Callable[..., Generator[Any, Any, Any]]
+
+
+class TaskContext:
+    """Handle given to every task; identifies it and exposes the cluster."""
+
+    def __init__(self, cluster: "Cluster", pid: int):
+        self.cluster = cluster
+        self.pid = pid
+
+    @property
+    def n_slaves(self) -> int:
+        return self.cluster.spec.n_slaves
+
+    @property
+    def master_pid(self) -> int:
+        return self.cluster.spec.master_pid
+
+    @property
+    def now(self) -> float:
+        return self.cluster.engine.now
+
+    def __repr__(self) -> str:
+        return f"TaskContext(pid={self.pid})"
+
+
+class _Task:
+    __slots__ = ("pid", "gen", "done", "blocked_on", "finish_time", "name")
+
+    def __init__(self, pid: int, gen: Generator[Any, Any, Any], name: str):
+        self.pid = pid
+        self.gen = gen
+        self.done = False
+        self.blocked_on: tuple[int | None, str | None] | None = None
+        self.finish_time: float | None = None
+        self.name = name
+
+
+class Cluster:
+    """A simulated network of workstations.
+
+    One application task may run per processor.  Processor ids
+    ``0..n_slaves-1`` are the slaves; ``n_slaves`` is the master (see
+    :class:`repro.config.ClusterSpec`).
+    """
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        loads: dict[int, LoadGenerator] | None = None,
+    ):
+        self.spec = spec
+        self.engine = Engine()
+        loads = dict(loads or {})
+        for pid in loads:
+            if not 0 <= pid < spec.n_processors:
+                raise SimulationError(f"load assigned to unknown processor {pid}")
+        self.processors: list[Processor] = [
+            Processor(pid, spec.spec_for(pid), loads.get(pid, NoLoad()))
+            for pid in range(spec.n_processors)
+        ]
+        self.mailboxes: list[Mailbox] = [Mailbox() for _ in range(spec.n_processors)]
+        self._tasks: dict[int, _Task] = {}
+        self.message_count = 0
+        self.bytes_sent = 0
+
+    # ------------------------------------------------------------------
+    # Task management
+    # ------------------------------------------------------------------
+
+    def spawn(self, pid: int, fn: TaskFn, *args: Any, **kwargs: Any) -> TaskContext:
+        """Launch task ``fn(ctx, *args, **kwargs)`` on processor ``pid``."""
+        if not 0 <= pid < self.spec.n_processors:
+            raise SimulationError(f"no such processor: {pid}")
+        if pid in self._tasks:
+            raise SimulationError(f"processor {pid} already has a task")
+        ctx = TaskContext(self, pid)
+        gen = fn(ctx, *args, **kwargs)
+        task = _Task(pid, gen, getattr(fn, "__name__", "task"))
+        self._tasks[pid] = task
+        self.engine.call_at(self.engine.now, lambda: self._step(task, None))
+        return ctx
+
+    def task_finish_time(self, pid: int) -> float:
+        """Virtual time at which the task on ``pid`` completed."""
+        task = self._tasks.get(pid)
+        if task is None or task.finish_time is None:
+            raise SimulationError(f"task on processor {pid} has not finished")
+        return task.finish_time
+
+    # ------------------------------------------------------------------
+    # Scheduler core
+    # ------------------------------------------------------------------
+
+    def _resume_later(self, t: float, task: _Task, value: Any) -> None:
+        self.engine.call_at(t, lambda: self._step(task, value))
+
+    def _step(self, task: _Task, value: Any) -> None:
+        if task.done:  # pragma: no cover - defensive
+            raise SimulationError(f"resuming finished task on {task.pid}")
+        try:
+            req = task.gen.send(value)
+        except StopIteration:
+            task.done = True
+            task.finish_time = self.engine.now
+            return
+        self._dispatch(task, req)
+
+    def _dispatch(self, task: _Task, req: Any) -> None:
+        now = self.engine.now
+        proc = self.processors[task.pid]
+        if isinstance(req, Compute):
+            if req.fn is not None:
+                req.fn()
+            finish = proc.run_ops(now, req.ops)
+            self._resume_later(finish, task, None)
+        elif isinstance(req, Send):
+            self._do_send(task, req)
+        elif isinstance(req, Recv):
+            msg = self.mailboxes[task.pid].take(req.src, req.tag)
+            if msg is not None:
+                finish = proc.run_cpu(now, self.spec.network.recv_cpu)
+                self._resume_later(finish, task, msg)
+            else:
+                task.blocked_on = (req.src, req.tag)
+        elif isinstance(req, Poll):
+            msg = self.mailboxes[task.pid].take(req.src, req.tag)
+            if msg is not None:
+                finish = proc.run_cpu(now, self.spec.network.recv_cpu)
+                self._resume_later(finish, task, msg)
+            else:
+                self._resume_later(now, task, None)
+        elif isinstance(req, Sleep):
+            if req.dt < 0:
+                raise SimulationError(f"negative sleep: {req.dt}")
+            self._resume_later(now + req.dt, task, None)
+        elif isinstance(req, Now):
+            self._resume_later(now, task, now)
+        else:
+            raise SimulationError(f"unknown syscall from task {task.pid}: {req!r}")
+
+    def _do_send(self, task: _Task, req: Send) -> None:
+        if not 0 <= req.dst < self.spec.n_processors:
+            raise SimulationError(f"send to unknown processor {req.dst}")
+        now = self.engine.now
+        net = self.spec.network
+        proc = self.processors[task.pid]
+        cpu_done = proc.run_cpu(now, net.send_cpu)
+        msg = Message(
+            src=task.pid,
+            dst=req.dst,
+            tag=req.tag,
+            payload=snapshot_payload(req.payload),
+            nbytes=req.nbytes,
+            t_sent=cpu_done,
+        )
+        arrival = cpu_done + net.transfer_time(req.nbytes)
+        self.message_count += 1
+        self.bytes_sent += req.nbytes
+        self.engine.call_at(arrival, lambda: self._deliver(msg))
+        self._resume_later(cpu_done, task, None)
+
+    def _deliver(self, msg: Message) -> None:
+        msg.t_arrived = self.engine.now
+        dst_task = self._tasks.get(msg.dst)
+        box = self.mailboxes[msg.dst]
+        box.deliver(msg)
+        if dst_task is not None and dst_task.blocked_on is not None:
+            src, tag = dst_task.blocked_on
+            matched = box.take(src, tag)
+            if matched is not None:
+                dst_task.blocked_on = None
+                proc = self.processors[msg.dst]
+                finish = proc.run_cpu(self.engine.now, self.spec.network.recv_cpu)
+                self._resume_later(finish, dst_task, matched)
+
+    # ------------------------------------------------------------------
+    # Running and accounting
+    # ------------------------------------------------------------------
+
+    def run(self, until: float = math.inf) -> float:
+        """Run the simulation; returns the final virtual time.
+
+        When run to completion (``until`` is inf), raises
+        :class:`DeadlockError` if any task is still blocked or unfinished
+        after the event queue drains.
+        """
+        t = self.engine.run(until)
+        if math.isinf(until):
+            stuck = [
+                f"pid {tk.pid} ({tk.name}): "
+                + (f"blocked on recv{tk.blocked_on}" if tk.blocked_on else "unfinished")
+                for tk in self._tasks.values()
+                if not tk.done
+            ]
+            if stuck:
+                raise DeadlockError(
+                    "simulation drained with live tasks: " + "; ".join(stuck)
+                )
+        return t
+
+    def rusage(self, t_end: float | None = None) -> RusageReport:
+        """Per-processor CPU accounting (getrusage equivalent)."""
+        if t_end is None:
+            t_end = self.engine.now
+        usages = []
+        for proc in self.processors:
+            usages.append(
+                TaskUsage(
+                    pid=proc.pid,
+                    elapsed=t_end,
+                    app_cpu=proc.app_cpu_total,
+                    competing_cpu=proc.competing_cpu(t_end),
+                )
+            )
+        return RusageReport(usages=usages, t_end=t_end)
+
+    def slave_pids(self) -> Iterable[int]:
+        """Processor ids hosting slaves (excludes the master)."""
+        return range(self.spec.n_slaves)

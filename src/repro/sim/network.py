@@ -1,0 +1,73 @@
+"""Point-to-point network: mailboxes with tag matching and wire delays.
+
+Models a Nectar-style crossbar: any pair of processors has a dedicated
+path (no contention), characterised by latency and bandwidth, with
+per-message CPU overheads charged on each side through the processor
+model (see :class:`repro.config.NetworkSpec`).
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import deque
+from typing import Any
+
+import numpy as np
+
+from .events import Message
+
+__all__ = ["Mailbox", "snapshot_payload"]
+
+
+def snapshot_payload(payload: Any) -> Any:
+    """Copy mutable numeric state out of a payload at send time.
+
+    NumPy arrays (including arrays nested one level deep in dicts, lists
+    and tuples) are copied; other objects are passed through unchanged.
+    This mirrors a real network, where the bytes leave the sender's
+    buffers at send time.
+    """
+    if isinstance(payload, np.ndarray):
+        return payload.copy()
+    if isinstance(payload, dict):
+        return {k: snapshot_payload(v) for k, v in payload.items()}
+    if isinstance(payload, (list, tuple)):
+        cls = type(payload)
+        copied = [snapshot_payload(v) for v in payload]
+        return cls(copied) if cls is not tuple else tuple(copied)
+    if hasattr(payload, "__dict__") and getattr(payload, "_snapshot_deep", False):
+        return copy.deepcopy(payload)
+    return payload
+
+
+class Mailbox:
+    """Per-processor FIFO of delivered messages with selective receive."""
+
+    def __init__(self) -> None:
+        self._queue: deque[Message] = deque()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def deliver(self, msg: Message) -> None:
+        """Append an arrived message."""
+        self._queue.append(msg)
+
+    @staticmethod
+    def _matches(msg: Message, src: int | None, tag: str | None) -> bool:
+        return (src is None or msg.src == src) and (tag is None or msg.tag == tag)
+
+    def take(self, src: int | None = None, tag: str | None = None) -> Message | None:
+        """Remove and return the oldest matching message, or ``None``."""
+        for i, msg in enumerate(self._queue):
+            if self._matches(msg, src, tag):
+                del self._queue[i]
+                return msg
+        return None
+
+    def peek(self, src: int | None = None, tag: str | None = None) -> Message | None:
+        """Return (without removing) the oldest matching message."""
+        for msg in self._queue:
+            if self._matches(msg, src, tag):
+                return msg
+        return None

@@ -1,0 +1,63 @@
+"""Per-task CPU accounting — the simulator's ``getrusage`` equivalent.
+
+The paper evaluates load balancing with the resource-usage efficiency
+
+    efficiency = T_seq / sum_p (T_elapsed - T_competing(p))
+
+where ``T_competing`` is the CPU time consumed by competing tasks on each
+slave processor (measured with ``getrusage`` on the real system).  The
+simulator computes both terms exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["TaskUsage", "RusageReport"]
+
+
+@dataclass(frozen=True)
+class TaskUsage:
+    """CPU accounting for one processor over a run."""
+
+    pid: int
+    elapsed: float
+    app_cpu: float
+    competing_cpu: float
+
+    @property
+    def available_cpu(self) -> float:
+        """Elapsed time minus competing CPU — the denominator contribution
+        in the paper's efficiency formula."""
+        return max(0.0, self.elapsed - self.competing_cpu)
+
+    @property
+    def idle_cpu(self) -> float:
+        """Time neither the app nor competitors used (waiting, comm)."""
+        return max(0.0, self.elapsed - self.app_cpu - self.competing_cpu)
+
+
+@dataclass(frozen=True)
+class RusageReport:
+    """Accounting for a whole cluster at ``t_end``."""
+
+    usages: Sequence[TaskUsage]
+    t_end: float
+
+    def usage_for(self, pid: int) -> TaskUsage:
+        for u in self.usages:
+            if u.pid == pid:
+                return u
+        raise KeyError(pid)
+
+    def available_cpu_total(self, pids: Sequence[int]) -> float:
+        """Sum of available CPU over the given processors."""
+        return sum(self.usage_for(p).available_cpu for p in pids)
+
+    def efficiency(self, sequential_time: float, pids: Sequence[int]) -> float:
+        """The paper's efficiency metric over the slave processors."""
+        avail = self.available_cpu_total(pids)
+        if avail <= 0:
+            return 0.0
+        return sequential_time / avail

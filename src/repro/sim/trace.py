@@ -1,0 +1,63 @@
+"""Time-series recording for experiment figures.
+
+A :class:`Trace` is a set of named channels, each a list of
+``(time, value)`` samples, convertible to NumPy arrays.  Used to produce
+the Figure 9 series (raw rate, filtered rate, work assignment vs time).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["Trace"]
+
+
+class Trace:
+    """Named append-only time-series channels."""
+
+    def __init__(self) -> None:
+        self._channels: dict[str, list[tuple[float, float]]] = defaultdict(list)
+
+    def record(self, channel: str, t: float, value: float) -> None:
+        """Append one sample to ``channel``."""
+        self._channels[channel].append((t, float(value)))
+
+    def channels(self) -> Iterable[str]:
+        """Names of all channels recorded so far."""
+        return sorted(self._channels)
+
+    def __contains__(self, channel: str) -> bool:
+        return channel in self._channels
+
+    def series(self, channel: str) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(times, values)`` arrays for ``channel``.
+
+        Raises ``KeyError`` for unknown channels.
+        """
+        if channel not in self._channels:
+            raise KeyError(channel)
+        samples = self._channels[channel]
+        if not samples:
+            return np.empty(0), np.empty(0)
+        arr = np.asarray(samples, dtype=float)
+        return arr[:, 0], arr[:, 1]
+
+    def last(self, channel: str) -> tuple[float, float]:
+        """Most recent ``(time, value)`` sample of ``channel``."""
+        samples = self._channels[channel]
+        if not samples:
+            raise KeyError(f"channel {channel!r} is empty")
+        return samples[-1]
+
+    def value_at(self, channel: str, t: float) -> float:
+        """Step-interpolated value of ``channel`` at time ``t``."""
+        times, values = self.series(channel)
+        if times.size == 0:
+            raise KeyError(f"channel {channel!r} is empty")
+        idx = int(np.searchsorted(times, t, side="right")) - 1
+        if idx < 0:
+            raise ValueError(f"time {t} precedes first sample of {channel!r}")
+        return float(values[idx])

@@ -1,0 +1,85 @@
+"""Run-and-verify helpers: the library's own acceptance check.
+
+``verify_run`` executes a plan and compares the distributed result with
+the application's sequential reference; SOR and LU must match
+bit-for-bit (their in-place operation order is reproduced exactly even
+under movement), MM/ADAPT to numerical tolerance (different reduction
+grouping).  Used by examples and available to downstream users as a
+one-call sanity check of any configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from .compiler.plan import ExecutionPlan
+from .config import RunConfig
+from .errors import ReproError
+from .runtime.launcher import RunResult, run_application
+from .sim import LoadGenerator
+
+__all__ = ["VerifiedRun", "verify_run"]
+
+
+class VerificationError(ReproError):
+    """Raised when a distributed result disagrees with the sequential
+    reference."""
+
+
+@dataclass
+class VerifiedRun:
+    """A run plus the outcome of its verification."""
+
+    result: RunResult
+    reference: Any
+    exact: bool
+    max_abs_error: float
+
+    def summary(self) -> str:
+        kind = "bit-exact" if self.exact else f"max|err|={self.max_abs_error:.2e}"
+        return f"{self.result.summary()}  [verified: {kind}]"
+
+
+def _compare(a: Any, b: Any) -> tuple[bool, float]:
+    if isinstance(a, dict) and isinstance(b, dict):
+        exact, err = True, 0.0
+        for key in b:
+            e2, m2 = _compare(a[key], b[key])
+            exact &= e2
+            err = max(err, m2)
+        return exact, err
+    aa, bb = np.asarray(a), np.asarray(b)
+    if aa.shape != bb.shape:
+        raise VerificationError(f"shape mismatch: {aa.shape} vs {bb.shape}")
+    return bool(np.array_equal(aa, bb)), float(np.max(np.abs(aa - bb), initial=0.0))
+
+
+def verify_run(
+    plan: ExecutionPlan,
+    run_cfg: RunConfig | None = None,
+    loads: Mapping[int, LoadGenerator] | None = None,
+    seed: int = 0,
+    atol: float = 1e-9,
+) -> VerifiedRun:
+    """Run ``plan`` with numerics enabled and verify the result.
+
+    Raises :class:`VerificationError` if the distributed result deviates
+    from the sequential reference by more than ``atol`` anywhere.
+    """
+    run_cfg = run_cfg or RunConfig()
+    if not run_cfg.execute_numerics:
+        raise VerificationError("verification requires execute_numerics=True")
+    res = run_application(plan, run_cfg, loads=loads, seed=seed)
+    reference = plan.kernels.sequential(
+        plan.kernels.make_global(np.random.default_rng(seed))
+    )
+    exact, err = _compare(res.result, reference)
+    if not exact and err > atol:
+        raise VerificationError(
+            f"{plan.name}: distributed result deviates from the sequential "
+            f"reference by {err:.3e} (> atol {atol:.0e})"
+        )
+    return VerifiedRun(result=res, reference=reference, exact=exact, max_abs_error=err)

@@ -1,0 +1,193 @@
+"""Application kernel unit tests: sequential references and local-state
+mechanics (pack/unpack, halos, fronts), independent of the runtime."""
+
+import numpy as np
+import pytest
+
+from repro.apps.lu import LuKernels, lu_sequential
+from repro.apps.matmul import MatmulKernels
+from repro.apps.sor import SorKernels, sor_sequential
+from repro.errors import MovementError
+
+
+def rng():
+    return np.random.default_rng(123)
+
+
+class TestMatmulKernels:
+    def setup_method(self):
+        self.k = MatmulKernels({"n": 12})
+        self.g = self.k.make_global(rng())
+
+    def test_sequential_reference(self):
+        np.testing.assert_allclose(
+            self.k.sequential(self.g), self.g["A"] @ self.g["B"]
+        )
+
+    def test_make_local_has_owned_rows_only(self):
+        local = self.k.make_local(self.g, np.array([2, 5]))
+        np.testing.assert_allclose(local["A"][2], self.g["A"][2])
+        assert np.all(local["A"][3] == 0)
+        np.testing.assert_allclose(local["B"], self.g["B"])
+
+    def test_run_units_computes_rows(self):
+        units = np.array([1, 4])
+        local = self.k.make_local(self.g, units)
+        self.k.run_units(local, 0, units)
+        ref = self.g["A"] @ self.g["B"]
+        np.testing.assert_allclose(local["C"][units], ref[units])
+
+    def test_pack_unpack_roundtrip(self):
+        units = np.array([0, 3])
+        src = self.k.make_local(self.g, units)
+        self.k.run_units(src, 0, units)
+        payload = self.k.pack_units(src, units, {})
+        dst = self.k.make_local(self.g, np.array([7]))
+        self.k.unpack_units(dst, units, payload, {})
+        np.testing.assert_allclose(dst["A"][units], self.g["A"][units])
+        np.testing.assert_allclose(dst["C"][units], src["C"][units])
+
+    def test_merge_results(self):
+        ref = self.g["A"] @ self.g["B"]
+        all_units = np.arange(12)
+        local = self.k.make_local(self.g, all_units)
+        self.k.run_units(local, 0, all_units)
+        merged = self.k.merge_results(
+            self.g, {0: (all_units, self.k.local_result(local))}
+        )
+        np.testing.assert_allclose(merged, ref)
+
+    def test_byte_models_positive(self):
+        assert self.k.input_bytes(3) > 0
+        assert self.k.result_bytes(3) == 3 * 12 * 8
+
+
+class TestSorKernels:
+    n = 14
+
+    def setup_method(self):
+        self.k = SorKernels({"n": self.n, "maxiter": 2})
+        self.g = self.k.make_global(rng())
+
+    def test_sequential_matches_reference_impl(self):
+        np.testing.assert_array_equal(
+            self.k.sequential(self.g), sor_sequential(self.g["G"], 2)
+        )
+
+    def test_single_owner_runs_whole_sweep(self):
+        # One slave owning all interior columns must reproduce the
+        # sequential sweep exactly, block by block.
+        units = np.arange(1, self.n - 1)
+        local = self.k.make_local(self.g, units)
+        ref = sor_sequential(self.g["G"], 1)
+        for lo in range(0, self.n - 2, 5):
+            hi = min(lo + 5, self.n - 2)
+            self.k.run_block(local, 0, (lo, hi), None)
+        np.testing.assert_array_equal(local["G"][1:-1], ref[1:-1])
+
+    def test_run_block_returns_last_column_boundary(self):
+        units = np.array([1, 2, 3])
+        local = self.k.make_local(self.g, units)
+        # Needs the right halo (column 4's old values).
+        self.k.set_right_halo(local, 0, self.g["G"][4])
+        bnd = self.k.run_block(local, 0, (0, 4), None)
+        np.testing.assert_array_equal(bnd, local["G"][3, 1:5])
+
+    def test_sweep_first_boundary_returns_old_values(self):
+        units = np.array([4, 5])
+        local = self.k.make_local(self.g, units)
+        np.testing.assert_array_equal(
+            self.k.sweep_first_boundary(local, 0), self.g["G"][4]
+        )
+
+    def test_pack_to_left_includes_halo_snapshot(self):
+        units = np.array([3, 4, 5])
+        local = self.k.make_local(self.g, units)
+        payload = self.k.pack_units(local, np.array([3]), {"direction": "to_left"})
+        assert "halo" in payload
+        np.testing.assert_array_equal(payload["halo"], self.g["G"][4])
+        assert local["cols"] == [4, 5]
+
+    def test_pack_unowned_rejected(self):
+        local = self.k.make_local(self.g, np.array([3]))
+        with pytest.raises(MovementError):
+            self.k.pack_units(local, np.array([9]), {})
+
+    def test_pack_everything_rejected(self):
+        local = self.k.make_local(self.g, np.array([3, 4]))
+        with pytest.raises(MovementError):
+            self.k.pack_units(local, np.array([3, 4]), {})
+
+    def test_unpack_from_right_installs_halo(self):
+        local = self.k.make_local(self.g, np.array([2, 3]))
+        payload = {
+            "cols_data": np.ones((1, self.n)),
+            "halo": np.full(self.n, 7.0),
+        }
+        self.k.unpack_units(local, np.array([4]), payload, {"direction": "from_right"})
+        assert local["cols"] == [2, 3, 4]
+        np.testing.assert_array_equal(local["G"][4], np.ones(self.n))
+        np.testing.assert_array_equal(local["G"][5], np.full(self.n, 7.0))
+
+
+class TestLuKernels:
+    n = 10
+
+    def setup_method(self):
+        self.k = LuKernels({"n": self.n})
+        self.g = self.k.make_global(rng())
+
+    def test_sequential_factors_reconstruct(self):
+        LU = self.k.sequential(self.g)
+        L = np.tril(LU, -1) + np.eye(self.n)
+        U = np.triu(LU)
+        np.testing.assert_allclose(L @ U, self.g["M"], atol=1e-8)
+
+    def test_single_owner_full_elimination(self):
+        units = np.arange(self.n)
+        local = self.k.make_local(self.g, units)
+        for k in range(self.n - 1):
+            front = self.k.compute_front(local, k)
+            self.k.apply_front(local, k, front, units)
+        np.testing.assert_array_equal(local["G"], lu_sequential(self.g["M"]))
+
+    def test_apply_front_skips_inactive_units(self):
+        units = np.arange(self.n)
+        local = self.k.make_local(self.g, units)
+        front = self.k.compute_front(local, 0)
+        before = local["G"][:, 0].copy()
+        self.k.apply_front(local, 0, front, np.array([0]))  # unit 0 inactive
+        np.testing.assert_array_equal(local["G"][:, 0], before)
+
+    def test_pack_unpack_columns(self):
+        src = self.k.make_local(self.g, np.arange(self.n))
+        data = self.k.pack_units(src, np.array([2, 5]), {})
+        assert src["cols"] == [0, 1, 3, 4, 6, 7, 8, 9]
+        dst = self.k.make_local(self.g, np.array([]))
+        self.k.unpack_units(dst, np.array([2, 5]), data, {})
+        np.testing.assert_array_equal(dst["G"][:, [2, 5]], self.g["M"][:, [2, 5]])
+
+    def test_pack_unowned_rejected(self):
+        local = self.k.make_local(self.g, np.array([1]))
+        with pytest.raises(MovementError):
+            self.k.pack_units(local, np.array([2]), {})
+
+    def test_front_bytes_shrink(self):
+        assert self.k.front_bytes(0) > self.k.front_bytes(self.n - 2)
+
+
+class TestSequentialReferences:
+    def test_sor_fixed_boundaries_untouched(self):
+        g = np.arange(36.0).reshape(6, 6)
+        out = sor_sequential(g, 3)
+        np.testing.assert_array_equal(out[0], g[0])
+        np.testing.assert_array_equal(out[-1], g[-1])
+        np.testing.assert_array_equal(out[:, 0], g[:, 0])
+        np.testing.assert_array_equal(out[:, -1], g[:, -1])
+
+    def test_sor_zero_iterations_identity(self):
+        g = np.random.default_rng(1).standard_normal((5, 5))
+        np.testing.assert_array_equal(sor_sequential(g, 0), g)
+
+    def test_lu_identity_matrix(self):
+        np.testing.assert_array_equal(lu_sequential(np.eye(4)), np.eye(4))

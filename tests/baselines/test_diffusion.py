@@ -1,0 +1,53 @@
+"""Diffusion baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps import build_matmul, build_sor
+from repro.baselines.diffusion import run_diffusion
+from repro.config import ClusterSpec, ProcessorSpec, RunConfig
+from repro.errors import ProtocolError
+from repro.sim import ConstantLoad
+
+
+def cfg(numerics=False, n_slaves=3, speed=2e5):
+    return RunConfig(
+        cluster=ClusterSpec(n_slaves=n_slaves, processor=ProcessorSpec(speed=speed)),
+        execute_numerics=numerics,
+    )
+
+
+class TestDiffusion:
+    def test_numerics_correct_dedicated(self):
+        plan = build_matmul(n=40)
+        res = run_diffusion(plan, cfg(numerics=True), seed=3)
+        g = plan.kernels.make_global(np.random.default_rng(3))
+        np.testing.assert_allclose(res.result, g["A"] @ g["B"], atol=1e-9)
+
+    def test_numerics_correct_under_load(self):
+        plan = build_matmul(n=60)
+        res = run_diffusion(
+            plan, cfg(numerics=True), loads={0: ConstantLoad(k=2)}, seed=4
+        )
+        g = plan.kernels.make_global(np.random.default_rng(4))
+        np.testing.assert_allclose(res.result, g["A"] @ g["B"], atol=1e-9)
+        assert res.moves >= 1, "diffusion should shift work off the loaded node"
+
+    def test_work_flows_toward_idle_neighbours(self):
+        plan = build_matmul(n=120)
+        res = run_diffusion(plan, cfg(n_slaves=4), loads={0: ConstantLoad(k=3)})
+        # Elapsed beats the static worst case (loaded node keeps 1/4 of
+        # the work at 1/4 speed).
+        static_worst = plan.total_ops() / 4 * 4 / 2e5
+        assert res.elapsed < static_worst * 0.9
+
+    def test_single_slave_degenerate(self):
+        plan = build_matmul(n=20)
+        res = run_diffusion(plan, cfg(n_slaves=1, numerics=True), seed=1)
+        g = plan.kernels.make_global(np.random.default_rng(1))
+        np.testing.assert_allclose(res.result, g["A"] @ g["B"], atol=1e-9)
+        assert res.moves == 0
+
+    def test_non_parallel_map_rejected(self):
+        with pytest.raises(ProtocolError):
+            run_diffusion(build_sor(n=20, maxiter=2), cfg())

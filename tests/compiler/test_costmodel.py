@@ -1,0 +1,93 @@
+"""Cost model tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.apps.lu import lu_directive, lu_program
+from repro.apps.matmul import matmul_directive, matmul_program
+from repro.apps.sor import sor_directive, sor_program
+from repro.compiler.costmodel import Cost, cost_of_body, distributed_iteration_cost
+from repro.compiler.ir import (
+    ArrayRef,
+    Assign,
+    Conditional,
+    Loop,
+    const,
+    var,
+)
+
+
+class TestCost:
+    def test_constant(self):
+        assert Cost.constant(5.0).evaluate({}) == 5.0
+        assert Cost.zero().evaluate({}) == 0.0
+
+    def test_add_and_scale(self):
+        c = Cost.constant(2.0) + Cost.constant(3.0)
+        assert c.evaluate({}) == 5.0
+        assert c.scale(2.0).evaluate({}) == 10.0
+
+    def test_times_affine(self):
+        c = Cost.constant(3.0).times_affine(var("n"))
+        assert c.evaluate({"n": 4}) == 12.0
+        assert c.variables() == frozenset({"n"})
+
+    def test_times_constant_affine_folds(self):
+        c = Cost.constant(3.0).times_affine(const(5))
+        assert c.terms[0][1] == ()  # no symbolic factor kept
+        assert c.evaluate({}) == 15.0
+
+    def test_negative_trip_count_clamps_to_zero(self):
+        c = Cost.constant(1.0).times_affine(var("n") - 10)
+        assert c.evaluate({"n": 3}) == 0.0
+
+    def test_depends_on(self):
+        c = Cost.constant(1.0).times_affine(var("n") - var("k"))
+        assert c.depends_on(["k"])
+        assert not c.depends_on(["j"])
+
+    def test_str(self):
+        assert "n" in str(Cost.constant(2.0).times_affine(var("n")))
+        assert str(Cost.zero()) == "0"
+
+    @given(n=st.integers(0, 50), m=st.integers(0, 50))
+    def test_nested_product(self, n, m):
+        c = Cost.constant(2.0).times_affine(var("n")).times_affine(var("m"))
+        assert c.evaluate({"n": n, "m": m}) == 2.0 * n * m
+
+
+class TestBodyCosts:
+    def test_assign_cost(self):
+        body = (Assign(ArrayRef("x", (var("i"),)), (), ops=7.0),)
+        assert cost_of_body(body).evaluate({}) == 7.0
+
+    def test_conditional_scales_by_probability(self):
+        inner = Assign(ArrayRef("x", (var("i"),)), (), ops=10.0)
+        body = (Conditional("c", (inner,), probability=0.25),)
+        assert cost_of_body(body).evaluate({}) == 2.5
+
+    def test_loop_multiplies(self):
+        inner = Assign(ArrayRef("x", (var("i"),)), (), ops=2.0)
+        body = (Loop("i", const(0), var("n"), (inner,)),)
+        assert cost_of_body(body).evaluate({"n": 6}) == 12.0
+
+
+class TestApplicationCosts:
+    def test_mm_iteration_cost(self):
+        # One row of C: 2 * n * n operations.
+        cost = distributed_iteration_cost(matmul_program(), matmul_directive())
+        assert cost.evaluate({"n": 100}) == pytest.approx(2 * 100 * 100)
+        assert not cost.depends_on(["i", "rep"])
+
+    def test_sor_body_cost(self):
+        # Per (i, j) element: 6 operations.
+        cost = distributed_iteration_cost(sor_program(), sor_directive())
+        assert cost.evaluate({}) == pytest.approx(6.0)
+
+    def test_lu_iteration_cost_shrinks_with_k(self):
+        cost = distributed_iteration_cost(lu_program(), lu_directive())
+        at_k0 = cost.evaluate({"n": 100, "k": 0})
+        at_k50 = cost.evaluate({"n": 100, "k": 50})
+        assert at_k0 == pytest.approx(2 * 99)
+        assert at_k50 == pytest.approx(2 * 49)
+        assert cost.depends_on(["k"])

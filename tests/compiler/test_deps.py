@@ -1,0 +1,189 @@
+"""Dependence analysis tests: the paper's three applications plus
+synthetic nests."""
+
+import pytest
+
+from repro.apps.lu import lu_directive, lu_program
+from repro.apps.matmul import matmul_directive, matmul_program
+from repro.apps.sor import sor_directive, sor_program
+from repro.compiler.deps import analyze_dependences
+from repro.compiler.ir import (
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    Directive,
+    Loop,
+    Program,
+    const,
+    var,
+)
+from repro.errors import DependenceError
+
+
+class TestMatmulDeps:
+    def setup_method(self):
+        self.info = analyze_dependences(matmul_program(), matmul_directive())
+
+    def test_not_loop_carried(self):
+        assert not self.info.loop_carried
+        assert self.info.carried_distances == ()
+
+    def test_unrestricted_movement(self):
+        assert not self.info.movement_restricted
+
+    def test_no_pipeline_dims(self):
+        assert self.info.pipeline_vars == ()
+
+    def test_no_nonlocal_reads(self):
+        assert self.info.nonlocal_reads == ()
+
+
+class TestSorDeps:
+    def setup_method(self):
+        self.info = analyze_dependences(sor_program(), sor_directive())
+
+    def test_loop_carried_at_unit_distance(self):
+        assert self.info.loop_carried
+        assert set(self.info.carried_distances) == {-1, 1}
+
+    def test_needs_both_directions(self):
+        # Flow dep from the left (updated values), anti dep from the
+        # right (old values).
+        assert self.info.needs_left_values
+        assert self.info.needs_right_values
+
+    def test_restricted_movement(self):
+        assert self.info.movement_restricted
+
+    def test_pipeline_dim_is_row_loop(self):
+        assert self.info.pipeline_vars == ("i",)
+
+
+class TestLuDeps:
+    def setup_method(self):
+        self.info = analyze_dependences(lu_program(), lu_directive())
+
+    def test_not_carried_on_distributed_loop(self):
+        assert not self.info.loop_carried
+
+    def test_pivot_column_is_nonlocal(self):
+        # a[i][k] reads the pivot column regardless of j => broadcast.
+        arrays = {str(r) for r in self.info.nonlocal_reads}
+        assert any("a[i][k]" in a or "a[i2][k]" in a for a in arrays)
+
+    def test_unrestricted_movement(self):
+        assert not self.info.movement_restricted
+
+
+def _single_loop_program(assign, extra_params=()):
+    n = var("n")
+    return Program(
+        "p",
+        ("n",) + tuple(extra_params),
+        (ArrayDecl("x", (n,)), ArrayDecl("y", (n,))),
+        (Loop("i", const(0), n, (assign,)),),
+    )
+
+
+class TestSyntheticDeps:
+    def test_flow_distance(self):
+        i = var("i")
+        # x[i] = f(x[i-2]): flow at distance 2.
+        p = _single_loop_program(
+            Assign(ArrayRef("x", (i,)), (ArrayRef("x", (i - 2,)),))
+        )
+        info = analyze_dependences(p, Directive("i", (("x", 0),)))
+        assert info.carried_distances == (2,)
+        assert info.needs_left_values
+        assert not info.needs_right_values
+
+    def test_anti_distance(self):
+        i = var("i")
+        p = _single_loop_program(
+            Assign(ArrayRef("x", (i,)), (ArrayRef("x", (i + 3,)),))
+        )
+        info = analyze_dependences(p, Directive("i", (("x", 0),)))
+        assert info.carried_distances == (-3,)
+        assert info.needs_right_values
+
+    def test_independent_iterations(self):
+        i = var("i")
+        p = _single_loop_program(
+            Assign(ArrayRef("x", (i,)), (ArrayRef("y", (i,)),))
+        )
+        info = analyze_dependences(p, Directive("i", (("x", 0),)))
+        assert not info.loop_carried
+
+    def test_scaled_subscripts_same_coeff(self):
+        i = var("i")
+        # x[2i] = f(x[2i-2]): distance (2i - (2i-2))/2 = 1.
+        p = _single_loop_program(
+            Assign(ArrayRef("x", (2 * i,)), (ArrayRef("x", (2 * i - 2,)),))
+        )
+        info = analyze_dependences(p, Directive("i", (("x", 0),)))
+        assert info.carried_distances == (1,)
+
+    def test_non_integer_distance_means_no_dependence(self):
+        i = var("i")
+        # x[2i] vs x[2i-1]: even vs odd elements never collide.
+        p = _single_loop_program(
+            Assign(ArrayRef("x", (2 * i,)), (ArrayRef("x", (2 * i - 1,)),))
+        )
+        info = analyze_dependences(p, Directive("i", (("x", 0),)))
+        assert not info.loop_carried
+
+    def test_mismatched_coefficients_conservative(self):
+        i = var("i")
+        p = _single_loop_program(
+            Assign(ArrayRef("x", (2 * i,)), (ArrayRef("x", (i,)),))
+        )
+        info = analyze_dependences(p, Directive("i", (("x", 0),)))
+        assert info.carried_unknown
+        assert info.loop_carried
+
+    def test_param_offset_distance_is_unknown(self):
+        i, m = var("i"), var("m")
+        p = _single_loop_program(
+            Assign(ArrayRef("x", (i,)), (ArrayRef("x", (i - m,)),)),
+            extra_params=("m",),
+        )
+        info = analyze_dependences(p, Directive("i", (("x", 0),)))
+        assert info.carried_unknown
+
+    def test_two_loop_vars_in_one_subscript_rejected(self):
+        i, j, n = var("i"), var("j"), var("n")
+        inner = Loop(
+            "j", const(0), n, (Assign(ArrayRef("x", (i + j,)), ()),)
+        )
+        p = Program(
+            "p", ("n",), (ArrayDecl("x", (n,)),), (Loop("i", const(0), n, (inner,)),)
+        )
+        with pytest.raises(DependenceError):
+            analyze_dependences(p, Directive("i", (("x", 0),)))
+
+    def test_rank_mismatch_rejected(self):
+        i, n = var("i"), var("n")
+        p = Program(
+            "p",
+            ("n",),
+            (ArrayDecl("x", (n,)),),
+            (
+                Loop(
+                    "i",
+                    const(0),
+                    n,
+                    (Assign(ArrayRef("x", (i,)), (ArrayRef("x", (i, i)),)),),
+                ),
+            ),
+        )
+        with pytest.raises(DependenceError):
+            analyze_dependences(p, Directive("i", (("x", 0),)))
+
+    def test_constant_distinct_subscripts_no_dependence(self):
+        i = var("i")
+        # x[0] written, x[1] read in another dim-0 position: never equal.
+        p = _single_loop_program(
+            Assign(ArrayRef("x", (const(0),)), (ArrayRef("x", (const(1),)),))
+        )
+        info = analyze_dependences(p, Directive("i", (("x", 0),)))
+        assert not info.loop_carried

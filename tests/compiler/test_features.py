@@ -1,0 +1,88 @@
+"""Feature extraction tests — Table 1 and synthetic variations."""
+
+from repro.apps.lu import lu_directive, lu_program
+from repro.apps.matmul import matmul_directive, matmul_program
+from repro.apps.sor import sor_directive, sor_program
+from repro.compiler.features import (
+    FEATURE_NAMES,
+    extract_features,
+    features_table,
+)
+from repro.compiler.ir import (
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    Conditional,
+    Directive,
+    Loop,
+    Program,
+    const,
+    var,
+)
+
+PAPER_TABLE1 = {
+    "MM": ("no", "no", "yes", "no", "no", "no"),
+    "SOR": ("yes", "yes", "yes", "no", "no", "no"),
+    "LU": ("no", "yes", "yes", "yes", "yes", "no"),
+}
+
+
+class TestPaperTable1:
+    def test_mm_row(self):
+        feats = extract_features(matmul_program(), matmul_directive())
+        assert feats.as_row() == PAPER_TABLE1["MM"]
+
+    def test_sor_row(self):
+        feats = extract_features(sor_program(), sor_directive())
+        assert feats.as_row() == PAPER_TABLE1["SOR"]
+
+    def test_lu_row(self):
+        feats = extract_features(lu_program(), lu_directive())
+        assert feats.as_row() == PAPER_TABLE1["LU"]
+
+    def test_as_dict_keys(self):
+        feats = extract_features(matmul_program(), matmul_directive())
+        assert tuple(feats.as_dict()) == FEATURE_NAMES
+
+    def test_table_rendering(self):
+        rows = {
+            "MM": extract_features(matmul_program(), matmul_directive()),
+            "SOR": extract_features(sor_program(), sor_directive()),
+        }
+        text = features_table(rows)
+        assert "loop-carried dependences" in text
+        assert "MM" in text and "SOR" in text
+
+
+class TestSyntheticFeatures:
+    def test_conditional_makes_data_dependent_size(self):
+        i, n = var("i"), var("n")
+        body = Conditional(
+            "x[i] > 0", (Assign(ArrayRef("x", (i,)), (), ops=5.0),)
+        )
+        p = Program(
+            "p", ("n",), (ArrayDecl("x", (n,)),), (Loop("i", const(0), n, (body,)),)
+        )
+        feats = extract_features(p, Directive("i", (("x", 0),)))
+        assert feats.data_dependent_iteration_size
+
+    def test_unnested_loop_not_repeated(self):
+        i, n = var("i"), var("n")
+        p = Program(
+            "p",
+            ("n",),
+            (ArrayDecl("x", (n,)),),
+            (Loop("i", const(0), n, (Assign(ArrayRef("x", (i,)), ()),)),),
+        )
+        feats = extract_features(p, Directive("i", (("x", 0),)))
+        assert not feats.repeated_execution_of_loop
+
+    def test_inner_loop_bound_on_distributed_index(self):
+        # Triangular loop: cost of iteration i is proportional to i.
+        i, j, n = var("i"), var("j"), var("n")
+        inner = Loop("j", const(0), i, (Assign(ArrayRef("x", (i,)), ()),))
+        p = Program(
+            "p", ("n",), (ArrayDecl("x", (n,)),), (Loop("i", const(0), n, (inner,)),)
+        )
+        feats = extract_features(p, Directive("i", (("x", 0),)))
+        assert feats.index_dependent_iteration_size

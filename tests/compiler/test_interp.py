@@ -1,0 +1,162 @@
+"""IR interpreter tests: the declared IR computes exactly what the
+application kernels compute (closing the compiler/runtime semantic loop)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.lu import LuKernels, lu_program, lu_semantics
+from repro.apps.matmul import MatmulKernels, matmul_program, matmul_semantics
+from repro.apps.sor import SorKernels, sor_program, sor_semantics
+from repro.compiler.interp import interpret
+from repro.compiler.ir import (
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    Conditional,
+    Loop,
+    Program,
+    const,
+    var,
+)
+from repro.errors import CompileError
+
+
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestApplicationsMatchTheirIR:
+    def test_matmul_ir_equals_kernels(self):
+        n = 8
+        k = MatmulKernels({"n": n})
+        g = k.make_global(rng())
+        out = interpret(
+            matmul_program(),
+            {"n": n, "reps": 1},
+            {"a": g["A"], "b": g["B"], "c": np.zeros((n, n))},
+            matmul_semantics(),
+        )
+        np.testing.assert_allclose(out["c"], k.sequential(g), atol=1e-12)
+
+    def test_matmul_repeated_is_idempotent(self):
+        n = 6
+        k = MatmulKernels({"n": n})
+        g = k.make_global(rng())
+        out = interpret(
+            matmul_program(),
+            {"n": n, "reps": 3},
+            {"a": g["A"], "b": g["B"], "c": np.zeros((n, n))},
+            matmul_semantics(),
+        )
+        np.testing.assert_allclose(out["c"], k.sequential(g), atol=1e-12)
+
+    def test_sor_ir_equals_kernels_bitwise(self):
+        n, maxiter = 10, 3
+        k = SorKernels({"n": n, "maxiter": maxiter})
+        g = k.make_global(rng())
+        out = interpret(
+            sor_program(),
+            {"n": n, "maxiter": maxiter},
+            {"b": g["G"]},
+            sor_semantics(),
+        )
+        np.testing.assert_array_equal(out["b"], k.sequential(g))
+
+    def test_lu_ir_equals_kernels_bitwise(self):
+        n = 9
+        k = LuKernels({"n": n})
+        g = k.make_global(rng())
+        out = interpret(lu_program(), {"n": n}, {"a": g["M"]}, lu_semantics())
+        np.testing.assert_array_equal(out["a"], k.sequential(g))
+
+
+class TestInterpreterMechanics:
+    def _prog(self, body):
+        n = var("n")
+        return Program(
+            "p", ("n",), (ArrayDecl("x", (n,)), ArrayDecl("y", (n,))), body
+        )
+
+    def test_simple_copy_loop(self):
+        i, n = var("i"), var("n")
+        p = self._prog(
+            (
+                Loop(
+                    "i",
+                    const(0),
+                    n,
+                    (
+                        Assign(
+                            ArrayRef("x", (i,)),
+                            (ArrayRef("y", (i,)),),
+                            label="copy",
+                        ),
+                    ),
+                ),
+            )
+        )
+        out = interpret(
+            p,
+            {"n": 4},
+            {"x": np.zeros(4), "y": np.arange(4.0)},
+            {"copy": lambda y: y},
+        )
+        np.testing.assert_array_equal(out["x"], [0, 1, 2, 3])
+
+    def test_conditional_predicate(self):
+        i, n = var("i"), var("n")
+        body = Conditional(
+            "y positive",
+            (Assign(ArrayRef("x", (i,)), (ArrayRef("y", (i,)),), label="copy"),),
+        )
+        p = self._prog((Loop("i", const(0), n, (body,)),))
+        out = interpret(
+            p,
+            {"n": 4},
+            {"x": np.zeros(4), "y": np.array([1.0, -1.0, 2.0, -2.0])},
+            {"copy": lambda y: y},
+            predicates={"y positive": lambda arrays, env: arrays["y"][int(env["i"])] > 0},
+        )
+        np.testing.assert_array_equal(out["x"], [1, 0, 2, 0])
+
+    def test_inputs_not_mutated(self):
+        i, n = var("i"), var("n")
+        p = self._prog(
+            (
+                Loop(
+                    "i",
+                    const(0),
+                    n,
+                    (Assign(ArrayRef("x", (i,)), (), label="one"),),
+                ),
+            )
+        )
+        x = np.zeros(3)
+        interpret(p, {"n": 3}, {"x": x, "y": np.zeros(3)}, {"one": lambda: 1.0})
+        np.testing.assert_array_equal(x, np.zeros(3))
+
+    def test_missing_semantics_raises(self):
+        i, n = var("i"), var("n")
+        p = self._prog(
+            (Loop("i", const(0), n, (Assign(ArrayRef("x", (i,)), (), label="z"),)),)
+        )
+        with pytest.raises(CompileError):
+            interpret(p, {"n": 2}, {"x": np.zeros(2), "y": np.zeros(2)}, {})
+
+    def test_missing_array_raises(self):
+        p = self._prog(())
+        with pytest.raises(CompileError):
+            interpret(p, {"n": 2}, {"x": np.zeros(2)}, {})
+
+    def test_shape_mismatch_raises(self):
+        p = self._prog(())
+        with pytest.raises(CompileError):
+            interpret(
+                p, {"n": 2}, {"x": np.zeros(3), "y": np.zeros(2)}, {}
+            )
+
+    def test_missing_predicate_raises(self):
+        body = Conditional("cond", ())
+        p = self._prog((body,))
+        with pytest.raises(CompileError):
+            interpret(p, {"n": 2}, {"x": np.zeros(2), "y": np.zeros(2)}, {})

@@ -1,0 +1,127 @@
+"""Strip mining and hook placement tests (paper Sections 4.2/4.4)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.compiler.hooks import HookLevel, place_hooks
+from repro.compiler.ir import ArrayRef, Assign, Loop, const, var
+from repro.compiler.stripmine import block_count, choose_block_size, strip_mine
+from repro.errors import CompileError
+
+
+class TestChooseBlockSize:
+    def test_paper_rule_150ms(self):
+        # Per-row cost 1500 ops at 1 Mop/s => 1.5 ms/row; 150 ms target
+        # => 100 rows per strip.
+        assert choose_block_size(1500.0, 1.0e6, 0.15, 2000) == 100
+
+    def test_clamped_to_total(self):
+        assert choose_block_size(1.0, 1.0e6, 0.15, 50) == 50
+
+    def test_at_least_one(self):
+        # Huge per-iteration cost: strips of one iteration.
+        assert choose_block_size(1.0e9, 1.0e6, 0.15, 100) == 1
+
+    def test_validation(self):
+        with pytest.raises(CompileError):
+            choose_block_size(0.0, 1e6, 0.15, 10)
+        with pytest.raises(CompileError):
+            choose_block_size(10.0, 0.0, 0.15, 10)
+        with pytest.raises(CompileError):
+            choose_block_size(10.0, 1e6, 0.15, 0)
+
+    @given(
+        cost=st.floats(1.0, 1e6),
+        total=st.integers(1, 5000),
+    )
+    def test_always_in_range(self, cost, total):
+        bs = choose_block_size(cost, 1.0e6, 0.15, total)
+        assert 1 <= bs <= total
+
+
+class TestBlockCount:
+    def test_exact_division(self):
+        assert block_count(100, 25) == 4
+
+    def test_remainder_rounds_up(self):
+        assert block_count(100, 30) == 4
+
+    def test_invalid_block(self):
+        with pytest.raises(CompileError):
+            block_count(10, 0)
+
+    @given(total=st.integers(1, 10000), bs=st.integers(1, 500))
+    def test_covers_everything(self, total, bs):
+        nb = block_count(total, bs)
+        assert (nb - 1) * bs < total <= nb * bs
+
+
+class TestStripMineTransform:
+    def test_structure(self):
+        i = var("i")
+        loop = Loop("i", const(1), var("n") - 1, (Assign(ArrayRef("x", (i,)), ()),))
+        outer = strip_mine(loop, "i0", "BS")
+        assert outer.index == "i0"
+        inner = outer.body[0]
+        assert isinstance(inner, Loop)
+        assert inner.index == "i"
+
+    def test_self_dependent_bounds_rejected(self):
+        i = var("i")
+        loop = Loop("i", const(0), i + 1, (Assign(ArrayRef("x", (i,)), ()),))
+        with pytest.raises(CompileError):
+            strip_mine(loop, "i0", "BS")
+
+
+class TestHookPlacement:
+    def _levels(self):
+        return [
+            HookLevel("per sweep", 1.0e7, depth=0),
+            HookLevel("per block", 1.5e5, depth=2),
+            HookLevel("per row", 1.5e3, depth=3),
+            HookLevel("per element", 6.0, depth=4),
+        ]
+
+    def test_deepest_admissible_chosen(self):
+        # hook = 50 ops, 1% rule => need >= 5000 ops between hooks:
+        # per-block qualifies, per-row does not.
+        placement = place_hooks(self._levels(), hook_cost_ops=50.0)
+        assert placement.level.name == "per block"
+
+    def test_rejections_recorded(self):
+        placement = place_hooks(self._levels(), hook_cost_ops=50.0)
+        rejected = {lv.name for lv in placement.rejected_too_costly}
+        assert "per element" in rejected and "per row" in rejected
+
+    def test_cheap_hook_goes_deeper(self):
+        placement = place_hooks(self._levels(), hook_cost_ops=0.01)
+        assert placement.level.name == "per element"
+
+    def test_fallback_to_shallowest(self):
+        levels = [
+            HookLevel("outer", 10.0, depth=0),
+            HookLevel("inner", 1.0, depth=1),
+        ]
+        placement = place_hooks(levels, hook_cost_ops=100.0)
+        assert placement.level.name == "outer"
+        assert placement.admissible == ()
+
+    def test_validation(self):
+        with pytest.raises(CompileError):
+            place_hooks([], hook_cost_ops=1.0)
+        with pytest.raises(CompileError):
+            place_hooks(self._levels(), hook_cost_ops=-1.0)
+        with pytest.raises(CompileError):
+            place_hooks(self._levels(), hook_cost_ops=1.0, max_cost_fraction=2.0)
+
+    @given(hook_cost=st.floats(0.001, 1e6))
+    def test_chosen_level_is_admissible_or_shallowest(self, hook_cost):
+        placement = place_hooks(self._levels(), hook_cost_ops=hook_cost)
+        if placement.admissible:
+            assert placement.level == placement.admissible[-1]
+            # No deeper admissible level exists.
+            assert all(
+                lv.depth <= placement.level.depth for lv in placement.admissible
+            )
+        else:
+            assert placement.level.depth == 0

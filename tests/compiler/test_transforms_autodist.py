@@ -1,0 +1,205 @@
+"""Loop interchange and automatic distribution choice tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.adaptive import adaptive_program
+from repro.apps.lu import lu_directive, lu_program
+from repro.apps.matmul import matmul_directive, matmul_program, matmul_semantics
+from repro.apps.sor import sor_program
+from repro.compiler.autodistribute import (
+    DistributionChoice,
+    choose_distribution,
+    derive_directive,
+)
+from repro.compiler.interp import interpret
+from repro.compiler.ir import (
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    Loop,
+    Program,
+    const,
+    var,
+)
+from repro.compiler.plan import LoopShape
+from repro.compiler.transforms import can_interchange, dependence_vectors, interchange
+from repro.errors import CompileError
+
+
+def stencil_program(read_offsets):
+    """x[i][j] = f(x[i+di][j+dj] ...) over an n x n interior."""
+    i, j, n = var("i"), var("j"), var("n")
+    reads = tuple(ArrayRef("x", (i + di, j + dj)) for di, dj in read_offsets)
+    inner = Loop(
+        "j",
+        const(1),
+        n - 1,
+        (Assign(ArrayRef("x", (i, j)), reads, label="st"),),
+    )
+    outer = Loop("i", const(1), n - 1, (inner,))
+    return Program("stencil", ("n",), (ArrayDecl("x", (n, n)),), (outer,))
+
+
+class TestInterchangeLegality:
+    def test_independent_loops_legal(self):
+        p = stencil_program([])
+        legal, _ = can_interchange(p, "i", "j")
+        assert legal
+
+    def test_classic_illegal_pattern(self):
+        # x[i][j] = f(x[i-1][j+1]): vector (1, -1) flips sign order.
+        p = stencil_program([(-1, 1)])
+        legal, reason = can_interchange(p, "i", "j")
+        assert not legal
+        assert "lexicographically" in reason
+
+    def test_gauss_seidel_legal(self):
+        # (1,0) and (0,1) style vectors survive interchange.
+        p = stencil_program([(-1, 0), (0, -1)])
+        legal, _ = can_interchange(p, "i", "j")
+        assert legal
+
+    def test_sor_row_column_interchange_legal(self):
+        p = sor_program()
+        legal, _ = can_interchange(p, "i", "j")
+        assert legal
+
+    def test_imperfect_nest_rejected(self):
+        i, n = var("i"), var("n")
+        body = (
+            Assign(ArrayRef("x", (i, const(0))), (), label="a"),
+            Loop("j", const(0), n, (Assign(ArrayRef("x", (i, var("j"))), (), label="b"),)),
+        )
+        p = Program("p", ("n",), (ArrayDecl("x", (n, n)),), (Loop("i", const(0), n, body),))
+        legal, reason = can_interchange(p, "i", "j")
+        assert not legal
+        assert "perfectly nested" in reason
+
+    def test_triangular_bounds_rejected(self):
+        i, j, n = var("i"), var("j"), var("n")
+        inner = Loop("j", const(0), i, (Assign(ArrayRef("x", (i, j)), (), label="t"),))
+        p = Program("p", ("n",), (ArrayDecl("x", (n, n)),), (Loop("i", const(0), n, (inner,)),))
+        legal, reason = can_interchange(p, "i", "j")
+        assert not legal
+        assert "triangular" in reason
+
+
+class TestInterchangeTransform:
+    def test_structure_swapped(self):
+        p = stencil_program([])
+        p2 = interchange(p, "i", "j")
+        outer = p2.body[0]
+        assert outer.index == "j"
+        assert outer.body[0].index == "i"
+
+    def test_illegal_interchange_raises(self):
+        p = stencil_program([(-1, 1)])
+        with pytest.raises(CompileError):
+            interchange(p, "i", "j")
+
+    def test_interchanged_matmul_computes_same_product(self):
+        # MM's i and j loops commute; the interpreter proves it.
+        p = matmul_program()
+        p2 = interchange(p, "i", "j")
+        n = 6
+        rng = np.random.default_rng(3)
+        arrays = {
+            "a": rng.standard_normal((n, n)),
+            "b": rng.standard_normal((n, n)),
+            "c": np.zeros((n, n)),
+        }
+        sem = matmul_semantics()
+        out1 = interpret(p, {"n": n, "reps": 1}, arrays, sem)
+        out2 = interpret(p2, {"n": n, "reps": 1}, arrays, sem)
+        np.testing.assert_array_equal(out1["c"], out2["c"])
+
+
+class TestDependenceVectors:
+    def test_canonicalised_nonnegative(self):
+        p = stencil_program([(0, -1)])
+        for vec in dependence_vectors(p, ["i", "j"]):
+            nonzero = [c for c in vec if c is not None and c != 0]
+            if nonzero:
+                assert nonzero[0] > 0
+
+
+class TestDeriveDirective:
+    def test_matmul_matches_hand_directive(self):
+        d = derive_directive(matmul_program(), "i")
+        hand = matmul_directive()
+        assert d.distribute == hand.distribute
+        assert set(d.distributed_arrays) == set(hand.distributed_arrays)
+
+    def test_lu_matches_hand_directive(self):
+        d = derive_directive(lu_program(), "j")
+        assert set(d.distributed_arrays) == set(lu_directive().distributed_arrays)
+
+    def test_inconsistent_dims_rejected(self):
+        with pytest.raises(CompileError):
+            derive_directive(lu_program(), "k")  # a[i][k] and a[k][j]
+
+
+class TestChooseDistribution:
+    def test_matmul_chooses_row_loop(self):
+        d, choices = choose_distribution(matmul_program(), {"n": 100, "reps": 1})
+        assert d.distribute == "i"
+        by_var = {c.loop_var: c for c in choices}
+        assert not by_var["k"].legal  # reduction loop rejected
+        assert not by_var["rep"].legal
+
+    def test_lu_chooses_update_columns(self):
+        d, choices = choose_distribution(lu_program(), {"n": 100})
+        assert d.distribute == "j"
+        by_var = {c.loop_var: c for c in choices}
+        # The pivot-scaling loop is legal but covers negligible cost.
+        assert by_var["i2"].legal
+        assert by_var["i2"].body_ops < by_var["j"].body_ops / 10
+
+    def test_sor_chooses_a_pipeline_dimension(self):
+        d, choices = choose_distribution(sor_program(), {"n": 100, "maxiter": 5})
+        assert d.distribute in ("i", "j")
+        chosen = next(c for c in choices if c.loop_var == d.distribute)
+        assert chosen.shape is LoopShape.PIPELINE
+        assert not next(c for c in choices if c.loop_var == "iter").legal
+
+    def test_adaptive_chooses_cell_loop(self):
+        d, _ = choose_distribution(adaptive_program(), {"n": 100, "reps": 2})
+        assert d.distribute == "cell"
+
+    def test_no_distributable_loop(self):
+        # Fully sequential recurrence: x[i] = f(x[i-1]).
+        i, n = var("i"), var("n")
+        p = Program(
+            "seq",
+            ("n",),
+            (ArrayDecl("x", (n,)),),
+            (
+                Loop(
+                    "i",
+                    const(1),
+                    n,
+                    (Assign(ArrayRef("x", (i,)), (ArrayRef("x", (i - 1,)),), label="r"),),
+                ),
+            ),
+        )
+        with pytest.raises(CompileError):
+            choose_distribution(p, {"n": 50})
+
+
+class TestAutoCompiledEndToEnd:
+    def test_auto_directive_compiles_and_runs_matmul(self):
+        from repro.apps.matmul import MatmulKernels
+        from repro.compiler.codegen import compile_program
+        from repro.config import ClusterSpec, RunConfig
+        from repro.runtime import run_application
+
+        program = matmul_program()
+        directive, _ = choose_distribution(program, {"n": 40, "reps": 1})
+        plan = compile_program(
+            program, directive, MatmulKernels({"n": 40}), {"n": 40, "reps": 1}
+        )
+        cfg = RunConfig(cluster=ClusterSpec(n_slaves=3))
+        res = run_application(plan, cfg, seed=9)
+        g = plan.kernels.make_global(np.random.default_rng(9))
+        np.testing.assert_allclose(res.result, g["A"] @ g["B"], atol=1e-9)

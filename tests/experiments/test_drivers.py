@@ -1,0 +1,115 @@
+"""Experiment driver tests (reduced problem sizes for speed)."""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    adaptive_irregular,
+    fig3_codegen,
+    fig4_frequency,
+    fig5_mm_dedicated,
+    fig7_mm_loaded,
+    fig9_oscillating,
+    heterogeneous,
+    tab1_features,
+)
+from repro.experiments.common import ExperimentSeries, format_table
+
+
+class TestCommon:
+    def test_series_add_and_column(self):
+        s = ExperimentSeries("t", ("a", "b"))
+        s.add(1, 2.0)
+        s.add(3, 4.0)
+        assert s.column("a") == [1, 3]
+        assert s.column("b") == [2.0, 4.0]
+
+    def test_row_width_checked(self):
+        s = ExperimentSeries("t", ("a", "b"))
+        with pytest.raises(ValueError):
+            s.add(1)
+
+    def test_format_table(self):
+        text = format_table("Title", ("x",), [(1.5,)], notes=("n",), expected="e")
+        assert "Title" in text
+        assert "note: n" in text
+        assert "paper: e" in text
+
+
+class TestTable1:
+    def test_all_cells_match_paper(self):
+        out = tab1_features.run()
+        assert out["all_match"]
+        assert len(out["measured"]) == 6
+
+
+class TestFig3:
+    def test_generated_source_artifacts(self):
+        out = fig3_codegen.run(n=200, maxiter=3)
+        assert "strip block" in out["chosen_level"]
+        assert out["restricted"]
+        assert any("overhead too high" in d for d in out["diagnosis"])
+        assert any("<== chosen" in d for d in out["diagnosis"])
+
+
+class TestFig4:
+    def test_every_bound_binds_somewhere(self):
+        series = fig4_frequency.run()
+        assert {"quantum", "movement", "interaction"} <= set(series.column("binding"))
+
+
+class TestFig5Small:
+    def test_overhead_small_at_reduced_size(self):
+        series = fig5_mm_dedicated.run(n=200, processors=(1, 3))
+        assert all(o < 5.0 for o in series.column("dlb_overhead_%"))
+        sp = series.column("speedup_dlb")
+        assert sp[1] > 2.5
+
+
+class TestFig7Small:
+    def test_dlb_beats_static(self):
+        series = fig7_mm_loaded.run(n=200, processors=(3,))
+        (row,) = series.rows
+        _p, t_par, t_dlb, eff_par, eff_dlb, _m, _u = row
+        assert t_dlb < t_par
+        assert eff_dlb > eff_par
+
+
+class TestFig9Small:
+    def test_work_tracks_load(self):
+        result = fig9_oscillating.run(n=200, reps=4)
+        lag = fig9_oscillating.tracking_lag(result)
+        assert lag["tracks_load"]
+        assert result["moves"] > 0
+
+    def test_trace_channels_present(self):
+        result = fig9_oscillating.run(n=150, reps=2)
+        for key in ("raw_rate", "adjusted_rate", "work"):
+            ts, vs = result[key]
+            assert len(ts) == len(vs) > 0
+
+
+class TestHeterogeneous:
+    def test_fast_machine_gets_more_work(self):
+        series = heterogeneous.run(n=200)
+        rows = {r[0]: r for r in series.rows}
+        counts = [int(c) for c in rows["2x/1x/1x/1x"][5].split("/")]
+        assert counts[0] > counts[1]
+
+
+class TestAdaptive:
+    def test_dlb_fixes_intrinsic_imbalance(self):
+        series = adaptive_irregular.run(n=200, reps=4)
+        for row in series.rows:
+            assert row[2] < row[1]  # t_dlb < t_static
+
+
+class TestAblations:
+    def test_pipelining_penalty_grows_with_latency(self):
+        series = ablations.pipelining(n=200, n_slaves=3, latencies=(5e-4, 0.05))
+        penalties = series.column("sync_penalty_%")
+        assert penalties[-1] > penalties[0] - 1.0
+
+    def test_refinement_toggles_run(self):
+        series = ablations.refinements(n=150, reps=2)
+        assert len(series.rows) == 5

@@ -1,0 +1,85 @@
+"""Combined-stress integration: heterogeneity + load + movement + numerics
+at once, for every schedule shape."""
+
+import numpy as np
+import pytest
+
+from repro.apps import build_adaptive, build_lu, build_matmul, build_sor
+from repro.config import BalancerConfig, ClusterSpec, ProcessorSpec, RunConfig
+from repro.runtime import run_application
+from repro.sim import CompositeLoad, ConstantLoad, OscillatingLoad
+
+
+def hetero_cluster(speeds, base_speed=3e4):
+    base = ProcessorSpec(speed=base_speed)
+    overrides = tuple(
+        (pid, ProcessorSpec(speed=base_speed * f))
+        for pid, f in enumerate(speeds)
+        if f != 1.0
+    )
+    return ClusterSpec(
+        n_slaves=len(speeds), processor=base, processor_overrides=overrides
+    )
+
+
+LOADS = {
+    0: OscillatingLoad(k=2, period=6, duration=3),
+    2: CompositeLoad([ConstantLoad(k=1, start=1.0), OscillatingLoad(k=1, period=5, duration=2)]),
+}
+
+
+def run_and_verify(plan, cluster, seed=6, exact=False, pipelined=True):
+    cfg = RunConfig(
+        cluster=cluster, balancer=BalancerConfig(pipelined=pipelined)
+    )
+    res = run_application(plan, cfg, loads=dict(LOADS), seed=seed)
+    g = plan.kernels.make_global(np.random.default_rng(seed))
+    ref = plan.kernels.sequential(g)
+    if exact:
+        np.testing.assert_array_equal(res.result, ref)
+    elif isinstance(ref, dict):
+        for key in ref:
+            np.testing.assert_allclose(res.result[key], ref[key], atol=1e-9)
+    else:
+        np.testing.assert_allclose(res.result, ref, atol=1e-9)
+    return res
+
+
+class TestHeterogeneousLoadedClusters:
+    def test_matmul(self):
+        run_and_verify(build_matmul(n=80), hetero_cluster((2.0, 1.0, 0.5, 1.0)))
+
+    def test_sor_exact(self):
+        run_and_verify(
+            build_sor(n=64, maxiter=8),
+            hetero_cluster((0.5, 1.0, 2.0, 1.0)),
+            exact=True,
+        )
+
+    def test_lu_exact(self):
+        run_and_verify(
+            build_lu(n=72), hetero_cluster((1.0, 2.0, 1.0, 0.5)), exact=True
+        )
+
+    def test_adaptive(self):
+        run_and_verify(
+            build_adaptive(n=120, reps=3), hetero_cluster((2.0, 1.0, 1.0, 0.5))
+        )
+
+    def test_sor_synchronous_mode(self):
+        run_and_verify(
+            build_sor(n=48, maxiter=6),
+            hetero_cluster((0.5, 1.0, 1.0, 2.0)),
+            exact=True,
+            pipelined=False,
+        )
+
+    def test_convergent_sor_exact(self):
+        from repro.apps.sor import sor_sequential_convergent
+
+        plan = build_sor(n=32, maxiter=40, tol=0.6)
+        cfg = RunConfig(cluster=hetero_cluster((1.0, 0.5, 2.0, 1.0), base_speed=8e3))
+        res = run_application(plan, cfg, loads=dict(LOADS), seed=6)
+        g = plan.kernels.make_global(np.random.default_rng(6))
+        ref, _sweeps = sor_sequential_convergent(g["G"], 40, 0.6)
+        np.testing.assert_array_equal(res.result, ref)

@@ -1,0 +1,78 @@
+"""Determinism: the whole simulation stack is reproducible.
+
+The engine breaks virtual-time ties FIFO, RNGs are seeded, and nothing
+consults wall-clock time, so two runs with identical inputs must agree
+on every observable — elapsed virtual time, message counts, movement
+history, and numeric results."""
+
+import numpy as np
+import pytest
+
+from repro.apps import build_lu, build_matmul, build_sor
+from repro.config import ClusterSpec, ProcessorSpec, RunConfig
+from repro.runtime import run_application
+from repro.sim import ConstantLoad, OscillatingLoad
+
+
+def snapshot(res):
+    return (
+        res.elapsed,
+        res.message_count,
+        res.bytes_sent,
+        res.log.moves_applied,
+        res.log.units_moved,
+        res.log.reports_received,
+        tuple(res.log.final_partition_counts),
+    )
+
+
+@pytest.mark.parametrize(
+    "builder,loads",
+    [
+        (lambda: build_matmul(n=80), {0: ConstantLoad(k=2)}),
+        (lambda: build_sor(n=48, maxiter=6), {1: OscillatingLoad(k=2, period=4, duration=2)}),
+        (lambda: build_lu(n=60), {2: ConstantLoad(k=1)}),
+    ],
+)
+def test_identical_runs_are_identical(builder, loads):
+    def once():
+        plan = builder()
+        cfg = RunConfig(
+            cluster=ClusterSpec(n_slaves=4, processor=ProcessorSpec(speed=3e4)),
+        )
+        res = run_application(plan, cfg, loads=dict(loads), seed=7)
+        return snapshot(res), res.result
+
+    (snap1, r1), (snap2, r2) = once(), once()
+    assert snap1 == snap2
+    np.testing.assert_array_equal(np.asarray(r1), np.asarray(r2))
+
+
+def test_different_seeds_differ_only_in_data():
+    plan = build_matmul(n=60)
+    cfg = RunConfig(cluster=ClusterSpec(n_slaves=3, processor=ProcessorSpec(speed=2e5)))
+    r1 = run_application(plan, cfg, seed=1)
+    r2 = run_application(plan, cfg, seed=2)
+    # The timing structure is seed-independent (costs are data-free for
+    # MM); the numeric payloads differ.
+    assert r1.elapsed == r2.elapsed
+    assert not np.allclose(r1.result, r2.result)
+
+
+def test_cost_only_and_numeric_runs_share_timing():
+    plan = build_matmul(n=80)
+    cfg_n = RunConfig(
+        cluster=ClusterSpec(n_slaves=4), execute_numerics=True
+    )
+    cfg_c = RunConfig(
+        cluster=ClusterSpec(n_slaves=4), execute_numerics=False
+    )
+    loads = {0: ConstantLoad(k=1)}
+    rn = run_application(plan, cfg_n, loads=loads, seed=3)
+    rc = run_application(plan, cfg_c, loads=loads, seed=3)
+    # Virtual time is driven by the cost model either way: identical
+    # control flow and decisions; clocks agree up to the modelled wire
+    # size of init/result payloads (exact bytes need the kernels).
+    assert rn.elapsed == pytest.approx(rc.elapsed, rel=1e-3)
+    assert rn.message_count == rc.message_count
+    assert rn.log.moves_applied == rc.log.moves_applied

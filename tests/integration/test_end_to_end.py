@@ -1,0 +1,209 @@
+"""End-to-end correctness: every generated program's distributed result
+must match its sequential reference under every configuration."""
+
+import numpy as np
+import pytest
+
+from repro.apps import build_lu, build_matmul, build_sor
+from repro.config import BalancerConfig, ClusterSpec, ProcessorSpec, RunConfig
+from repro.runtime import run_application
+from repro.sim import CompositeLoad, ConstantLoad, OscillatingLoad, StepLoad
+
+
+def run_and_verify(
+    plan,
+    n_slaves=4,
+    loads=None,
+    seed=1,
+    speed=3e4,
+    pipelined=True,
+    dlb=True,
+    exact=False,
+):
+    cfg = RunConfig(
+        cluster=ClusterSpec(
+            n_slaves=n_slaves, processor=ProcessorSpec(speed=speed)
+        ),
+        balancer=BalancerConfig(pipelined=pipelined),
+        dlb_enabled=dlb,
+    )
+    res = run_application(plan, cfg, loads=loads, seed=seed)
+    g = plan.kernels.make_global(np.random.default_rng(seed))
+    ref = plan.kernels.sequential(g)
+    if exact:
+        np.testing.assert_array_equal(res.result, ref)
+    else:
+        np.testing.assert_allclose(res.result, ref, atol=1e-9)
+    return res
+
+
+class TestDedicated:
+    @pytest.mark.parametrize("n_slaves", [1, 2, 3, 5])
+    def test_matmul(self, n_slaves):
+        run_and_verify(build_matmul(n=40), n_slaves=n_slaves, speed=1e6)
+
+    @pytest.mark.parametrize("n_slaves", [1, 2, 4])
+    def test_sor_exact(self, n_slaves):
+        run_and_verify(
+            build_sor(n=26, maxiter=3), n_slaves=n_slaves, speed=1e6, exact=True
+        )
+
+    @pytest.mark.parametrize("n_slaves", [1, 3, 4])
+    def test_lu_exact(self, n_slaves):
+        run_and_verify(build_lu(n=24), n_slaves=n_slaves, speed=1e6, exact=True)
+
+    def test_matmul_repeated(self):
+        run_and_verify(build_matmul(n=30, reps=3), speed=1e6)
+
+
+class TestUnderLoadWithMovement:
+    def test_matmul_constant_load_moves_work(self):
+        res = run_and_verify(
+            build_matmul(n=80),
+            loads={0: ConstantLoad(k=2)},
+            speed=2e5,
+        )
+        assert res.log.moves_applied >= 1
+        assert res.log.units_moved > 0
+
+    def test_sor_constant_load_exact(self):
+        res = run_and_verify(
+            build_sor(n=64, maxiter=8),
+            loads={0: ConstantLoad(k=2)},
+            exact=True,
+        )
+        assert res.log.moves_applied >= 1
+
+    def test_sor_load_on_middle_slave(self):
+        run_and_verify(
+            build_sor(n=64, maxiter=8),
+            loads={2: ConstantLoad(k=2)},
+            exact=True,
+        )
+
+    def test_lu_constant_load_exact(self):
+        res = run_and_verify(
+            build_lu(n=80), loads={0: ConstantLoad(k=2)}, exact=True
+        )
+        assert res.log.moves_applied >= 1
+
+    def test_matmul_oscillating(self):
+        run_and_verify(
+            build_matmul(n=80, reps=2),
+            loads={0: OscillatingLoad(k=2, period=6, duration=3)},
+            speed=2e5,
+        )
+
+    def test_sor_oscillating_exact(self):
+        run_and_verify(
+            build_sor(n=64, maxiter=8),
+            loads={1: OscillatingLoad(k=2, period=8, duration=4)},
+            exact=True,
+        )
+
+    def test_step_load_exact(self):
+        run_and_verify(
+            build_sor(n=48, maxiter=6),
+            loads={0: StepLoad([(0.0, 0), (2.0, 3), (6.0, 1)])},
+            exact=True,
+        )
+
+    def test_composite_load_two_slaves(self):
+        run_and_verify(
+            build_lu(n=64),
+            loads={
+                0: ConstantLoad(k=1),
+                2: CompositeLoad([ConstantLoad(k=1), OscillatingLoad(k=1, period=4, duration=2)]),
+            },
+            exact=True,
+        )
+
+
+class TestInteractionModes:
+    def test_synchronous_sor(self):
+        run_and_verify(
+            build_sor(n=48, maxiter=5),
+            loads={0: ConstantLoad(k=2)},
+            pipelined=False,
+            exact=True,
+        )
+
+    def test_synchronous_lu(self):
+        run_and_verify(
+            build_lu(n=60), loads={0: ConstantLoad(k=2)}, pipelined=False, exact=True
+        )
+
+    def test_synchronous_matmul(self):
+        run_and_verify(
+            build_matmul(n=60), loads={0: ConstantLoad(k=1)}, pipelined=False, speed=2e5
+        )
+
+    def test_static_distribution_still_correct(self):
+        run_and_verify(
+            build_sor(n=48, maxiter=4),
+            loads={0: ConstantLoad(k=2)},
+            dlb=False,
+            exact=True,
+        )
+
+
+class TestRunResultInvariants:
+    def test_every_unit_gathered_once(self):
+        res = run_and_verify(
+            build_matmul(n=60), loads={0: ConstantLoad(k=2)}, speed=2e5
+        )
+        assert res.log.merged_units == 60
+
+    def test_elapsed_at_least_critical_path(self):
+        res = run_and_verify(build_matmul(n=40), n_slaves=4, speed=1e6)
+        # Perfect speedup bound: elapsed >= seq / P.
+        assert res.elapsed >= res.sequential_time / 4 - 1e-9
+
+    def test_efficiency_in_unit_range(self):
+        res = run_and_verify(
+            build_sor(n=48, maxiter=4), loads={0: ConstantLoad(k=1)}
+        )
+        assert 0.0 < res.efficiency <= 1.0
+
+    def test_speedup_with_one_slave_below_one(self):
+        res = run_and_verify(build_matmul(n=40), n_slaves=1, speed=1e6)
+        assert res.speedup <= 1.0
+
+    def test_summary_is_readable(self):
+        res = run_and_verify(build_matmul(n=40), speed=1e6)
+        s = res.summary()
+        assert "matmul" in s and "eff=" in s
+
+
+class TestDlbBeatsStaticUnderLoad:
+    """The headline claim, asserted at test scale for every shape."""
+
+    def test_matmul(self):
+        plan = build_matmul(n=150)
+        loads = {0: ConstantLoad(k=2)}
+        cfg = lambda dlb: RunConfig(  # noqa: E731
+            cluster=ClusterSpec(n_slaves=4), execute_numerics=False, dlb_enabled=dlb
+        )
+        t_dlb = run_application(plan, cfg(True), loads=loads).elapsed
+        t_sta = run_application(plan, cfg(False), loads=loads).elapsed
+        assert t_dlb < t_sta * 0.75
+
+    def test_sor(self):
+        plan = build_sor(n=600, maxiter=10)
+        loads = {0: ConstantLoad(k=1)}
+        cfg = lambda dlb: RunConfig(  # noqa: E731
+            cluster=ClusterSpec(n_slaves=4), execute_numerics=False, dlb_enabled=dlb
+        )
+        t_dlb = run_application(plan, cfg(True), loads=loads).elapsed
+        t_sta = run_application(plan, cfg(False), loads=loads).elapsed
+        assert t_dlb < t_sta * 0.85
+
+    def test_lu(self):
+        plan = build_lu(n=300)
+        loads = {0: ConstantLoad(k=1)}
+        cfg = lambda dlb: RunConfig(  # noqa: E731
+            cluster=ClusterSpec(n_slaves=4), execute_numerics=False, dlb_enabled=dlb
+        )
+        t_dlb = run_application(plan, cfg(True), loads=loads).elapsed
+        t_sta = run_application(plan, cfg(False), loads=loads).elapsed
+        assert t_dlb < t_sta

@@ -1,0 +1,73 @@
+"""Data-dependent WHILE repetition (paper Section 4.1).
+
+The convergent SOR variant sweeps until the global residual drops below
+a tolerance.  The master evaluates the WHILE condition from slave
+residual reports and broadcasts the verdict before each sweep — and the
+distributed run must execute the exact same number of sweeps as the
+sequential program, producing a bit-identical grid, with or without
+work movement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.sor import build_sor, sor_sequential_convergent
+from repro.config import ClusterSpec, ProcessorSpec, RunConfig
+from repro.runtime import run_application
+from repro.sim import ConstantLoad
+
+
+def run_convergent(n, maxiter, tol, n_slaves=4, speed=1e6, loads=None, seed=1):
+    plan = build_sor(n=n, maxiter=maxiter, tol=tol)
+    cfg = RunConfig(
+        cluster=ClusterSpec(n_slaves=n_slaves, processor=ProcessorSpec(speed=speed))
+    )
+    res = run_application(plan, cfg, loads=loads, seed=seed)
+    g = plan.kernels.make_global(np.random.default_rng(seed))
+    ref, sweeps = sor_sequential_convergent(g["G"], maxiter, tol)
+    return res, ref, sweeps
+
+
+class TestWhileRepetition:
+    def test_plan_marks_dynamic_reps(self):
+        plan = build_sor(n=32, maxiter=20, tol=1e-3)
+        assert plan.dynamic_reps
+        assert plan.convergence_tol == pytest.approx(1e-3)
+        assert plan.reps == 20  # the WHILE trip-count cap
+
+    def test_static_plan_not_dynamic(self):
+        assert not build_sor(n=32, maxiter=5).dynamic_reps
+
+    def test_early_exit_matches_sequential_exactly(self):
+        # tol=0.5 converges at ~90 sweeps, well inside the 120 cap: the
+        # distributed run must stop at the same sweep, bit-identically.
+        res, ref, sweeps = run_convergent(n=16, maxiter=120, tol=0.5)
+        assert sweeps < 120, "test needs genuine early exit"
+        np.testing.assert_array_equal(res.result, ref)
+
+    def test_cap_binds_when_tolerance_unreachable(self):
+        res, ref, sweeps = run_convergent(n=16, maxiter=10, tol=1e-9)
+        assert sweeps == 10
+        np.testing.assert_array_equal(res.result, ref)
+
+    def test_exact_under_load_with_movement(self):
+        res, ref, sweeps = run_convergent(
+            n=24,
+            maxiter=40,
+            tol=0.55,
+            speed=4e3,
+            loads={0: ConstantLoad(k=2)},
+        )
+        np.testing.assert_array_equal(res.result, ref)
+        assert res.log.moves_applied >= 1, "expected movement during convergence"
+
+    def test_single_slave(self):
+        res, ref, _ = run_convergent(n=16, maxiter=50, tol=0.6, n_slaves=1)
+        np.testing.assert_array_equal(res.result, ref)
+
+    @pytest.mark.parametrize("n_slaves", [2, 3, 5])
+    def test_slave_count_does_not_change_sweep_count(self, n_slaves):
+        res, ref, _ = run_convergent(
+            n=16, maxiter=120, tol=0.5, n_slaves=n_slaves
+        )
+        np.testing.assert_array_equal(res.result, ref)

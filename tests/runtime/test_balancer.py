@@ -1,0 +1,205 @@
+"""Balancer decision logic tests (paper Section 3.2)."""
+
+import pytest
+
+from repro.config import BalancerConfig, NetworkSpec
+from repro.runtime.balancer import BalancerState, decide
+from repro.runtime.partition import BlockPartition, IndexPartition
+from repro.runtime.profitability import (
+    MovementEstimate,
+    estimate_movement_cost,
+    movement_profitable,
+)
+from repro.runtime.partition import Transfer
+from repro.runtime.protocol import SlaveReport
+
+
+def make_state(n=4, **cfg_kwargs):
+    return BalancerState(
+        n_slaves=n,
+        config=BalancerConfig(**cfg_kwargs),
+        unit_bytes=8 * 500,
+        network=NetworkSpec(),
+        quantum=0.1,
+    )
+
+
+def report(pid, rate, owned=10, work=1.0, seq=0, rep=0):
+    return SlaveReport(
+        pid=pid,
+        seq=seq,
+        units_done=rate * work,
+        work_time=work,
+        meas_units=rate * work,
+        meas_work=work,
+        owned_count=owned,
+        rep=rep,
+    )
+
+
+def feed(state, rates, work=1.0):
+    for pid, r in enumerate(rates):
+        state.observe(report(pid, r, work=work))
+
+
+class TestObserve:
+    def test_rates_folded_into_filters(self):
+        st_ = make_state()
+        feed(st_, [10.0, 20.0, 20.0, 20.0])
+        rates = st_.filtered_rates()
+        assert rates[0] == pytest.approx(10.0)
+        assert rates[1] == pytest.approx(20.0)
+
+    def test_subquantum_measurements_ignored(self):
+        st_ = make_state()
+        # 0.05 s of measured work < 2 quanta: biased sample, ignored.
+        st_.observe(report(0, 100.0, work=0.05))
+        assert st_.filters[0].value is None
+
+    def test_unknown_slaves_get_mean_rate(self):
+        st_ = make_state()
+        st_.observe(report(0, 10.0))
+        st_.observe(report(1, 30.0))
+        rates = st_.filtered_rates()
+        assert rates[2] == pytest.approx(20.0)
+
+    def test_move_cost_measurement_overrides_prior(self):
+        st_ = make_state()
+        r = report(0, 10.0)
+        r.measured_move_cost_per_unit = 0.123
+        st_.observe(r)
+        assert st_.measured_move_cost
+        assert st_.move_cost_per_unit == pytest.approx(0.123)
+
+
+class TestDecide:
+    def _uph(self, n=4):
+        return {p: 1.0 for p in range(n)}
+
+    def test_balanced_cluster_no_movement(self):
+        st_ = make_state()
+        feed(st_, [20.0] * 4)
+        part = IndexPartition.even(100, 4)
+        d = decide(st_, part, self._uph(), remaining_units=100)
+        assert not d.moves_work
+        assert d.improvement < 0.01
+
+    def test_imbalance_triggers_proportional_movement(self):
+        st_ = make_state()
+        feed(st_, [10.0, 30.0, 30.0, 30.0])
+        part = IndexPartition.even(100, 4)
+        d = decide(st_, part, self._uph(), remaining_units=10000)
+        assert d.moves_work
+        total_moved_from_0 = sum(
+            t.count for t in d.transfers if t.src == 0
+        )
+        # Slave 0 should end up with ~10/100 of the work: gives ~15 of 25.
+        assert 10 <= total_moved_from_0 <= 20
+
+    def test_below_threshold_no_movement(self):
+        st_ = make_state(improvement_threshold=0.10)
+        feed(st_, [19.0, 20.0, 20.0, 20.0])  # ~5% imbalance
+        part = IndexPartition.even(100, 4)
+        d = decide(st_, part, self._uph(), remaining_units=10000)
+        assert not d.moves_work
+        assert d.cancelled == "threshold"
+
+    def test_zero_threshold_moves_on_any_imbalance(self):
+        st_ = make_state(improvement_threshold=0.0, profitability_enabled=False)
+        feed(st_, [19.0, 20.0, 20.0, 20.0])
+        part = IndexPartition.even(100, 4)
+        d = decide(st_, part, self._uph(), remaining_units=10000)
+        assert d.moves_work
+
+    def test_profitability_cancels_endgame_movement(self):
+        st_ = make_state()
+        feed(st_, [10.0, 30.0, 30.0, 30.0])
+        part = IndexPartition.even(100, 4)
+        # Nearly no work left: moving cannot pay off.
+        d = decide(st_, part, self._uph(), remaining_units=0.05)
+        assert not d.moves_work
+        assert d.cancelled == "profitability"
+
+    def test_in_flight_blocks_movement(self):
+        st_ = make_state()
+        feed(st_, [10.0, 30.0, 30.0, 30.0])
+        part = IndexPartition.even(100, 4)
+        d = decide(st_, part, self._uph(), remaining_units=1e4, allow_movement=False)
+        assert not d.moves_work
+        assert d.cancelled == "in-flight"
+
+    def test_block_partition_gets_adjacent_transfers(self):
+        st_ = make_state()
+        feed(st_, [10.0, 30.0, 30.0, 30.0])
+        part = BlockPartition.even(100, 4)
+        d = decide(st_, part, self._uph(), remaining_units=1e4)
+        assert d.moves_work
+        for t in d.transfers:
+            assert abs(t.src - t.dst) == 1
+
+    def test_active_predicate_limits_movement(self):
+        st_ = make_state()
+        feed(st_, [10.0, 30.0, 30.0, 30.0])
+        part = IndexPartition.even(100, 4)
+        active = lambda u: u >= 90  # noqa: E731 - only 10 active units
+        d = decide(st_, part, self._uph(), remaining_units=1e4, active=active)
+        for t in d.transfers:
+            assert all(u >= 90 for u in t.units)
+
+    def test_skip_hooks_scale_with_rate(self):
+        st_ = make_state()
+        feed(st_, [10.0, 40.0, 40.0, 40.0])
+        part = IndexPartition.even(100, 4)
+        d = decide(st_, part, self._uph(), remaining_units=1e4)
+        # Faster slaves pass more hooks per balancing period.
+        assert d.skip_hooks[1] > d.skip_hooks[0]
+
+    def test_decision_metrics_consistent(self):
+        st_ = make_state()
+        feed(st_, [10.0, 30.0, 30.0, 30.0])
+        part = IndexPartition.even(100, 4)
+        d = decide(st_, part, self._uph(), remaining_units=1e4)
+        assert d.t_current > d.t_balanced > 0
+        assert 0 < d.improvement < 1
+        assert d.period >= 0.5
+
+
+class TestProfitability:
+    def test_estimate_analytic(self):
+        est = estimate_movement_cost(
+            [Transfer(0, 1, tuple(range(10)))],
+            unit_bytes=4000,
+            bandwidth=100e6,
+            latency=5e-4,
+            pack_cpu_per_unit=2e-5,
+            fixed_cpu=1e-3,
+        )
+        assert est.total_units == 10
+        assert est.total_time > 0
+
+    def test_measured_cost_preferred(self):
+        est = estimate_movement_cost(
+            [Transfer(0, 1, tuple(range(10)))],
+            unit_bytes=4000,
+            bandwidth=100e6,
+            latency=5e-4,
+            pack_cpu_per_unit=2e-5,
+            fixed_cpu=1e-3,
+            measured_per_unit=0.01,
+        )
+        assert est.wire_time == pytest.approx(0.1)
+
+    def test_empty_transfers(self):
+        est = estimate_movement_cost(
+            [], unit_bytes=100, bandwidth=1e6, latency=0, pack_cpu_per_unit=0, fixed_cpu=0
+        )
+        assert est.total_units == 0
+        assert not movement_profitable(est, 10.0, 5.0, horizon=100.0)
+
+    def test_profitable_when_saving_exceeds_cost(self):
+        est = MovementEstimate(total_units=10, wire_time=0.01, cpu_time=0.01)
+        assert movement_profitable(est, t_current=10.0, t_balanced=5.0, horizon=10.0)
+
+    def test_unprofitable_with_tiny_horizon(self):
+        est = MovementEstimate(total_units=10, wire_time=0.5, cpu_time=0.5)
+        assert not movement_profitable(est, 10.0, 5.0, horizon=0.1)

@@ -1,0 +1,135 @@
+"""Unit tests of the master's bookkeeping (_Master), without a cluster."""
+
+import pytest
+
+from repro.apps import build_lu, build_matmul, build_sor
+from repro.config import ClusterSpec, RunConfig
+from repro.errors import ProtocolError
+from repro.runtime.master import MasterLog, _InFlightMove, _Master
+from repro.runtime.partition import IndexPartition, Transfer
+from repro.runtime.protocol import MoveOrder, SlaveReport
+
+
+class FakeCtx:
+    def __init__(self, n):
+        self.n_slaves = n
+        self.master_pid = n
+
+
+def make_master(plan=None, n=3):
+    plan = plan or build_matmul(n=30, n_slaves_hint=n)
+    cfg = RunConfig(cluster=ClusterSpec(n_slaves=n), execute_numerics=False)
+    part = IndexPartition.even(plan.unit_count, n, lo=plan.unit_lo)
+    return _Master(FakeCtx(n), plan, cfg, MasterLog(), None, None, part, None)
+
+
+def report(pid, done=False, applied=(), canceled=(), rep=0, remaining=None):
+    return SlaveReport(
+        pid=pid,
+        seq=0,
+        units_done=1.0,
+        work_time=0.5,
+        meas_units=1.0,
+        meas_work=0.5,
+        owned_count=10,
+        rep=rep,
+        applied_moves=tuple(applied),
+        canceled_moves=tuple(canceled),
+        done=done,
+        remaining_units=remaining,
+    )
+
+
+class TestAckBookkeeping:
+    def test_partition_applied_only_when_both_sides_ack(self):
+        m = make_master()
+        t = Transfer(src=0, dst=1, units=(9,))
+        m._issue_transfers([t], now=1.0)
+        before = m.partition.counts()
+        m._process_acks(report(0, applied=(0,)))
+        assert m.partition.counts() == before  # only one side acked
+        m._process_acks(report(1, applied=(0,)))
+        assert m.partition.counts() != before
+        assert m.log.moves_applied == 1
+        assert m.log.units_moved == 1
+
+    def test_cancel_reverts_without_applying(self):
+        m = make_master()
+        t = Transfer(src=0, dst=1, units=(9,))
+        m._issue_transfers([t], now=1.0)
+        before = m.partition.counts()
+        m._process_acks(report(0, canceled=(0,)))
+        m._process_acks(report(1, canceled=(0,)))
+        assert m.partition.counts() == before
+        assert m.log.moves_canceled == 1
+        assert m.log.moves_applied == 0
+
+    def test_unknown_ack_rejected(self):
+        m = make_master()
+        with pytest.raises(ProtocolError):
+            m._process_acks(report(0, applied=(99,)))
+
+    def test_movement_blocked_while_in_flight(self):
+        m = make_master()
+        m._issue_transfers([Transfer(src=0, dst=1, units=(9,))], now=1.0)
+        assert not m._movement_allowed(now=100.0)
+        m._process_acks(report(0, applied=(0,)))
+        m._process_acks(report(1, applied=(0,)))
+        # Orders were never delivered in this unit test; clear them.
+        m.pending_orders = {p: [] for p in range(m.n)}
+        assert m._movement_allowed(now=100.0)
+
+    def test_movement_rate_limited_by_period(self):
+        m = make_master()
+        m.last_move_issue_time = 10.0
+        assert not m._movement_allowed(now=10.2)
+        assert m._movement_allowed(now=10.0 + m.state.config.min_period)
+
+
+class TestRemainingSets:
+    def test_none_for_non_parallel_map(self):
+        m = make_master(plan=build_lu(n=20))
+        assert m._remaining_sets() is None
+
+    def test_steady_state_returns_none(self):
+        m = make_master()
+        m.last_report[0] = report(0, remaining=tuple(m.partition.owned(0)))
+        assert m._remaining_sets() is None  # everyone still has work
+
+    def test_tail_returns_sets(self):
+        m = make_master()
+        m.last_report[0] = report(0, remaining=())  # slave 0 ran dry
+        sets = m._remaining_sets()
+        assert sets is not None
+        assert sets[0] == ()
+        assert len(sets[1]) > 0
+
+    def test_stale_remaining_intersected_with_ownership(self):
+        m = make_master()
+        not_owned_by_1 = tuple(m.partition.owned(0))[:2]
+        m.last_report[0] = report(0, remaining=())
+        m.last_report[1] = report(1, remaining=not_owned_by_1)
+        sets = m._remaining_sets()
+        assert sets[1] == ()  # stale ids filtered out
+
+
+class TestActivePredicate:
+    def test_lu_active_margin(self):
+        plan = build_lu(n=20)
+        m = make_master(plan=plan)
+        m.last_report[0] = report(0, rep=5)
+        active = m._active_predicate()
+        owned0 = [int(u) for u in m.partition.owned(0)]
+        # Units at or before the front (+1 margin) are not movable.
+        for u in owned0:
+            assert active(u) == (u > 6)
+
+
+class TestInFlightMove:
+    def test_complete_requires_both(self):
+        fl = _InFlightMove(MoveOrder(0, Transfer(src=1, dst=2, units=(3,))))
+        assert not fl.complete()
+        fl.acked.add(1)
+        assert not fl.complete()
+        fl.acked.add(2)
+        assert fl.complete()

@@ -1,0 +1,105 @@
+"""Movement ledger tests (slave-side order bookkeeping, Section 4.5)."""
+
+import pytest
+
+from repro.errors import MovementError
+from repro.runtime.movement import MovementLedger, MovePayload
+from repro.runtime.partition import Transfer
+from repro.runtime.protocol import MoveOrder
+
+
+def order(mid, src, dst, units=(1, 2)):
+    return MoveOrder(move_id=mid, transfer=Transfer(src=src, dst=dst, units=units))
+
+
+class TestOrderIntake:
+    def test_send_and_recv_routing(self):
+        led = MovementLedger(pid=1)
+        led.add_orders(sends=(order(0, 1, 2),), recvs=(order(1, 0, 1),))
+        assert [o.move_id for o in led.take_sends()] == [0]
+        assert [o.move_id for o in led.pending_recvs()] == [1]
+
+    def test_wrong_src_rejected(self):
+        led = MovementLedger(pid=1)
+        with pytest.raises(MovementError):
+            led.add_orders(sends=(order(0, 2, 3),), recvs=())
+
+    def test_wrong_dst_rejected(self):
+        led = MovementLedger(pid=1)
+        with pytest.raises(MovementError):
+            led.add_orders(sends=(), recvs=(order(0, 0, 2),))
+
+    def test_duplicate_rejected(self):
+        led = MovementLedger(pid=1)
+        led.add_orders(sends=(order(0, 1, 2),), recvs=())
+        with pytest.raises(MovementError):
+            led.add_orders(sends=(order(0, 1, 2),), recvs=())
+
+    def test_take_sends_clears(self):
+        led = MovementLedger(pid=1)
+        led.add_orders(sends=(order(0, 1, 2),), recvs=())
+        led.take_sends()
+        assert led.take_sends() == []
+        assert not led.has_pending()
+
+
+class TestCompletionAndReporting:
+    def test_recv_lifecycle(self):
+        led = MovementLedger(pid=1)
+        led.add_orders(sends=(), recvs=(order(7, 0, 1),))
+        assert led.has_pending()
+        led.complete_recv(7)
+        assert not led.has_pending()
+        applied, canceled, _cost = led.pop_report_fields()
+        assert applied == (7,)
+        assert canceled == ()
+
+    def test_report_fields_cleared_after_pop(self):
+        led = MovementLedger(pid=1)
+        led.add_orders(sends=(), recvs=(order(7, 0, 1),))
+        led.complete_recv(7)
+        led.pop_report_fields()
+        assert led.pop_report_fields() == ((), (), None)
+
+    def test_early_recv_then_late_order_dropped(self):
+        # Payload applied before the order arrived: completing first and
+        # adding the order afterwards must not leave a pending entry.
+        led = MovementLedger(pid=1)
+        led.complete_recv(9)
+        led.add_orders(sends=(), recvs=(order(9, 0, 1),))
+        assert not led.has_pending()
+        applied, _, _ = led.pop_report_fields()
+        assert applied == (9,)
+
+    def test_cancel_pending(self):
+        led = MovementLedger(pid=1)
+        led.add_orders(sends=(order(3, 1, 2),), recvs=())
+        led.mark_canceled(3)
+        assert not led.has_pending()
+        _, canceled, _ = led.pop_report_fields()
+        assert canceled == (3,)
+
+    def test_early_cancel_then_late_order(self):
+        led = MovementLedger(pid=1)
+        led.mark_canceled(4)  # cancel notice arrived before the order
+        led.add_orders(sends=(), recvs=(order(4, 0, 1),))
+        assert not led.has_pending()
+
+    def test_cost_measurement(self):
+        led = MovementLedger(pid=1)
+        led.record_cost(0.5, 10)
+        _, _, cost = led.pop_report_fields()
+        assert cost == pytest.approx(0.05)
+
+    def test_zero_units_cost_ignored(self):
+        led = MovementLedger(pid=1)
+        led.record_cost(0.5, 0)
+        assert led.pop_report_fields()[2] is None
+
+
+class TestMovePayload:
+    def test_fields(self):
+        p = MovePayload(move_id=1, units=(2, 3), data=None, meta={"a": 1})
+        assert p.move_id == 1
+        assert p.units == (2, 3)
+        assert p.meta["a"] == 1

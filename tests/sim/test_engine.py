@@ -1,0 +1,107 @@
+"""Unit tests for the discrete-event engine."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+def test_events_fire_in_time_order():
+    eng = Engine()
+    order = []
+    eng.call_at(2.0, lambda: order.append("b"))
+    eng.call_at(1.0, lambda: order.append("a"))
+    eng.call_at(3.0, lambda: order.append("c"))
+    eng.run()
+    assert order == ["a", "b", "c"]
+    assert eng.now == 3.0
+
+
+def test_simultaneous_events_fire_fifo():
+    eng = Engine()
+    order = []
+    for name in "abcde":
+        eng.call_at(1.0, lambda n=name: order.append(n))
+    eng.run()
+    assert order == list("abcde")
+
+
+def test_call_after_relative_delay():
+    eng = Engine()
+    seen = []
+    eng.call_after(0.5, lambda: seen.append(eng.now))
+    eng.run()
+    assert seen == [0.5]
+
+
+def test_events_can_schedule_more_events():
+    eng = Engine()
+    hits = []
+
+    def chain(n):
+        hits.append((eng.now, n))
+        if n > 0:
+            eng.call_after(1.0, lambda: chain(n - 1))
+
+    eng.call_at(0.0, lambda: chain(3))
+    eng.run()
+    assert hits == [(0.0, 3), (1.0, 2), (2.0, 1), (3.0, 0)]
+
+
+def test_run_until_stops_and_preserves_pending():
+    eng = Engine()
+    seen = []
+    eng.call_at(1.0, lambda: seen.append(1))
+    eng.call_at(5.0, lambda: seen.append(5))
+    t = eng.run(until=2.0)
+    assert seen == [1]
+    assert t == 2.0
+    assert eng.pending() == 1
+    eng.run()
+    assert seen == [1, 5]
+
+
+def test_run_until_advances_clock_even_with_no_events():
+    eng = Engine()
+    assert eng.run(until=7.5) == 7.5
+    assert eng.now == 7.5
+
+
+def test_scheduling_in_past_rejected():
+    eng = Engine()
+    eng.call_at(2.0, lambda: eng.call_at(1.0, lambda: None))
+    with pytest.raises(SimulationError):
+        eng.run()
+
+
+def test_negative_delay_rejected():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.call_after(-0.1, lambda: None)
+
+
+def test_nan_time_rejected():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.call_at(math.nan, lambda: None)
+
+
+def test_reentrant_run_rejected():
+    eng = Engine()
+
+    def recurse():
+        eng.run()
+
+    eng.call_at(0.0, recurse)
+    with pytest.raises(SimulationError):
+        eng.run()
+
+
+def test_pending_counts_queued_events():
+    eng = Engine()
+    assert eng.pending() == 0
+    eng.call_at(1.0, lambda: None)
+    eng.call_at(2.0, lambda: None)
+    assert eng.pending() == 2

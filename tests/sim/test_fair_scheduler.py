@@ -1,0 +1,68 @@
+"""Fair (fluid processor-sharing) scheduler tests and contrasts with the
+round-robin quantum model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import ProcessorSpec
+from repro.errors import ConfigError
+from repro.experiments.quantum_noise import rate_samples
+from repro.sim.load import ConstantLoad, StepLoad
+from repro.sim.processor import Processor
+
+
+def fair_proc(k=1, speed=1e6):
+    return Processor(
+        0, ProcessorSpec(speed=speed, scheduler="fair"), ConstantLoad(k=k)
+    )
+
+
+class TestFairScheduler:
+    def test_exact_share(self):
+        p = fair_proc(k=3)
+        assert p.run_cpu(0.0, 1.0) == pytest.approx(4.0)
+
+    def test_no_burst_dependence(self):
+        # Unlike round-robin, every burst sees exactly the 1/(k+1) share.
+        p = fair_proc(k=1)
+        t = 0.0
+        for _ in range(5):
+            t1 = p.run_cpu(t, 0.01)
+            assert (t1 - t) == pytest.approx(0.02)
+            t = t1
+
+    def test_accounting_consistent(self):
+        p = fair_proc(k=2)
+        finish = p.run_cpu(0.0, 2.0)
+        assert p.app_cpu_total == pytest.approx(2.0)
+        assert p.app_cpu_total + p.competing_cpu(finish) == pytest.approx(finish)
+
+    def test_load_change_mid_compute(self):
+        load = StepLoad([(0.0, 1), (2.0, 0)])
+        p = Processor(0, ProcessorSpec(scheduler="fair"), load)
+        # 1 cpu-second at half speed for 2s (= 1 cpu) completes at t=2.0.
+        assert p.run_cpu(0.0, 1.0) == pytest.approx(2.0)
+
+    def test_invalid_scheduler_name(self):
+        with pytest.raises(ConfigError):
+            ProcessorSpec(scheduler="lottery")
+
+    @given(k=st.integers(0, 5), cpu=st.floats(0.01, 10.0))
+    @settings(max_examples=60, deadline=None)
+    def test_fair_finish_is_exact_share(self, k, cpu):
+        p = fair_proc(k=k)
+        assert p.run_cpu(0.0, cpu) == pytest.approx(cpu * (k + 1), rel=1e-9)
+
+
+class TestQuantumNoiseContrast:
+    def test_round_robin_noisier_than_fair_at_subquantum_windows(self):
+        rr = rate_samples(0.02, "round_robin")
+        fair = rate_samples(0.02, "fair")
+        assert rr.std() > 0.1
+        assert fair.std() == pytest.approx(0.0, abs=1e-12)
+
+    def test_long_windows_unbiased_for_both(self):
+        rr = rate_samples(2.0, "round_robin")
+        fair = rate_samples(2.0, "fair")
+        assert rr.mean() == pytest.approx(0.5, abs=0.02)
+        assert fair.mean() == pytest.approx(0.5, abs=1e-9)

@@ -1,0 +1,298 @@
+"""Integration tests for the cluster task scheduler and message passing."""
+
+import numpy as np
+import pytest
+
+from repro.config import ClusterSpec, NetworkSpec, ProcessorSpec
+from repro.errors import DeadlockError, SimulationError
+from repro.sim import Cluster, Compute, Now, Poll, Recv, Send, Sleep
+from repro.sim.load import ConstantLoad
+
+
+def make_cluster(n_slaves=2, **net_kwargs):
+    spec = ClusterSpec(
+        n_slaves=n_slaves,
+        processor=ProcessorSpec(speed=1e6, quantum=0.1),
+        network=NetworkSpec(**net_kwargs) if net_kwargs else NetworkSpec(),
+        stagger_phases=False,
+    )
+    return Cluster(spec)
+
+
+class TestComputeAndTime:
+    def test_compute_advances_time(self):
+        cl = make_cluster()
+        log = []
+
+        def task(ctx):
+            yield Compute(1e6)
+            t = yield Now()
+            log.append(t)
+
+        cl.spawn(0, task)
+        cl.run()
+        assert log == [pytest.approx(1.0)]
+
+    def test_compute_runs_kernel_eagerly(self):
+        cl = make_cluster()
+        out = []
+
+        def task(ctx):
+            yield Compute(10, fn=lambda: out.append("ran"))
+
+        cl.spawn(0, task)
+        cl.run()
+        assert out == ["ran"]
+
+    def test_sleep_consumes_no_cpu(self):
+        cl = make_cluster()
+
+        def task(ctx):
+            yield Sleep(5.0)
+
+        cl.spawn(0, task)
+        cl.run()
+        assert cl.task_finish_time(0) == pytest.approx(5.0)
+        assert cl.processors[0].app_cpu_total == 0.0
+
+    def test_competing_load_dilates_compute(self):
+        spec = ClusterSpec(n_slaves=1, stagger_phases=False)
+        cl = Cluster(spec, loads={0: ConstantLoad(k=1)})
+
+        def task(ctx):
+            yield Compute(1e6)  # 1 s of CPU
+
+        cl.spawn(0, task)
+        cl.run()
+        assert cl.task_finish_time(0) == pytest.approx(2.0, abs=0.11)
+
+
+class TestMessaging:
+    def test_send_recv_roundtrip(self):
+        cl = make_cluster()
+        got = []
+
+        def sender(ctx):
+            yield Send(dst=1, tag="data", payload={"x": 42}, nbytes=100)
+
+        def receiver(ctx):
+            msg = yield Recv(src=0, tag="data")
+            got.append(msg.payload)
+
+        cl.spawn(0, sender)
+        cl.spawn(1, receiver)
+        cl.run()
+        assert got == [{"x": 42}]
+        assert cl.message_count == 1
+        assert cl.bytes_sent == 100
+
+    def test_message_timing_includes_latency_bandwidth_and_cpu(self):
+        lat, bw, scpu, rcpu = 1e-3, 1e6, 2e-3, 3e-3
+        cl = make_cluster(latency=lat, bandwidth=bw, send_cpu=scpu, recv_cpu=rcpu)
+        times = []
+
+        def sender(ctx):
+            yield Send(dst=1, tag="t", payload=None, nbytes=1000)
+            times.append(("sent", ctx.now))
+
+        def receiver(ctx):
+            yield Recv(src=0)
+            times.append(("recv", ctx.now))
+
+        cl.spawn(0, sender)
+        cl.spawn(1, receiver)
+        cl.run()
+        t = dict(times)
+        assert t["sent"] == pytest.approx(scpu)
+        assert t["recv"] == pytest.approx(scpu + lat + 1000 / bw + rcpu)
+
+    def test_numpy_payload_snapshot_at_send_time(self):
+        cl = make_cluster()
+        received = []
+
+        def sender(ctx):
+            arr = np.ones(4)
+            yield Send(dst=1, tag="arr", payload=arr, nbytes=32)
+            arr[:] = 999.0  # mutate after send; receiver must see ones
+            yield Compute(100)
+
+        def receiver(ctx):
+            msg = yield Recv(src=0, tag="arr")
+            received.append(msg.payload.copy())
+
+        cl.spawn(0, sender)
+        cl.spawn(1, receiver)
+        cl.run()
+        np.testing.assert_allclose(received[0], np.ones(4))
+
+    def test_nested_numpy_snapshot(self):
+        cl = make_cluster()
+        received = []
+
+        def sender(ctx):
+            arr = np.arange(3.0)
+            yield Send(dst=1, tag="d", payload={"a": arr, "l": [arr]}, nbytes=8)
+            arr += 100.0
+            yield Compute(100)
+
+        def receiver(ctx):
+            msg = yield Recv(src=0)
+            received.append(msg.payload)
+
+        cl.spawn(0, sender)
+        cl.spawn(1, receiver)
+        cl.run()
+        np.testing.assert_allclose(received[0]["a"], [0, 1, 2])
+        np.testing.assert_allclose(received[0]["l"][0], [0, 1, 2])
+
+    def test_selective_recv_by_tag(self):
+        cl = make_cluster()
+        order = []
+
+        def sender(ctx):
+            yield Send(dst=1, tag="later", payload="L", nbytes=8)
+            yield Send(dst=1, tag="first", payload="F", nbytes=8)
+
+        def receiver(ctx):
+            m1 = yield Recv(tag="first")
+            order.append(m1.payload)
+            m2 = yield Recv(tag="later")
+            order.append(m2.payload)
+
+        cl.spawn(0, sender)
+        cl.spawn(1, receiver)
+        cl.run()
+        assert order == ["F", "L"]
+
+    def test_poll_returns_none_when_empty(self):
+        cl = make_cluster()
+        results = []
+
+        def task(ctx):
+            m = yield Poll(tag="never")
+            results.append(m)
+
+        cl.spawn(0, task)
+        cl.run()
+        assert results == [None]
+
+    def test_poll_returns_message_when_available(self):
+        cl = make_cluster()
+        results = []
+
+        def sender(ctx):
+            yield Send(dst=1, tag="x", payload=7, nbytes=8)
+
+        def receiver(ctx):
+            yield Sleep(1.0)  # let the message arrive
+            m = yield Poll(tag="x")
+            results.append(m.payload)
+
+        cl.spawn(0, sender)
+        cl.spawn(1, receiver)
+        cl.run()
+        assert results == [7]
+
+    def test_fifo_order_same_tag(self):
+        cl = make_cluster()
+        got = []
+
+        def sender(ctx):
+            for i in range(5):
+                yield Send(dst=1, tag="seq", payload=i, nbytes=8)
+
+        def receiver(ctx):
+            for _ in range(5):
+                m = yield Recv(tag="seq")
+                got.append(m.payload)
+
+        cl.spawn(0, sender)
+        cl.spawn(1, receiver)
+        cl.run()
+        assert got == [0, 1, 2, 3, 4]
+
+
+class TestErrors:
+    def test_deadlock_detected(self):
+        cl = make_cluster()
+
+        def waiter(ctx):
+            yield Recv(tag="never-sent")
+
+        cl.spawn(0, waiter)
+        with pytest.raises(DeadlockError):
+            cl.run()
+
+    def test_two_tasks_one_processor_rejected(self):
+        cl = make_cluster()
+
+        def t(ctx):
+            yield Sleep(1.0)
+
+        cl.spawn(0, t)
+        with pytest.raises(SimulationError):
+            cl.spawn(0, t)
+
+    def test_send_to_unknown_processor(self):
+        cl = make_cluster()
+
+        def t(ctx):
+            yield Send(dst=99, tag="x", payload=None, nbytes=0)
+
+        cl.spawn(0, t)
+        with pytest.raises(SimulationError):
+            cl.run()
+
+    def test_unknown_syscall_rejected(self):
+        cl = make_cluster()
+
+        def t(ctx):
+            yield "not-a-syscall"
+
+        cl.spawn(0, t)
+        with pytest.raises(SimulationError):
+            cl.run()
+
+
+class TestRusage:
+    def test_report_totals(self):
+        spec = ClusterSpec(n_slaves=1, stagger_phases=False)
+        cl = Cluster(spec, loads={0: ConstantLoad(k=1)})
+
+        def task(ctx):
+            yield Compute(1e6)
+
+        cl.spawn(0, task)
+        cl.run()
+        rep = cl.rusage()
+        u = rep.usage_for(0)
+        assert u.app_cpu == pytest.approx(1.0)
+        assert u.app_cpu + u.competing_cpu == pytest.approx(u.elapsed, abs=0.11)
+
+    def test_efficiency_formula(self):
+        spec = ClusterSpec(n_slaves=2, stagger_phases=False)
+        cl = Cluster(spec)
+
+        def task(ctx):
+            yield Compute(1e6)
+
+        cl.spawn(0, task)
+        cl.spawn(1, task)
+        cl.run()
+        rep = cl.rusage()
+        # Two dedicated slaves running 1s each in 1s elapsed: seq time 2s
+        # => efficiency 1.0.
+        assert rep.efficiency(2.0, [0, 1]) == pytest.approx(1.0)
+
+    def test_master_context_properties(self):
+        cl = make_cluster(n_slaves=3)
+        seen = {}
+
+        def task(ctx):
+            seen["n"] = ctx.n_slaves
+            seen["m"] = ctx.master_pid
+            yield Sleep(0.0)
+
+        cl.spawn(0, task)
+        cl.run()
+        assert seen == {"n": 3, "m": 3}

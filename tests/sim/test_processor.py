@@ -1,0 +1,189 @@
+"""Unit + property tests for the quantum-scheduled CPU model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import ProcessorSpec
+from repro.errors import SimulationError
+from repro.sim.load import ConstantLoad, NoLoad, OscillatingLoad, StepLoad
+from repro.sim.processor import Processor, _slot_advance, _slot_cpu
+
+
+def make_proc(k=0, speed=1e6, quantum=0.1, phase=0.0, load=None):
+    spec = ProcessorSpec(speed=speed, quantum=quantum, phase=phase)
+    if load is None:
+        load = NoLoad() if k == 0 else ConstantLoad(k=k)
+    return Processor(0, spec, load)
+
+
+class TestSlotMath:
+    def test_slot_cpu_within_first_slot(self):
+        assert _slot_cpu(0.05, 0.1, 0.2) == pytest.approx(0.05)
+
+    def test_slot_cpu_after_slot(self):
+        # cycle 0.2, slot 0.1: at u=0.15 the app has run 0.1
+        assert _slot_cpu(0.15, 0.1, 0.2) == pytest.approx(0.1)
+
+    def test_slot_cpu_multiple_cycles(self):
+        assert _slot_cpu(0.45, 0.1, 0.2) == pytest.approx(0.25)
+
+    def test_advance_inverts_cpu(self):
+        u1 = _slot_advance(0.0, 0.25, 0.1, 0.2)
+        assert _slot_cpu(u1, 0.1, 0.2) == pytest.approx(0.25)
+
+    def test_advance_zero_cpu_is_identity(self):
+        assert _slot_advance(0.123, 0.0, 0.1, 0.2) == 0.123
+
+    @given(
+        u0=st.floats(0.0, 10.0),
+        cpu=st.floats(1e-6, 10.0),
+        k=st.integers(1, 8),
+        q=st.floats(0.01, 0.5),
+    )
+    @settings(max_examples=200)
+    def test_advance_roundtrip(self, u0, cpu, k, q):
+        cycle = (k + 1) * q
+        u1 = _slot_advance(u0, cpu, q, cycle)
+        assert u1 >= u0
+        got = _slot_cpu(u1, q, cycle) - _slot_cpu(u0, q, cycle)
+        assert got == pytest.approx(cpu, rel=1e-6, abs=1e-9)
+
+    @given(
+        u0=st.floats(0.0, 5.0),
+        cpu1=st.floats(1e-4, 5.0),
+        cpu2=st.floats(1e-4, 5.0),
+    )
+    @settings(max_examples=100)
+    def test_advance_monotone_in_cpu(self, u0, cpu1, cpu2):
+        q, cycle = 0.1, 0.3
+        lo, hi = min(cpu1, cpu2), max(cpu1, cpu2)
+        assert _slot_advance(u0, lo, q, cycle) <= _slot_advance(u0, hi, q, cycle) + 1e-9
+
+
+class TestDedicatedProcessor:
+    def test_full_speed(self):
+        p = make_proc(k=0, speed=2e6)
+        finish = p.run_ops(0.0, 4e6)
+        assert finish == pytest.approx(2.0)
+        assert p.app_cpu_total == pytest.approx(2.0)
+        assert p.competing_cpu(2.0) == 0.0
+
+    def test_sequential_requests(self):
+        p = make_proc(k=0)
+        t1 = p.run_ops(0.0, 1e6)
+        t2 = p.run_ops(t1, 1e6)
+        assert t2 == pytest.approx(2.0)
+
+    def test_overlapping_requests_rejected(self):
+        p = make_proc(k=0)
+        p.run_ops(0.0, 1e6)
+        with pytest.raises(SimulationError):
+            p.run_ops(0.5, 1e6)
+
+    def test_negative_cpu_rejected(self):
+        p = make_proc()
+        with pytest.raises(SimulationError):
+            p.run_cpu(0.0, -1.0)
+
+
+class TestLoadedProcessor:
+    def test_one_competitor_halves_long_term_rate(self):
+        p = make_proc(k=1)
+        finish = p.run_cpu(0.0, 10.0)
+        # Round-robin with one competitor: ~2x dilation (within one cycle).
+        assert finish == pytest.approx(20.0, abs=0.2)
+
+    def test_three_competitors_quarter_rate(self):
+        p = make_proc(k=3)
+        finish = p.run_cpu(0.0, 5.0)
+        assert finish == pytest.approx(20.0, abs=0.4)
+
+    def test_sub_quantum_burst_runs_at_full_speed_in_slot(self):
+        # Phase 0: the app's slot starts immediately, so a burst shorter
+        # than the quantum completes undilated.
+        p = make_proc(k=1, phase=0.0)
+        finish = p.run_cpu(0.0, 0.05)
+        assert finish == pytest.approx(0.05)
+
+    def test_sub_quantum_burst_delayed_by_phase(self):
+        # Phase at end of slot: the competitor runs first.
+        p = make_proc(k=1, phase=0.1)
+        finish = p.run_cpu(0.0, 0.05)
+        # Must wait ~one quantum for the competitor's slot to end.
+        assert finish == pytest.approx(0.15, abs=1e-6)
+
+    def test_competing_cpu_accounting_exact(self):
+        p = make_proc(k=1)
+        finish = p.run_cpu(0.0, 10.0)
+        # CPU is fully busy while loaded: app + competing == elapsed.
+        assert p.app_cpu_total + p.competing_cpu(finish) == pytest.approx(finish)
+
+    def test_competing_cpu_includes_app_idle_time(self):
+        p = make_proc(k=1)
+        finish = p.run_cpu(0.0, 1.0)
+        # After the app finishes, competitors own the CPU.
+        t_end = finish + 5.0
+        assert p.competing_cpu(t_end) == pytest.approx(t_end - 1.0)
+
+    def test_load_change_mid_compute(self):
+        # Load disappears at t=10: first 10s at half rate (5 cpu), rest at
+        # full rate.
+        p = make_proc(load=ConstantLoad(k=1, start=0.0, stop=10.0))
+        finish = p.run_cpu(0.0, 8.0)
+        assert finish == pytest.approx(13.0, abs=0.2)
+
+    def test_oscillating_load_average_rate(self):
+        # 50% duty cycle of one competitor: average rate = 0.75 of full.
+        p = make_proc(load=OscillatingLoad(k=1, period=2.0, duration=1.0))
+        finish = p.run_cpu(0.0, 30.0)
+        assert finish == pytest.approx(40.0, rel=0.05)
+
+
+class TestAppCpuBetween:
+    def test_matches_run_cpu_dedicated(self):
+        p = make_proc(k=0)
+        assert p.app_cpu_between(1.0, 4.0) == pytest.approx(3.0)
+
+    def test_loaded_window(self):
+        p = make_proc(k=1)
+        cpu = p.app_cpu_between(0.0, 10.0)
+        assert cpu == pytest.approx(5.0, abs=0.1)
+
+    def test_reversed_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            make_proc().app_cpu_between(2.0, 1.0)
+
+
+@given(
+    k=st.integers(0, 4),
+    cpu=st.floats(0.01, 20.0),
+    quantum=st.sampled_from([0.05, 0.1, 0.2]),
+    phase=st.floats(0.0, 0.3),
+)
+@settings(max_examples=150, deadline=None)
+def test_finish_time_bounds(k, cpu, quantum, phase):
+    """Finish time is between the dedicated time and the worst-case
+    round-robin dilation plus one full cycle."""
+    p = make_proc(k=k, quantum=quantum, phase=phase)
+    finish = p.run_cpu(0.0, cpu)
+    assert finish >= cpu - 1e-9
+    cycle = (k + 1) * quantum
+    assert finish <= cpu * (k + 1) + cycle + 1e-9
+
+
+@given(
+    steps=st.lists(st.integers(0, 3), min_size=1, max_size=5),
+    cpu=st.floats(0.05, 10.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_accounting_consistency_under_step_loads(steps, cpu):
+    """app cpu total always equals the requested cpu, and competing cpu is
+    never negative."""
+    load = StepLoad([(float(i * 2), k) for i, k in enumerate(steps)])
+    p = Processor(0, ProcessorSpec(), load)
+    finish = p.run_cpu(0.0, cpu)
+    assert p.app_cpu_total == pytest.approx(cpu, rel=1e-6)
+    assert p.competing_cpu(finish) >= -1e-9
+    assert finish >= cpu - 1e-9

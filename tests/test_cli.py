@@ -1,0 +1,85 @@
+"""CLI smoke tests (python -m repro ...)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_run_matmul(capsys):
+    rc = main(["run", "matmul", "-n", "60", "--slaves", "2", "--speed", "1e6"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "matmul" in out and "eff=" in out
+
+
+def test_run_with_load_and_no_dlb(capsys):
+    rc = main(
+        [
+            "run",
+            "lu",
+            "-n",
+            "60",
+            "--load-slave",
+            "0",
+            "--load-tasks",
+            "2",
+            "--no-dlb",
+        ]
+    )
+    assert rc == 0
+    assert "moves=0" in capsys.readouterr().out
+
+
+def test_run_numerics(capsys):
+    rc = main(["run", "sor", "-n", "24", "--numerics", "--speed", "1e6"])
+    assert rc == 0
+    assert "sor" in capsys.readouterr().out
+
+
+def test_run_synchronous_oscillating(capsys):
+    rc = main(
+        [
+            "run",
+            "matmul",
+            "-n",
+            "60",
+            "--synchronous",
+            "--load-slave",
+            "1",
+            "--oscillating",
+            "--speed",
+            "2e5",
+        ]
+    )
+    assert rc == 0
+
+
+def test_source_listing(capsys):
+    rc = main(["source", "sor", "-n", "64"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "pipeline" in out
+    assert "lbhook" in out
+
+
+def test_features(capsys):
+    rc = main(["features"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "matches paper Table 1: True" in out
+
+
+def test_figures_single(capsys):
+    rc = main(["figures", "fig4"])
+    assert rc == 0
+    assert "period selection" in capsys.readouterr().out
+
+
+def test_figures_unknown(capsys):
+    rc = main(["figures", "nope"])
+    assert rc == 2
+
+
+def test_unknown_app_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "unknown-app"])

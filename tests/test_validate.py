@@ -1,0 +1,59 @@
+"""Tests for the public run-and-verify helper."""
+
+import pytest
+
+from repro.apps import build_adaptive, build_lu, build_matmul, build_sor
+from repro.config import ClusterSpec, ProcessorSpec, RunConfig
+from repro.errors import SimulationError
+from repro.sim import ConstantLoad
+from repro.validate import VerificationError, verify_run
+
+
+def cfg(n_slaves=3, speed=1e6, numerics=True):
+    return RunConfig(
+        cluster=ClusterSpec(n_slaves=n_slaves, processor=ProcessorSpec(speed=speed)),
+        execute_numerics=numerics,
+    )
+
+
+class TestVerifyRun:
+    def test_matmul_close(self):
+        v = verify_run(build_matmul(n=30), cfg(), seed=4)
+        assert v.max_abs_error < 1e-9
+        assert "verified" in v.summary()
+
+    def test_sor_exact(self):
+        v = verify_run(build_sor(n=24, maxiter=3), cfg(), seed=4)
+        assert v.exact
+
+    def test_lu_exact(self):
+        v = verify_run(build_lu(n=24), cfg(), seed=4)
+        assert v.exact
+
+    def test_adaptive_dict_result(self):
+        v = verify_run(
+            build_adaptive(n=60, reps=2), cfg(speed=3e4), seed=4,
+            loads={0: ConstantLoad(k=1)},
+        )
+        assert v.max_abs_error < 1e-9
+
+    def test_under_load_with_movement(self):
+        v = verify_run(
+            build_sor(n=64, maxiter=8),
+            cfg(n_slaves=4, speed=3e4),
+            loads={0: ConstantLoad(k=2)},
+            seed=4,
+        )
+        assert v.exact
+        assert v.result.log.moves_applied >= 1
+
+    def test_cost_only_rejected(self):
+        with pytest.raises(VerificationError):
+            verify_run(build_matmul(n=20), cfg(numerics=False))
+
+
+class TestLauncherGuards:
+    def test_pipeline_needs_one_unit_per_slave(self):
+        plan = build_sor(n=5, maxiter=2)  # 3 interior columns
+        with pytest.raises(SimulationError):
+            verify_run(plan, cfg(n_slaves=4))
