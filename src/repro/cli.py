@@ -4,6 +4,9 @@ Commands:
 
 - ``run``      — run one application on a simulated cluster and print
                  the paper's metrics.
+- ``trace``    — run one application with full observability and dump or
+                 inspect structured :class:`~repro.obs.RunReport` JSON
+                 and JSONL event logs.
 - ``figures``  — regenerate the paper's tables/figures (all or by name).
 - ``source``   — show an application's generated SPMD program listing.
 - ``features`` — print the Table 1 feature matrix.
@@ -17,6 +20,7 @@ from typing import Sequence
 
 from .apps import REGISTRY
 from .config import BalancerConfig, ClusterSpec, ProcessorSpec, RunConfig
+from .obs import Recorder, RunReport
 from .runtime import run_application
 from .sim import ConstantLoad, OscillatingLoad
 
@@ -30,8 +34,7 @@ def _build_plan(app: str, n: int, n_slaves: int):
     return builder(n=n, n_slaves_hint=n_slaves)
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    plan = _build_plan(args.app, args.n, args.slaves)
+def _loads_from_args(args: argparse.Namespace) -> dict:
     loads = {}
     if args.load_slave is not None:
         gen = (
@@ -40,7 +43,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
             else ConstantLoad(k=args.load_tasks)
         )
         loads[args.load_slave] = gen
-    cfg = RunConfig(
+    return loads
+
+
+def _run_cfg_from_args(args: argparse.Namespace) -> RunConfig:
+    return RunConfig(
         cluster=ClusterSpec(
             n_slaves=args.slaves, processor=ProcessorSpec(speed=args.speed)
         ),
@@ -48,7 +55,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
         execute_numerics=args.numerics,
         dlb_enabled=not args.no_dlb,
     )
-    res = run_application(plan, cfg, loads=loads, seed=args.seed)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    plan = _build_plan(args.app, args.n, args.slaves)
+    res = run_application(
+        plan, _run_cfg_from_args(args), loads=_loads_from_args(args), seed=args.seed
+    )
     print(res.summary())
     print(
         f"sequential: {res.sequential_time:.2f}s  messages: {res.message_count}  "
@@ -58,39 +71,85 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.inspect is not None:
+        report = RunReport.load(args.inspect)
+        print(report.describe())
+        return 0
+    if args.app is None:
+        print("trace: an application is required unless --inspect is given")
+        return 2
+    plan = _build_plan(args.app, args.n, args.slaves)
+    recorder = Recorder()
+    res = run_application(
+        plan,
+        _run_cfg_from_args(args),
+        loads=_loads_from_args(args),
+        seed=args.seed,
+        recorder=recorder,
+    )
+    report = res.make_report()
+    print(report.describe())
+    if args.json is not None:
+        report.save(args.json)
+        print(f"run report written to {args.json}")
+    if args.events is not None:
+        recorder.log.save(args.events)
+        print(f"{len(recorder.log)} events written to {args.events}")
+    return 0
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
+    import json
+    import os
+
     from . import experiments as ex
+    from .experiments.common import ExperimentSeries
 
     available = {
-        "tab1": lambda: print(
-            ex.tab1_features.run()["table"],
-            "\nmatches paper:",
-            ex.tab1_features.run()["all_match"],
-        ),
-        "fig3": lambda: print(ex.fig3_codegen.run()["source"]),
-        "fig4": lambda: print(ex.fig4_frequency.run().format_table()),
-        "fig5": lambda: print(ex.fig5_mm_dedicated.run().format_table()),
-        "fig6": lambda: print(ex.fig6_sor_dedicated.run().format_table()),
-        "fig7": lambda: print(ex.fig7_mm_loaded.run().format_table()),
-        "fig8": lambda: print(ex.fig8_sor_loaded.run().format_table()),
-        "fig9": lambda: print(
-            ex.fig9_oscillating.tracking_lag(ex.fig9_oscillating.run())
-        ),
-        "heterogeneous": lambda: print(ex.heterogeneous.run().format_table()),
-        "adaptive": lambda: print(ex.adaptive_irregular.run().format_table()),
-        "ablation-pipelining": lambda: print(ex.ablations.pipelining().format_table()),
-        "ablation-grain": lambda: print(ex.ablations.grain().format_table()),
-        "ablation-refinements": lambda: print(
-            ex.ablations.refinements().format_table()
-        ),
+        "tab1": ex.tab1_features.run,
+        "fig3": ex.fig3_codegen.run,
+        "fig4": ex.fig4_frequency.run,
+        "fig5": ex.fig5_mm_dedicated.run,
+        "fig6": ex.fig6_sor_dedicated.run,
+        "fig7": ex.fig7_mm_loaded.run,
+        "fig8": ex.fig8_sor_loaded.run,
+        "fig9": ex.fig9_oscillating.run,
+        "heterogeneous": ex.heterogeneous.run,
+        "adaptive": ex.adaptive_irregular.run,
+        "ablation-pipelining": ex.ablations.pipelining,
+        "ablation-grain": ex.ablations.grain,
+        "ablation-refinements": ex.ablations.refinements,
     }
     names = args.names or list(available)
     for name in names:
         if name not in available:
             print(f"unknown figure {name!r}; choices: {', '.join(available)}")
             return 2
+    if args.json is not None:
+        os.makedirs(args.json, exist_ok=True)
+    for name in names:
         print(f"\n===== {name} =====")
-        available[name]()
+        out = available[name]()
+        if isinstance(out, ExperimentSeries):
+            print(out.format_table())
+        elif name == "tab1":
+            print(out["table"], "\nmatches paper:", out["all_match"])
+        elif name == "fig3":
+            print(out["source"])
+        elif name == "fig9":
+            print(ex.fig9_oscillating.tracking_lag(out))
+        if args.json is None:
+            continue
+        path = os.path.join(args.json, f"{name}.json")
+        if isinstance(out, ExperimentSeries):
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(out.to_dict(), fh, indent=2, sort_keys=True)
+        elif name == "fig9":
+            out["report"].save(path)
+        else:
+            continue
+        print(f"wrote {path}")
     return 0
 
 
@@ -120,26 +179,60 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_run_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("-n", type=int, default=200, help="problem size")
+        p.add_argument("--slaves", type=int, default=4)
+        p.add_argument("--speed", type=float, default=1.0e6, help="ops/sec per node")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--load-slave", type=int, default=None, metavar="PID")
+        p.add_argument("--load-tasks", type=int, default=1)
+        p.add_argument("--oscillating", action="store_true")
+        p.add_argument("--no-dlb", action="store_true", help="static distribution")
+        p.add_argument("--synchronous", action="store_true")
+        p.add_argument(
+            "--numerics",
+            action="store_true",
+            help="execute real kernels (default: cost-only simulation)",
+        )
+
     p_run = sub.add_parser("run", help="run one application on the simulator")
     p_run.add_argument("app", choices=sorted(REGISTRY))
-    p_run.add_argument("-n", type=int, default=200, help="problem size")
-    p_run.add_argument("--slaves", type=int, default=4)
-    p_run.add_argument("--speed", type=float, default=1.0e6, help="ops/sec per node")
-    p_run.add_argument("--seed", type=int, default=0)
-    p_run.add_argument("--load-slave", type=int, default=None, metavar="PID")
-    p_run.add_argument("--load-tasks", type=int, default=1)
-    p_run.add_argument("--oscillating", action="store_true")
-    p_run.add_argument("--no-dlb", action="store_true", help="static distribution")
-    p_run.add_argument("--synchronous", action="store_true")
-    p_run.add_argument(
-        "--numerics",
-        action="store_true",
-        help="execute real kernels (default: cost-only simulation)",
-    )
+    add_run_options(p_run)
     p_run.set_defaults(fn=_cmd_run)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run with observability on and dump/inspect RunReport JSON",
+    )
+    p_trace.add_argument(
+        "app", nargs="?", default=None, choices=sorted(REGISTRY)
+    )
+    add_run_options(p_trace)
+    p_trace.add_argument(
+        "--json", metavar="PATH", default=None, help="write the RunReport as JSON"
+    )
+    p_trace.add_argument(
+        "--events",
+        metavar="PATH",
+        default=None,
+        help="write the raw event log as JSONL",
+    )
+    p_trace.add_argument(
+        "--inspect",
+        metavar="PATH",
+        default=None,
+        help="summarize a previously saved RunReport instead of running",
+    )
+    p_trace.set_defaults(fn=_cmd_trace)
 
     p_fig = sub.add_parser("figures", help="regenerate paper tables/figures")
     p_fig.add_argument("names", nargs="*", help="subset to run (default: all)")
+    p_fig.add_argument(
+        "--json",
+        metavar="DIR",
+        default=None,
+        help="also write machine-readable JSON per figure into DIR",
+    )
     p_fig.set_defaults(fn=_cmd_figures)
 
     p_src = sub.add_parser("source", help="show a generated SPMD program")

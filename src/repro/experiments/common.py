@@ -14,6 +14,7 @@ from ..config import (
     ProcessorSpec,
     RunConfig,
 )
+from ..obs import Recorder
 from ..runtime.launcher import RunResult, run_application
 from ..sim import LoadGenerator
 
@@ -38,6 +39,7 @@ def run_point(
     balancer: BalancerConfig | None = None,
     grain: GrainConfig | None = None,
     network: NetworkSpec | None = None,
+    recorder: Recorder | None = None,
 ) -> RunResult:
     """One simulated run with paper-calibrated defaults."""
     cfg = RunConfig(
@@ -54,7 +56,7 @@ def run_point(
         dlb_enabled=dlb,
         trace_enabled=trace,
     )
-    return run_application(plan, cfg, loads=loads, seed=seed)
+    return run_application(plan, cfg, loads=loads, seed=seed, recorder=recorder)
 
 
 @dataclass
@@ -79,7 +81,19 @@ class ExperimentSeries:
         return [r[idx] for r in self.rows]
 
     def format_table(self) -> str:
-        return format_table(self.name, self.headers, self.rows, self.notes, self.expected)
+        return format_table(
+            self.name, self.headers, self.rows, self.notes, self.expected
+        )
+
+    def to_dict(self) -> dict:
+        """Machine-readable form (JSON-safe) for reports and artifacts."""
+        return {
+            "name": self.name,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+            "expected": self.expected,
+        }
 
 
 def format_table(

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..apps.matmul import build_matmul
+from ..obs import Recorder
 from ..sim import OscillatingLoad
 from .common import run_point
 
@@ -31,7 +32,10 @@ def run(
     """Run the oscillating-load experiment and extract the three series."""
     plan = build_matmul(n=n, reps=reps, n_slaves_hint=n_slaves)
     loads = {0: OscillatingLoad(k=1, period=period, duration=duration)}
-    res = run_point(plan, n_slaves, loads=loads, trace=True, seed=seed)
+    recorder = Recorder()
+    res = run_point(
+        plan, n_slaves, loads=loads, trace=True, seed=seed, recorder=recorder
+    )
     trace = res.trace
     raw_t, raw_v = trace.series("raw_rate[0]")
     adj_t, adj_v = trace.series("adjusted_rate[0]")
@@ -49,6 +53,7 @@ def run(
         "duration": duration,
         "moves": res.log.moves_applied,
         "units_moved": res.log.units_moved,
+        "report": res.make_report(),
     }
 
 

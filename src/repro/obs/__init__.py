@@ -1,0 +1,54 @@
+"""Structured observability: typed events, metrics, and run reports.
+
+The paper's central claims (Figures 4-9) are time-series claims —
+computation rates, filtered rates, work assignment, and load-balance
+cost over simulated time.  This subpackage is the machine-readable
+instrumentation layer behind them:
+
+- :mod:`repro.obs.model` — typed event records (:class:`SpanEvent`,
+  :class:`CounterEvent`) carrying sim-time, processor id, and category.
+- :mod:`repro.obs.log` — an append-only :class:`EventLog` with JSONL
+  round-tripping.
+- :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges, and histograms with a cheap no-op mode so dedicated-mode
+  benchmarks pay ~0 overhead when observability is disabled.
+- :mod:`repro.obs.recorder` — the :class:`Recorder` facade the simulator
+  and runtime emit through.
+- :mod:`repro.obs.report` — :class:`RunReport`, a JSON document
+  aggregating one run (per-slave rate timelines, imbalance over time,
+  DLB overhead breakdown mirroring the paper's Table 2 categories).
+
+The package is deliberately dependency-free (stdlib only) and fully
+typed; ``mypy --strict`` and ``ruff`` run against it in CI.
+"""
+
+from .log import EventLog
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .model import (
+    CounterEvent,
+    Event,
+    SpanEvent,
+    event_from_dict,
+    event_time,
+    event_to_dict,
+)
+from .recorder import NULL_RECORDER, Recorder
+from .report import RunReport, build_run_report
+
+__all__ = [
+    "NULL_RECORDER",
+    "Counter",
+    "CounterEvent",
+    "Event",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Recorder",
+    "RunReport",
+    "SpanEvent",
+    "build_run_report",
+    "event_from_dict",
+    "event_time",
+    "event_to_dict",
+]

@@ -1,0 +1,117 @@
+"""Append-only event log with filtering and JSONL round-tripping.
+
+The :class:`EventLog` preserves *emission order*, which in the
+discrete-event simulator is deterministic (the engine breaks time ties
+FIFO).  :meth:`EventLog.sorted_events` additionally orders by event
+time with emission order as the tie-break, which is the order a
+post-hoc reader wants.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from .model import CounterEvent, Event, event_from_dict, event_time, event_to_dict
+
+__all__ = ["EventLog"]
+
+
+class EventLog:
+    """An in-memory, append-only sequence of observability events."""
+
+    def __init__(self, events: Iterable[Event] = ()) -> None:
+        self._events: list[Event] = list(events)
+
+    def emit(self, event: Event) -> None:
+        """Append one event (emission order is preserved)."""
+        self._events.append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def events(self) -> list[Event]:
+        """All events in emission order (a copy; safe to mutate)."""
+        return list(self._events)
+
+    def sorted_events(self) -> list[Event]:
+        """Events ordered by :func:`event_time`, emission order tie-break."""
+        indexed = list(enumerate(self._events))
+        indexed.sort(key=lambda pair: (event_time(pair[1]), pair[0]))
+        return [event for _, event in indexed]
+
+    def filter(
+        self,
+        *,
+        category: str | None = None,
+        name: str | None = None,
+        pid: int | None = None,
+    ) -> list[Event]:
+        """Events matching every given criterion, in emission order."""
+        out: list[Event] = []
+        for event in self._events:
+            if category is not None and event.category != category:
+                continue
+            if name is not None and event.name != name:
+                continue
+            if pid is not None and event.pid != pid:
+                continue
+            out.append(event)
+        return out
+
+    def counter_series(
+        self, name: str, pid: int | None = None
+    ) -> list[tuple[float, float]]:
+        """(t, value) samples for a named counter, time-ordered."""
+        samples = [
+            (event.t, event.value)
+            for event in self._events
+            if isinstance(event, CounterEvent)
+            and event.name == name
+            and (pid is None or event.pid == pid)
+        ]
+        samples.sort(key=lambda tv: tv[0])
+        return samples
+
+    def categories(self) -> dict[str, int]:
+        """Event count per category (sorted by category name)."""
+        counts: dict[str, int] = {}
+        for event in self._events:
+            counts[event.category] = counts.get(event.category, 0) + 1
+        return dict(sorted(counts.items()))
+
+    # -- serialization ---------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One compact JSON object per line, emission order."""
+        return "".join(
+            json.dumps(event_to_dict(event), sort_keys=True) + "\n"
+            for event in self._events
+        )
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "EventLog":
+        """Parse a JSONL stream produced by :meth:`to_jsonl`."""
+        log = cls()
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            if not isinstance(data, dict):
+                raise ValueError(f"expected a JSON object per line, got {data!r}")
+            log.emit(event_from_dict(data))
+        return log
+
+    def save(self, path: str | Path) -> None:
+        """Write the log as JSONL to ``path``."""
+        Path(path).write_text(self.to_jsonl(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "EventLog":
+        """Read a JSONL log written by :meth:`save`."""
+        return cls.from_jsonl(Path(path).read_text(encoding="utf-8"))

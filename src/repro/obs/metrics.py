@@ -1,0 +1,186 @@
+"""Counters, gauges, and histograms with a cheap no-op mode.
+
+A :class:`MetricsRegistry` hands out named instruments.  When the
+registry is *disabled* it hands out shared null instruments whose
+mutators are empty method bodies — instrumented hot paths additionally
+guard on ``recorder.enabled`` so the disabled cost is one attribute
+load and branch, which is what keeps dedicated-mode benchmarks within
+the <3% observability budget.
+
+Conventional metric names used by the simulator and runtime are listed
+in ``docs/observability.md`` (e.g. ``net.msgs.status``,
+``lb.units_migrated``, ``lb.balance_latency_s``).
+"""
+
+from __future__ import annotations
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing sum."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can be set to arbitrary levels."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the gauge's current value."""
+        self.value = value
+
+
+class Histogram:
+    """Streaming summary of observed samples (count/sum/min/max/mean).
+
+    Deliberately not bucketed: run reports want summary statistics, and
+    the raw samples that matter are already in the event log as spans.
+    """
+
+    __slots__ = ("name", "count", "total", "vmin", "vmax")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.vmin = 0.0
+        self.vmax = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        if self.count == 0:
+            self.vmin = value
+            self.vmax = value
+        else:
+            self.vmin = min(self.vmin, value)
+            self.vmax = max(self.vmax, value)
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        """Mean of observed samples (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """JSON-safe summary statistics."""
+        return {
+            "count": float(self.count),
+            "sum": self.total,
+            "min": self.vmin,
+            "max": self.vmax,
+            "mean": self.mean,
+        }
+
+
+class _NullCounter(Counter):
+    """Counter whose ``inc`` does nothing (shared when disabled)."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        return None
+
+
+class _NullGauge(Gauge):
+    """Gauge whose ``set`` does nothing (shared when disabled)."""
+
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        return None
+
+
+class _NullHistogram(Histogram):
+    """Histogram whose ``observe`` does nothing (shared when disabled)."""
+
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        return None
+
+
+_NULL_COUNTER = _NullCounter("null")
+_NULL_GAUGE = _NullGauge("null")
+_NULL_HISTOGRAM = _NullHistogram("null")
+
+
+class MetricsRegistry:
+    """Named instruments for one run.
+
+    ``enabled=False`` makes every accessor return a shared null
+    instrument without touching the registry dict, so a disabled
+    registry allocates nothing and records nothing.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        if not self.enabled:
+            return _NULL_COUNTER
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        if not self.enabled:
+            return _NULL_GAUGE
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram ``name``."""
+        if not self.enabled:
+            return _NULL_HISTOGRAM
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def counter_value(self, name: str, default: float = 0.0) -> float:
+        """Current value of a counter, or ``default`` if never created."""
+        instrument = self._counters.get(name)
+        return instrument.value if instrument is not None else default
+
+    def gauge_value(self, name: str, default: float = 0.0) -> float:
+        """Current value of a gauge, or ``default`` if never created."""
+        instrument = self._gauges.get(name)
+        return instrument.value if instrument is not None else default
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-safe snapshot of every instrument, sorted by name."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+            "histograms": {
+                name: h.summary() for name, h in sorted(self._histograms.items())
+            },
+        }

@@ -1,0 +1,174 @@
+"""Typed observability events.
+
+Two record shapes cover everything the simulator and runtime emit:
+
+- :class:`SpanEvent` — something with duration in *simulated* time
+  (a compute burst, a message in flight, a work-movement transfer, a
+  balance phase from instruction to last ack).
+- :class:`CounterEvent` — an instantaneous sample (a slave status
+  report's measured rate, the master's filtered rate, the work count
+  assigned to a slave after a redistribution decision).
+
+Both are frozen dataclasses so events are immutable once emitted, and
+both serialize to flat JSON objects (``kind`` discriminates) so an event
+stream round-trips through JSONL.
+
+Common ``category`` values (see ``docs/observability.md``):
+
+``engine``
+    simulator event-loop spans.
+``cpu``
+    per-processor compute bursts.
+``net``
+    message deliveries (span is send-time to arrival-time).
+``rate``
+    raw / filtered computation-rate samples, per slave.
+``lb``
+    load-balancer activity: reports, redistribution decisions, work
+    assignments, move round-trips.
+``move``
+    slave-side work movement (marshalling sends, applying receives).
+``pipeline``
+    pipeline-mode catch-up merges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Union
+
+__all__ = [
+    "CounterEvent",
+    "Event",
+    "SpanEvent",
+    "event_from_dict",
+    "event_time",
+    "event_to_dict",
+]
+
+MASTER_PID = 0
+"""Processor id the master runs on (mirrors the runtime's convention)."""
+
+NO_PID = -1
+"""Pid used for events not attributable to a single processor."""
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """An interval of simulated time attributed to one processor.
+
+    ``value`` carries the span's natural magnitude (CPU seconds for a
+    compute burst, bytes for a message, units for a work transfer) and
+    ``meta`` holds small JSON-safe annotations (tags, move ids, flags).
+    """
+
+    category: str
+    name: str
+    t_start: float
+    t_end: float
+    pid: int = NO_PID
+    value: float = 0.0
+    meta: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span length in simulated seconds (never negative)."""
+        return max(0.0, self.t_end - self.t_start)
+
+
+@dataclass(frozen=True)
+class CounterEvent:
+    """An instantaneous sample of a named quantity on one processor."""
+
+    category: str
+    name: str
+    t: float
+    value: float
+    pid: int = NO_PID
+    meta: Mapping[str, object] = field(default_factory=dict)
+
+
+Event = Union[SpanEvent, CounterEvent]
+"""Union of the two event record shapes."""
+
+
+def event_time(event: Event) -> float:
+    """The time an event becomes known: sample time, or span end."""
+    if isinstance(event, SpanEvent):
+        return event.t_end
+    return event.t
+
+
+def event_to_dict(event: Event) -> dict[str, object]:
+    """Serialize an event to a flat JSON-safe dict.
+
+    The ``kind`` key ("span" | "counter") discriminates the shape for
+    :func:`event_from_dict`.  ``meta`` is copied so the result does not
+    alias the (immutable) event.
+    """
+    if isinstance(event, SpanEvent):
+        return {
+            "kind": "span",
+            "category": event.category,
+            "name": event.name,
+            "t_start": event.t_start,
+            "t_end": event.t_end,
+            "pid": event.pid,
+            "value": event.value,
+            "meta": dict(event.meta),
+        }
+    return {
+        "kind": "counter",
+        "category": event.category,
+        "name": event.name,
+        "t": event.t,
+        "pid": event.pid,
+        "value": event.value,
+        "meta": dict(event.meta),
+    }
+
+
+def _as_float(value: object) -> float:
+    """Coerce a JSON scalar to float, rejecting non-numeric shapes."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(f"expected a number, got {value!r}")
+    return float(value)
+
+
+def _as_int(value: object) -> int:
+    """Coerce a JSON scalar to int, rejecting non-integral shapes."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"expected an integer, got {value!r}")
+    return value
+
+
+def event_from_dict(data: Mapping[str, object]) -> Event:
+    """Inverse of :func:`event_to_dict`.
+
+    Raises :class:`ValueError` for an unknown ``kind`` or malformed
+    fields so corrupt JSONL fails loudly rather than deserializing into
+    the wrong shape.
+    """
+    kind = data.get("kind")
+    meta_obj = data.get("meta", {})
+    meta = dict(meta_obj) if isinstance(meta_obj, Mapping) else {}
+    if kind == "span":
+        return SpanEvent(
+            category=str(data["category"]),
+            name=str(data["name"]),
+            t_start=_as_float(data["t_start"]),
+            t_end=_as_float(data["t_end"]),
+            pid=_as_int(data.get("pid", NO_PID)),
+            value=_as_float(data.get("value", 0.0)),
+            meta=meta,
+        )
+    if kind == "counter":
+        return CounterEvent(
+            category=str(data["category"]),
+            name=str(data["name"]),
+            t=_as_float(data["t"]),
+            value=_as_float(data.get("value", 0.0)),
+            pid=_as_int(data.get("pid", NO_PID)),
+            meta=meta,
+        )
+    raise ValueError(f"unknown event kind: {kind!r}")

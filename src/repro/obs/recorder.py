@@ -1,0 +1,91 @@
+"""The :class:`Recorder` facade the simulator and runtime emit through.
+
+A recorder bundles one :class:`~repro.obs.log.EventLog` and one
+:class:`~repro.obs.metrics.MetricsRegistry` behind a single ``enabled``
+flag.  Instrumented code holds a recorder reference and guards emission
+sites with ``if recorder.enabled:`` so that a disabled run pays one
+attribute load + branch per site and nothing else.  The module-level
+:data:`NULL_RECORDER` is the shared disabled instance used wherever no
+recorder was supplied.
+"""
+
+from __future__ import annotations
+
+from .log import EventLog
+from .metrics import MetricsRegistry
+from .model import NO_PID, CounterEvent, SpanEvent
+
+__all__ = ["NULL_RECORDER", "Recorder"]
+
+
+class Recorder:
+    """One run's event log + metrics registry behind an enable flag."""
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        log: EventLog | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.enabled = enabled
+        self.log = log if log is not None else EventLog()
+        self.metrics = (
+            metrics if metrics is not None else MetricsRegistry(enabled=enabled)
+        )
+
+    @classmethod
+    def disabled(cls) -> "Recorder":
+        """A fresh recorder in no-op mode (see also :data:`NULL_RECORDER`)."""
+        return cls(enabled=False)
+
+    def emit_span(
+        self,
+        category: str,
+        name: str,
+        t_start: float,
+        t_end: float,
+        pid: int = NO_PID,
+        value: float = 0.0,
+        meta: dict[str, object] | None = None,
+    ) -> None:
+        """Record a :class:`SpanEvent` (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.log.emit(
+            SpanEvent(
+                category=category,
+                name=name,
+                t_start=t_start,
+                t_end=t_end,
+                pid=pid,
+                value=value,
+                meta=meta if meta is not None else {},
+            )
+        )
+
+    def emit_counter(
+        self,
+        category: str,
+        name: str,
+        t: float,
+        value: float,
+        pid: int = NO_PID,
+        meta: dict[str, object] | None = None,
+    ) -> None:
+        """Record a :class:`CounterEvent` (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.log.emit(
+            CounterEvent(
+                category=category,
+                name=name,
+                t=t,
+                value=value,
+                pid=pid,
+                meta=meta if meta is not None else {},
+            )
+        )
+
+
+NULL_RECORDER = Recorder.disabled()
+"""Shared disabled recorder: the default everywhere observability is off."""

@@ -41,6 +41,7 @@ class BalancerDecision:
     t_balanced: float
     improvement: float
     cancelled: str | None = None  # None | "threshold" | "profitability" | "in-flight"
+    share_deviation: float = 0.0  # worst per-slave deviation from target share
 
     @property
     def moves_work(self) -> bool:
@@ -135,6 +136,26 @@ def _completion_time(counts: Sequence[int], rates: Mapping[int, float]) -> float
     )
 
 
+def _share_deviation(counts: Sequence[int], targets: Sequence[int]) -> float:
+    """Worst per-slave relative deviation from its target share, beyond
+    the one unit of slack inherent in largest-remainder rounding.
+
+    The improvement threshold alone can stall the balancer far from the
+    proportional targets: integer-rounded targets understate achievable
+    improvement for near-uniform rates, so a slave can sit several units
+    over its share while the predicted completion-time gain stays under
+    the threshold.  Comparing this deviation against the same threshold
+    lets the balancer keep converging toward the targets without moving
+    work over rounding noise (deviation of a single unit is always 0).
+    """
+    worst = 0.0
+    for count, target in zip(counts, targets):
+        dev = (abs(count - target) - 1.0) / max(target, 1)
+        if dev > worst:
+            worst = dev
+    return worst
+
+
 def decide(
     state: BalancerState,
     partition: BlockPartition | IndexPartition,
@@ -186,6 +207,7 @@ def decide(
     t_cur = _completion_time(counts, rates)
     t_new = _completion_time(targets, rates)
     improvement = 0.0 if t_cur <= 0 else (t_cur - t_new) / t_cur
+    deviation = _share_deviation(counts, targets)
 
     def no_move(reason: str | None) -> BalancerDecision:
         return BalancerDecision(
@@ -198,11 +220,15 @@ def decide(
             t_balanced=t_new,
             improvement=improvement,
             cancelled=reason,
+            share_deviation=deviation,
         )
 
     if not allow_movement:
         return no_move("in-flight")
-    if total == 0 or improvement < cfg.improvement_threshold:
+    if total == 0 or (
+        improvement < cfg.improvement_threshold
+        and deviation < cfg.improvement_threshold
+    ):
         return no_move("threshold" if improvement > 0 else None)
 
     if remaining_sets is not None:
@@ -243,6 +269,7 @@ def decide(
         t_current=t_cur,
         t_balanced=t_new,
         improvement=improvement,
+        share_deviation=deviation,
     )
 
 

@@ -19,6 +19,7 @@ from ..compiler.plan import ExecutionPlan, LoopShape
 from ..compiler.stripmine import choose_block_size
 from ..config import RunConfig
 from ..errors import SimulationError
+from ..obs import Recorder, RunReport, build_run_report
 from ..sim import Cluster, LoadGenerator, Trace
 from ..sim.rusage import RusageReport
 from .master import MasterLog, master_task
@@ -43,6 +44,7 @@ class RunResult:
     bytes_sent: int
     dlb_enabled: bool
     result: Any = None
+    recorder: Recorder | None = None
 
     @property
     def speedup(self) -> float:
@@ -62,6 +64,19 @@ class RunResult:
             f"moves={self.log.moves_applied} ({self.log.units_moved} units) "
             f"msgs={self.message_count}"
         )
+
+    def make_report(self) -> RunReport:
+        """Aggregate this run into a :class:`repro.obs.RunReport`.
+
+        Requires the run to have been observed (``trace=True`` /
+        ``run_cfg.trace_enabled`` or an explicit recorder).
+        """
+        if self.recorder is None:
+            raise SimulationError(
+                "run was not observed: enable tracing or pass a recorder "
+                "to run_application() before requesting a RunReport"
+            )
+        return build_run_report(self, self.recorder)
 
 
 def sequential_time(plan: ExecutionPlan, run_cfg: RunConfig) -> float:
@@ -105,13 +120,19 @@ def run_application(
     run_cfg: RunConfig | None = None,
     loads: Mapping[int, LoadGenerator] | None = None,
     seed: int = 0,
+    recorder: Recorder | None = None,
 ) -> RunResult:
     """Run ``plan`` on a simulated cluster and return metrics.
 
     ``loads`` maps slave processor ids to competing-load generators
-    (dedicated processors otherwise).
+    (dedicated processors otherwise).  ``recorder`` supplies an
+    observability sink explicitly; with ``run_cfg.trace_enabled`` one is
+    created automatically.  Observed runs carry a derived legacy
+    :class:`~repro.sim.Trace` and support :meth:`RunResult.make_report`.
     """
     run_cfg = run_cfg or RunConfig()
+    if recorder is None and run_cfg.trace_enabled:
+        recorder = Recorder()
     if (
         plan.shape is LoopShape.PIPELINE
         and plan.unit_count < run_cfg.cluster.n_slaves
@@ -121,8 +142,7 @@ def run_application(
             f"{run_cfg.cluster.n_slaves} slaves; every slave needs at "
             "least one column to anchor its halo exchange"
         )
-    cluster = Cluster(run_cfg.cluster, dict(loads or {}))
-    trace = Trace() if run_cfg.trace_enabled else None
+    cluster = Cluster(run_cfg.cluster, dict(loads or {}), recorder)
     rng = np.random.default_rng(seed)
 
     global_state = (
@@ -141,7 +161,7 @@ def run_application(
         plan,
         run_cfg,
         log,
-        trace,
+        recorder,
         global_state,
         partition,
         block_size,
@@ -163,6 +183,11 @@ def run_application(
         for pid in range(run_cfg.cluster.n_processors)
     )
     seq = sequential_time(plan, run_cfg)
+    trace = (
+        Trace.from_events(recorder.log.events())
+        if recorder is not None and recorder.enabled
+        else None
+    )
     return RunResult(
         name=plan.name,
         n_slaves=run_cfg.cluster.n_slaves,
@@ -175,4 +200,5 @@ def run_application(
         bytes_sent=cluster.bytes_sent,
         dlb_enabled=run_cfg.dlb_enabled,
         result=log.result,
+        recorder=recorder,
     )

@@ -20,7 +20,8 @@ import numpy as np
 from ..compiler.plan import ExecutionPlan, LoopShape
 from ..config import RunConfig
 from ..errors import ProtocolError
-from ..sim import Recv, Send, TaskContext, Trace
+from ..obs import NULL_RECORDER, Recorder
+from ..sim import Recv, Send, TaskContext
 from .balancer import BalancerDecision, BalancerState, decide
 from .partition import BlockPartition, IndexPartition, Transfer
 from .protocol import INSTR_BYTES, Instructions, MoveOrder, SlaveReport, Tags
@@ -33,6 +34,7 @@ class _InFlightMove:
     order: MoveOrder
     acked: set[int] = field(default_factory=set)
     canceled: bool = False
+    issued_at: float = 0.0
 
     def involved(self) -> tuple[int, int]:
         return self.order.transfer.src, self.order.transfer.dst
@@ -63,7 +65,7 @@ class _Master:
         plan: ExecutionPlan,
         run_cfg: RunConfig,
         log: MasterLog,
-        trace: Trace | None,
+        recorder: Recorder | None,
         global_state: Any,
         partition: BlockPartition | IndexPartition,
         block_size: int | None,
@@ -72,7 +74,11 @@ class _Master:
         self.plan = plan
         self.cfg = run_cfg
         self.log = log
-        self.trace = trace
+        self.obs = (
+            recorder
+            if recorder is not None
+            else getattr(ctx, "obs", NULL_RECORDER)
+        )
         self.global_state = global_state
         self.partition = partition
         self.block_size = block_size
@@ -168,13 +174,22 @@ class _Master:
         for t in transfers:
             order = MoveOrder(move_id=self.next_move_id, transfer=t)
             self.next_move_id += 1
-            self.in_flight[order.move_id] = _InFlightMove(order)
+            self.in_flight[order.move_id] = _InFlightMove(order, issued_at=now)
             self.pending_orders[t.src].append(order)
             self.pending_orders[t.dst].append(order)
             self.log.moves_issued += 1
         self.last_move_issue_time = now
+        if self.obs.enabled and transfers:
+            self.obs.metrics.counter("lb.moves_issued").inc(len(transfers))
+            self.obs.emit_counter(
+                "lb",
+                "redistribute",
+                now,
+                float(sum(t.count for t in transfers)),
+                meta={"transfers": [[t.src, t.dst, t.count] for t in transfers]},
+            )
 
-    def _process_acks(self, report: SlaveReport) -> None:
+    def _process_acks(self, report: SlaveReport, now: float = 0.0) -> None:
         for mid in report.applied_moves:
             fl = self.in_flight.get(mid)
             if fl is None:
@@ -195,6 +210,26 @@ class _Master:
                 self.partition = self.partition.apply([fl.order.transfer])
                 self.log.moves_applied += 1
                 self.log.units_moved += fl.order.transfer.count
+            if self.obs.enabled:
+                tr = fl.order.transfer
+                self.obs.emit_span(
+                    "lb",
+                    "move",
+                    fl.issued_at,
+                    now,
+                    value=float(tr.count),
+                    meta={
+                        "move_id": mid,
+                        "src": tr.src,
+                        "dst": tr.dst,
+                        "canceled": fl.canceled,
+                    },
+                )
+                if not fl.canceled:
+                    self.obs.metrics.counter("lb.units_migrated").inc(tr.count)
+                    self.obs.metrics.histogram("lb.balance_latency_s").observe(
+                        now - fl.issued_at
+                    )
 
     def _movement_allowed(self, now: float) -> bool:
         if self.in_flight:
@@ -214,14 +249,25 @@ class _Master:
         self.done_units_accum += report.units_done
         raw = report.rate
         self.state.observe(report)
-        self._process_acks(report)
+        self._process_acks(report, now)
 
-        if self.trace is not None:
+        if self.obs.enabled:
+            self.obs.metrics.counter("lb.reports").inc()
+            self.obs.emit_counter(
+                "lb",
+                "report",
+                now,
+                float(report.units_done),
+                pid=report.pid,
+                meta={"done": report.done, "seq": report.seq},
+            )
             if raw is not None:
-                self.trace.record(f"raw_rate[{report.pid}]", now, raw)
+                self.obs.emit_counter("rate", "raw_rate", now, raw, pid=report.pid)
             filt = self.state.filters[report.pid].value
             if filt is not None:
-                self.trace.record(f"adjusted_rate[{report.pid}]", now, filt)
+                self.obs.emit_counter(
+                    "rate", "adjusted_rate", now, filt, pid=report.pid
+                )
 
         remaining = max(0.0, self.total_work_units - self.done_units_accum)
         allow = (
@@ -239,6 +285,23 @@ class _Master:
             remaining_sets=self._remaining_sets(),
         )
         self.log.decisions.append(decision)
+        if self.obs.enabled:
+            self.obs.metrics.counter("lb.decisions").inc()
+            if decision.cancelled is not None:
+                self.obs.metrics.counter(
+                    f"lb.cancelled.{decision.cancelled}"
+                ).inc()
+            self.obs.emit_counter(
+                "lb",
+                "improvement",
+                now,
+                decision.improvement,
+                meta={
+                    "cancelled": decision.cancelled,
+                    "share_deviation": decision.share_deviation,
+                    "period": decision.period,
+                },
+            )
         if decision.transfers:
             # Released slaves no longer read instructions; a transfer
             # touching one could never be delivered and its units would
@@ -251,10 +314,10 @@ class _Master:
             if usable:
                 self._issue_transfers(usable, now)
 
-        if self.trace is not None:
+        if self.obs.enabled:
             counts = self._counts()
             for p in range(self.n):
-                self.trace.record(f"work[{p}]", now, counts[p])
+                self.obs.emit_counter("lb", "work", now, float(counts[p]), pid=p)
 
         sends = tuple(
             o
@@ -291,14 +354,21 @@ def master_task(
     plan: ExecutionPlan,
     run_cfg: RunConfig,
     log: MasterLog,
-    trace: Trace | None,
+    recorder: Recorder | None,
     global_state: Any,
     partition: BlockPartition | IndexPartition,
     block_size: int | None,
     result_sink: dict,
 ):
-    """Simulator task body for the central load balancer."""
-    m = _Master(ctx, plan, run_cfg, log, trace, global_state, partition, block_size)
+    """Simulator task body for the central load balancer.
+
+    ``recorder`` is the observability sink for rate samples, balancer
+    decisions, and move round-trips; ``None`` falls back to the
+    cluster's recorder (disabled by default).
+    """
+    m = _Master(
+        ctx, plan, run_cfg, log, recorder, global_state, partition, block_size
+    )
     kernels = plan.kernels
     exec_num = run_cfg.execute_numerics and global_state is not None
 

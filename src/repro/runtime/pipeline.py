@@ -294,6 +294,7 @@ class PipelineSlave(SlaveCore):
             t1 = yield Now()
             self.ledger.record_cost(t1 - t0, order.transfer.count)
             self.ledger.mark_sent(order.move_id)
+            self.note_move("send", t0, t1, order)
 
     # ------------------------------------------------------------------
     # Movement: receiving side
@@ -387,6 +388,7 @@ class PipelineSlave(SlaveCore):
         t1 = yield Now()
         self.ledger.record_cost(t1 - t0, order.transfer.count)
         self.ledger.complete_recv(order.move_id)
+        self.note_move("recv", t0, t1, order)
 
     def _merge_from_right(
         self, order: MoveOrder, payload: MovePayload, through: int, completed: int
@@ -452,6 +454,23 @@ class PipelineSlave(SlaveCore):
         t1 = yield Now()
         self.ledger.record_cost(t1 - t0, order.transfer.count)
         self.ledger.complete_recv(order.move_id)
+        self.note_move("recv", t0, t1, order)
+        if self.obs.enabled:
+            self.obs.emit_span(
+                "pipeline",
+                "catchup",
+                t0,
+                t1,
+                pid=self.pid,
+                value=float(len(units)),
+                meta={
+                    "move_id": order.move_id,
+                    "strips": len(catch_lins),
+                    "through": through,
+                },
+            )
+            self.obs.metrics.counter("pipeline.catchups").inc()
+            self.obs.metrics.counter("pipeline.catchup_strips").inc(len(catch_lins))
 
     # ------------------------------------------------------------------
     # End-of-run drain

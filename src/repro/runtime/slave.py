@@ -24,6 +24,7 @@ import numpy as np
 from ..compiler.plan import ExecutionPlan, LoopShape
 from ..config import RunConfig
 from ..errors import MovementError, ProtocolError
+from ..obs import NULL_RECORDER
 from ..sim import Compute, Now, Poll, Recv, Send, Sleep, TaskContext
 from .movement import MovementLedger, MovePayload
 from .protocol import Instructions, MoveOrder, REPORT_BYTES, SlaveReport, Tags
@@ -64,6 +65,7 @@ class SlaveCore:
         self.cfg = run_cfg
         self.pid = ctx.pid
         self.master = ctx.master_pid
+        self.obs = getattr(ctx, "obs", NULL_RECORDER)
         self.owned: list[int] = sorted(int(u) for u in init["units"])
         self.local = init.get("local")
         self.exec_num = run_cfg.execute_numerics and self.local is not None
@@ -141,6 +143,15 @@ class SlaveCore:
         if self.meas_work >= self.min_measurement:
             self.meas_units = 0.0
             self.meas_work = 0.0
+        if self.obs.enabled:
+            self.obs.emit_counter(
+                "slave",
+                "report",
+                self.ctx.now,
+                float(report.owned_count),
+                pid=self.pid,
+                meta={"seq": report.seq, "done": done},
+            )
         yield Send(self.master, Tags.STATUS, report, REPORT_BYTES)
         self.outstanding_replies += 1
         if done or not self.cfg.balancer.pipelined:
@@ -157,6 +168,27 @@ class SlaveCore:
             self.outstanding_replies -= 1
             yield from self._apply_instructions(msg.payload)
         return None
+
+    def note_move(self, kind: str, t0: float, t1: float, order: MoveOrder) -> None:
+        """Record one work-movement side (marshalling or applying) as a
+        ``move/{send,recv}`` span; no-op when observability is off."""
+        if not self.obs.enabled:
+            return
+        count = order.transfer.count
+        self.obs.emit_span(
+            "move",
+            kind,
+            t0,
+            t1,
+            pid=self.pid,
+            value=float(count),
+            meta={
+                "move_id": order.move_id,
+                "src": order.transfer.src,
+                "dst": order.transfer.dst,
+            },
+        )
+        self.obs.metrics.counter(f"move.units_{kind}").inc(count)
 
     def _apply_instructions(self, instr: Instructions) -> Generator[Any, Any, None]:
         if getattr(instr, "release", False):
@@ -183,6 +215,7 @@ class SlaveCore:
             t1 = yield Now()
             self.ledger.record_cost(t1 - t0, order.transfer.count)
             self.ledger.mark_sent(order.move_id)
+            self.note_move("send", t0, t1, order)
 
     def execute_moves(self) -> Generator[Any, Any, None]:
         yield from self.execute_sends()
@@ -193,6 +226,7 @@ class SlaveCore:
             t1 = yield Now()
             self.ledger.record_cost(t1 - t0, order.transfer.count)
             self.ledger.complete_recv(order.move_id)
+            self.note_move("recv", t0, t1, order)
 
     # -- shape-specific pieces --------------------------------------------
 
@@ -433,6 +467,7 @@ class ReductionFrontSlave(SlaveCore):
                 t1 = yield Now()
                 self.ledger.record_cost(t1 - t0, order.transfer.count)
                 self.ledger.complete_recv(order.move_id)
+                self.note_move("recv", t0, t1, order)
 
     def drain_moves(self) -> Generator[Any, Any, None]:
         yield from self.execute_sends()

@@ -12,6 +12,7 @@ import math
 from typing import Any, Callable
 
 from ..errors import SimulationError
+from ..obs import NULL_RECORDER, Recorder
 
 __all__ = ["Engine"]
 
@@ -22,13 +23,20 @@ class Engine:
     The engine knows nothing about processors or tasks; it only orders
     callbacks in virtual time.  Higher layers (the :mod:`repro.sim.machine`
     module) build message passing and CPU scheduling on top of it.
+
+    When given an enabled :class:`~repro.obs.Recorder`, each ``run``
+    call emits an ``engine/run`` span and counts fired events; with the
+    default disabled recorder the event loop is the uninstrumented fast
+    path.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, recorder: Recorder | None = None) -> None:
         self._now = 0.0
         self._seq = 0
         self._heap: list[tuple[float, int, Callable[[], Any]]] = []
         self._running = False
+        self._obs = recorder if recorder is not None else NULL_RECORDER
+        self.events_processed = 0
 
     @property
     def now(self) -> float:
@@ -63,6 +71,8 @@ class Engine:
         """
         if self._running:
             raise SimulationError("engine.run() is not re-entrant")
+        if self._obs.enabled:
+            return self._run_instrumented(until)
         self._running = True
         try:
             while self._heap:
@@ -77,3 +87,36 @@ class Engine:
             return self._now
         finally:
             self._running = False
+
+    def _run_instrumented(self, until: float) -> float:
+        """``run`` with event counting and an ``engine/run`` span.
+
+        Kept separate so the disabled path stays the bare loop above.
+        """
+        self._running = True
+        t_start = self._now
+        fired = 0
+        try:
+            while self._heap:
+                t, _seq, fn = self._heap[0]
+                if t > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = t
+                fired += 1
+                fn()
+            if not math.isinf(until) and until > self._now:
+                self._now = until
+            return self._now
+        finally:
+            self._running = False
+            self.events_processed += fired
+            self._obs.metrics.counter("engine.events").inc(fired)
+            self._obs.emit_span(
+                "engine",
+                "run",
+                t_start,
+                self._now,
+                value=float(fired),
+                meta={"pending": len(self._heap)},
+            )

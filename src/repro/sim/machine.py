@@ -12,6 +12,7 @@ from typing import Any, Callable, Generator, Iterable
 
 from ..config import ClusterSpec
 from ..errors import DeadlockError, SimulationError
+from ..obs import NULL_RECORDER, Recorder
 from .engine import Engine
 from .events import Message
 from .load import LoadGenerator, NoLoad
@@ -23,6 +24,19 @@ from .rusage import RusageReport, TaskUsage
 __all__ = ["Cluster", "TaskContext"]
 
 TaskFn = Callable[..., Generator[Any, Any, Any]]
+
+
+def _tag_class(tag: str) -> str:
+    """Coarse message class for metrics: the paper's overhead categories."""
+    if tag == "lb.status":
+        return "status"
+    if tag in ("lb.instr", "lb.start"):
+        return "instr"
+    if tag.startswith("lb.move."):
+        return "move"
+    if tag.startswith("app."):
+        return "app"
+    return "other"
 
 
 class TaskContext:
@@ -43,6 +57,11 @@ class TaskContext:
     @property
     def now(self) -> float:
         return self.cluster.engine.now
+
+    @property
+    def obs(self) -> Recorder:
+        """The cluster's observability recorder (never ``None``)."""
+        return self.cluster.obs
 
     def __repr__(self) -> str:
         return f"TaskContext(pid={self.pid})"
@@ -72,21 +91,31 @@ class Cluster:
         self,
         spec: ClusterSpec,
         loads: dict[int, LoadGenerator] | None = None,
+        recorder: Recorder | None = None,
     ):
         self.spec = spec
-        self.engine = Engine()
+        self.obs = recorder if recorder is not None else NULL_RECORDER
+        self.engine = Engine(self.obs)
         loads = dict(loads or {})
         for pid in loads:
             if not 0 <= pid < spec.n_processors:
                 raise SimulationError(f"load assigned to unknown processor {pid}")
         self.processors: list[Processor] = [
-            Processor(pid, spec.spec_for(pid), loads.get(pid, NoLoad()))
+            Processor(pid, spec.spec_for(pid), loads.get(pid, NoLoad()), self.obs)
             for pid in range(spec.n_processors)
         ]
-        self.mailboxes: list[Mailbox] = [Mailbox() for _ in range(spec.n_processors)]
+        self.mailboxes: list[Mailbox] = [
+            Mailbox(pid, self.obs) for pid in range(spec.n_processors)
+        ]
         self._tasks: dict[int, _Task] = {}
         self.message_count = 0
         self.bytes_sent = 0
+        if self.obs.enabled:
+            # Per-message CPU costs, so reports can price interaction
+            # overhead without importing the runtime config.
+            self.obs.metrics.gauge("net.send_cpu_per_msg").set(spec.network.send_cpu)
+            self.obs.metrics.gauge("net.recv_cpu_per_msg").set(spec.network.recv_cpu)
+            self.obs.metrics.gauge("cluster.n_slaves").set(float(spec.n_slaves))
 
     # ------------------------------------------------------------------
     # Task management
@@ -181,6 +210,12 @@ class Cluster:
         arrival = cpu_done + net.transfer_time(req.nbytes)
         self.message_count += 1
         self.bytes_sent += req.nbytes
+        if self.obs.enabled:
+            kind = _tag_class(req.tag)
+            self.obs.metrics.counter(f"net.msgs.{kind}").inc()
+            self.obs.metrics.counter(f"net.bytes.{kind}").inc(req.nbytes)
+            self.obs.metrics.counter("net.msgs_total").inc()
+            self.obs.metrics.counter("net.bytes_total").inc(req.nbytes)
         self.engine.call_at(arrival, lambda: self._deliver(msg))
         self._resume_later(cpu_done, task, None)
 

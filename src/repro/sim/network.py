@@ -14,6 +14,7 @@ from typing import Any
 
 import numpy as np
 
+from ..obs import NULL_RECORDER, Recorder
 from .events import Message
 
 __all__ = ["Mailbox", "snapshot_payload"]
@@ -41,9 +42,15 @@ def snapshot_payload(payload: Any) -> Any:
 
 
 class Mailbox:
-    """Per-processor FIFO of delivered messages with selective receive."""
+    """Per-processor FIFO of delivered messages with selective receive.
 
-    def __init__(self) -> None:
+    With an enabled :class:`~repro.obs.Recorder`, each delivery emits a
+    ``net/msg`` span covering the message's wire time (send to arrival).
+    """
+
+    def __init__(self, pid: int = -1, recorder: Recorder | None = None) -> None:
+        self.pid = pid
+        self._obs = recorder if recorder is not None else NULL_RECORDER
         self._queue: deque[Message] = deque()
 
     def __len__(self) -> int:
@@ -52,6 +59,17 @@ class Mailbox:
     def deliver(self, msg: Message) -> None:
         """Append an arrived message."""
         self._queue.append(msg)
+        if self._obs.enabled:
+            t_arrived = max(msg.t_arrived, msg.t_sent)
+            self._obs.emit_span(
+                "net",
+                "msg",
+                msg.t_sent,
+                t_arrived,
+                pid=msg.dst,
+                value=float(msg.nbytes),
+                meta={"src": msg.src, "tag": msg.tag, "queued": len(self._queue)},
+            )
 
     @staticmethod
     def _matches(msg: Message, src: int | None, tag: str | None) -> bool:

@@ -22,6 +22,7 @@ import math
 
 from ..config import ProcessorSpec
 from ..errors import SimulationError
+from ..obs import NULL_RECORDER, Recorder
 from .load import LoadGenerator, NoLoad
 
 __all__ = ["Processor"]
@@ -58,10 +59,21 @@ def _slot_advance(u0: float, cpu: float, q: float, cycle: float) -> float:
 class Processor:
     """One workstation: speed, quantum scheduling, competing load, accounting."""
 
-    def __init__(self, pid: int, spec: ProcessorSpec, load: LoadGenerator | None = None):
+    def __init__(
+        self,
+        pid: int,
+        spec: ProcessorSpec,
+        load: LoadGenerator | None = None,
+        recorder: Recorder | None = None,
+    ):
         self.pid = pid
         self.spec = spec
         self.load = load if load is not None else NoLoad()
+        self._obs = recorder if recorder is not None else NULL_RECORDER
+        # Enabled-flag cached as a plain attribute: run_cpu is the
+        # simulator's hottest call site and a bool load keeps the
+        # disabled-observability cost at one branch.
+        self._observe = self._obs.enabled
         self._busy_until = 0.0
         # Accounting (exact, accumulated as computation is performed).
         self.app_cpu_total = 0.0
@@ -165,6 +177,12 @@ class Processor:
             if math.isinf(t):  # pragma: no cover - defensive
                 raise SimulationError("computation never completes")
         self._busy_until = t
+        if self._observe and cpu > 0:
+            self._obs.emit_span(
+                "cpu", "compute", t0, t, pid=self.pid, value=cpu
+            )
+            self._obs.metrics.counter("cpu.bursts").inc()
+            self._obs.metrics.histogram("cpu.burst_s").observe(cpu)
         return t
 
     def _account(self, cpu: float, k: int) -> None:

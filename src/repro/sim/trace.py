@@ -3,6 +3,12 @@
 A :class:`Trace` is a set of named channels, each a list of
 ``(time, value)`` samples, convertible to NumPy arrays.  Used to produce
 the Figure 9 series (raw rate, filtered rate, work assignment vs time).
+
+Since the structured observability layer (:mod:`repro.obs`) became the
+emission path, a ``Trace`` is a *derived view*: the launcher builds one
+from the run's counter events via :meth:`Trace.from_events`, preserving
+the legacy channel names (``raw_rate[p]``, ``adjusted_rate[p]``,
+``work[p]``) that the figure drivers consume.
 """
 
 from __future__ import annotations
@@ -12,7 +18,12 @@ from typing import Iterable
 
 import numpy as np
 
+from ..obs.model import CounterEvent, Event
+
 __all__ = ["Trace"]
+
+# Counter-event names mirrored into legacy per-slave channels.
+_CHANNEL_NAMES = ("raw_rate", "adjusted_rate", "work")
 
 
 class Trace:
@@ -20,6 +31,19 @@ class Trace:
 
     def __init__(self) -> None:
         self._channels: dict[str, list[tuple[float, float]]] = defaultdict(list)
+
+    @classmethod
+    def from_events(cls, events: Iterable[Event]) -> "Trace":
+        """Build the legacy channel view from observability events.
+
+        Counter events named ``raw_rate``/``adjusted_rate``/``work``
+        become channels ``name[pid]``; everything else is ignored.
+        """
+        trace = cls()
+        for event in events:
+            if isinstance(event, CounterEvent) and event.name in _CHANNEL_NAMES:
+                trace.record(f"{event.name}[{event.pid}]", event.t, event.value)
+        return trace
 
     def record(self, channel: str, t: float, value: float) -> None:
         """Append one sample to ``channel``."""

@@ -1,0 +1,26 @@
+"""Regenerate the golden RunReport for the pinned tiny MM scenario.
+
+Usage::
+
+    PYTHONPATH=src python -m tests.obs.generate_golden
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+
+def main() -> None:
+    from tests.obs.test_report import GOLDEN, tiny_mm_report
+
+    GOLDEN.parent.mkdir(exist_ok=True)
+    report = tiny_mm_report()
+    report.save(GOLDEN)
+    print(f"wrote {GOLDEN} ({GOLDEN.stat().st_size} bytes)")
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2]))
+    main()

@@ -1,0 +1,133 @@
+"""Event model and event log: ordering, filtering, serialization."""
+
+import pytest
+
+from repro.obs import (
+    CounterEvent,
+    EventLog,
+    SpanEvent,
+    event_from_dict,
+    event_time,
+    event_to_dict,
+)
+
+
+def test_span_duration_and_fields():
+    ev = SpanEvent("cpu", "compute", t_start=1.0, t_end=3.5, pid=2, value=2.0)
+    assert ev.duration == pytest.approx(2.5)
+    assert event_time(ev) == 3.5
+
+
+def test_counter_event_time():
+    ev = CounterEvent("lb", "reports", t=4.0, value=1.0, pid=0)
+    assert event_time(ev) == 4.0
+
+
+def test_events_are_immutable():
+    ev = CounterEvent("lb", "reports", t=4.0, value=1.0)
+    with pytest.raises(AttributeError):
+        ev.value = 2.0
+
+
+def test_sorted_events_orders_by_time_with_stable_ties():
+    log = EventLog()
+    log.emit(CounterEvent("a", "x", t=2.0, value=1.0))
+    log.emit(SpanEvent("b", "y", t_start=0.0, t_end=1.0))
+    first_tie = CounterEvent("c", "tie", t=1.0, value=1.0)
+    second_tie = CounterEvent("d", "tie", t=1.0, value=2.0)
+    log.emit(first_tie)
+    log.emit(second_tie)
+    ordered = log.sorted_events()
+    assert [event_time(e) for e in ordered] == [1.0, 1.0, 1.0, 2.0]
+    # Equal-time events keep emission order (span t_end=1.0 came first).
+    assert ordered[0].category == "b"
+    assert ordered[1] is first_tie
+    assert ordered[2] is second_tie
+
+
+def test_filter_by_category_name_pid():
+    log = EventLog()
+    log.emit(CounterEvent("rate", "raw_rate", t=1.0, value=5.0, pid=0))
+    log.emit(CounterEvent("rate", "raw_rate", t=1.0, value=7.0, pid=1))
+    log.emit(CounterEvent("rate", "work", t=1.0, value=3.0, pid=0))
+    assert len(log.filter(category="rate")) == 3
+    assert len(log.filter(name="raw_rate")) == 2
+    assert len(log.filter(name="raw_rate", pid=1)) == 1
+    assert log.filter(category="nope") == []
+
+
+def test_counter_series_is_time_sorted_per_pid():
+    log = EventLog()
+    log.emit(CounterEvent("rate", "work", t=2.0, value=4.0, pid=0))
+    log.emit(CounterEvent("rate", "work", t=1.0, value=8.0, pid=0))
+    log.emit(CounterEvent("rate", "work", t=0.5, value=9.0, pid=1))
+    assert log.counter_series("work", pid=0) == [(1.0, 8.0), (2.0, 4.0)]
+
+
+@pytest.mark.parametrize(
+    "event",
+    [
+        SpanEvent("net", "msg", t_start=0.25, t_end=1.75, pid=3, value=64.0),
+        SpanEvent("lb", "move", 0.0, 2.0, meta={"src": 1, "dst": 2}),
+        CounterEvent("lb", "reports", t=0.125, value=1.0, pid=0),
+        CounterEvent("rate", "raw_rate", t=9.5, value=1234.5, meta={"seq": 7}),
+    ],
+)
+def test_dict_round_trip_is_exact(event):
+    assert event_from_dict(event_to_dict(event)) == event
+
+
+def test_event_to_dict_has_kind_discriminator():
+    span = event_to_dict(SpanEvent("a", "b", 0.0, 1.0))
+    counter = event_to_dict(CounterEvent("a", "b", t=0.0, value=1.0))
+    assert span["kind"] == "span"
+    assert counter["kind"] == "counter"
+
+
+def test_event_from_dict_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        event_from_dict({"kind": "gauge", "category": "a", "name": "b"})
+
+
+def test_jsonl_round_trip_preserves_order_and_values(tmp_path):
+    log = EventLog()
+    log.emit(SpanEvent("cpu", "compute", 0.0, 0.5, pid=1, value=0.5))
+    log.emit(CounterEvent("lb", "reports", t=0.5, value=1.0, pid=0))
+    log.emit(
+        SpanEvent("lb", "move", 0.5, 0.875, meta={"move_id": 3, "src": 0, "dst": 1})
+    )
+    path = tmp_path / "events.jsonl"
+    log.save(path)
+    loaded = EventLog.load(path)
+    assert loaded.events() == log.events()
+
+
+def test_jsonl_text_round_trip():
+    log = EventLog()
+    log.emit(CounterEvent("rate", "work", t=1.5, value=12.0, pid=2))
+    text = log.to_jsonl()
+    assert text.endswith("\n")
+    again = EventLog.from_jsonl(text)
+    assert again.events() == log.events()
+    assert EventLog.from_jsonl("").events() == []
+
+
+def test_categories_counts():
+    log = EventLog()
+    log.emit(CounterEvent("rate", "work", t=1.0, value=1.0))
+    log.emit(CounterEvent("rate", "work", t=2.0, value=1.0))
+    log.emit(SpanEvent("cpu", "compute", 0.0, 1.0))
+    assert log.categories() == {"cpu": 1, "rate": 2}
+
+
+def test_from_dict_coerces_ints_but_rejects_bools_and_strings():
+    ev = event_from_dict(
+        {"kind": "counter", "category": "a", "name": "b", "t": 1, "value": 2}
+    )
+    assert isinstance(ev.t, float) and ev.t == 1.0
+    assert isinstance(ev.value, float) and ev.value == 2.0
+    for bad_t in (True, "1.0", None):
+        with pytest.raises((ValueError, TypeError)):
+            event_from_dict(
+                {"kind": "counter", "category": "a", "name": "b", "t": bad_t}
+            )

@@ -1,0 +1,120 @@
+"""MetricsRegistry: counters, gauges, histograms, and the no-op mode."""
+
+import time
+
+import pytest
+
+from repro.obs import NULL_RECORDER, MetricsRegistry, Recorder
+
+
+def test_counter_accumulates_and_rejects_negative():
+    reg = MetricsRegistry()
+    c = reg.counter("net.msgs_total")
+    c.inc()
+    c.inc(3.0)
+    assert reg.counter_value("net.msgs_total") == pytest.approx(4.0)
+    with pytest.raises(ValueError):
+        c.inc(-1.0)
+
+
+def test_counter_identity_is_per_name():
+    reg = MetricsRegistry()
+    assert reg.counter("a") is reg.counter("a")
+    assert reg.counter("a") is not reg.counter("b")
+
+
+def test_gauge_keeps_last_value():
+    reg = MetricsRegistry()
+    g = reg.gauge("cluster.n_slaves")
+    g.set(4.0)
+    g.set(8.0)
+    assert reg.gauge_value("cluster.n_slaves") == pytest.approx(8.0)
+    assert reg.gauge_value("missing", default=-1.0) == -1.0
+
+
+def test_histogram_summary():
+    reg = MetricsRegistry()
+    h = reg.histogram("lb.balance_latency_s")
+    for v in (0.5, 1.5, 1.0):
+        h.observe(v)
+    s = h.summary()
+    assert s["count"] == 3
+    assert s["mean"] == pytest.approx(1.0)
+    assert s["min"] == 0.5
+    assert s["max"] == 1.5
+
+
+def test_snapshot_is_sorted_and_json_safe():
+    reg = MetricsRegistry()
+    reg.counter("b").inc()
+    reg.counter("a").inc(2.0)
+    reg.gauge("g").set(1.0)
+    reg.histogram("h").observe(2.0)
+    snap = reg.snapshot()
+    assert list(snap["counters"]) == ["a", "b"]
+    assert snap["counters"]["a"] == 2.0
+    assert snap["gauges"] == {"g": 1.0}
+    assert snap["histograms"]["h"]["count"] == 1
+
+
+def test_disabled_registry_records_nothing():
+    reg = MetricsRegistry(enabled=False)
+    reg.counter("c").inc(10.0)
+    reg.gauge("g").set(5.0)
+    reg.histogram("h").observe(1.0)
+    snap = reg.snapshot()
+    assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+    assert reg.counter_value("c") == 0.0
+
+
+def test_disabled_registry_shares_null_instruments():
+    reg = MetricsRegistry(enabled=False)
+    # No per-name allocation in no-op mode: same singleton every time.
+    assert reg.counter("x") is reg.counter("y")
+    assert reg.gauge("x") is reg.gauge("y")
+    assert reg.histogram("x") is reg.histogram("y")
+
+
+def test_null_recorder_is_disabled_and_inert():
+    assert NULL_RECORDER.enabled is False
+    NULL_RECORDER.emit_counter("lb", "reports", t=0.0, value=1.0)
+    NULL_RECORDER.emit_span("cpu", "compute", 0.0, 1.0)
+    assert len(NULL_RECORDER.log) == 0
+    assert Recorder.disabled().enabled is False
+
+
+def test_noop_overhead_is_small():
+    """Disabled-mode instrument calls must stay cheap (cents, not dollars).
+
+    This is a coarse guard (10x budget) so it cannot flake on slow CI
+    runners: the no-op path must be within an order of magnitude of a
+    plain method call, i.e. it must not allocate, format, or lock.
+    """
+    enabled = MetricsRegistry()
+    disabled = MetricsRegistry(enabled=False)
+    n = 20_000
+
+    def drive(reg):
+        counter = reg.counter("bench")
+        t0 = time.perf_counter()
+        for _ in range(n):
+            counter.inc()
+        return time.perf_counter() - t0
+
+    drive(enabled)  # warm-up
+    drive(disabled)
+    t_enabled = min(drive(enabled) for _ in range(3))
+    t_disabled = min(drive(disabled) for _ in range(3))
+    assert t_disabled < t_enabled * 10
+
+
+def test_recorder_wires_log_and_metrics():
+    rec = Recorder()
+    rec.emit_counter("rate", "raw_rate", t=1.0, value=2.0, pid=0)
+    rec.emit_span("cpu", "compute", 0.0, 1.0, pid=0, value=1.0)
+    rec.metrics.counter("cpu.bursts").inc()
+    assert len(rec.log) == 2
+    assert rec.metrics.counter_value("cpu.bursts") == 1.0
+    dis = Recorder.disabled()
+    dis.emit_counter("rate", "raw_rate", t=1.0, value=2.0)
+    assert len(dis.log) == 0

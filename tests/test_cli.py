@@ -1,8 +1,11 @@
 """CLI smoke tests (python -m repro ...)."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.obs import EventLog, RunReport
 
 
 def test_run_matmul(capsys):
@@ -83,3 +86,55 @@ def test_figures_unknown(capsys):
 def test_unknown_app_rejected():
     with pytest.raises(SystemExit):
         main(["run", "unknown-app"])
+
+
+def test_trace_writes_report_and_events(capsys, tmp_path):
+    report_path = tmp_path / "report.json"
+    events_path = tmp_path / "events.jsonl"
+    rc = main(
+        [
+            "trace",
+            "matmul",
+            "-n",
+            "60",
+            "--slaves",
+            "2",
+            "--json",
+            str(report_path),
+            "--events",
+            str(events_path),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "run report: matmul" in out
+    report = RunReport.load(report_path)
+    assert report.n_slaves == 2
+    assert report.slaves["0"]["raw_rate"]
+    log = EventLog.load(events_path)
+    assert len(log) > 0
+    assert "cpu" in log.categories()
+
+
+def test_trace_inspect_round_trip(capsys, tmp_path):
+    report_path = tmp_path / "report.json"
+    assert main(["trace", "sor", "-n", "24", "--json", str(report_path)]) == 0
+    capsys.readouterr()
+    rc = main(["trace", "--inspect", str(report_path)])
+    assert rc == 0
+    assert "run report: sor" in capsys.readouterr().out
+
+
+def test_trace_requires_app_without_inspect(capsys):
+    rc = main(["trace"])
+    assert rc == 2
+    assert "required" in capsys.readouterr().out
+
+
+def test_figures_json_export(capsys, tmp_path):
+    rc = main(["figures", "fig4", "--json", str(tmp_path)])
+    assert rc == 0
+    data = json.loads((tmp_path / "fig4.json").read_text())
+    assert data["name"].startswith("Figure 4")
+    assert data["headers"][0] == "interaction_cost"
+    assert len(data["rows"]) == 5

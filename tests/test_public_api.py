@@ -23,6 +23,12 @@ MODULES = [
     "repro.sim.processor",
     "repro.sim.rusage",
     "repro.sim.trace",
+    "repro.obs",
+    "repro.obs.model",
+    "repro.obs.log",
+    "repro.obs.metrics",
+    "repro.obs.recorder",
+    "repro.obs.report",
     "repro.compiler",
     "repro.compiler.ir",
     "repro.compiler.deps",
