@@ -1,0 +1,56 @@
+"""Static verification suite for generated SPMD+DLB programs.
+
+The generator (``repro.compiler``) *constructs* parallel programs from
+dependence information; this package *verifies* them, re-deriving the
+paper's correctness obligations and checking each one against what the
+compiler actually produced:
+
+- :mod:`repro.analysis.ownership` — owner-computes rule (``RA1xx``):
+  every write in the distributed loop targets data its executor owns.
+- :mod:`repro.analysis.communication` — communication completeness
+  (``RA2xx``): every non-owned read predicted by the dependence
+  distance vectors is covered by a modelled message channel.
+- :mod:`repro.analysis.movement` — movement safety (``RA3xx``):
+  loop-carried dependences restrict work movement to block-preserving
+  adjacent transfers.
+- :mod:`repro.analysis.protocol_lint` — protocol lint (``RA4xx``):
+  every ``Tags.*`` send site in the runtime pairs with a selective
+  receive site; orphans and dead channels are flagged.
+- :mod:`repro.analysis.replay` — happens-before replay (``RA5xx``):
+  an execution's ``access`` events, ordered by its ``net`` message
+  events under vector clocks, show no two slaves touched an element
+  without an ordering message.
+
+All passes report :class:`~repro.analysis.diagnostics.Diagnostic`
+records with stable ``RAnnn`` codes (see ``docs/static-analysis.md``),
+aggregated per subject into a
+:class:`~repro.analysis.diagnostics.CheckResult`.  The ``repro check``
+CLI subcommand runs the suite and exits nonzero on error-severity
+findings; CI runs it over every shipped application.
+"""
+
+from .communication import check_communication
+from .diagnostics import CODES, CheckResult, Diagnostic, Severity
+from .movement import check_movement
+from .ownership import check_owner_computes
+from .protocol_lint import check_protocol, lint_sources
+from .replay import check_log_file, check_replay
+from .suite import check_plan, check_suite, replay_run, static_passes
+
+__all__ = [
+    "CODES",
+    "CheckResult",
+    "Diagnostic",
+    "Severity",
+    "check_communication",
+    "check_log_file",
+    "check_movement",
+    "check_owner_computes",
+    "check_plan",
+    "check_protocol",
+    "check_replay",
+    "check_suite",
+    "lint_sources",
+    "replay_run",
+    "static_passes",
+]

@@ -1,0 +1,169 @@
+"""Communication-completeness checker (pass 2, ``RA2xx``).
+
+Every read of a non-owned element must be covered by a message the
+generated program actually sends.  The *requirements* come straight from
+the dependence analysis (``repro.compiler.deps`` distance vectors); the
+*provisions* are the plan's modelled :class:`~repro.compiler.plan.ChannelSpec`
+set, which the compiler derives when it inserts communication.  A
+requirement without a matching channel is a read of stale or absent data
+— the bug class the paper's compiler exists to prevent.
+"""
+
+from __future__ import annotations
+
+from ..compiler.plan import ChannelSpec, ExecutionPlan, LoopShape
+from .diagnostics import Diagnostic, Severity
+
+__all__ = ["check_communication"]
+
+_PASS = "comm"
+
+
+def _covers_distance(channel: ChannelSpec, dist: int) -> bool:
+    """Does ``channel`` carry the values a carried distance needs?
+
+    Positive distances need updated values flowing rightward (boundary
+    pipelining); negative distances need old values flowing leftward
+    (the sweep-start halo).  The distance must match exactly: a width-1
+    boundary message cannot satisfy a distance-2 dependence.
+    """
+    if channel.kind not in ("boundary", "halo"):
+        return False
+    wanted = "to_right" if dist > 0 else "to_left"
+    return channel.direction == wanted and channel.distance == dist
+
+
+def check_communication(plan: ExecutionPlan) -> list[Diagnostic]:
+    """Verify the plan's channels cover every predicted non-owned read."""
+    deps = plan.deps
+    found: list[Diagnostic] = []
+    used: set[int] = set()
+
+    for dist in deps.carried_distances:
+        match = next(
+            (
+                i
+                for i, ch in enumerate(plan.comms)
+                if _covers_distance(ch, dist)
+            ),
+            None,
+        )
+        if match is not None:
+            used.add(match)
+            continue
+        if dist > 0:
+            found.append(
+                Diagnostic(
+                    code="RA201",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"flow dependence at distance +{dist} along "
+                        f"{deps.distributed_var!r} has no boundary channel: "
+                        f"readers would use stale neighbour values"
+                    ),
+                    pass_name=_PASS,
+                    locus=plan.name,
+                    details={"distance": dist},
+                )
+            )
+        else:
+            found.append(
+                Diagnostic(
+                    code="RA202",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"anti dependence at distance {dist} along "
+                        f"{deps.distributed_var!r} has no halo channel: "
+                        f"old values are overwritten before the left "
+                        f"neighbour reads them"
+                    ),
+                    pass_name=_PASS,
+                    locus=plan.name,
+                    details={"distance": dist},
+                )
+            )
+
+    broadcast_arrays = {
+        ch.array
+        for i, ch in enumerate(plan.comms)
+        if ch.kind == "front" and ch.direction == "broadcast"
+    }
+    for read in deps.nonlocal_reads:
+        if read.array in broadcast_arrays:
+            used.update(
+                i
+                for i, ch in enumerate(plan.comms)
+                if ch.kind == "front" and ch.array == read.array
+            )
+            continue
+        found.append(
+            Diagnostic(
+                code="RA203",
+                severity=Severity.ERROR,
+                message=(
+                    f"non-local read {read} (subscript independent of "
+                    f"{deps.distributed_var!r}) has no broadcast channel: "
+                    f"under dynamic ownership the reader cannot locate "
+                    f"the owner (Section 4.6)"
+                ),
+                pass_name=_PASS,
+                locus=str(read),
+                details={"array": read.array},
+            )
+        )
+
+    if deps.carried_unknown:
+        found.append(
+            Diagnostic(
+                code="RA204",
+                severity=Severity.WARNING,
+                message=(
+                    "a dependence distance along the distributed loop is "
+                    "unresolvable at compile time; the analysis treats it "
+                    "as carried, so movement must stay restricted and "
+                    "every neighbour exchange is assumed live"
+                ),
+                pass_name=_PASS,
+                locus=plan.name,
+            )
+        )
+
+    # Channels that cover nothing are not wrong, but they are traffic the
+    # dependence analysis cannot justify — worth a look.
+    for i, ch in enumerate(plan.comms):
+        if ch.kind == "move" or i in used:
+            continue
+        found.append(
+            Diagnostic(
+                code="RA205",
+                severity=Severity.INFO,
+                message=(
+                    f"channel {ch.kind}/{ch.direction} (array={ch.array}, "
+                    f"distance={ch.distance}) covers no analysed dependence"
+                ),
+                pass_name=_PASS,
+                locus=plan.name,
+                details={"kind": ch.kind, "direction": ch.direction},
+            )
+        )
+
+    # Shape-level cross-check: a pipeline schedule without any data
+    # channel at all cannot be right when dependences are carried.
+    if (
+        plan.shape is LoopShape.PIPELINE
+        and deps.loop_carried
+        and not any(ch.kind in ("boundary", "halo") for ch in plan.comms)
+    ):
+        found.append(
+            Diagnostic(
+                code="RA201",
+                severity=Severity.ERROR,
+                message=(
+                    "pipeline plan models no boundary or halo channel at "
+                    "all despite loop-carried dependences"
+                ),
+                pass_name=_PASS,
+                locus=plan.name,
+            )
+        )
+    return found

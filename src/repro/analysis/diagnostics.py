@@ -1,0 +1,191 @@
+"""Shared diagnostic model for the static verification suite.
+
+Every analysis pass reports :class:`Diagnostic` records with a stable
+``RAnnn`` code, a severity, and a source locus, collected into a
+:class:`CheckResult`.  Codes are stable API: tools (CI gates, waiver
+files, tests) key on them, so a code is never reused for a different
+condition.  The full table lives in :data:`CODES` and is documented in
+``docs/static-analysis.md``.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+__all__ = ["CODES", "CheckResult", "Diagnostic", "Severity"]
+
+
+class Severity(enum.Enum):
+    """Diagnostic severity; ``ERROR`` findings gate CI (nonzero exit)."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Sort key: more severe first."""
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+CODES: dict[str, str] = {
+    # Owner-computes checker (RA1xx)
+    "RA101": "write to a non-owned element of a distributed array",
+    "RA102": "write to a distributed array independent of the distributed "
+    "loop without reduction-front machinery",
+    "RA103": "front-style write whose subscript is not an owned unit id",
+    "RA104": "write to a replicated array inside the distributed loop",
+    # Communication-completeness checker (RA2xx)
+    "RA201": "loop-carried flow dependence not covered by a modelled message",
+    "RA202": "anti dependence (old-value read) not covered by a modelled message",
+    "RA203": "non-local read not covered by a broadcast channel",
+    "RA204": "unresolvable dependence distance: conservative treatment required",
+    "RA205": "modelled channel covers no dependence (superfluous traffic)",
+    # Movement-safety checker (RA3xx)
+    "RA301": "unrestricted work movement despite loop-carried dependences",
+    "RA302": "movement payload size is not positive",
+    "RA303": "movement channel direction contradicts the movement constraint",
+    "RA304": "carried dependence distance exceeds the modelled halo width",
+    # Protocol lint (RA4xx)
+    "RA401": "message tag family sent but never selectively received",
+    "RA402": "message tag family received but never sent",
+    "RA403": "tag family declared in the protocol but never used",
+    "RA404": "tag family consumed only by non-blocking polls",
+    # Happens-before replay checker (RA5xx)
+    "RA501": "element touched by two slaves without an ordering message",
+    "RA502": "event log carries no access events; replay check is vacuous",
+    "RA503": "access event malformed; element accounting incomplete",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of one analysis pass.
+
+    Attributes:
+        code: stable ``RAnnn`` identifier (a :data:`CODES` key).
+        severity: finding severity.
+        message: human-readable description of this occurrence.
+        pass_name: emitting pass (``owner`` | ``comm`` | ``movement`` |
+            ``protocol`` | ``replay``).
+        locus: source position of the finding — a statement label, a
+            ``file:line``, a plan name, or a unit id, whichever the pass
+            can pinpoint.
+        details: small JSON-safe annotations (distances, pids, tags).
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    pass_name: str
+    locus: str = ""
+    details: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.code not in CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    def to_dict(self) -> dict[str, object]:
+        """Flat JSON-safe representation."""
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "pass": self.pass_name,
+            "locus": self.locus,
+            "details": dict(self.details),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "Diagnostic":
+        """Inverse of :meth:`to_dict`; raises ``ValueError`` on bad shapes."""
+        details = data.get("details", {})
+        return cls(
+            code=str(data["code"]),
+            severity=Severity(str(data["severity"])),
+            message=str(data["message"]),
+            pass_name=str(data["pass"]),
+            locus=str(data.get("locus", "")),
+            details=dict(details) if isinstance(details, Mapping) else {},
+        )
+
+    def format(self) -> str:
+        """One-line rendering: ``RA101 error [owner] locus: message``."""
+        where = f" {self.locus}:" if self.locus else ":"
+        return f"{self.code} {self.severity.value} [{self.pass_name}]{where} {self.message}"
+
+
+@dataclass
+class CheckResult:
+    """All diagnostics of one checked subject (one plan, one log, ...)."""
+
+    subject: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def extend(self, found: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(found)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    def by_code(self, code: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity finding was reported."""
+        return not self.errors()
+
+    def sorted(self) -> list[Diagnostic]:
+        """Diagnostics ordered most-severe first, then by code."""
+        return sorted(
+            self.diagnostics, key=lambda d: (d.severity.rank, d.code, d.locus)
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "subject": self.subject,
+            "ok": self.ok,
+            "counts": {
+                sev.value: sum(
+                    1 for d in self.diagnostics if d.severity is sev
+                )
+                for sev in Severity
+            },
+            "diagnostics": [d.to_dict() for d in self.sorted()],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CheckResult":
+        raw = data.get("diagnostics", [])
+        if not isinstance(raw, list):
+            raise ValueError("diagnostics must be a list")
+        return cls(
+            subject=str(data.get("subject", "")),
+            diagnostics=[
+                Diagnostic.from_dict(item)
+                for item in raw
+                if isinstance(item, Mapping)
+            ],
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        lines = [f"check {self.subject}: " + ("OK" if self.ok else "FAILED")]
+        for d in self.sorted():
+            lines.append("  " + d.format())
+        if not self.diagnostics:
+            lines.append("  no findings")
+        return "\n".join(lines)

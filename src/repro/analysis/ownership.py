@@ -1,0 +1,195 @@
+"""Owner-computes checker (pass 1, ``RA1xx``).
+
+Under the paper's owner-computes rule, every write executed by a slave
+must target data that slave owns under the chosen distribution.  Unit
+ids are the distributed loop's index values, so for a write *inside* the
+distributed loop the distributed-dimension subscript must be exactly the
+distributed index variable — any offset (``a[j+1]``) or scaling
+(``a[2*j]``) would let iteration ``j`` write an element owned by a
+different slave, which no amount of messaging fixes after the fact.
+
+Writes *outside* the distributed loop (LU's pivot scaling) are legal
+only as owner-computed fronts: the subscript must be a plain enclosing
+loop index (the repetition variable), so the owner of that unit computes
+it, and the plan must provide the reduction-front broadcast machinery to
+ship the values (Section 4.6).
+"""
+
+from __future__ import annotations
+
+from ..compiler.ir import (
+    Affine,
+    Assign,
+    Conditional,
+    Directive,
+    Loop,
+    Program,
+    Stmt,
+)
+from ..compiler.plan import ExecutionPlan, LoopShape
+from .diagnostics import Diagnostic, Severity
+
+__all__ = ["check_owner_computes"]
+
+_PASS = "owner"
+
+
+def _is_plain_var(expr: Affine, name: str) -> bool:
+    """True when ``expr`` is exactly the variable ``name``."""
+    return (
+        expr.constant == 0
+        and len(expr.terms) == 1
+        and expr.coeff(name) == 1
+    )
+
+
+def _walk(
+    stmts: tuple[Stmt, ...],
+    enclosing: tuple[str, ...],
+    inside_distributed: bool,
+    distribute: str,
+) -> list[tuple[Assign, tuple[str, ...], bool]]:
+    """All assignments with their enclosing loop indices and whether the
+    distributed loop encloses them."""
+    out: list[tuple[Assign, tuple[str, ...], bool]] = []
+    for s in stmts:
+        if isinstance(s, Assign):
+            out.append((s, enclosing, inside_distributed))
+        elif isinstance(s, Loop):
+            out.extend(
+                _walk(
+                    s.body,
+                    enclosing + (s.index,),
+                    inside_distributed or s.index == distribute,
+                    distribute,
+                )
+            )
+        elif isinstance(s, Conditional):
+            out.extend(_walk(s.body, enclosing, inside_distributed, distribute))
+    return out
+
+
+def check_owner_computes(plan: ExecutionPlan) -> list[Diagnostic]:
+    """Verify every write targets owner-local data; see module doc."""
+    program, directive = plan.program, plan.directive
+    if program is None or directive is None:
+        return [
+            Diagnostic(
+                code="RA102",
+                severity=Severity.WARNING,
+                message=(
+                    "plan carries no IR provenance; owner-computes check "
+                    "skipped"
+                ),
+                pass_name=_PASS,
+                locus=plan.name,
+            )
+        ]
+    return check_program(program, directive, plan.shape)
+
+
+def check_program(
+    program: Program, directive: Directive, shape: LoopShape | None = None
+) -> list[Diagnostic]:
+    """IR-level owner-computes check (usable before a plan exists)."""
+    d = directive.distribute
+    found: list[Diagnostic] = []
+    for assign, enclosing, inside in _walk(program.body, (), False, d):
+        locus = assign.label or str(assign.target)
+        ddim = directive.distributed_dim(assign.target.array)
+        if ddim is None:
+            # Replicated array: reads are free, but a write inside the
+            # distributed loop leaves per-slave copies that never merge.
+            if inside:
+                found.append(
+                    Diagnostic(
+                        code="RA104",
+                        severity=Severity.WARNING,
+                        message=(
+                            f"write to replicated array "
+                            f"{assign.target.array!r} inside the "
+                            f"distributed loop: slave copies diverge"
+                        ),
+                        pass_name=_PASS,
+                        locus=locus,
+                    )
+                )
+            continue
+        if ddim >= len(assign.target.index):
+            continue  # rank errors are dependence analysis's to report
+        sub = assign.target.index[ddim]
+        if inside:
+            if _is_plain_var(sub, d):
+                continue
+            if sub.coeff(d) != 0:
+                found.append(
+                    Diagnostic(
+                        code="RA101",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"iteration {d} writes "
+                            f"{assign.target.array}[...][{sub}] on the "
+                            f"distributed dimension: the target is owned "
+                            f"by a different slave"
+                        ),
+                        pass_name=_PASS,
+                        locus=locus,
+                        details={"subscript": str(sub), "distributed": d},
+                    )
+                )
+            else:
+                # Subscript ignores the distributed index entirely: every
+                # iteration writes the same (possibly non-owned) element.
+                found.append(
+                    Diagnostic(
+                        code="RA101",
+                        severity=Severity.ERROR,
+                        message=(
+                            f"write {assign.target} inside the distributed "
+                            f"loop does not use the distributed index {d}: "
+                            f"all iterations target one owner's element"
+                        ),
+                        pass_name=_PASS,
+                        locus=locus,
+                        details={"subscript": str(sub), "distributed": d},
+                    )
+                )
+            continue
+        # Outside the distributed loop: front-style write.  The subscript
+        # must be a plain enclosing loop index so a unique owner computes
+        # it, and the schedule must broadcast the result.
+        owner_var = next(
+            (v for v in enclosing if _is_plain_var(sub, v)), None
+        )
+        if owner_var is None:
+            found.append(
+                Diagnostic(
+                    code="RA103",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"write {assign.target} outside the distributed "
+                        f"loop has distributed-dim subscript {sub}, which "
+                        f"is not a plain enclosing loop index: no unique "
+                        f"owner can compute it"
+                    ),
+                    pass_name=_PASS,
+                    locus=locus,
+                    details={"subscript": str(sub)},
+                )
+            )
+        elif shape is not None and shape is not LoopShape.REDUCTION_FRONT:
+            found.append(
+                Diagnostic(
+                    code="RA102",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"owner-computed front write {assign.target} "
+                        f"requires reduction-front broadcast machinery, "
+                        f"but the plan shape is {shape.value}"
+                    ),
+                    pass_name=_PASS,
+                    locus=locus,
+                    details={"shape": shape.value},
+                )
+            )
+    return found

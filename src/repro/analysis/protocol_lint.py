@@ -1,0 +1,307 @@
+"""Protocol lint (pass 4, ``RA4xx``): static send/receive pairing.
+
+The generated program's correctness leans on *selective receive*: every
+``Send`` tags its message, and the consumer names that tag in a ``Recv``
+/ ``Poll``, an equality dispatch on ``msg.tag``, or a ``startswith``
+family dispatch.  This pass parses the runtime sources (master, slave,
+pipeline interpreters) with :mod:`ast`, resolves every tag expression to
+its *tag family* (the :class:`~repro.runtime.protocol.Tags` constant or
+constructor it came from), and pairs send sites with receive sites:
+
+- a family that is sent but never selectively received is an orphan
+  message — it sits in a mailbox forever (``RA401``);
+- a family that is received but never sent blocks its consumer for good
+  (``RA402``);
+- a family declared in ``Tags`` but never used anywhere is a dead
+  channel (``RA403``);
+- a family consumed *only* through non-blocking polls may never actually
+  be drained (``RA404``).
+
+Tag families are derived from the ``Tags`` class itself (constants keep
+their literal; constructors are probed with placeholder arguments and
+the variable segments generalised), so the lint tracks protocol changes
+without a hand-maintained table.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+from dataclasses import dataclass, field
+
+from .diagnostics import Diagnostic, Severity
+
+__all__ = ["check_protocol", "lint_sources", "tag_families"]
+
+_PASS = "protocol"
+
+_DUMMY = 987654321  # placeholder argument, assumed absent from literals
+
+
+@dataclass(frozen=True)
+class _Family:
+    """One tag family: an exact literal or a dotted prefix pattern."""
+
+    key: str  # display key, e.g. "lb.status" or "pipe.bnd.*"
+    prefix: str  # match prefix: full literal, or text before the "*"
+    exact: bool
+
+    def matches_literal_prefix(self, literal: str) -> bool:
+        """Does a ``startswith(literal)`` dispatch select this family?"""
+        return literal.startswith(self.prefix) or self.prefix.startswith(literal)
+
+
+@dataclass
+class _Sites:
+    sends: list[str] = field(default_factory=list)
+    recvs: list[str] = field(default_factory=list)  # blocking selective
+    polls: list[str] = field(default_factory=list)  # non-blocking selective
+    dispatches: list[str] = field(default_factory=list)  # ==/startswith/lambda
+
+
+def tag_families(tags_cls: type | None = None) -> dict[str, _Family]:
+    """Derive the tag families from the ``Tags`` class.
+
+    Returns a mapping from the family key to its :class:`_Family`, keyed
+    additionally by the ``Tags`` attribute name for AST resolution.
+    """
+    if tags_cls is None:
+        from ..runtime.protocol import Tags
+
+        tags_cls = Tags
+    families: dict[str, _Family] = {}
+    for name, value in vars(tags_cls).items():
+        if name.startswith("_"):
+            continue
+        if isinstance(value, str):
+            families[name] = _Family(key=value, prefix=value, exact=True)
+            continue
+        fn = getattr(tags_cls, name, None)
+        if not callable(fn):
+            continue
+        try:
+            n_args = len(inspect.signature(fn).parameters)
+            probe = fn(*([_DUMMY] * n_args))
+        except Exception:  # pragma: no cover - unprobeable constructor
+            continue
+        if not isinstance(probe, str):
+            continue
+        segments = probe.split(".")
+        fixed = []
+        for seg in segments:
+            if str(_DUMMY) in seg:
+                break
+            fixed.append(seg)
+        prefix = ".".join(fixed) + "."
+        families[name] = _Family(key=prefix + "*", prefix=prefix, exact=False)
+    return families
+
+
+class _SiteCollector(ast.NodeVisitor):
+    """Collect send/receive sites of ``Tags``-tagged messages."""
+
+    def __init__(self, module: str, families: dict[str, _Family]):
+        self.module = module
+        self.families = families
+        self.sites: dict[str, _Sites] = {}
+        self._lambda_depth = 0
+
+    # -- helpers ---------------------------------------------------------
+
+    def _locus(self, node: ast.AST) -> str:
+        return f"{self.module}:{getattr(node, 'lineno', 0)}"
+
+    def _sites_for(self, fam: _Family) -> _Sites:
+        return self.sites.setdefault(fam.key, _Sites())
+
+    def _resolve(self, node: ast.expr) -> _Family | None:
+        """Resolve a tag expression to its family, if statically known."""
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "Tags"
+        ):
+            return self.families.get(node.attr)
+        if isinstance(node, ast.Call):
+            return self._resolve(node.func)
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            # A literal tag string: match it against the known families.
+            for fam in self.families.values():
+                if fam.exact and fam.prefix == node.value:
+                    return fam
+                if not fam.exact and node.value.startswith(fam.prefix):
+                    return fam
+        return None
+
+    @staticmethod
+    def _is_tag_ref(node: ast.expr) -> bool:
+        """Heuristic: does this expression read a message tag?"""
+        if isinstance(node, ast.Name) and node.id == "tag":
+            return True
+        return isinstance(node, ast.Attribute) and node.attr == "tag"
+
+    # -- visitors --------------------------------------------------------
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        # Expected-tag closures (see PipelineSlave._recv_neighbor) build
+        # the tag a selective receive waits for; any Tags use inside a
+        # lambda therefore counts as a receive site.
+        self._lambda_depth += 1
+        self.generic_visit(node)
+        self._lambda_depth -= 1
+
+    def visit_Call(self, node: ast.Call) -> None:
+        fn = node.func
+        name = fn.id if isinstance(fn, ast.Name) else None
+        if name == "Send" and len(node.args) >= 2:
+            fam = self._resolve(node.args[1])
+            if fam is not None:
+                self._sites_for(fam).sends.append(self._locus(node))
+        elif name in ("Recv", "Poll"):
+            tag_expr = next(
+                (kw.value for kw in node.keywords if kw.arg == "tag"), None
+            )
+            if tag_expr is None and len(node.args) >= 2:
+                tag_expr = node.args[1]
+            fam = self._resolve(tag_expr) if tag_expr is not None else None
+            if fam is not None:
+                bucket = self._sites_for(fam)
+                (bucket.recvs if name == "Recv" else bucket.polls).append(
+                    self._locus(node)
+                )
+        elif (
+            isinstance(fn, ast.Attribute)
+            and fn.attr == "startswith"
+            and self._is_tag_ref(fn.value)
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        ):
+            literal = node.args[0].value
+            for fam in self.families.values():
+                if fam.matches_literal_prefix(literal):
+                    self._sites_for(fam).dispatches.append(self._locus(node))
+        elif self._lambda_depth > 0:
+            fam = self._resolve(node)
+            if fam is not None:
+                self._sites_for(fam).dispatches.append(self._locus(node))
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if len(node.ops) == 1 and isinstance(node.ops[0], (ast.Eq, ast.NotEq)):
+            sides = [node.left, node.comparators[0]]
+            if any(self._is_tag_ref(s) for s in sides):
+                for side in sides:
+                    fam = self._resolve(side)
+                    if fam is not None:
+                        self._sites_for(fam).dispatches.append(self._locus(node))
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # Bare `Tags.X` references inside lambdas (constant expected tags).
+        if self._lambda_depth > 0:
+            fam = self._resolve(node)
+            if fam is not None:
+                self._sites_for(fam).dispatches.append(self._locus(node))
+        self.generic_visit(node)
+
+
+def _default_sources() -> list[tuple[str, str]]:
+    from ..runtime import master, pipeline, slave
+
+    return [
+        (mod.__name__.rsplit(".", 1)[-1] + ".py", inspect.getsource(mod))
+        for mod in (master, slave, pipeline)
+    ]
+
+
+def lint_sources(
+    sources: list[tuple[str, str]],
+    families: dict[str, _Family] | None = None,
+) -> list[Diagnostic]:
+    """Run the send/receive pairing lint over ``(name, source)`` pairs."""
+    fams = families if families is not None else tag_families()
+    merged: dict[str, _Sites] = {}
+    for module, text in sources:
+        collector = _SiteCollector(module, fams)
+        collector.visit(ast.parse(text))
+        for key, sites in collector.sites.items():
+            bucket = merged.setdefault(key, _Sites())
+            bucket.sends.extend(sites.sends)
+            bucket.recvs.extend(sites.recvs)
+            bucket.polls.extend(sites.polls)
+            bucket.dispatches.extend(sites.dispatches)
+
+    found: list[Diagnostic] = []
+    for fam in fams.values():
+        sites = merged.get(fam.key, _Sites())
+        receivers = sites.recvs + sites.polls + sites.dispatches
+        if sites.sends and not receivers:
+            found.append(
+                Diagnostic(
+                    code="RA401",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"tag family {fam.key!r} is sent but no selective "
+                        f"receive, dispatch, or poll consumes it: messages "
+                        f"would pile up unread"
+                    ),
+                    pass_name=_PASS,
+                    locus=sites.sends[0],
+                    details={"sends": sites.sends},
+                )
+            )
+        elif receivers and not sites.sends:
+            found.append(
+                Diagnostic(
+                    code="RA402",
+                    severity=Severity.ERROR,
+                    message=(
+                        f"tag family {fam.key!r} is selectively received "
+                        f"but never sent: a blocking consumer would "
+                        f"deadlock waiting for it"
+                    ),
+                    pass_name=_PASS,
+                    locus=receivers[0],
+                    details={"receives": receivers},
+                )
+            )
+        elif not sites.sends and not receivers:
+            found.append(
+                Diagnostic(
+                    code="RA403",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"tag family {fam.key!r} is declared in Tags but "
+                        f"neither sent nor received by the runtime"
+                    ),
+                    pass_name=_PASS,
+                    locus="protocol.py",
+                )
+            )
+        elif (
+            sites.sends
+            and sites.polls
+            and not sites.recvs
+            and not sites.dispatches
+        ):
+            found.append(
+                Diagnostic(
+                    code="RA404",
+                    severity=Severity.WARNING,
+                    message=(
+                        f"tag family {fam.key!r} is consumed only by "
+                        f"non-blocking polls: delivery is never guaranteed "
+                        f"to be drained"
+                    ),
+                    pass_name=_PASS,
+                    locus=sites.polls[0],
+                    details={"polls": sites.polls},
+                )
+            )
+    return found
+
+
+def check_protocol() -> list[Diagnostic]:
+    """Lint the shipped runtime sources (master, slave, pipeline)."""
+    return lint_sources(_default_sources())

@@ -1,0 +1,95 @@
+"""Pass orchestration: run the verification suite over one plan.
+
+The static passes (owner-computes, communication completeness, movement
+safety) need only an :class:`~repro.compiler.plan.ExecutionPlan`; the
+protocol lint inspects the runtime sources once per suite; the replay
+pass needs an event log, which :func:`replay_run` produces by executing
+a recorded cost-only simulation of the plan.  :func:`check_suite` is the
+entry point the ``repro check`` CLI and CI gate use.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from ..compiler.plan import ExecutionPlan
+from ..config import RunConfig
+from ..obs import Event, Recorder
+from .communication import check_communication
+from .diagnostics import CheckResult, Diagnostic
+from .movement import check_movement
+from .ownership import check_owner_computes
+from .protocol_lint import check_protocol
+from .replay import check_replay
+
+__all__ = ["check_plan", "check_suite", "replay_run", "static_passes"]
+
+
+def static_passes(plan: ExecutionPlan) -> list[Diagnostic]:
+    """Run the three plan-level static passes, in pass order."""
+    found: list[Diagnostic] = []
+    found.extend(check_owner_computes(plan))
+    found.extend(check_communication(plan))
+    found.extend(check_movement(plan))
+    return found
+
+
+def check_plan(plan: ExecutionPlan) -> CheckResult:
+    """Static verification of one plan (no protocol lint, no replay)."""
+    return CheckResult(subject=plan.name, diagnostics=static_passes(plan))
+
+
+def replay_run(
+    plan: ExecutionPlan,
+    run_cfg: RunConfig,
+    seed: int = 0,
+    loads: Mapping[int, Any] | None = None,
+) -> list[Diagnostic]:
+    """Execute a recorded simulation of ``plan`` and replay its events.
+
+    The run is whatever ``run_cfg`` describes — the CLI uses small
+    cost-only configurations so the replay stays cheap; numerics are
+    irrelevant to the happens-before relation.  ``loads`` (pid ->
+    external load generator) provokes work movement, exercising the
+    movement-edge ordering paths.
+    """
+    from ..runtime import run_application
+
+    recorder = Recorder()
+    run_application(
+        plan, run_cfg, loads=loads or {}, seed=seed, recorder=recorder
+    )
+    return check_replay(recorder.log, subject=plan.name)
+
+
+def check_suite(
+    plan: ExecutionPlan,
+    run_cfg: RunConfig | None = None,
+    *,
+    protocol: bool = True,
+    events: Iterable[Event] | None = None,
+    seed: int = 0,
+) -> CheckResult:
+    """Full verification of one plan.
+
+    Args:
+        plan: the execution plan to verify.
+        run_cfg: when given, a recorded simulation provides the event
+            log for the replay pass; when ``None`` and no ``events``
+            are supplied, the replay pass is skipped.
+        protocol: include the runtime protocol lint (its findings are
+            plan-independent; CLI callers run it once for the first
+            subject only).
+        events: a pre-recorded event stream to replay instead of
+            simulating (e.g. loaded from ``repro trace --events``).
+        seed: simulation seed for the replay run.
+    """
+    result = CheckResult(subject=plan.name)
+    result.extend(static_passes(plan))
+    if protocol:
+        result.extend(check_protocol())
+    if events is not None:
+        result.extend(check_replay(events, subject=plan.name))
+    elif run_cfg is not None:
+        result.extend(replay_run(plan, run_cfg, seed=seed))
+    return result

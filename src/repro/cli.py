@@ -7,6 +7,9 @@ Commands:
 - ``trace``    — run one application with full observability and dump or
                  inspect structured :class:`~repro.obs.RunReport` JSON
                  and JSONL event logs.
+- ``check``    — run the static verification suite (``repro.analysis``)
+                 over generated plans and recorded runs; exits nonzero
+                 on error-severity diagnostics.
 - ``figures``  — regenerate the paper's tables/figures (all or by name).
 - ``source``   — show an application's generated SPMD program listing.
 - ``features`` — print the Table 1 feature matrix.
@@ -97,6 +100,79 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         recorder.log.save(args.events)
         print(f"{len(recorder.log)} events written to {args.events}")
     return 0
+
+
+def _check_subjects(args: argparse.Namespace) -> list[tuple[str, object]]:
+    """Resolve what ``repro check`` verifies: apps or a custom factory."""
+    import importlib
+
+    if args.plan_factory is not None:
+        mod_name, sep, fn_name = args.plan_factory.partition(":")
+        if not sep:
+            raise SystemExit(
+                f"check: --plan-factory wants module:function, got "
+                f"{args.plan_factory!r}"
+            )
+        factory = getattr(importlib.import_module(mod_name), fn_name)
+        return [(args.plan_factory, factory())]
+    apps = args.apps or sorted(REGISTRY)
+    for app in apps:
+        if app not in REGISTRY:
+            raise SystemExit(
+                f"check: unknown app {app!r}; choices: {', '.join(sorted(REGISTRY))}"
+            )
+    return [(app, _build_plan(app, args.n, args.slaves)) for app in apps]
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from .analysis import CheckResult, check_log_file, check_suite
+
+    results: list[CheckResult] = []
+    if args.events is not None:
+        results.append(
+            CheckResult(
+                subject=args.events, diagnostics=check_log_file(args.events)
+            )
+        )
+    if args.events is None or args.apps or args.plan_factory:
+        protocol_pending = True
+        for name, plan in _check_subjects(args):
+            if args.no_replay:
+                res = check_suite(plan, None, protocol=protocol_pending)
+                res.subject = name
+                results.append(res)
+            else:
+                for dlb in (True, False):
+                    cfg = RunConfig(
+                        cluster=ClusterSpec(n_slaves=args.slaves),
+                        execute_numerics=False,
+                        dlb_enabled=dlb,
+                    )
+                    res = check_suite(
+                        plan,
+                        cfg,
+                        protocol=protocol_pending and dlb,
+                        seed=args.seed,
+                    )
+                    res.subject = f"{name}[dlb={'on' if dlb else 'off'}]"
+                    results.append(res)
+            protocol_pending = False
+    ok = all(r.ok for r in results)
+    if args.json is not None:
+        import json as _json
+
+        doc = {"ok": ok, "subjects": [r.to_dict() for r in results]}
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(doc, fh, indent=2, sort_keys=True)
+        print(f"check results written to {args.json}")
+    for r in results:
+        print(r.describe())
+    n_err = sum(len(r.errors()) for r in results)
+    print(
+        f"\ncheck: {len(results)} subject(s), "
+        f"{sum(len(r) for r in results)} finding(s), {n_err} error(s)"
+    )
+    return 0 if ok else 1
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
@@ -224,6 +300,40 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="summarize a previously saved RunReport instead of running",
     )
     p_trace.set_defaults(fn=_cmd_trace)
+
+    p_check = sub.add_parser(
+        "check",
+        help="run the static verification suite over generated plans",
+    )
+    p_check.add_argument(
+        "apps",
+        nargs="*",
+        help="applications to verify (default: all registered apps)",
+    )
+    p_check.add_argument("-n", type=int, default=24, help="problem size")
+    p_check.add_argument("--slaves", type=int, default=3)
+    p_check.add_argument("--seed", type=int, default=0)
+    p_check.add_argument(
+        "--json", metavar="PATH", default=None, help="write findings as JSON"
+    )
+    p_check.add_argument(
+        "--no-replay",
+        action="store_true",
+        help="static passes only (skip the recorded replay simulations)",
+    )
+    p_check.add_argument(
+        "--events",
+        metavar="PATH",
+        default=None,
+        help="replay an existing JSONL event log (from `repro trace --events`)",
+    )
+    p_check.add_argument(
+        "--plan-factory",
+        metavar="MODULE:FUNC",
+        default=None,
+        help="verify the plan returned by a custom zero-argument factory",
+    )
+    p_check.set_defaults(fn=_cmd_check)
 
     p_fig = sub.add_parser("figures", help="regenerate paper tables/figures")
     p_fig.add_argument("names", nargs="*", help="subset to run (default: all)")

@@ -22,7 +22,7 @@ from ..errors import CompileError
 from .codegen import select_shape
 from .costmodel import cost_of_body
 from .deps import analyze_dependences
-from .ir import Directive, Loop, Program, iter_assigns
+from .ir import Conditional, Directive, Loop, Program, Stmt, iter_assigns
 from .plan import LoopShape
 
 __all__ = ["derive_directive", "choose_distribution", "DistributionChoice"]
@@ -75,7 +75,7 @@ class DistributionChoice:
     unit_bytes: int = 0
     body_ops: float = 0.0
 
-    def score(self) -> tuple:
+    def score(self) -> tuple[int, int, int, int]:
         """Higher is better (only meaningful for legal candidates)."""
         return (
             _SHAPE_RANK.get(self.shape, 0),
@@ -88,12 +88,12 @@ class DistributionChoice:
 def _loops_with_depth(program: Program) -> list[tuple[Loop, int]]:
     out: list[tuple[Loop, int]] = []
 
-    def walk(stmts, depth):
+    def walk(stmts: tuple[Stmt, ...], depth: int) -> None:
         for s in stmts:
             if isinstance(s, Loop):
                 out.append((s, depth))
                 walk(s.body, depth + 1)
-            elif hasattr(s, "body"):
+            elif isinstance(s, Conditional):
                 walk(s.body, depth)
 
     walk(program.body, 0)

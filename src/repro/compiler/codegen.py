@@ -16,7 +16,7 @@
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Callable, Mapping
 
 from ..config import GrainConfig
 from ..errors import CompileError
@@ -32,9 +32,16 @@ from .ir import (
     Program,
     Stmt,
 )
-from .plan import AppKernels, ExecutionPlan, LoopShape, MovementSpec, StripSpec
+from .plan import (
+    AppKernels,
+    ChannelSpec,
+    ExecutionPlan,
+    LoopShape,
+    MovementSpec,
+    StripSpec,
+)
 
-__all__ = ["compile_program", "select_shape"]
+__all__ = ["compile_program", "derive_channels", "select_shape"]
 
 
 def select_shape(deps: DependenceInfo, program: Program, directive: Directive) -> LoopShape:
@@ -56,6 +63,75 @@ def select_shape(deps: DependenceInfo, program: Program, directive: Directive) -
     if deps.nonlocal_reads or varying:
         return LoopShape.REDUCTION_FRONT
     return LoopShape.PARALLEL_MAP
+
+
+def derive_channels(
+    deps: DependenceInfo,
+    directive: Directive,
+    shape: LoopShape,
+    restricted: bool,
+) -> tuple[ChannelSpec, ...]:
+    """The communication channels the generated program must provide.
+
+    Derived entirely from the dependence analysis (the same reasoning the
+    paper's compiler uses to insert communication, Sections 4.5-4.6):
+
+    - a positive carried distance ``+d`` means iteration ``j`` reads the
+      *updated* values of iteration ``j-d`` — under a block distribution
+      the owner of ``j-d`` pipelines them rightward (``boundary``);
+    - a negative carried distance ``-d`` means iteration ``j`` reads the
+      *old* values of iteration ``j+d`` — exchanged leftward once per
+      sweep before anyone overwrites them (``halo``);
+    - a non-local read (subscript independent of the distributed index)
+      is satisfied by an owner-computed ``front`` broadcast;
+    - work movement always has a channel, ``adjacent`` when loop-carried
+      dependences restrict it, ``any`` otherwise.
+    """
+    channels: list[ChannelSpec] = []
+    arrays = tuple(name for name, _dim in directive.distributed_arrays)
+    primary = arrays[0] if arrays else None
+    for dist in deps.carried_distances:
+        if dist > 0:
+            channels.append(
+                ChannelSpec(
+                    kind="boundary",
+                    direction="to_right",
+                    distance=dist,
+                    array=primary,
+                    note=f"flow dependence at distance +{dist}",
+                )
+            )
+        else:
+            channels.append(
+                ChannelSpec(
+                    kind="halo",
+                    direction="to_left",
+                    distance=dist,
+                    array=primary,
+                    note=f"anti dependence at distance {dist}",
+                )
+            )
+    seen_fronts: set[str] = set()
+    for read in deps.nonlocal_reads:
+        if read.array in seen_fronts:
+            continue
+        seen_fronts.add(read.array)
+        channels.append(
+            ChannelSpec(
+                kind="front",
+                direction="broadcast",
+                array=read.array,
+                note=f"non-local read {read}",
+            )
+        )
+    channels.append(
+        ChannelSpec(
+            kind="move",
+            direction="adjacent" if restricted else "any",
+            note="work movement (Section 4.5)",
+        )
+    )
+    return tuple(channels)
 
 
 def _unit_bytes(program: Program, directive: Directive, params: Mapping[str, float]) -> int:
@@ -113,7 +189,7 @@ def _front_cost_fn(
     directive: Directive,
     params: Mapping[str, float],
     rep_var: str | None,
-):
+) -> Callable[[int], float] | None:
     """Cost of owner-computed statements inside the repetition loop but
     outside the distributed loop (e.g. LU pivot normalisation)."""
     if rep_var is None:
@@ -313,6 +389,9 @@ def compile_program(
         deps=deps,
         features=features,
         source=source,
+        comms=derive_channels(deps, directive, shape, deps.movement_restricted),
+        program=program,
+        directive=directive,
         strip=strip,
         front_cost=front_cost,
         unit_domain=unit_domain if (varying_bounds or shape is LoopShape.REDUCTION_FRONT) else None,

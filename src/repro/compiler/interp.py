@@ -13,27 +13,32 @@ validation problems, not for experiments.
 
 from __future__ import annotations
 
-from typing import Callable, Mapping, MutableMapping
+from typing import Any, Callable, Mapping, MutableMapping
 
 import numpy as np
 
 from ..errors import CompileError
-from .ir import Assign, Conditional, Loop, Program, Stmt
+from .ir import ArrayRef, Assign, Conditional, Loop, Program, Stmt
 
 __all__ = ["interpret", "Semantics"]
 
 # Maps an assignment's label to a function of its read values.
 Semantics = Mapping[str, Callable[..., float]]
 
+# The interpreter works on dense float arrays throughout.
+FloatArray = np.ndarray[Any, np.dtype[np.float64]]
 
-def _eval_ref(arrays: Mapping[str, np.ndarray], ref, env: Mapping[str, float]) -> float:
+
+def _eval_ref(
+    arrays: Mapping[str, FloatArray], ref: ArrayRef, env: Mapping[str, float]
+) -> float:
     idx = tuple(int(sub.evaluate(env)) for sub in ref.index)
     return float(arrays[ref.array][idx])
 
 
 def _exec_stmt(
     stmt: Stmt,
-    arrays: MutableMapping[str, np.ndarray],
+    arrays: MutableMapping[str, FloatArray],
     env: dict[str, float],
     semantics: Semantics,
     predicates: Mapping[str, Callable[..., bool]],
@@ -71,10 +76,10 @@ def _exec_stmt(
 def interpret(
     program: Program,
     params: Mapping[str, float],
-    arrays: Mapping[str, np.ndarray],
+    arrays: Mapping[str, FloatArray],
     semantics: Semantics,
     predicates: Mapping[str, Callable[..., bool]] | None = None,
-) -> dict[str, np.ndarray]:
+) -> dict[str, FloatArray]:
     """Execute ``program`` sequentially; returns the (copied) arrays.
 
     ``semantics`` maps each assignment's ``label`` to a Python function

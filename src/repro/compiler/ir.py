@@ -121,7 +121,7 @@ class Affine:
     def __rsub__(self, other: "Affine | Number") -> "Affine":
         return self._coerce(other) + (-self)
 
-    def __mul__(self, other: Number) -> "Affine":
+    def __mul__(self, other: "Affine | Number") -> "Affine":
         if isinstance(other, Affine):
             if other.is_constant():
                 other = other.constant

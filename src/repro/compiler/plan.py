@@ -22,11 +22,16 @@ from ..errors import CompileError
 from .deps import DependenceInfo
 from .features import ApplicationFeatures
 from .hooks import HookPlacement
+from .ir import Directive, Program
+
+# Sorted vector of unit (iteration) indices a slave owns or transfers.
+UnitArray = np.ndarray[Any, np.dtype[np.int64]]
 
 __all__ = [
     "LoopShape",
     "StripSpec",
     "MovementSpec",
+    "ChannelSpec",
     "AppKernels",
     "ExecutionPlan",
 ]
@@ -81,6 +86,35 @@ class StripSpec:
 
 
 @dataclass(frozen=True)
+class ChannelSpec:
+    """One modelled communication channel of the generated program.
+
+    The compiler derives the channel set from the dependence analysis
+    (Sections 4.5-4.6): every non-owned read must be covered by exactly
+    one of these, which is what the static communication-completeness
+    checker (``repro.analysis``) verifies.
+
+    Attributes:
+        kind: ``boundary`` (pipeline per-strip updated values),
+            ``halo`` (sweep-start old values), ``front`` (reduction-step
+            broadcast), or ``move`` (work movement payloads).
+        direction: ``to_right`` | ``to_left`` | ``broadcast`` |
+            ``adjacent`` | ``any`` — who the data flows toward.
+        distance: the dependence distance along the distributed loop this
+            channel covers (``None`` when not distance-based).
+        array: the distributed array whose elements travel (``None`` for
+            work movement, which carries whole units).
+        note: free-form provenance, e.g. the covered reference pair.
+    """
+
+    kind: str
+    direction: str
+    distance: int | None = None
+    array: str | None = None
+    note: str = ""
+
+
+@dataclass(frozen=True)
 class MovementSpec:
     """Work-movement constraints and costs (Sections 3.2, 4.5).
 
@@ -112,7 +146,7 @@ class AppKernels:
     def make_global(self, rng: np.random.Generator) -> Any:
         raise NotImplementedError
 
-    def make_local(self, global_state: Any, units: np.ndarray) -> Any:
+    def make_local(self, global_state: Any, units: UnitArray) -> Any:
         """Initial local state for a slave owning ``units`` (sorted ids)."""
         raise NotImplementedError
 
@@ -138,7 +172,7 @@ class AppKernels:
 
     # ---- PARALLEL_MAP ------------------------------------------------
 
-    def run_units(self, local: Any, rep: int, units: np.ndarray) -> None:
+    def run_units(self, local: Any, rep: int, units: UnitArray) -> None:
         raise NotImplementedError
 
     def unit_ops(self, local: Any, rep: int, unit: int) -> float | None:
@@ -178,7 +212,7 @@ class AppKernels:
         self,
         local: Any,
         rep: int,
-        units: "np.ndarray",
+        units: "UnitArray",
         row_blocks: Sequence[tuple[int, int]],
     ) -> list[Any]:
         """Bring just-received (behind) units up to the local pipeline
@@ -194,7 +228,7 @@ class AppKernels:
         normalised pivot column); returns the broadcast payload."""
         raise NotImplementedError
 
-    def apply_front(self, local: Any, rep: int, payload: Any, units: np.ndarray) -> None:
+    def apply_front(self, local: Any, rep: int, payload: Any, units: UnitArray) -> None:
         """Update the owned ``units`` using the broadcast payload."""
         raise NotImplementedError
 
@@ -203,14 +237,14 @@ class AppKernels:
 
     # ---- work movement -------------------------------------------------
 
-    def pack_units(self, local: Any, units: np.ndarray, ctx: dict) -> Any:
+    def pack_units(self, local: Any, units: UnitArray, ctx: dict[str, Any]) -> Any:
         """Extract the state of ``units`` for transfer to another slave.
 
         ``ctx`` carries shape-specific phase info (e.g. the pipeline block
         index at which the movement is applied)."""
         raise NotImplementedError
 
-    def unpack_units(self, local: Any, units: np.ndarray, payload: Any, ctx: dict) -> None:
+    def unpack_units(self, local: Any, units: UnitArray, payload: Any, ctx: dict[str, Any]) -> None:
         raise NotImplementedError
 
 
@@ -242,6 +276,12 @@ class ExecutionPlan:
         kernels: application kernels.
         deps / features: analysis artifacts.
         source: rendered generated source listing (Figure 3 analogue).
+        comms: modelled communication channels (what the generated code
+            sends); the static analysis suite checks these cover every
+            non-owned read the dependence analysis predicts.
+        program / directive: the sequential IR and distribution directive
+            the plan was compiled from, retained for static verification
+            (``None`` for hand-built plans, which skip IR-level passes).
     """
 
     name: str
@@ -259,6 +299,9 @@ class ExecutionPlan:
     strip: StripSpec | None = None
     front_cost: Callable[[int], float] | None = None
     unit_domain: Callable[[int], tuple[int, int]] | None = None
+    comms: tuple[ChannelSpec, ...] = ()
+    program: Program | None = None
+    directive: Directive | None = None
     unit_lo: int = 0
     cost_uniform_in_unit: bool = True
     # Data-dependent WHILE repetition (Section 4.1): ``reps`` is the cap;

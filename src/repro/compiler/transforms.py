@@ -35,6 +35,9 @@ __all__ = [
 
 UNKNOWN = None
 
+# One distance per loop variable; None marks a statically unknown component.
+DepVector = tuple[int | None, ...]
+
 
 def _nest_order(program: Program) -> list[str]:
     return [lp.index for lp in iter_loops(program.body)]
@@ -42,7 +45,7 @@ def _nest_order(program: Program) -> list[str]:
 
 def dependence_vectors(
     program: Program, loop_vars: Sequence[str] | None = None
-) -> list[tuple]:
+) -> list[DepVector]:
     """All dependence vectors over ``loop_vars`` (nest order by default).
 
     Components are ints or ``None`` (statically unknown distance).
@@ -54,7 +57,7 @@ def dependence_vectors(
     order = list(loop_vars) if loop_vars is not None else _nest_order(program)
     assigns = list(iter_assigns(program.body))
     pairs = _collect_pairs(assigns, _nest_order(program), program.params)
-    vectors: list[tuple] = []
+    vectors: list[DepVector] = []
     for pair in pairs:
         vec = tuple(pair.distance_along(v) for v in order)
         if all(c == 0 for c in vec if c is not UNKNOWN) and UNKNOWN not in vec:
@@ -64,7 +67,7 @@ def dependence_vectors(
     return vectors
 
 
-def _canonical(vec: tuple) -> tuple:
+def _canonical(vec: DepVector) -> DepVector:
     """Negate lexicographically negative vectors (anti dependences)."""
     for c in vec:
         if c is UNKNOWN:

@@ -30,6 +30,9 @@ Common ``category`` values (see ``docs/observability.md``):
     slave-side work movement (marshalling sends, applying receives).
 ``pipeline``
     pipeline-mode catch-up merges.
+``access``
+    slave-side element-write batches (unit ids + repetition in ``meta``),
+    consumed by the happens-before replay checker in ``repro.analysis``.
 """
 
 from __future__ import annotations

@@ -139,7 +139,8 @@ class PipelineSlave(SlaveCore):
                 def _do(rows=rows, left_halo=left_halo, rep=rep):
                     holder["bnd"] = k.run_block(self.local, rep, rows, left_halo)
 
-                yield from self.compute(ops, fn=_do)
+                dt = yield from self.compute(ops, fn=_do)
+                self.note_access(dt, self.owned, rep)
                 if self.right_pid is not None:
                     yield Send(
                         self.right_pid,
@@ -439,7 +440,8 @@ class PipelineSlave(SlaveCore):
                     [rows for _r, rows in blocks],
                 )
 
-            yield from self.compute(ops, fn=_do)
+            dt = yield from self.compute(ops, fn=_do)
+            self.note_access(dt, units, blocks[0][0], name="catchup")
             self.count_units(frac_units)
             refreshed = holder.get("refreshed") or [None] * len(blocks)
             src = order.transfer.src

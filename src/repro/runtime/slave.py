@@ -107,6 +107,30 @@ class SlaveCore:
         self.units_done += n
         self.meas_units += n
 
+    def note_access(
+        self, dt: float, units, rep: int, name: str = "write"
+    ) -> None:
+        """Record a batch of element writes as an ``access`` span.
+
+        ``dt`` is the duration of the compute that performed the writes
+        (call this immediately after it, so ``ctx.now`` is its end).
+        The happens-before replay checker (``repro.analysis.replay``)
+        pairs these spans with ``net`` message spans to prove every
+        cross-slave handoff of an element was ordered by a message.
+        """
+        if not self.obs.enabled:
+            return
+        t1 = self.ctx.now
+        self.obs.emit_span(
+            "access",
+            name,
+            t1 - dt,
+            t1,
+            pid=self.pid,
+            value=float(len(units)),
+            meta={"units": [int(u) for u in units], "rep": int(rep)},
+        )
+
     # -- master interaction (hooks, Section 4.2/4.3/3.3) -----------------
 
     def lb_hook(self) -> Generator[Any, Any, None]:
@@ -343,9 +367,10 @@ class ParallelMapSlave(SlaveCore):
             self.rep = rep
             ops = self._unit_ops(rep, u)
             arr = np.array([u])
-            yield from self.compute(
+            dt = yield from self.compute(
                 ops, fn=(lambda: k.run_units(self.local, rep, arr))
             )
+            self.note_access(dt, (u,), rep)
             self.completed[u] = rep + 1
             self.count_units(1.0)
             yield from self.lb_hook()
@@ -439,10 +464,11 @@ class ReductionFrontSlave(SlaveCore):
             if todo:
                 ops = plan.units_cost(k, todo)
                 arr = np.asarray(sorted(todo))
-                yield from self.compute(
+                dt = yield from self.compute(
                     ops,
                     fn=(lambda: k_fns.apply_front(self.local, k, front, arr)),
                 )
+                self.note_access(dt, todo, k)
                 for u in todo:
                     self.completed[u] = k + 1
                 self.count_units(float(len(todo)))
@@ -555,7 +581,8 @@ class ReductionFrontSlave(SlaveCore):
         def _do():
             holder["front"] = k_fns.compute_front(self.local, k)
 
-        yield from self.compute(ops, fn=_do)
+        dt = yield from self.compute(ops, fn=_do)
+        self.note_access(dt, (k,), k, name="front")
         front = holder.get("front")
         self.front_sent[k] = True
         nbytes = k_fns.front_bytes(k) if self.exec_num else 8 * max(1, self.plan.n_units - k)
@@ -633,5 +660,11 @@ class ReductionFrontSlave(SlaveCore):
                 )
 
         if steps:
-            yield from self.compute(catchup_ops, fn=_do)
+            dt = yield from self.compute(catchup_ops, fn=_do)
+            self.note_access(
+                dt,
+                sorted({u for _k, todo in steps for u in todo}),
+                self.rep,
+                name="catchup",
+            )
             self.count_units(float(catchup_units))

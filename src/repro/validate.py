@@ -21,7 +21,7 @@ from .errors import ReproError
 from .runtime.launcher import RunResult, run_application
 from .sim import LoadGenerator
 
-__all__ = ["VerifiedRun", "verify_run"]
+__all__ = ["VerificationError", "VerifiedRun", "verify_run"]
 
 
 class VerificationError(ReproError):

@@ -1,0 +1,54 @@
+"""Deliberately broken plan factories for the verification suite.
+
+Each factory starts from a *correct* generated plan and seeds exactly
+one fault the paper's compiler would never produce.  The acceptance
+tests (and ``repro check --plan-factory``) assert the suite pinpoints
+each fault with its stable code — proving the checkers verify the
+obligations rather than merely restating what the compiler did.
+
+Factories are zero-argument (the ``--plan-factory`` contract).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.apps import REGISTRY
+from repro.compiler.plan import ExecutionPlan
+
+__all__ = ["sor_without_halo", "sor_unrestricted_movement"]
+
+_N = 24
+_SLAVES = 3
+
+
+def _sor() -> ExecutionPlan:
+    return REGISTRY["sor"](n=_N, n_slaves_hint=_SLAVES)
+
+
+def sor_without_halo() -> ExecutionPlan:
+    """SOR with the sweep-start halo message deleted.
+
+    The anti dependence at distance -1 (each column reads its right
+    neighbour's *old* values) is then uncovered: expect ``RA202``.
+    """
+    plan = _sor()
+    return dataclasses.replace(
+        plan,
+        name="sor-broken-no-halo",
+        comms=tuple(ch for ch in plan.comms if ch.kind != "halo"),
+    )
+
+
+def sor_unrestricted_movement() -> ExecutionPlan:
+    """SOR whose balancer may move any column to any slave.
+
+    Loop-carried dependences demand block-preserving adjacent transfers
+    (paper Section 3.2); unrestricted movement must raise ``RA301``.
+    """
+    plan = _sor()
+    return dataclasses.replace(
+        plan,
+        name="sor-broken-unrestricted",
+        movement=dataclasses.replace(plan.movement, restricted=False),
+    )

@@ -1,0 +1,101 @@
+"""Communication-completeness checker tests (RA2xx)."""
+
+import dataclasses
+
+from repro.analysis import check_communication
+from repro.apps import REGISTRY
+from repro.compiler.plan import ChannelSpec
+
+
+def _plan(app, **kw):
+    return REGISTRY[app](n=16, n_slaves_hint=2, **kw)
+
+
+def _codes(found):
+    return [d.code for d in found]
+
+
+class TestShippedAppsClean:
+    def test_no_errors_on_any_app(self):
+        for name, builder in sorted(REGISTRY.items()):
+            plan = builder(n=16, n_slaves_hint=2)
+            found = check_communication(plan)
+            assert not [d for d in found if d.severity.value == "error"], name
+
+    def test_sor_channels_model_both_directions(self):
+        plan = _plan("sor")
+        kinds = {(ch.kind, ch.direction) for ch in plan.comms}
+        assert ("boundary", "to_right") in kinds
+        assert ("halo", "to_left") in kinds
+
+    def test_lu_models_front_broadcast(self):
+        plan = _plan("lu")
+        assert any(
+            ch.kind == "front" and ch.direction == "broadcast"
+            for ch in plan.comms
+        )
+
+
+class TestSeededFaults:
+    def test_missing_halo_is_ra202(self):
+        plan = _plan("sor")
+        broken = dataclasses.replace(
+            plan, comms=tuple(c for c in plan.comms if c.kind != "halo")
+        )
+        found = check_communication(broken)
+        assert "RA202" in _codes(found)
+
+    def test_missing_boundary_is_ra201(self):
+        plan = _plan("sor")
+        broken = dataclasses.replace(
+            plan, comms=tuple(c for c in plan.comms if c.kind != "boundary")
+        )
+        found = check_communication(broken)
+        assert "RA201" in _codes(found)
+
+    def test_no_data_channels_at_all_still_ra201(self):
+        plan = _plan("sor")
+        broken = dataclasses.replace(
+            plan, comms=tuple(c for c in plan.comms if c.kind == "move")
+        )
+        codes = _codes(check_communication(broken))
+        assert "RA201" in codes and "RA202" in codes
+
+    def test_missing_front_broadcast_is_ra203(self):
+        plan = _plan("lu")
+        broken = dataclasses.replace(
+            plan, comms=tuple(c for c in plan.comms if c.kind != "front")
+        )
+        found = check_communication(broken)
+        assert "RA203" in _codes(found)
+
+    def test_wrong_distance_does_not_cover(self):
+        plan = _plan("sor")
+        # Halo at the wrong distance: a width-2 exchange cannot stand in
+        # for the distance -1 anti dependence.
+        comms = tuple(
+            dataclasses.replace(c, distance=-2) if c.kind == "halo" else c
+            for c in plan.comms
+        )
+        found = check_communication(dataclasses.replace(plan, comms=comms))
+        assert "RA202" in _codes(found)
+
+
+class TestAdvisories:
+    def test_superfluous_channel_is_ra205_info(self):
+        plan = _plan("matmul")
+        extra = ChannelSpec(
+            kind="boundary", direction="to_right", distance=1, array="a"
+        )
+        found = check_communication(
+            dataclasses.replace(plan, comms=plan.comms + (extra,))
+        )
+        ra205 = [d for d in found if d.code == "RA205"]
+        assert ra205 and all(d.severity.value == "info" for d in ra205)
+
+    def test_unknown_distance_is_ra204_warning(self):
+        plan = _plan("matmul")
+        deps = dataclasses.replace(plan.deps, carried_unknown=True)
+        found = check_communication(dataclasses.replace(plan, deps=deps))
+        assert "RA204" in _codes(found)
+        assert all(d.code != "RA201" or d.severity.value != "error" for d in found)

@@ -1,0 +1,86 @@
+"""Diagnostic model tests: stable codes, JSON round-trips, gating."""
+
+import json
+
+import pytest
+
+from repro.analysis import CODES, CheckResult, Diagnostic, Severity
+
+
+def _diag(code="RA101", sev=Severity.ERROR, locus="x"):
+    return Diagnostic(
+        code=code,
+        severity=sev,
+        message="m",
+        pass_name="owner",
+        locus=locus,
+        details={"k": 1},
+    )
+
+
+class TestDiagnostic:
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic(
+                code="RA999", severity=Severity.ERROR, message="m", pass_name="x"
+            )
+
+    def test_every_code_documented(self):
+        for code, text in CODES.items():
+            assert code.startswith("RA") and len(code) == 5
+            assert text
+
+    def test_roundtrip(self):
+        d = _diag()
+        assert Diagnostic.from_dict(d.to_dict()) == d
+
+    def test_format_mentions_code_and_severity(self):
+        line = _diag().format()
+        assert "RA101" in line and "error" in line and "[owner]" in line
+
+
+class TestCheckResult:
+    def test_ok_with_warnings_only(self):
+        r = CheckResult("s", [_diag(sev=Severity.WARNING)])
+        assert r.ok and not r.errors()
+
+    def test_not_ok_with_error(self):
+        r = CheckResult("s", [_diag()])
+        assert not r.ok and len(r.errors()) == 1
+
+    def test_sorted_most_severe_first(self):
+        r = CheckResult(
+            "s",
+            [
+                _diag(sev=Severity.INFO, code="RA205"),
+                _diag(sev=Severity.ERROR, code="RA101"),
+                _diag(sev=Severity.WARNING, code="RA104"),
+            ],
+        )
+        assert [d.severity for d in r.sorted()] == [
+            Severity.ERROR,
+            Severity.WARNING,
+            Severity.INFO,
+        ]
+
+    def test_counts_in_dict(self):
+        r = CheckResult("s", [_diag(), _diag(sev=Severity.WARNING)])
+        doc = r.to_dict()
+        assert doc["counts"] == {"error": 1, "warning": 1, "info": 0}
+        assert doc["ok"] is False
+
+    def test_json_roundtrip(self):
+        r = CheckResult("s", [_diag(), _diag(sev=Severity.INFO, code="RA205")])
+        doc = json.loads(r.to_json())
+        back = CheckResult.from_dict(doc)
+        assert back.subject == "s"
+        assert sorted(d.code for d in back) == sorted(d.code for d in r)
+
+    def test_by_code(self):
+        r = CheckResult("s", [_diag(), _diag(code="RA103")])
+        assert len(r.by_code("RA103")) == 1
+
+    def test_describe_lists_findings(self):
+        text = CheckResult("subj", [_diag()]).describe()
+        assert "subj" in text and "FAILED" in text and "RA101" in text
+        assert "OK" in CheckResult("subj").describe()

@@ -1,0 +1,56 @@
+"""Movement-safety checker tests (RA3xx)."""
+
+import dataclasses
+
+from repro.analysis import check_movement
+from repro.apps import REGISTRY
+from tests.analysis.fixtures.broken_plans import (
+    sor_unrestricted_movement,
+    sor_without_halo,
+)
+
+
+def _codes(found):
+    return [d.code for d in found]
+
+
+class TestShippedAppsClean:
+    def test_no_errors_on_any_app(self):
+        for name, builder in sorted(REGISTRY.items()):
+            plan = builder(n=16, n_slaves_hint=2)
+            found = check_movement(plan)
+            assert not [d for d in found if d.severity.value == "error"], name
+
+
+class TestSeededFaults:
+    def test_unrestricted_sor_is_ra301(self):
+        found = check_movement(sor_unrestricted_movement())
+        assert "RA301" in _codes(found)
+
+    def test_halo_fixture_passes_movement(self):
+        # The halo fault is a communication fault; movement is intact.
+        found = check_movement(sor_without_halo())
+        assert not [d for d in found if d.severity.value == "error"]
+
+    def test_zero_unit_bytes_is_ra302(self):
+        plan = REGISTRY["matmul"](n=16, n_slaves_hint=2)
+        broken = dataclasses.replace(
+            plan, movement=dataclasses.replace(plan.movement, unit_bytes=0)
+        )
+        assert "RA302" in _codes(check_movement(broken))
+
+    def test_channel_direction_mismatch_is_ra303(self):
+        plan = REGISTRY["sor"](n=16, n_slaves_hint=2)
+        comms = tuple(
+            dataclasses.replace(c, direction="any") if c.kind == "move" else c
+            for c in plan.comms
+        )
+        found = check_movement(dataclasses.replace(plan, comms=comms))
+        assert "RA303" in _codes(found)
+
+    def test_wide_carried_distance_warns_ra304(self):
+        plan = REGISTRY["sor"](n=16, n_slaves_hint=2)
+        deps = dataclasses.replace(plan.deps, carried_distances=(-1, 2))
+        found = check_movement(dataclasses.replace(plan, deps=deps))
+        ra304 = [d for d in found if d.code == "RA304"]
+        assert ra304 and all(d.severity.value == "warning" for d in ra304)

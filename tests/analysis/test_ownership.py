@@ -1,0 +1,151 @@
+"""Owner-computes checker tests (RA1xx)."""
+
+import dataclasses
+
+from repro.analysis import check_owner_computes
+from repro.analysis.ownership import check_program
+from repro.apps import REGISTRY
+from repro.compiler.ir import (
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    Directive,
+    Loop,
+    Program,
+    const,
+    var,
+)
+from repro.compiler.plan import LoopShape
+
+
+def _codes(found):
+    return [d.code for d in found]
+
+
+def _loop_program(target_sub, extra_arrays=()):
+    """while-rep-free single distributed loop writing x[<target_sub>]."""
+    n, j = var("n"), var("j")
+    return Program(
+        "p",
+        ("n",),
+        (ArrayDecl("x", (n,)), ArrayDecl("r", (n,))) + tuple(extra_arrays),
+        (
+            Loop(
+                "j",
+                const(0),
+                n,
+                (Assign(ArrayRef("x", (target_sub,)), (ArrayRef("x", (j,)),)),),
+            ),
+        ),
+    )
+
+
+class TestShippedAppsClean:
+    def test_no_errors_on_any_app(self):
+        for name, builder in sorted(REGISTRY.items()):
+            plan = builder(n=16, n_slaves_hint=2)
+            found = check_owner_computes(plan)
+            assert not [d for d in found if d.severity.value == "error"], name
+
+
+class TestOwnerViolations:
+    def test_offset_write_is_ra101(self):
+        j = var("j")
+        p = _loop_program(j + 1)
+        found = check_program(p, Directive("j", (("x", 0),)))
+        assert "RA101" in _codes(found)
+
+    def test_scaled_write_is_ra101(self):
+        j = var("j")
+        p = _loop_program(2 * j)
+        found = check_program(p, Directive("j", (("x", 0),)))
+        assert "RA101" in _codes(found)
+
+    def test_constant_write_is_ra101(self):
+        p = _loop_program(const(0))
+        found = check_program(p, Directive("j", (("x", 0),)))
+        assert "RA101" in _codes(found)
+
+    def test_plain_write_is_clean(self):
+        p = _loop_program(var("j"))
+        assert check_program(p, Directive("j", (("x", 0),))) == []
+
+    def test_replicated_write_inside_loop_warns_ra104(self):
+        n, j = var("n"), var("j")
+        p = Program(
+            "p",
+            ("n",),
+            (ArrayDecl("x", (n,)), ArrayDecl("acc", (n,))),
+            (
+                Loop(
+                    "j",
+                    const(0),
+                    n,
+                    (
+                        Assign(ArrayRef("x", (j,)), ()),
+                        Assign(ArrayRef("acc", (j,)), ()),
+                    ),
+                ),
+            ),
+        )
+        # acc is not in the directive's distributed arrays => replicated.
+        found = check_program(p, Directive("j", (("x", 0),)))
+        assert "RA104" in _codes(found)
+        assert all(d.severity.value != "error" for d in found)
+
+
+class TestFrontWrites:
+    def _front_program(self, front_sub):
+        n, k, j = var("n"), var("k"), var("j")
+        return Program(
+            "p",
+            ("n",),
+            (ArrayDecl("x", (n,)),),
+            (
+                Loop(
+                    "k",
+                    const(0),
+                    n,
+                    (
+                        Assign(ArrayRef("x", (front_sub,)), ()),
+                        Loop(
+                            "j",
+                            k + 1,
+                            n,
+                            (Assign(ArrayRef("x", (j,)), (ArrayRef("x", (k,)),)),),
+                        ),
+                    ),
+                ),
+            ),
+        )
+
+    def test_front_write_legal_under_reduction_front(self):
+        p = self._front_program(var("k"))
+        found = check_program(
+            p, Directive("j", (("x", 0),)), LoopShape.REDUCTION_FRONT
+        )
+        assert found == []
+
+    def test_front_write_without_front_shape_is_ra102(self):
+        p = self._front_program(var("k"))
+        found = check_program(
+            p, Directive("j", (("x", 0),)), LoopShape.PARALLEL_MAP
+        )
+        assert "RA102" in _codes(found)
+
+    def test_non_plain_front_subscript_is_ra103(self):
+        k = var("k")
+        p = self._front_program(k + 1)
+        found = check_program(
+            p, Directive("j", (("x", 0),)), LoopShape.REDUCTION_FRONT
+        )
+        assert "RA103" in _codes(found)
+
+
+class TestProvenance:
+    def test_plan_without_ir_warns_ra102(self):
+        plan = REGISTRY["matmul"](n=8, n_slaves_hint=2)
+        stripped = dataclasses.replace(plan, program=None, directive=None)
+        found = check_owner_computes(stripped)
+        assert _codes(found) == ["RA102"]
+        assert found[0].severity.value == "warning"

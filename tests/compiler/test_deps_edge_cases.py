@@ -1,0 +1,248 @@
+"""Dependence-analysis edge cases: conservative degradation paths.
+
+The verification suite (``repro.analysis``) keys its obligations off
+``DependenceInfo``, so the conservative corners matter: an UNKNOWN
+distance must degrade to "carried" (restricting movement), never to
+"independent".  These tests pin those corners beyond the basic shapes in
+``test_deps.py``.
+"""
+
+import pytest
+
+from repro.compiler.deps import UNKNOWN, analyze_dependences
+from repro.compiler.ir import (
+    ArrayDecl,
+    ArrayRef,
+    Assign,
+    Directive,
+    Loop,
+    Program,
+    const,
+    var,
+)
+from repro.errors import DependenceError
+
+
+def _program(body, arrays=("x", "y"), params=("n",)):
+    n = var("n")
+    return Program(
+        "p",
+        tuple(params),
+        tuple(ArrayDecl(a, (n, n)) for a in arrays),
+        body,
+    )
+
+
+def _nest(inner_assigns):
+    """i-loop enclosing a distributed j-loop over ``inner_assigns``."""
+    n = var("n")
+    return _program(
+        (
+            Loop(
+                "i",
+                const(0),
+                n,
+                (Loop("j", const(0), n, tuple(inner_assigns)),),
+            ),
+        )
+    )
+
+
+class TestUnknownDistances:
+    def test_cross_variable_subscript_is_unknown_not_carried(self):
+        # x[i][j] = f(x[i][k]) with k a third loop: the j-dim of the read
+        # uses a different variable, so the distance along j is UNKNOWN
+        # on that dim — reported as a nonlocal read, not a carried dep.
+        i, j, k, n = var("i"), var("j"), var("k"), var("n")
+        body = (
+            Loop(
+                "i",
+                const(0),
+                n,
+                (
+                    Loop(
+                        "k",
+                        const(0),
+                        n,
+                        (
+                            Loop(
+                                "j",
+                                const(0),
+                                n,
+                                (
+                                    Assign(
+                                        ArrayRef("x", (i, j)),
+                                        (ArrayRef("x", (i, k)),),
+                                    ),
+                                ),
+                            ),
+                        ),
+                    ),
+                ),
+            ),
+        )
+        info = analyze_dependences(
+            _program(body), Directive("j", (("x", 1),))
+        )
+        assert not info.carried_distances
+        assert any(str(r) == "x[i][k]" for r in info.nonlocal_reads)
+        pair = next(p for p in info.pairs if p.array == "x")
+        assert pair.distance_along("j") is UNKNOWN
+
+    def test_unknown_on_both_sides_degrades_to_carried(self):
+        # x[2j] = f(x[j]): same variable, mismatched coefficients — the
+        # correspondence is value-dependent, so treat it as carried.
+        j, n = var("j"), var("n")
+        body = (
+            Loop(
+                "j",
+                const(0),
+                n,
+                (Assign(ArrayRef("x", (2 * j, const(0))), (ArrayRef("x", (j, const(0))),)),),
+            ),
+        )
+        info = analyze_dependences(_program(body), Directive("j", (("x", 0),)))
+        assert info.carried_unknown
+        assert info.loop_carried
+        assert info.movement_restricted
+
+    def test_symbolic_offset_restricts_movement(self):
+        j, m, n = var("j"), var("m"), var("n")
+        body = (
+            Loop(
+                "j",
+                const(0),
+                n,
+                (
+                    Assign(
+                        ArrayRef("x", (j, const(0))),
+                        (ArrayRef("x", (j - m, const(0))),),
+                    ),
+                ),
+            ),
+        )
+        info = analyze_dependences(
+            _program(body, params=("n", "m")), Directive("j", (("x", 0),))
+        )
+        assert info.carried_unknown and info.movement_restricted
+        # Unknown ≠ known: the distance list stays empty.
+        assert info.carried_distances == ()
+
+
+class TestNegativeDistances:
+    def test_mixed_flow_and_anti_distances(self):
+        # x[j] = f(x[j-2], x[j+3]): flow at +2, anti at -3.
+        j, n = var("j"), var("n")
+        body = (
+            Loop(
+                "j",
+                const(0),
+                n,
+                (
+                    Assign(
+                        ArrayRef("x", (j, const(0))),
+                        (
+                            ArrayRef("x", (j - 2, const(0))),
+                            ArrayRef("x", (j + 3, const(0))),
+                        ),
+                    ),
+                ),
+            ),
+        )
+        info = analyze_dependences(_program(body), Directive("j", (("x", 0),)))
+        assert set(info.carried_distances) == {2, -3}
+        assert info.needs_left_values and info.needs_right_values
+
+    def test_anti_only_needs_right_values_only(self):
+        j, n = var("j"), var("n")
+        body = (
+            Loop(
+                "j",
+                const(0),
+                n,
+                (
+                    Assign(
+                        ArrayRef("x", (j, const(0))),
+                        (ArrayRef("x", (j + 1, const(0))),),
+                    ),
+                ),
+            ),
+        )
+        info = analyze_dependences(_program(body), Directive("j", (("x", 0),)))
+        assert info.carried_distances == (-1,)
+        assert info.needs_right_values and not info.needs_left_values
+
+
+class TestCoupledSubscripts:
+    def test_two_loop_vars_in_one_dim_rejected(self):
+        # x[i+j][0]: coupled subscript — outside the supported domain,
+        # rejected loudly rather than analyzed wrongly.
+        i, j = var("i"), var("j")
+        p = _nest(
+            (Assign(ArrayRef("x", (i + j, const(0))), ()),)
+        )
+        with pytest.raises(DependenceError):
+            analyze_dependences(p, Directive("j", (("x", 0),)))
+
+    def test_coupled_read_side_also_rejected(self):
+        i, j = var("i"), var("j")
+        p = _nest(
+            (
+                Assign(
+                    ArrayRef("x", (j, const(0))),
+                    (ArrayRef("x", (i - j, const(0))),),
+                ),
+            )
+        )
+        with pytest.raises(DependenceError):
+            analyze_dependences(p, Directive("j", (("x", 0),)))
+
+    def test_distinct_vars_on_distinct_dims_supported(self):
+        # x[i][j] is fine: one variable per dimension.
+        i, j = var("i"), var("j")
+        p = _nest((Assign(ArrayRef("x", (i, j)), (ArrayRef("y", (i, j)),)),))
+        info = analyze_dependences(p, Directive("j", (("x", 1),)))
+        assert not info.loop_carried
+
+
+class TestPairAccounting:
+    def test_distance_along_unlisted_var_defaults_to_zero(self):
+        j, n = var("j"), var("n")
+        body = (
+            Loop(
+                "j",
+                const(0),
+                n,
+                (
+                    Assign(
+                        ArrayRef("x", (j, const(0))),
+                        (ArrayRef("x", (j - 1, const(0))),),
+                    ),
+                ),
+            ),
+        )
+        info = analyze_dependences(_program(body), Directive("j", (("x", 0),)))
+        pair = info.pairs[0]
+        assert pair.distance_along("j") == 1
+        assert pair.distance_along("nonexistent") == 0
+
+    def test_conflicting_dims_mean_no_dependence(self):
+        # x[j][j] vs x[j-1][j-2]: dims demand distances 1 and 2 at once —
+        # no element is shared, so no pair is reported.
+        j, n = var("j"), var("n")
+        body = (
+            Loop(
+                "j",
+                const(0),
+                n,
+                (
+                    Assign(
+                        ArrayRef("x", (j, j)),
+                        (ArrayRef("x", (j - 1, j - 2)),),
+                    ),
+                ),
+            ),
+        )
+        info = analyze_dependences(_program(body), Directive("j", (("x", 0),)))
+        assert not info.loop_carried
+        assert info.pairs == ()

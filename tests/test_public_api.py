@@ -29,6 +29,14 @@ MODULES = [
     "repro.obs.metrics",
     "repro.obs.recorder",
     "repro.obs.report",
+    "repro.analysis",
+    "repro.analysis.diagnostics",
+    "repro.analysis.ownership",
+    "repro.analysis.communication",
+    "repro.analysis.movement",
+    "repro.analysis.protocol_lint",
+    "repro.analysis.replay",
+    "repro.analysis.suite",
     "repro.compiler",
     "repro.compiler.ir",
     "repro.compiler.deps",
