@@ -10,9 +10,16 @@ Commands:
 - ``check``    — run the static verification suite (``repro.analysis``)
                  over generated plans and recorded runs; exits nonzero
                  on error-severity diagnostics.
+- ``chaos``    — run an application x fault-plan matrix and validate
+                 results against fault-free baselines.
 - ``figures``  — regenerate the paper's tables/figures (all or by name).
 - ``source``   — show an application's generated SPMD program listing.
 - ``features`` — print the Table 1 feature matrix.
+
+``run`` and ``trace`` take ``--faults NAME_OR_PATH`` (a built-in plan
+name from ``repro.faults.NAMED_PLANS`` or a JSON fault-plan file) plus
+``--fault-seed``; fractional fault times are resolved against a
+fault-free calibration run of the same configuration.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ from typing import Sequence
 
 from .apps import REGISTRY
 from .config import BalancerConfig, ClusterSpec, ProcessorSpec, RunConfig
+from .faults import NAMED_PLANS, FaultPlan, load_plan
 from .obs import Recorder, RunReport
 from .runtime import run_application
 from .sim import ConstantLoad, OscillatingLoad
@@ -60,10 +68,32 @@ def _run_cfg_from_args(args: argparse.Namespace) -> RunConfig:
     )
 
 
+def _faults_from_args(
+    args: argparse.Namespace, plan, run_cfg: RunConfig, loads: dict
+) -> FaultPlan | None:
+    """Resolve ``--faults``: a built-in plan name, a JSON file path, or
+    ``none``.  Fractional fault times (e.g. "crash at 40% of the run")
+    are resolved against a fault-free calibration run."""
+    name = getattr(args, "faults", None)
+    if name is None or name == "none":
+        return None
+    fault_plan = load_plan(name, seed=getattr(args, "fault_seed", 0))
+    fault_plan.validate_for(run_cfg.cluster.n_slaves)
+    if fault_plan.empty:
+        return None
+    if fault_plan.needs_horizon:
+        base = run_application(plan, run_cfg, loads=loads, seed=args.seed)
+        fault_plan = fault_plan.resolved(base.elapsed)
+    return fault_plan
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     plan = _build_plan(args.app, args.n, args.slaves)
+    run_cfg = _run_cfg_from_args(args)
+    loads = _loads_from_args(args)
+    faults = _faults_from_args(args, plan, run_cfg, loads)
     res = run_application(
-        plan, _run_cfg_from_args(args), loads=_loads_from_args(args), seed=args.seed
+        plan, run_cfg, loads=loads, seed=args.seed, faults=faults
     )
     print(res.summary())
     print(
@@ -71,6 +101,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"bytes: {res.bytes_sent / 1e6:.2f} MB  "
         f"final distribution: {res.log.final_partition_counts}"
     )
+    if faults is not None:
+        print(
+            f"faults[{faults.name or 'custom'}]: "
+            f"retransmits={res.retransmits}  lost={res.messages_lost}  "
+            f"dead={list(res.dead_pids)}"
+        )
     return 0
 
 
@@ -83,13 +119,17 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print("trace: an application is required unless --inspect is given")
         return 2
     plan = _build_plan(args.app, args.n, args.slaves)
+    run_cfg = _run_cfg_from_args(args)
+    loads = _loads_from_args(args)
+    faults = _faults_from_args(args, plan, run_cfg, loads)
     recorder = Recorder()
     res = run_application(
         plan,
-        _run_cfg_from_args(args),
-        loads=_loads_from_args(args),
+        run_cfg,
+        loads=loads,
         seed=args.seed,
         recorder=recorder,
+        faults=faults,
     )
     report = res.make_report()
     print(report.describe())
@@ -172,6 +212,123 @@ def _cmd_check(args: argparse.Namespace) -> int:
         f"\ncheck: {len(results)} subject(s), "
         f"{sum(len(r) for r in results)} finding(s), {n_err} error(s)"
     )
+    return 0 if ok else 1
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """Run an application x fault-plan matrix and validate every cell.
+
+    Message-only plans must leave results bit-identical to the
+    fault-free baseline (the transport layer hides them).  Crash plans
+    must either recover (PARALLEL_MAP shapes: work reassignment, results
+    still matching) or fail with the documented
+    :class:`~repro.errors.SlaveLostError` (shapes without recovery).
+    """
+    import json
+    import os
+
+    import numpy as np
+
+    from .compiler.plan import LoopShape
+    from .errors import FaultPlanError, SlaveLostError
+
+    def results_identical(a: object, b: object) -> bool:
+        if isinstance(a, dict) and isinstance(b, dict):
+            return a.keys() == b.keys() and all(
+                results_identical(a[k], b[k]) for k in a
+            )
+        if a is None or b is None:
+            return a is b
+        return bool(np.array_equal(np.asarray(a), np.asarray(b)))
+
+    apps = args.apps or sorted(REGISTRY)
+    plan_names = args.plans or [
+        "message-light",
+        "message-heavy",
+        "dup-reorder",
+        "one-crash",
+        "stall",
+    ]
+    try:
+        for pname in plan_names:
+            load_plan(pname, seed=args.fault_seed).validate_for(args.slaves)
+    except FaultPlanError as exc:
+        print(f"chaos: {exc}")
+        return 2
+    if args.reports is not None:
+        os.makedirs(args.reports, exist_ok=True)
+    cells: list[dict[str, object]] = []
+    failed = 0
+    for app in apps:
+        if app not in REGISTRY:
+            raise SystemExit(
+                f"chaos: unknown app {app!r}; choices: {', '.join(sorted(REGISTRY))}"
+            )
+        plan = _build_plan(app, args.n, args.slaves)
+        cfg = RunConfig(cluster=ClusterSpec(n_slaves=args.slaves))
+        base = run_application(plan, cfg, seed=args.seed)
+        base_result = base.result
+        for pname in plan_names:
+            fault_plan = load_plan(pname, seed=args.fault_seed)
+            if fault_plan.needs_horizon:
+                fault_plan = fault_plan.resolved(base.elapsed)
+            recorder = Recorder() if args.reports is not None else None
+            cell: dict[str, object] = {"app": app, "plan": pname}
+            has_crash = bool(fault_plan.crashes)
+            recoverable = plan.shape is LoopShape.PARALLEL_MAP
+            try:
+                res = run_application(
+                    plan,
+                    cfg,
+                    seed=args.seed,
+                    faults=fault_plan,
+                    recorder=recorder,
+                )
+            except SlaveLostError as exc:
+                if has_crash and not recoverable:
+                    cell["outcome"] = "lost-expected"
+                    cell["detail"] = str(exc)
+                else:
+                    cell["outcome"] = "FAILED"
+                    cell["detail"] = f"unexpected SlaveLostError: {exc}"
+                    failed += 1
+            else:
+                identical = results_identical(res.result, base_result)
+                cell["bit_identical"] = identical
+                cell["retransmits"] = res.retransmits
+                cell["messages_lost"] = res.messages_lost
+                cell["dead_pids"] = list(res.dead_pids)
+                cell["elapsed"] = res.elapsed
+                if identical:
+                    cell["outcome"] = "recovered" if res.dead_pids else "identical"
+                else:
+                    cell["outcome"] = "FAILED"
+                    cell["detail"] = "results diverged from fault-free baseline"
+                    failed += 1
+                if recorder is not None:
+                    path = os.path.join(args.reports, f"{app}-{pname}.json")
+                    res.make_report().save(path)
+            cells.append(cell)
+            detail = f"  ({cell['detail']})" if "detail" in cell else ""
+            print(f"chaos {app:>8} x {pname:<14} {cell['outcome']}{detail}")
+    ok = failed == 0
+    print(
+        f"\nchaos: {len(cells)} cell(s), {failed} failure(s) "
+        f"[apps={len(apps)} plans={len(plan_names)} seed={args.seed} "
+        f"fault-seed={args.fault_seed}]"
+    )
+    if args.json is not None:
+        doc = {
+            "ok": ok,
+            "n": args.n,
+            "slaves": args.slaves,
+            "seed": args.seed,
+            "fault_seed": args.fault_seed,
+            "cells": cells,
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+        print(f"chaos results written to {args.json}")
     return 0 if ok else 1
 
 
@@ -270,6 +427,22 @@ def main(argv: Sequence[str] | None = None) -> int:
             action="store_true",
             help="execute real kernels (default: cost-only simulation)",
         )
+        p.add_argument(
+            "--faults",
+            metavar="NAME_OR_PATH",
+            default=None,
+            help=(
+                "inject a fault plan: a built-in name "
+                f"({', '.join(sorted(NAMED_PLANS))}) or a JSON file; "
+                "'none' disables injection explicitly"
+            ),
+        )
+        p.add_argument(
+            "--fault-seed",
+            type=int,
+            default=0,
+            help="seed for the fault plan's RNG (deterministic injection)",
+        )
 
     p_run = sub.add_parser("run", help="run one application on the simulator")
     p_run.add_argument("app", choices=sorted(REGISTRY))
@@ -334,6 +507,46 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="verify the plan returned by a custom zero-argument factory",
     )
     p_check.set_defaults(fn=_cmd_check)
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="run an app x fault-plan matrix and validate recovery",
+    )
+    p_chaos.add_argument(
+        "apps",
+        nargs="*",
+        help="applications to stress (default: all registered apps)",
+    )
+    p_chaos.add_argument("-n", type=int, default=32, help="problem size")
+    p_chaos.add_argument("--slaves", type=int, default=4)
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the fault plans' RNG",
+    )
+    p_chaos.add_argument(
+        "--plans",
+        nargs="*",
+        default=None,
+        metavar="PLAN",
+        help=(
+            "fault plans to apply "
+            f"(default matrix; choices: {', '.join(sorted(NAMED_PLANS))} "
+            "or JSON file paths)"
+        ),
+    )
+    p_chaos.add_argument(
+        "--json", metavar="PATH", default=None, help="write the matrix as JSON"
+    )
+    p_chaos.add_argument(
+        "--reports",
+        metavar="DIR",
+        default=None,
+        help="write a RunReport JSON per faulted cell into DIR",
+    )
+    p_chaos.set_defaults(fn=_cmd_chaos)
 
     p_fig = sub.add_parser("figures", help="regenerate paper tables/figures")
     p_fig.add_argument("names", nargs="*", help="subset to run (default: all)")

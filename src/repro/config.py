@@ -19,6 +19,7 @@ __all__ = [
     "ClusterSpec",
     "BalancerConfig",
     "GrainConfig",
+    "FaultToleranceConfig",
     "RunConfig",
 ]
 
@@ -197,12 +198,67 @@ class GrainConfig:
 
 
 @dataclass(frozen=True)
+class FaultToleranceConfig:
+    """Failure-tolerant runtime parameters (see docs/fault-tolerance.md).
+
+    Disabled by default: with ``enabled=False`` the runtime takes exactly
+    the legacy code paths, so fault-free runs are byte-for-byte identical
+    to runs before fault tolerance existed.
+
+    Attributes:
+        enabled: turn on heartbeats, the master's poll loop, suspicion/
+            death detection, control retries, and work reassignment.
+        heartbeat_interval: a slave that has not sent the master anything
+            (status report, ack) for this long sends an explicit
+            heartbeat so silence means trouble, not idleness.
+        suspect_after: silence before the master *suspects* a slave —
+            it stops directing new work at it but keeps its slices.
+        dead_after: silence before the master declares a slave dead and
+            reassigns its work.  Must comfortably exceed the worst-case
+            transport retransmission span plus one heartbeat interval.
+        ctrl_rto: base timeout before an unacknowledged recovery control
+            message (grant / cancel) is retransmitted.
+        ctrl_backoff: exponential backoff factor between control retries.
+        ctrl_max_retries: control retries before the target is given up
+            on (:class:`~repro.errors.SlaveLostError` if it is not dead).
+        master_tick: master poll-loop sleep between empty polls.
+        wait_tick: slave poll-loop sleep inside failure-tolerant waits.
+    """
+
+    enabled: bool = False
+    heartbeat_interval: float = 0.5
+    suspect_after: float = 2.0
+    dead_after: float = 8.0
+    ctrl_rto: float = 0.5
+    ctrl_backoff: float = 2.0
+    ctrl_max_retries: int = 6
+    master_tick: float = 0.05
+    wait_tick: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval <= 0:
+            raise ConfigError("heartbeat_interval must be positive")
+        if not 0 < self.suspect_after < self.dead_after:
+            raise ConfigError(
+                "need 0 < suspect_after < dead_after, got "
+                f"{self.suspect_after} / {self.dead_after}"
+            )
+        if self.ctrl_rto <= 0 or self.ctrl_backoff < 1.0:
+            raise ConfigError("ctrl_rto must be > 0 and ctrl_backoff >= 1")
+        if self.ctrl_max_retries < 0:
+            raise ConfigError("ctrl_max_retries must be >= 0")
+        if self.master_tick <= 0 or self.wait_tick <= 0:
+            raise ConfigError("poll ticks must be positive")
+
+
+@dataclass(frozen=True)
 class RunConfig:
     """Top-level knobs for one simulated application run."""
 
     cluster: ClusterSpec = field(default_factory=ClusterSpec)
     balancer: BalancerConfig = field(default_factory=BalancerConfig)
     grain: GrainConfig = field(default_factory=GrainConfig)
+    ft: FaultToleranceConfig = field(default_factory=FaultToleranceConfig)
     execute_numerics: bool = True
     dlb_enabled: bool = True
     trace_enabled: bool = False

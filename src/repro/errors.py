@@ -41,3 +41,17 @@ class MovementError(ReproError):
 
 class ConfigError(ReproError):
     """Raised for invalid configuration values."""
+
+
+class FaultPlanError(ConfigError):
+    """Raised for invalid or unresolvable fault-injection plans."""
+
+
+class SlaveLostError(ProtocolError):
+    """Raised when a slave is lost and the runtime cannot recover.
+
+    The failure-tolerant runtime declares unresponsive slaves dead and
+    reassigns their work; this error surfaces only when recovery itself
+    is impossible (unsupported schedule shape, no surviving slave, or a
+    recovery instruction that exhausted its retries).
+    """

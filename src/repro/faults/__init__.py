@@ -1,0 +1,36 @@
+"""Seeded, deterministic fault injection for the simulated cluster.
+
+``repro.faults`` describes failures declaratively (:class:`FaultPlan`)
+and applies them deterministically (:class:`FaultInjector`).  The
+simulator consults the injector at transmission time; the
+failure-tolerant runtime (heartbeats, retransmission, work
+reassignment) is what makes the injected faults survivable.  See
+``docs/fault-tolerance.md``.
+"""
+
+from .injector import FaultInjector, WireFate
+from .plan import (
+    NAMED_PLANS,
+    FaultPlan,
+    LinkPartition,
+    MessageFault,
+    SlaveCrash,
+    SlaveStall,
+    TransportPolicy,
+    load_plan,
+    named_plan,
+)
+
+__all__ = [
+    "NAMED_PLANS",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkPartition",
+    "MessageFault",
+    "SlaveCrash",
+    "SlaveStall",
+    "TransportPolicy",
+    "WireFate",
+    "load_plan",
+    "named_plan",
+]

@@ -1,0 +1,135 @@
+"""Deterministic fault injector: a resolved plan applied to a run.
+
+The :class:`FaultInjector` is the only object the simulator talks to.
+It is seeded from the plan, so given the same plan and the same message
+sequence it makes the same decisions — chaos runs replay exactly.
+
+The injector deliberately knows nothing about the simulator's classes;
+it consumes plain ``(src, dst, tag, t)`` tuples and returns value
+objects, which keeps this package importable under ``mypy --strict``
+without dragging the untyped ``sim`` layer into the perimeter.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import FaultPlanError
+from .plan import FaultPlan, TransportPolicy
+
+__all__ = ["FaultInjector", "WireFate"]
+
+
+@dataclass(frozen=True)
+class WireFate:
+    """What happens to one wire transmission.
+
+    ``dropped`` means this transmission never arrives (the transport
+    layer will retransmit).  Otherwise ``extra_delays`` holds one entry
+    per arriving copy — ``(0.0,)`` for a clean delivery, two entries for
+    a duplicate, a positive entry for a delayed/reordered copy.
+    ``kinds`` names the message-fault kinds that fired, for obs events.
+    """
+
+    extra_delays: tuple[float, ...] = (0.0,)
+    dropped: bool = False
+    kinds: tuple[str, ...] = ()
+
+    @property
+    def faulted(self) -> bool:
+        return self.dropped or bool(self.kinds)
+
+
+_CLEAN = WireFate()
+
+
+class FaultInjector:
+    """Applies a resolved :class:`FaultPlan` to a run, deterministically."""
+
+    def __init__(self, plan: FaultPlan, master_pid: int) -> None:
+        if plan.needs_horizon:
+            raise FaultPlanError(
+                "fault plan still has fractional crash/stall times; call "
+                "FaultPlan.resolved(horizon) before building the injector"
+            )
+        self.plan = plan
+        self.master_pid = master_pid
+        self._rng = random.Random(plan.seed ^ 0x5EED_FA17)
+        self._stalls = tuple(
+            (s.pid, s.at if s.at is not None else 0.0, s.duration) for s in plan.stalls
+        )
+
+    @property
+    def transport(self) -> TransportPolicy:
+        return self.plan.transport
+
+    # -- message path ----------------------------------------------------
+
+    def _partitioned(self, src: int, dst: int, t: float) -> bool:
+        for p in self.plan.partitions:
+            if not p.t_start <= t < p.t_end:
+                continue
+            pair = {src, dst}
+            if pair == {p.pid, self.master_pid}:
+                return True
+        return False
+
+    def on_message(self, src: int, dst: int, tag: str, t: float) -> WireFate:
+        """Decide the fate of one wire transmission sent at time ``t``.
+
+        Called for every transmission, including retransmissions, so a
+        retried message can be dropped again.  Consumes randomness in
+        plan order regardless of outcome, keeping decisions aligned
+        across runs that share a plan.
+        """
+        if self._partitioned(src, dst, t):
+            return WireFate(dropped=True, kinds=("partition",))
+        if not self.plan.message_faults:
+            return _CLEAN
+        extra = 0.0
+        copies = 1
+        kinds: list[str] = []
+        for fault in self.plan.message_faults:
+            roll = self._rng.random()
+            if roll >= fault.probability or not fault.applies(src, dst, tag, t):
+                continue
+            kinds.append(fault.kind)
+            if fault.kind == "drop":
+                return WireFate(dropped=True, kinds=tuple(kinds))
+            if fault.kind == "duplicate":
+                copies += 1
+            else:  # delay / reorder: hold the message back
+                extra += fault.delay
+        if not kinds:
+            return _CLEAN
+        return WireFate(
+            extra_delays=tuple([extra] * copies), dropped=False, kinds=tuple(kinds)
+        )
+
+    # -- host faults -----------------------------------------------------
+
+    def crash_times(self) -> tuple[tuple[int, float], ...]:
+        """``(pid, time)`` for every scheduled permanent crash."""
+        return tuple(
+            (c.pid, c.at if c.at is not None else 0.0) for c in self.plan.crashes
+        )
+
+    def stall_clamp(self, pid: int, t: float) -> float:
+        """Earliest time ``pid`` may make progress, given time ``t``.
+
+        Returns ``t`` unchanged when the pid is not inside a stall
+        window; otherwise the window's end.  Windows are applied
+        repeatedly so back-to-back stalls compose.
+        """
+        out = t
+        for spid, at, duration in self._stalls:
+            if spid == pid and at <= out < at + duration:
+                out = at + duration
+        return out
+
+    def stall_windows(self, pid: int) -> tuple[tuple[float, float], ...]:
+        """``(start, end)`` stall windows for ``pid``, for diagnostics."""
+        return tuple(
+            (at, at + duration) for spid, at, duration in self._stalls if spid == pid
+        )

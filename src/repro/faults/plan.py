@@ -1,0 +1,509 @@
+"""Fault plans: declarative, seeded descriptions of injected failures.
+
+A :class:`FaultPlan` schedules every perturbation a chaos run applies to
+the simulated cluster:
+
+- :class:`MessageFault` — probabilistic message **drop**, **duplicate**,
+  **delay**, or **reorder** on the wire, optionally filtered by tag
+  prefix, endpoints, and a time window;
+- :class:`SlaveCrash` — a slave's host dies permanently at a point in
+  virtual time;
+- :class:`SlaveStall` — a slave freezes (no CPU progress, no message
+  handling) for a window, then resumes with its state intact;
+- :class:`LinkPartition` — the master--slave link for one slave drops
+  every message in both directions for a window.
+
+Plans are plain frozen dataclasses, JSON round-trippable
+(:meth:`FaultPlan.to_dict` / :meth:`FaultPlan.from_dict`), and fully
+deterministic: the plan's ``seed`` drives every probabilistic decision
+in :class:`~repro.faults.injector.FaultInjector`, so the same plan over
+the same run replays the same faults.
+
+Crash and stall times may be given as a fraction of a *horizon* (the
+fault-free elapsed time of the same run); :meth:`FaultPlan.resolved`
+pins them to absolute virtual times.  Named built-in plans
+(:func:`named_plan`) cover the chaos suite's standard scenarios.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Mapping
+
+from ..errors import FaultPlanError
+
+__all__ = [
+    "MESSAGE_FAULT_KINDS",
+    "NAMED_PLANS",
+    "FaultPlan",
+    "LinkPartition",
+    "MessageFault",
+    "SlaveCrash",
+    "SlaveStall",
+    "TransportPolicy",
+    "load_plan",
+    "named_plan",
+]
+
+MESSAGE_FAULT_KINDS = ("drop", "duplicate", "delay", "reorder")
+
+
+def _check_window(t_start: float, t_end: float, what: str) -> None:
+    if math.isnan(t_start) or math.isnan(t_end):
+        raise FaultPlanError(f"{what}: NaN time window")
+    if t_start < 0:
+        raise FaultPlanError(f"{what}: window start must be >= 0, got {t_start}")
+    if t_end < t_start:
+        raise FaultPlanError(f"{what}: window [{t_start}, {t_end}] reversed")
+
+
+@dataclass(frozen=True)
+class MessageFault:
+    """One probabilistic message perturbation on the wire.
+
+    ``kind`` is one of ``drop`` (the copy never arrives; the transport
+    layer retransmits), ``duplicate`` (two copies arrive; the receiver
+    deduplicates), ``delay`` (arrival late by ``delay`` seconds), or
+    ``reorder`` (held back by ``delay`` seconds so later messages on the
+    same link overtake it).  ``probability`` applies independently per
+    wire transmission; ``tag_prefix``/``src``/``dst`` and the
+    ``[t_start, t_end)`` window filter which messages are eligible.
+    """
+
+    kind: str
+    probability: float = 1.0
+    tag_prefix: str | None = None
+    src: int | None = None
+    dst: int | None = None
+    t_start: float = 0.0
+    t_end: float = math.inf
+    delay: float = 0.005
+
+    def __post_init__(self) -> None:
+        if self.kind not in MESSAGE_FAULT_KINDS:
+            raise FaultPlanError(
+                f"unknown message-fault kind {self.kind!r}; "
+                f"choices: {', '.join(MESSAGE_FAULT_KINDS)}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise FaultPlanError(
+                f"message-fault probability must be in [0, 1], got {self.probability}"
+            )
+        if self.delay < 0:
+            raise FaultPlanError(f"message-fault delay must be >= 0, got {self.delay}")
+        _check_window(self.t_start, self.t_end, "message fault")
+
+    def applies(self, src: int, dst: int, tag: str, t: float) -> bool:
+        """Is a message ``src -> dst`` with ``tag`` sent at ``t`` eligible?"""
+        if not self.t_start <= t < self.t_end:
+            return False
+        if self.src is not None and src != self.src:
+            return False
+        if self.dst is not None and dst != self.dst:
+            return False
+        return self.tag_prefix is None or tag.startswith(self.tag_prefix)
+
+
+@dataclass(frozen=True)
+class SlaveCrash:
+    """Slave ``pid``'s host dies permanently.
+
+    Exactly one of ``at`` (absolute virtual time) or ``at_fraction``
+    (fraction of the run's fault-free elapsed time; needs
+    :meth:`FaultPlan.resolved`) must be given.
+    """
+
+    pid: int
+    at: float | None = None
+    at_fraction: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.pid < 0:
+            raise FaultPlanError(f"crash pid must be >= 0, got {self.pid}")
+        if (self.at is None) == (self.at_fraction is None):
+            raise FaultPlanError("crash needs exactly one of at/at_fraction")
+        if self.at is not None and self.at < 0:
+            raise FaultPlanError(f"crash time must be >= 0, got {self.at}")
+        if self.at_fraction is not None and not 0.0 <= self.at_fraction <= 1.0:
+            raise FaultPlanError(
+                f"crash at_fraction must be in [0, 1], got {self.at_fraction}"
+            )
+
+
+@dataclass(frozen=True)
+class SlaveStall:
+    """Slave ``pid`` freezes for ``duration`` seconds, then resumes."""
+
+    pid: int
+    duration: float
+    at: float | None = None
+    at_fraction: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.pid < 0:
+            raise FaultPlanError(f"stall pid must be >= 0, got {self.pid}")
+        if self.duration <= 0:
+            raise FaultPlanError(f"stall duration must be > 0, got {self.duration}")
+        if (self.at is None) == (self.at_fraction is None):
+            raise FaultPlanError("stall needs exactly one of at/at_fraction")
+        if self.at is not None and self.at < 0:
+            raise FaultPlanError(f"stall time must be >= 0, got {self.at}")
+        if self.at_fraction is not None and not 0.0 <= self.at_fraction <= 1.0:
+            raise FaultPlanError(
+                f"stall at_fraction must be in [0, 1], got {self.at_fraction}"
+            )
+
+
+@dataclass(frozen=True)
+class LinkPartition:
+    """The master--slave link for slave ``pid`` drops everything in
+    ``[t_start, t_end)``, both directions."""
+
+    pid: int
+    t_start: float
+    t_end: float
+
+    def __post_init__(self) -> None:
+        if self.pid < 0:
+            raise FaultPlanError(f"partition pid must be >= 0, got {self.pid}")
+        _check_window(self.t_start, self.t_end, "link partition")
+
+
+@dataclass(frozen=True)
+class TransportPolicy:
+    """Retransmission policy of the reliable transport layer.
+
+    A dropped wire transmission is retried after ``rto * backoff**k``
+    seconds (attempt ``k``), up to ``max_retries`` attempts; after that
+    the message is lost for good and recovery is the runtime's problem
+    (heartbeat timeouts and work reassignment).
+    """
+
+    rto: float = 0.05
+    backoff: float = 2.0
+    max_retries: int = 8
+
+    def __post_init__(self) -> None:
+        if self.rto <= 0:
+            raise FaultPlanError(f"transport rto must be > 0, got {self.rto}")
+        if self.backoff < 1.0:
+            raise FaultPlanError(f"transport backoff must be >= 1, got {self.backoff}")
+        if self.max_retries < 0:
+            raise FaultPlanError(
+                f"transport max_retries must be >= 0, got {self.max_retries}"
+            )
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff delay before retransmission attempt ``attempt`` (1-based)."""
+        return self.rto * self.backoff ** (attempt - 1)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything a chaos run injects, plus the seed that replays it."""
+
+    seed: int = 0
+    message_faults: tuple[MessageFault, ...] = ()
+    crashes: tuple[SlaveCrash, ...] = ()
+    stalls: tuple[SlaveStall, ...] = ()
+    partitions: tuple[LinkPartition, ...] = ()
+    transport: TransportPolicy = field(default_factory=TransportPolicy)
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        crashed = [c.pid for c in self.crashes]
+        if len(crashed) != len(set(crashed)):
+            raise FaultPlanError(f"duplicate crash pids: {sorted(crashed)}")
+
+    @property
+    def empty(self) -> bool:
+        """True when the plan injects nothing at all."""
+        return not (
+            self.message_faults or self.crashes or self.stalls or self.partitions
+        )
+
+    @property
+    def needs_horizon(self) -> bool:
+        """True when any crash/stall time is still a run fraction."""
+        return any(c.at_fraction is not None for c in self.crashes) or any(
+            s.at_fraction is not None for s in self.stalls
+        )
+
+    def resolved(self, horizon: float) -> "FaultPlan":
+        """Pin fractional crash/stall times against ``horizon`` seconds."""
+        if horizon <= 0:
+            raise FaultPlanError(f"horizon must be positive, got {horizon}")
+        crashes = tuple(
+            c
+            if c.at_fraction is None
+            else replace(c, at=c.at_fraction * horizon, at_fraction=None)
+            for c in self.crashes
+        )
+        stalls = tuple(
+            s
+            if s.at_fraction is None
+            else replace(s, at=s.at_fraction * horizon, at_fraction=None)
+            for s in self.stalls
+        )
+        return replace(self, crashes=crashes, stalls=stalls)
+
+    def validate_for(self, n_slaves: int) -> None:
+        """Check every targeted pid is a slave of an ``n_slaves`` cluster."""
+        for what, pids in (
+            ("crash", [c.pid for c in self.crashes]),
+            ("stall", [s.pid for s in self.stalls]),
+            ("partition", [p.pid for p in self.partitions]),
+        ):
+            for pid in pids:
+                if pid >= n_slaves:
+                    raise FaultPlanError(
+                        f"{what} targets pid {pid} but the cluster has only "
+                        f"{n_slaves} slaves (the master cannot be faulted; "
+                        f"it is the documented single point of failure)"
+                    )
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-safe dict (``inf`` windows become the string ``"inf"``)."""
+
+        def _t(value: float) -> float | str:
+            return "inf" if math.isinf(value) else value
+
+        return {
+            "schema": "repro.faults.plan/1",
+            "name": self.name,
+            "seed": self.seed,
+            "message_faults": [
+                {
+                    "kind": m.kind,
+                    "probability": m.probability,
+                    "tag_prefix": m.tag_prefix,
+                    "src": m.src,
+                    "dst": m.dst,
+                    "t_start": _t(m.t_start),
+                    "t_end": _t(m.t_end),
+                    "delay": m.delay,
+                }
+                for m in self.message_faults
+            ],
+            "crashes": [
+                {"pid": c.pid, "at": c.at, "at_fraction": c.at_fraction}
+                for c in self.crashes
+            ],
+            "stalls": [
+                {
+                    "pid": s.pid,
+                    "duration": s.duration,
+                    "at": s.at,
+                    "at_fraction": s.at_fraction,
+                }
+                for s in self.stalls
+            ],
+            "partitions": [
+                {"pid": p.pid, "t_start": _t(p.t_start), "t_end": _t(p.t_end)}
+                for p in self.partitions
+            ],
+            "transport": {
+                "rto": self.transport.rto,
+                "backoff": self.transport.backoff,
+                "max_retries": self.transport.max_retries,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "FaultPlan":
+        """Inverse of :meth:`to_dict` (tolerates missing optional keys)."""
+
+        def _time(value: object, default: float) -> float:
+            if value is None:
+                return default
+            if isinstance(value, str):
+                if value == "inf":
+                    return math.inf
+                raise FaultPlanError(f"bad time value {value!r}")
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise FaultPlanError(f"bad time value {value!r}")
+            return float(value)
+
+        def _opt_float(value: object) -> float | None:
+            if value is None:
+                return None
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise FaultPlanError(f"expected a number, got {value!r}")
+            return float(value)
+
+        def _opt_int(value: object) -> int | None:
+            if value is None:
+                return None
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise FaultPlanError(f"expected an integer, got {value!r}")
+            return value
+
+        def _int(value: object, what: str) -> int:
+            out = _opt_int(value)
+            if out is None:
+                raise FaultPlanError(f"{what} is required")
+            return out
+
+        def _rows(key: str) -> list[Mapping[str, object]]:
+            raw = data.get(key, [])
+            if not isinstance(raw, list):
+                raise FaultPlanError(f"{key} must be a list")
+            rows: list[Mapping[str, object]] = []
+            for row in raw:
+                if not isinstance(row, Mapping):
+                    raise FaultPlanError(f"{key} entries must be objects")
+                rows.append(row)
+            return rows
+
+        message_faults = tuple(
+            MessageFault(
+                kind=str(row.get("kind", "")),
+                probability=_time(row.get("probability", 1.0), 1.0),
+                tag_prefix=(
+                    None
+                    if row.get("tag_prefix") is None
+                    else str(row.get("tag_prefix"))
+                ),
+                src=_opt_int(row.get("src")),
+                dst=_opt_int(row.get("dst")),
+                t_start=_time(row.get("t_start"), 0.0),
+                t_end=_time(row.get("t_end"), math.inf),
+                delay=_time(row.get("delay"), 0.005),
+            )
+            for row in _rows("message_faults")
+        )
+        crashes = tuple(
+            SlaveCrash(
+                pid=_int(row.get("pid"), "crash pid"),
+                at=_opt_float(row.get("at")),
+                at_fraction=_opt_float(row.get("at_fraction")),
+            )
+            for row in _rows("crashes")
+        )
+        stalls = tuple(
+            SlaveStall(
+                pid=_int(row.get("pid"), "stall pid"),
+                duration=_time(row.get("duration"), 0.0),
+                at=_opt_float(row.get("at")),
+                at_fraction=_opt_float(row.get("at_fraction")),
+            )
+            for row in _rows("stalls")
+        )
+        partitions = tuple(
+            LinkPartition(
+                pid=_int(row.get("pid"), "partition pid"),
+                t_start=_time(row.get("t_start"), 0.0),
+                t_end=_time(row.get("t_end"), math.inf),
+            )
+            for row in _rows("partitions")
+        )
+        transport_raw = data.get("transport", {})
+        transport = TransportPolicy()
+        if isinstance(transport_raw, Mapping):
+            transport = TransportPolicy(
+                rto=_time(transport_raw.get("rto"), 0.05),
+                backoff=_time(transport_raw.get("backoff"), 2.0),
+                max_retries=int(_time(transport_raw.get("max_retries"), 8)),
+            )
+        return cls(
+            seed=int(_time(data.get("seed", 0), 0.0)),
+            message_faults=message_faults,
+            crashes=crashes,
+            stalls=stalls,
+            partitions=partitions,
+            transport=transport,
+            name=str(data.get("name", "")),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json() + "\n", encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FaultPlan":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(data, Mapping):
+            raise FaultPlanError(f"expected a JSON object in {path}")
+        return cls.from_dict(data)
+
+
+def _builtin_plans(seed: int) -> dict[str, FaultPlan]:
+    return {
+        "none": FaultPlan(seed=seed, name="none"),
+        "message-light": FaultPlan(
+            seed=seed,
+            name="message-light",
+            message_faults=(
+                MessageFault(kind="drop", probability=0.05),
+                MessageFault(kind="delay", probability=0.05, delay=0.01),
+            ),
+        ),
+        "message-heavy": FaultPlan(
+            seed=seed,
+            name="message-heavy",
+            message_faults=(
+                MessageFault(kind="drop", probability=0.2),
+                MessageFault(kind="duplicate", probability=0.15),
+                MessageFault(kind="delay", probability=0.2, delay=0.02),
+                MessageFault(kind="reorder", probability=0.1, delay=0.01),
+            ),
+        ),
+        "dup-reorder": FaultPlan(
+            seed=seed,
+            name="dup-reorder",
+            message_faults=(
+                MessageFault(kind="duplicate", probability=0.25),
+                MessageFault(kind="reorder", probability=0.25, delay=0.01),
+            ),
+        ),
+        "one-crash": FaultPlan(
+            seed=seed,
+            name="one-crash",
+            crashes=(SlaveCrash(pid=1, at_fraction=0.4),),
+        ),
+        "stall": FaultPlan(
+            seed=seed,
+            name="stall",
+            stalls=(SlaveStall(pid=0, at_fraction=0.3, duration=1.5),),
+        ),
+        "partition": FaultPlan(
+            seed=seed,
+            name="partition",
+            partitions=(LinkPartition(pid=0, t_start=2.0, t_end=4.0),),
+        ),
+    }
+
+
+NAMED_PLANS = tuple(sorted(_builtin_plans(0)))
+"""Names accepted by :func:`named_plan` (and the CLI's ``--faults``)."""
+
+
+def named_plan(name: str, seed: int = 0) -> FaultPlan:
+    """A built-in plan by name, with every decision driven by ``seed``."""
+    plans = _builtin_plans(seed)
+    if name not in plans:
+        raise FaultPlanError(
+            f"unknown fault plan {name!r}; choices: {', '.join(sorted(plans))}"
+        )
+    return plans[name]
+
+
+def load_plan(name_or_path: str, seed: int = 0) -> FaultPlan:
+    """Resolve ``--faults`` arguments: a built-in name or a JSON file."""
+    if name_or_path in _builtin_plans(seed):
+        return named_plan(name_or_path, seed)
+    path = Path(name_or_path)
+    if path.exists():
+        plan = FaultPlan.load(path)
+        return replace(plan, seed=seed) if seed != 0 else plan
+    raise FaultPlanError(
+        f"--faults wants a built-in plan name or a JSON file; "
+        f"{name_or_path!r} is neither (names: {', '.join(NAMED_PLANS)})"
+    )

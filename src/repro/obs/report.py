@@ -123,6 +123,7 @@ class RunReport:
     dlb_enabled: bool
     schema: str = SCHEMA
     dlb: dict[str, float] = field(default_factory=dict)
+    faults: dict[str, float] = field(default_factory=dict)
     slaves: dict[str, dict[str, object]] = field(default_factory=dict)
     imbalance: list[list[float]] = field(default_factory=list)
     overhead: dict[str, object] = field(default_factory=dict)
@@ -143,6 +144,7 @@ class RunReport:
             "efficiency": self.efficiency,
             "dlb_enabled": self.dlb_enabled,
             "dlb": dict(self.dlb),
+            "faults": dict(self.faults),
             "slaves": {pid: dict(data) for pid, data in self.slaves.items()},
             "imbalance": [list(point) for point in self.imbalance],
             "overhead": dict(self.overhead),
@@ -178,6 +180,7 @@ class RunReport:
                 if isinstance(point, list):
                     imbalance.append([_as_float(x) for x in point])
         dlb = {str(k): _as_float(v) for k, v in _obj("dlb").items()}
+        faults = {str(k): _as_float(v) for k, v in _obj("faults").items()}
         event_counts = {str(k): _as_int(v) for k, v in _obj("event_counts").items()}
         return cls(
             schema=schema,
@@ -189,6 +192,7 @@ class RunReport:
             efficiency=_as_float(data.get("efficiency", 0.0)),
             dlb_enabled=bool(data.get("dlb_enabled", False)),
             dlb=dlb,
+            faults=faults,
             slaves=slaves,
             imbalance=imbalance,
             overhead=_obj("overhead"),
@@ -225,6 +229,24 @@ class RunReport:
             lines.append(
                 f"  dlb: reports={reports:.0f}  moves_applied={moves:.0f}  "
                 f"units_moved={units:.0f}"
+            )
+        if any(self.faults.values()):
+            lines.append(
+                "  faults: injected={injected:.0f}  crashes={crashes:.0f}  "
+                "retransmits={retransmits:.0f}  lost={messages_lost:.0f}  "
+                "deaths={deaths:.0f}  reassigned={units_reassigned:.0f}".format(
+                    **{
+                        k: self.faults.get(k, 0.0)
+                        for k in (
+                            "injected",
+                            "crashes",
+                            "retransmits",
+                            "messages_lost",
+                            "deaths",
+                            "units_reassigned",
+                        )
+                    }
+                )
             )
         if self.imbalance:
             ratios = [point[1] for point in self.imbalance if len(point) > 1]
@@ -342,6 +364,19 @@ def build_run_report(result: RunResultLike, recorder: Recorder) -> RunReport:
         "merged_units": float(master_log.merged_units),
     }
 
+    faults: dict[str, float] = {
+        "injected": metrics.counter_value("faults.injected"),
+        "crashes": metrics.counter_value("faults.crashes"),
+        "retransmits": metrics.counter_value("net.retransmits"),
+        "messages_lost": metrics.counter_value("net.msgs_lost"),
+        "duplicates_dropped": metrics.counter_value("net.duplicates_dropped"),
+        "suspected": metrics.counter_value("ft.suspected"),
+        "recovered": metrics.counter_value("ft.recovered"),
+        "deaths": metrics.counter_value("ft.deaths"),
+        "units_reassigned": metrics.counter_value("ft.units_reassigned"),
+        "ctrl_retransmits": metrics.counter_value("ft.ctrl_retransmits"),
+    }
+
     send_cpu = metrics.gauge_value("net.send_cpu_per_msg")
     recv_cpu = metrics.gauge_value("net.recv_cpu_per_msg")
     status_msgs = metrics.counter_value("net.msgs.status")
@@ -392,6 +427,7 @@ def build_run_report(result: RunResultLike, recorder: Recorder) -> RunReport:
         efficiency=result.efficiency,
         dlb_enabled=result.dlb_enabled,
         dlb=dlb,
+        faults=faults,
         slaves=slaves,
         imbalance=_imbalance_timeline(log, n),
         overhead=overhead,

@@ -86,6 +86,9 @@ class BalancerState:
         )
         self.measured_move_cost = False
         self.phase = 0
+        # Slaves declared dead by the failure-tolerant master: their stale
+        # rates must not attract proportional shares.
+        self.excluded: set[int] = set()
 
     # ------------------------------------------------------------------
 
@@ -113,18 +116,29 @@ class BalancerState:
                 self.move_cost_per_unit = report.measured_move_cost_per_unit
                 self.measured_move_cost = True
 
+    def exclude(self, pid: int) -> None:
+        """Permanently zero a (dead) slave's rate for share computation."""
+        self.excluded.add(pid)
+
     def filtered_rates(self) -> dict[int, float]:
         """Filtered units/sec per slave; slaves with no samples yet get
         the mean of the others (or 1.0 if nobody has reported)."""
         known = {
-            pid: f.value for pid, f in self.filters.items() if f.value is not None
+            pid: f.value
+            for pid, f in self.filters.items()
+            if f.value is not None and pid not in self.excluded
         }
         default = (
             sum(known.values()) / len(known) if known else 1.0
         )
         default = max(default, 1e-9)
         return {
-            pid: max(known.get(pid, default), 1e-9) for pid in range(self.n_slaves)
+            pid: (
+                1e-9
+                if pid in self.excluded
+                else max(known.get(pid, default), 1e-9)
+            )
+            for pid in range(self.n_slaves)
         }
 
 

@@ -12,6 +12,8 @@ load.
 
 from __future__ import annotations
 
+import math
+
 from ..errors import ConfigError
 
 __all__ = ["TrendFilter"]
@@ -61,7 +63,17 @@ class TrendFilter:
         return self._value
 
     def update(self, raw: float) -> float:
-        """Fold one raw sample in; returns the new filtered value."""
+        """Fold one raw sample in; returns the new filtered value.
+
+        Non-finite samples (NaN/inf from a degenerate measurement
+        window, e.g. a slave stalled by fault injection) are dropped
+        without touching the filter state: the previous value is
+        returned, or ``0.0`` before the first valid sample.  Zero is a
+        legal sample — a slave reporting no progress converges the
+        filtered rate toward zero instead of dividing by it.
+        """
+        if not math.isfinite(raw):
+            return self._value if self._value is not None else 0.0
         if raw < 0:
             raise ConfigError(f"negative rate sample: {raw}")
         if self._value is None:

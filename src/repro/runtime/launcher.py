@@ -10,7 +10,7 @@ plus full diagnostics.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Mapping
 
 import numpy as np
@@ -19,6 +19,7 @@ from ..compiler.plan import ExecutionPlan, LoopShape
 from ..compiler.stripmine import choose_block_size
 from ..config import RunConfig
 from ..errors import SimulationError
+from ..faults import FaultInjector, FaultPlan
 from ..obs import Recorder, RunReport, build_run_report
 from ..sim import Cluster, LoadGenerator, Trace
 from ..sim.rusage import RusageReport
@@ -45,6 +46,10 @@ class RunResult:
     dlb_enabled: bool
     result: Any = None
     recorder: Recorder | None = None
+    # Fault-injection outcome (all zero / empty on fault-free runs).
+    retransmits: int = 0
+    messages_lost: int = 0
+    dead_pids: tuple[int, ...] = ()
 
     @property
     def speedup(self) -> float:
@@ -121,6 +126,7 @@ def run_application(
     loads: Mapping[int, LoadGenerator] | None = None,
     seed: int = 0,
     recorder: Recorder | None = None,
+    faults: FaultPlan | None = None,
 ) -> RunResult:
     """Run ``plan`` on a simulated cluster and return metrics.
 
@@ -129,10 +135,26 @@ def run_application(
     observability sink explicitly; with ``run_cfg.trace_enabled`` one is
     created automatically.  Observed runs carry a derived legacy
     :class:`~repro.sim.Trace` and support :meth:`RunResult.make_report`.
+
+    ``faults`` injects a seeded :class:`~repro.faults.FaultPlan`
+    (fractional fault times must already be resolved against a horizon).
+    Message-only plans rely on the transport layer alone; plans with
+    crashes, stalls, or partitions auto-enable the failure-tolerant
+    runtime (``run_cfg.ft``) unless it is already configured on.  With
+    ``faults`` None (or an empty plan) no injector is built and the run
+    takes exactly the legacy code paths.
     """
     run_cfg = run_cfg or RunConfig()
     if recorder is None and run_cfg.trace_enabled:
         recorder = Recorder()
+    injector: FaultInjector | None = None
+    if faults is not None and not faults.empty:
+        injector = FaultInjector(faults, master_pid=run_cfg.cluster.master_pid)
+        needs_runtime_recovery = bool(
+            faults.crashes or faults.stalls or faults.partitions
+        )
+        if needs_runtime_recovery and not run_cfg.ft.enabled:
+            run_cfg = replace(run_cfg, ft=replace(run_cfg.ft, enabled=True))
     if (
         plan.shape is LoopShape.PIPELINE
         and plan.unit_count < run_cfg.cluster.n_slaves
@@ -142,7 +164,7 @@ def run_application(
             f"{run_cfg.cluster.n_slaves} slaves; every slave needs at "
             "least one column to anchor its halo exchange"
         )
-    cluster = Cluster(run_cfg.cluster, dict(loads or {}), recorder)
+    cluster = Cluster(run_cfg.cluster, dict(loads or {}), recorder, injector)
     rng = np.random.default_rng(seed)
 
     global_state = (
@@ -181,6 +203,7 @@ def run_application(
     elapsed = max(
         cluster.task_finish_time(pid)
         for pid in range(run_cfg.cluster.n_processors)
+        if pid not in cluster.dead_pids
     )
     seq = sequential_time(plan, run_cfg)
     trace = (
@@ -201,4 +224,7 @@ def run_application(
         dlb_enabled=run_cfg.dlb_enabled,
         result=log.result,
         recorder=recorder,
+        retransmits=cluster.retransmits,
+        messages_lost=cluster.messages_lost,
+        dead_pids=tuple(sorted(cluster.dead_pids)),
     )

@@ -19,12 +19,26 @@ import numpy as np
 
 from ..compiler.plan import ExecutionPlan, LoopShape
 from ..config import RunConfig
-from ..errors import ProtocolError
+from ..errors import ProtocolError, SlaveLostError
 from ..obs import NULL_RECORDER, Recorder
-from ..sim import Recv, Send, TaskContext
+from ..sim import Now, Poll, Recv, Send, Sleep, TaskContext
 from .balancer import BalancerDecision, BalancerState, decide
-from .partition import BlockPartition, IndexPartition, Transfer
-from .protocol import INSTR_BYTES, Instructions, MoveOrder, SlaveReport, Tags
+from .partition import (
+    BlockPartition,
+    IndexPartition,
+    Transfer,
+    proportional_counts,
+)
+from .protocol import (
+    CTRL_BYTES,
+    INSTR_BYTES,
+    Ctrl,
+    CtrlAck,
+    Instructions,
+    MoveOrder,
+    SlaveReport,
+    Tags,
+)
 
 __all__ = ["master_task", "MasterLog"]
 
@@ -44,6 +58,16 @@ class _InFlightMove:
 
 
 @dataclass
+class _PendingCtrl:
+    """A recovery control awaiting its ack (retried with backoff)."""
+
+    ctrl: Ctrl
+    dst: int
+    sent_at: float
+    attempts: int = 1
+
+
+@dataclass
 class MasterLog:
     """Everything the master learned during a run (for experiments)."""
 
@@ -52,6 +76,7 @@ class MasterLog:
     moves_applied: int = 0
     moves_canceled: int = 0
     units_moved: int = 0
+    units_reassigned: int = 0
     reports_received: int = 0
     final_partition_counts: list[int] = field(default_factory=list)
     result: Any = None
@@ -99,6 +124,21 @@ class _Master:
         self.last_move_issue_time = -1.0e9
         self.released: set[int] = set()
         self.results: dict[int, Any] = {}
+        # Failure tolerance (RunConfig.ft; all empty in fault-free runs).
+        self.ft = run_cfg.ft
+        self.exec_num = run_cfg.execute_numerics and global_state is not None
+        self.dead: set[int] = set()
+        self.suspected: set[int] = set()
+        self.last_heard: dict[int, float] = {}
+        self.done_units_by_pid: dict[int, float] = {}
+        self.ctrl_seq = 0
+        self.ctrl_outbox: list[tuple[int, Ctrl]] = []
+        self.unacked: dict[int, _PendingCtrl] = {}
+        # In-flight moves frozen at a death, awaiting the live side's
+        # cancel ack to learn whether its half already executed.
+        self.dead_moves: dict[int, _InFlightMove] = {}
+        # Moves force-resolved by recovery: late acks for them are fine.
+        self.resolved_moves: set[int] = set()
 
     # ------------------------------------------------------------------
 
@@ -178,6 +218,14 @@ class _Master:
             self.pending_orders[t.src].append(order)
             self.pending_orders[t.dst].append(order)
             self.log.moves_issued += 1
+            if self.ft.enabled:
+                # A slave with pending movement is not done, whatever its
+                # last report said; keep the all-done release barrier
+                # honest so grant targets stay alive.
+                for p in (t.src, t.dst):
+                    rep = self.last_report.get(p)
+                    if rep is not None:
+                        rep.done = False
         self.last_move_issue_time = now
         if self.obs.enabled and transfers:
             self.obs.metrics.counter("lb.moves_issued").inc(len(transfers))
@@ -191,11 +239,15 @@ class _Master:
 
     def _process_acks(self, report: SlaveReport, now: float = 0.0) -> None:
         for mid in report.applied_moves:
+            if mid in self.resolved_moves:
+                continue  # force-resolved when a peer died
             fl = self.in_flight.get(mid)
             if fl is None:
                 raise ProtocolError(f"ack for unknown move {mid}")
             fl.acked.add(report.pid)
         for mid in report.canceled_moves:
+            if mid in self.resolved_moves:
+                continue  # force-resolved when a peer died
             fl = self.in_flight.get(mid)
             if fl is None:
                 raise ProtocolError(f"cancel for unknown move {mid}")
@@ -247,6 +299,9 @@ class _Master:
         self.log.reports_received += 1
         self.last_report[report.pid] = report
         self.done_units_accum += report.units_done
+        self.done_units_by_pid[report.pid] = (
+            self.done_units_by_pid.get(report.pid, 0.0) + report.units_done
+        )
         raw = report.rate
         self.state.observe(report)
         self._process_acks(report, now)
@@ -306,10 +361,11 @@ class _Master:
             # Released slaves no longer read instructions; a transfer
             # touching one could never be delivered and its units would
             # vanish from the gather.
+            avoid = self.released | self.dead | self.suspected
             usable = [
                 t
                 for t in decision.transfers
-                if t.src not in self.released and t.dst not in self.released
+                if t.src not in avoid and t.dst not in avoid
             ]
             if usable:
                 self._issue_transfers(usable, now)
@@ -336,7 +392,7 @@ class _Master:
                 report.pid in fl.involved() and report.pid not in fl.acked
                 for fl in self.in_flight.values()
             )
-            if not involved:
+            if not involved and not self._ft_release_blocked(report.pid):
                 self.released.add(report.pid)
                 return Instructions(
                     phase=decision.phase, release=True, note="release"
@@ -347,6 +403,395 @@ class _Master:
             sends=sends,
             recvs=recvs,
         )
+
+    # ------------------------------------------------------------------
+    # Failure tolerance (RunConfig.ft; see docs/fault-tolerance.md)
+    # ------------------------------------------------------------------
+
+    def _ft_release_blocked(self, pid: int) -> bool:
+        """Release barrier for the failure-tolerant runtime.
+
+        A released slave terminates and can no longer adopt reassigned
+        work, so releases are held back while recovery is unsettled
+        (suspected slaves, unacknowledged controls) and — as a global
+        barrier — until every live slave is done, so a late death always
+        has a live grant target.
+        """
+        if not self.ft.enabled:
+            return False
+        if self.suspected or self.unacked or self.ctrl_outbox:
+            return True
+        for q in range(self.n):
+            if q == pid or q in self.dead or q in self.released:
+                continue
+            rep = self.last_report.get(q)
+            if rep is None or not rep.done:
+                return True
+        return False
+
+    def note_heard(self, pid: int, now: float) -> None:
+        if pid in self.dead:
+            return
+        self.last_heard[pid] = now
+        if pid in self.suspected:
+            self.suspected.discard(pid)
+            if self.obs.enabled:
+                self.obs.metrics.counter("ft.recovered").inc()
+                self.obs.emit_counter("slave", "recovered", now, 1.0, pid=pid)
+
+    def ft_tick(self, now: float) -> None:
+        """Periodic recovery work: control retries and the silence scan."""
+        for seq, pc in sorted(self.unacked.items()):
+            if pc.dst in self.dead:
+                continue  # cleaned up by declare_dead
+            due = pc.sent_at + self.ft.ctrl_rto * (
+                self.ft.ctrl_backoff ** (pc.attempts - 1)
+            )
+            if now < due:
+                continue
+            if pc.attempts > self.ft.ctrl_max_retries:
+                raise SlaveLostError(
+                    f"control {pc.ctrl.kind!r} (seq {seq}) to slave "
+                    f"{pc.dst} unacknowledged after {pc.attempts} attempts"
+                )
+            pc.attempts += 1
+            pc.sent_at = now
+            self.ctrl_outbox.append((pc.dst, pc.ctrl))
+            if self.obs.enabled:
+                self.obs.metrics.counter("ft.ctrl_retransmits").inc()
+                self.obs.emit_counter(
+                    "ctrl",
+                    "retransmit",
+                    now,
+                    1.0,
+                    pid=pc.dst,
+                    meta={
+                        "seq": seq,
+                        "kind": pc.ctrl.kind,
+                        "attempt": pc.attempts,
+                    },
+                )
+        for pid in range(self.n):
+            if pid in self.dead or pid in self.released:
+                continue
+            silent = now - self.last_heard.get(pid, now)
+            if silent >= self.ft.dead_after:
+                self.declare_dead(pid, now)
+            elif silent >= self.ft.suspect_after and pid not in self.suspected:
+                self.suspected.add(pid)
+                if self.obs.enabled:
+                    self.obs.metrics.counter("ft.suspected").inc()
+                    self.obs.emit_counter(
+                        "slave",
+                        "suspected",
+                        now,
+                        1.0,
+                        pid=pid,
+                        meta={"silent_for": silent},
+                    )
+
+    def _send_ctrl(
+        self,
+        dst: int,
+        kind: str,
+        now: float,
+        move_id: int | None = None,
+        units: tuple[int, ...] = (),
+        data: Any = None,
+        meta: dict[str, Any] | None = None,
+    ) -> Ctrl:
+        ctrl = Ctrl(
+            seq=self.ctrl_seq,
+            kind=kind,
+            move_id=move_id,
+            units=tuple(int(u) for u in units),
+            data=data,
+            meta=meta or {},
+        )
+        self.ctrl_seq += 1
+        self.ctrl_outbox.append((dst, ctrl))
+        self.unacked[ctrl.seq] = _PendingCtrl(ctrl=ctrl, dst=dst, sent_at=now)
+        return ctrl
+
+    def handle_ctrl_ack(self, ack: CtrlAck, now: float) -> None:
+        pc = self.unacked.pop(ack.seq, None)
+        if pc is None:
+            return  # duplicate ack for an already-settled control
+        ctrl = pc.ctrl
+        if ctrl.kind not in ("cancel_send", "cancel_recv"):
+            return  # grants and fences need nothing further
+        mid = ctrl.move_id
+        assert mid is not None
+        fl = self.dead_moves.pop(mid, None)
+        if fl is None:
+            return
+        tr = fl.order.transfer
+        if ack.status == "applied":
+            # The live side had already executed its half, so the
+            # transfer happened (toward a dead receiver the data is
+            # lost, but ownership still moved — regrant from there).
+            self.partition = self.partition.apply([tr])
+            self.log.moves_applied += 1
+            self.log.units_moved += tr.count
+            if tr.dst in self.dead:
+                self._grant_units(tr.units, tr.dst, now)
+        else:  # "canceled": the transfer never happened
+            self.log.moves_canceled += 1
+            if tr.src in self.dead:
+                self._grant_units(tr.units, tr.src, now)
+
+    def declare_dead(self, pid: int, now: float) -> None:
+        """Declare ``pid`` dead and reassign everything it owned."""
+        if pid in self.dead:
+            return
+        if self.plan.shape is not LoopShape.PARALLEL_MAP:
+            raise SlaveLostError(
+                f"slave {pid} lost (silent for {self.ft.dead_after}s); "
+                "work reassignment is only supported for PARALLEL_MAP "
+                f"schedules, not {self.plan.shape.name}"
+            )
+        self.dead.add(pid)
+        self.suspected.discard(pid)
+        self.state.exclude(pid)
+        lost_progress = self.done_units_by_pid.get(pid, 0.0)
+        self.done_units_accum = max(0.0, self.done_units_accum - lost_progress)
+        self.done_units_by_pid[pid] = 0.0
+        self.pending_orders[pid] = []
+        if self.obs.enabled:
+            self.obs.metrics.counter("ft.deaths").inc()
+            self.obs.emit_counter(
+                "slave",
+                "declared_dead",
+                now,
+                1.0,
+                pid=pid,
+                meta={"lost_progress_units": lost_progress},
+            )
+        # Cancel controls parked on an earlier death whose live target is
+        # this slave; whoever the unapplied transfer leaves the units with
+        # is dead, so they go straight back to the grant pool.
+        regrants: list[tuple[int, tuple[int, ...]]] = []
+        for mid, fl in list(self.dead_moves.items()):
+            src, dst = fl.involved()
+            if pid not in (src, dst):
+                continue
+            del self.dead_moves[mid]
+            self.log.moves_canceled += 1
+            tr = fl.order.transfer
+            if tr.src != pid and tr.src in self.dead:
+                # Excluded from the earlier sweep as contested; free now.
+                regrants.append((tr.src, tr.units))
+        # Resolve in-flight movements that involve the dead slave.
+        for mid, fl in list(self.in_flight.items()):
+            src, dst = fl.involved()
+            if pid not in (src, dst):
+                continue
+            other = dst if src == pid else src
+            del self.in_flight[mid]
+            self.resolved_moves.add(mid)
+            queued = any(
+                o.move_id == mid for o in self.pending_orders[other]
+            )
+            if queued:
+                self.pending_orders[other] = [
+                    o for o in self.pending_orders[other] if o.move_id != mid
+                ]
+            if other in self.dead:
+                self.log.moves_canceled += 1
+            elif other in fl.acked:
+                if fl.canceled:
+                    self.log.moves_canceled += 1
+                else:
+                    self.partition = self.partition.apply([fl.order.transfer])
+                    self.log.moves_applied += 1
+                    self.log.units_moved += fl.order.transfer.count
+            elif queued:
+                # The live side never saw the order; nothing to cancel.
+                self.log.moves_canceled += 1
+            else:
+                # The live side may or may not have executed its half:
+                # ask it to cancel and settle ownership on the ack.
+                kind = "cancel_recv" if src == pid else "cancel_send"
+                self._send_ctrl(other, kind, now, move_id=mid)
+                self.dead_moves[mid] = fl
+        # Drop pending controls addressed to the dead slave.  Granted
+        # units (ownership already moved to it) fall into its sweep.
+        for seq in [s for s, pc in self.unacked.items() if pc.dst == pid]:
+            del self.unacked[seq]
+        self.ctrl_outbox = [
+            (d, c) for (d, c) in self.ctrl_outbox if d != pid
+        ]
+        if pid in self.results:
+            return  # its result already arrived; nothing to recompute
+        # Sweep: everything the ledger says the dead slave owns, minus
+        # units whose ownership hangs on an outstanding cancel ack.
+        contested: set[int] = set()
+        for fl in self.dead_moves.values():
+            if fl.order.transfer.src == pid:
+                contested.update(int(u) for u in fl.order.transfer.units)
+        pool = tuple(
+            sorted(
+                set(int(u) for u in self.partition.owned(pid)) - contested
+            )
+        )
+        regrants.append((pid, pool))
+        for owner, units in regrants:
+            self._grant_units(units, owner, now)
+
+    def _grant_units(
+        self, units: tuple[int, ...], from_pid: int, now: float
+    ) -> None:
+        """Reassign a dead slave's units to the surviving slaves,
+        proportionally to their filtered rates."""
+        units = tuple(sorted(int(u) for u in units))
+        if not units:
+            return
+        candidates = [
+            q
+            for q in range(self.n)
+            if q not in self.dead
+            and q not in self.released
+            and q not in self.suspected
+        ]
+        if not candidates:
+            candidates = [
+                q
+                for q in range(self.n)
+                if q not in self.dead and q not in self.released
+            ]
+        if not candidates:
+            raise SlaveLostError(
+                f"no surviving slave can adopt the work of dead slave "
+                f"{from_pid} ({len(units)} units)"
+            )
+        rates = self.state.filtered_rates()
+        shares = proportional_counts(
+            len(units), [rates[q] for q in candidates]
+        )
+        idx = 0
+        for q, share in zip(candidates, shares):
+            if share == 0:
+                continue
+            chunk = units[idx : idx + share]
+            idx += share
+            self.partition = self.partition.apply(
+                [Transfer(src=from_pid, dst=q, units=chunk)]
+            )
+            self._send_ctrl(
+                q,
+                "grant",
+                now,
+                units=chunk,
+                data=self._grant_payload(chunk),
+                meta={"completed": {u: 0 for u in chunk}, "from": from_pid},
+            )
+            rep = self.last_report.get(q)
+            if rep is not None:
+                rep.done = False  # it has work again; hold its release
+            self.log.units_reassigned += len(chunk)
+            if self.obs.enabled:
+                self.obs.metrics.counter("ft.units_reassigned").inc(len(chunk))
+                self.obs.emit_counter(
+                    "work",
+                    "reassigned",
+                    now,
+                    float(len(chunk)),
+                    pid=q,
+                    meta={
+                        "from": from_pid,
+                        "to": q,
+                        "units": [int(u) for u in chunk],
+                    },
+                )
+
+    def _grant_payload(self, units: tuple[int, ...]) -> Any:
+        """Rebuild unit state for a grant from the initial global state
+        (valid for PARALLEL_MAP: unit results depend only on inputs)."""
+        if not self.exec_num:
+            return None
+        k = self.plan.kernels
+        arr = np.asarray(units)
+        local = k.make_local(self.global_state, arr)
+        return k.pack_units(local, arr, {"shape": "parallel_map"})
+
+
+def _flush_ctrls(m: _Master):
+    while m.ctrl_outbox:
+        dst, ctrl = m.ctrl_outbox.pop(0)
+        yield Send(dst, Tags.CTRL, ctrl, CTRL_BYTES)
+
+
+def _ft_control_loop(m: _Master, plan: ExecutionPlan):
+    """Failure-tolerant master loop: polling, heartbeats, suspicion,
+    control retries, and a straggler-tolerant gather."""
+    ft = m.ft
+    now = yield Now()
+    for pid in range(m.n):
+        m.last_heard[pid] = now
+    residuals: dict[int, list[float]] = {}
+    all_pids = set(range(m.n))
+    while not (m.released | m.dead) >= all_pids:
+        yield from _flush_ctrls(m)
+        msg = yield Poll()
+        now = yield Now()
+        if msg is None:
+            m.ft_tick(now)
+            yield from _flush_ctrls(m)
+            yield Sleep(ft.master_tick)
+            continue
+        if msg.src in m.dead:
+            continue  # zombie traffic from a declared-dead slave
+        m.note_heard(msg.src, now)
+        tag = msg.tag
+        if tag == Tags.STATUS:
+            report: SlaveReport = msg.payload
+            instr = m.handle_report(report, msg.t_arrived)
+            yield Send(report.pid, Tags.INSTR, instr, INSTR_BYTES)
+        elif tag == Tags.HB:
+            pass  # silence probe: note_heard above is the whole point
+        elif tag == Tags.CTRL_ACK:
+            m.handle_ctrl_ack(msg.payload, now)
+        elif tag.startswith("conv.res."):
+            rep = int(tag.rsplit(".", 1)[1])
+            residuals.setdefault(rep, []).append(float(msg.payload))
+            if len(residuals[rep]) == m.n:
+                global_residual = max(residuals.pop(rep))
+                go = rep + 1 < plan.reps and (
+                    plan.convergence_tol is None
+                    or global_residual > plan.convergence_tol
+                )
+                for pid in range(m.n):
+                    yield Send(pid, Tags.cont(rep + 1), bool(go), 16)
+        elif tag == Tags.RESULT:
+            m.results[msg.src] = msg.payload
+        else:  # pragma: no cover - no other tags target the master
+            raise ProtocolError(f"master received unexpected message {tag}")
+        m.ft_tick(now)
+    # Gather: released slaves no longer heartbeat, so silence here is
+    # bounded by an overall progress timeout instead of the silence scan.
+    yield from _flush_ctrls(m)
+    last_progress = yield Now()
+    while True:
+        missing = [
+            p for p in range(m.n) if p not in m.results and p not in m.dead
+        ]
+        if not missing:
+            break
+        msg = yield Poll()
+        now = yield Now()
+        if msg is None:
+            if now - last_progress > ft.dead_after:
+                raise SlaveLostError(
+                    f"released slaves {missing} never returned results"
+                )
+            yield Sleep(ft.master_tick)
+            continue
+        if msg.tag == Tags.RESULT and msg.src not in m.dead:
+            m.results[msg.src] = msg.payload
+            last_progress = now
+        elif msg.tag == Tags.CTRL_ACK:
+            m.handle_ctrl_ack(msg.payload, now)
+        # anything else (late heartbeats, zombie traffic) is ignored
 
 
 def master_task(
@@ -402,36 +847,43 @@ def master_task(
 
     # Control loop: serve reports (and, for WHILE-repetition plans, the
     # convergence barrier of Section 4.1) until every slave is released.
-    residuals: dict[int, list[float]] = {}
-    while len(m.released) < m.n:
-        msg = yield Recv()
-        tag = msg.tag
-        if tag == Tags.STATUS:
-            report: SlaveReport = msg.payload
-            instr = m.handle_report(report, msg.t_arrived)
-            yield Send(report.pid, Tags.INSTR, instr, INSTR_BYTES)
-        elif tag.startswith("conv.res."):
-            # The master mirrors the slaves' WHILE loop: it reduces the
-            # residuals of repetition ``rep`` and broadcasts the loop
-            # condition's verdict before anyone starts ``rep + 1``.
-            rep = int(tag.rsplit(".", 1)[1])
-            residuals.setdefault(rep, []).append(float(msg.payload))
-            if len(residuals[rep]) == m.n:
-                global_residual = max(residuals.pop(rep))
-                go = rep + 1 < plan.reps and (
-                    plan.convergence_tol is None
-                    or global_residual > plan.convergence_tol
+    # The failure-tolerant variant polls instead of blocking so it can
+    # run the silence scan and control retries between messages.
+    if run_cfg.ft.enabled:
+        yield from _ft_control_loop(m, plan)
+    else:
+        residuals: dict[int, list[float]] = {}
+        while len(m.released) < m.n:
+            msg = yield Recv()
+            tag = msg.tag
+            if tag == Tags.STATUS:
+                report: SlaveReport = msg.payload
+                instr = m.handle_report(report, msg.t_arrived)
+                yield Send(report.pid, Tags.INSTR, instr, INSTR_BYTES)
+            elif tag.startswith("conv.res."):
+                # The master mirrors the slaves' WHILE loop: it reduces
+                # the residuals of repetition ``rep`` and broadcasts the
+                # loop condition's verdict before anyone starts ``rep+1``.
+                rep = int(tag.rsplit(".", 1)[1])
+                residuals.setdefault(rep, []).append(float(msg.payload))
+                if len(residuals[rep]) == m.n:
+                    global_residual = max(residuals.pop(rep))
+                    go = rep + 1 < plan.reps and (
+                        plan.convergence_tol is None
+                        or global_residual > plan.convergence_tol
+                    )
+                    for pid in range(m.n):
+                        yield Send(pid, Tags.cont(rep + 1), bool(go), 16)
+            elif tag == Tags.RESULT:
+                m.results[msg.src] = msg.payload
+            else:  # pragma: no cover - no other tags target the master
+                raise ProtocolError(
+                    f"master received unexpected message {tag}"
                 )
-                for pid in range(m.n):
-                    yield Send(pid, Tags.cont(rep + 1), bool(go), 16)
-        elif tag == Tags.RESULT:
-            m.results[msg.src] = msg.payload
-        else:  # pragma: no cover - no other tags target the master
-            raise ProtocolError(f"master received unexpected message {tag}")
 
-    while len(m.results) < m.n:
-        msg = yield Recv(tag=Tags.RESULT)
-        m.results[msg.src] = msg.payload
+        while len(m.results) < m.n:
+            msg = yield Recv(tag=Tags.RESULT)
+            m.results[msg.src] = msg.payload
 
     # Completeness check: every unit exactly once across slave results.
     seen: dict[int, int] = {}

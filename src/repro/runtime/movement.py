@@ -46,6 +46,11 @@ class MovementLedger:
         # pipeline slave can apply it immediately); the late order is then
         # dropped on arrival.
         self._early_done: set[int] = set()
+        # Persistent histories for failure recovery: every move id this
+        # slave fully executed (its half), and every id voided by a
+        # master cancel.  A voided order arriving late is dropped.
+        self._done_ids: set[int] = set()
+        self._voided: set[int] = set()
         self._last_cost_per_unit: float | None = None
 
     # -- order intake ---------------------------------------------------
@@ -56,6 +61,8 @@ class MovementLedger:
                 raise MovementError(
                     f"slave {self.pid} given send order for src {o.transfer.src}"
                 )
+            if o.move_id in self._voided:
+                continue  # canceled by the master before the order arrived
             if o.move_id in self._pending_sends:
                 raise MovementError(f"duplicate send order {o.move_id}")
             self._pending_sends[o.move_id] = o
@@ -64,6 +71,8 @@ class MovementLedger:
                 raise MovementError(
                     f"slave {self.pid} given recv order for dst {o.transfer.dst}"
                 )
+            if o.move_id in self._voided:
+                continue  # canceled by the master before the order arrived
             if o.move_id in self._early_done:
                 self._early_done.discard(o.move_id)
                 continue  # already applied from the payload
@@ -89,9 +98,35 @@ class MovementLedger:
         else:
             self._early_done.add(move_id)
         self._applied.append(move_id)
+        self._done_ids.add(move_id)
 
     def mark_sent(self, move_id: int) -> None:
         self._applied.append(move_id)
+        self._done_ids.add(move_id)
+
+    def is_done(self, move_id: int) -> bool:
+        """Has this slave's half of ``move_id`` already executed?"""
+        return move_id in self._done_ids
+
+    def is_voided(self, move_id: int) -> bool:
+        return move_id in self._voided
+
+    def void(self, move_id: int) -> bool:
+        """Cancel a movement on the master's behalf (peer died).
+
+        Returns False when this slave's half already executed — the
+        master then treats the movement as applied instead.  Otherwise
+        the order (pending or yet to arrive) is dropped and reported as
+        canceled.
+        """
+        if move_id in self._done_ids:
+            return False
+        self._pending_sends.pop(move_id, None)
+        self._pending_recvs.pop(move_id, None)
+        if move_id not in self._voided:
+            self._voided.add(move_id)
+            self._canceled.append(move_id)
+        return True
 
     def mark_canceled(self, move_id: int) -> None:
         """A movement both sides abandoned (e.g. issued during a pipeline

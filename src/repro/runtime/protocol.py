@@ -8,7 +8,8 @@ up exactly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any
 
 from .partition import Transfer
 
@@ -17,14 +18,22 @@ __all__ = [
     "SlaveReport",
     "MoveOrder",
     "Instructions",
+    "Ctrl",
+    "CtrlAck",
     "REPORT_BYTES",
     "INSTR_BYTES",
+    "CTRL_BYTES",
+    "CTRL_ACK_BYTES",
+    "HB_BYTES",
 ]
 
 # Modelled wire sizes of the control messages (small, paper: status and
 # instruction exchanges are cheap relative to work movement).
 REPORT_BYTES = 64
 INSTR_BYTES = 96
+CTRL_BYTES = 96
+CTRL_ACK_BYTES = 32
+HB_BYTES = 16
 
 
 class Tags:
@@ -35,6 +44,10 @@ class Tags:
     STATUS = "lb.status"
     INSTR = "lb.instr"
     START = "lb.start"
+    # Failure-tolerant runtime only (RunConfig.ft.enabled):
+    HB = "lb.hb"  # slave -> master explicit heartbeat, no reply
+    CTRL = "lb.ctrl"  # master -> slave recovery control (Ctrl)
+    CTRL_ACK = "lb.ctrlack"  # slave -> master control ack (CtrlAck)
 
     @staticmethod
     def move(move_id: int) -> str:
@@ -121,6 +134,47 @@ class MoveOrder:
         if pid == self.transfer.dst:
             return "recv"
         return "none"
+
+
+@dataclass(frozen=True)
+class Ctrl:
+    """Failure-recovery control message (master -> slave).
+
+    Sequence-numbered and retried with exponential backoff until
+    acknowledged; receipt is idempotent (the slave records seen sequence
+    numbers and re-acknowledges duplicates with the original status).
+
+    Kinds:
+        ``grant`` — the slave takes ownership of ``units`` (state in
+            ``data``/``meta``, rebuilt by the master from its partition
+            ledger and the initial global state; per-unit progress resets
+            so granted work is recomputed).
+        ``cancel_send`` / ``cancel_recv`` — movement ``move_id`` is void
+            because the peer died; the ack's status tells the master
+            whether this side had already executed its half.
+        ``fence`` — no-op; exists only to elicit an ack.
+    """
+
+    seq: int
+    kind: str
+    move_id: int | None = None
+    units: tuple[int, ...] = ()
+    data: Any = None
+    meta: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CtrlAck:
+    """Slave's acknowledgement of one :class:`Ctrl`.
+
+    ``status`` is ``ok`` (applied), ``applied`` (a cancel arrived after
+    the movement half already executed), or ``canceled`` (the movement
+    half was voided before executing).
+    """
+
+    pid: int
+    seq: int
+    status: str = "ok"
 
 
 @dataclass

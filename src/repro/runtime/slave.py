@@ -27,7 +27,17 @@ from ..errors import MovementError, ProtocolError
 from ..obs import NULL_RECORDER
 from ..sim import Compute, Now, Poll, Recv, Send, Sleep, TaskContext
 from .movement import MovementLedger, MovePayload
-from .protocol import Instructions, MoveOrder, REPORT_BYTES, SlaveReport, Tags
+from .protocol import (
+    CTRL_ACK_BYTES,
+    HB_BYTES,
+    REPORT_BYTES,
+    Ctrl,
+    CtrlAck,
+    Instructions,
+    MoveOrder,
+    SlaveReport,
+    Tags,
+)
 
 __all__ = ["slave_task", "SlaveCore", "ParallelMapSlave", "ReductionFrontSlave"]
 
@@ -87,6 +97,11 @@ class SlaveCore:
         self.rep = 0
         self.block = 0
         self.released = False
+        # Failure-tolerant runtime (no effect while cfg.ft.enabled is
+        # False: every wait below takes the legacy blocking path).
+        self.ft = run_cfg.ft
+        self._last_master_send = 0.0
+        self._ctrl_acks: dict[int, str] = {}  # ctrl seq -> recorded status
 
     # -- small helpers ---------------------------------------------------
 
@@ -138,10 +153,102 @@ class SlaveCore:
         if not self.cfg.dlb_enabled:
             return  # static distribution: hooks compiled in but disabled
         self.hook_count += 1
+        if self.ft.enabled:
+            yield from self._poll_ctrl()
+            yield from self._maybe_heartbeat()
         if self.hook_count < self.skip:
             return
         self.hook_count = 0
         yield from self._exchange(done=False)
+
+    # -- failure tolerance (RunConfig.ft, docs/fault-tolerance.md) -------
+
+    def _maybe_heartbeat(self) -> Generator[Any, Any, None]:
+        """Send an explicit heartbeat if the master has heard nothing
+        from us for a heartbeat interval (reports and acks also count)."""
+        now = self.ctx.now
+        if now - self._last_master_send >= self.ft.heartbeat_interval:
+            self._last_master_send = now
+            yield Send(self.master, Tags.HB, self.pid, HB_BYTES)
+
+    def _poll_ctrl(self) -> Generator[Any, Any, None]:
+        """Apply and acknowledge any recovery controls from the master.
+
+        Receipt is idempotent: a retransmitted control (same seq) is not
+        re-applied, but is re-acknowledged with the recorded status in
+        case the original ack was lost.
+        """
+        while True:
+            msg = yield Poll(src=self.master, tag=Tags.CTRL)
+            if msg is None:
+                return
+            ctrl: Ctrl = msg.payload
+            status = self._ctrl_acks.get(ctrl.seq)
+            if status is None:
+                status = self._apply_ctrl(ctrl)
+                self._ctrl_acks[ctrl.seq] = status
+            self._last_master_send = self.ctx.now
+            yield Send(
+                self.master,
+                Tags.CTRL_ACK,
+                CtrlAck(self.pid, ctrl.seq, status),
+                CTRL_ACK_BYTES,
+            )
+
+    def _apply_ctrl(self, ctrl: Ctrl) -> str:
+        if ctrl.kind == "fence":
+            return "ok"
+        if ctrl.kind in ("cancel_send", "cancel_recv"):
+            assert ctrl.move_id is not None
+            return (
+                "canceled" if self.ledger.void(ctrl.move_id) else "applied"
+            )
+        if ctrl.kind == "grant":
+            self.apply_grant(ctrl.units, ctrl.data, ctrl.meta)
+            return "ok"
+        raise ProtocolError(f"slave {self.pid}: unknown control {ctrl.kind!r}")
+
+    def apply_grant(
+        self, units: tuple[int, ...], data: Any, meta: dict[str, Any]
+    ) -> None:
+        """Take ownership of reassigned units (failure recovery)."""
+        raise ProtocolError(
+            f"slave {self.pid}: work reassignment is not supported for "
+            f"shape {self.plan.shape.name}"
+        )
+
+    def _recv_ft(self, src: int | None, tag: str | None):
+        """Failure-tolerant blocking receive.
+
+        With fault tolerance off this is exactly a blocking ``Recv``.
+        Otherwise it polls, so recovery controls are still served and
+        heartbeats still flow while the expected message is delayed.
+        """
+        if not self.ft.enabled:
+            msg = yield Recv(src=src, tag=tag)
+            return msg
+        while True:
+            msg = yield Poll(src=src, tag=tag)
+            if msg is not None:
+                return msg
+            yield from self._poll_ctrl()
+            yield from self._maybe_heartbeat()
+            yield Sleep(self.ft.wait_tick)
+
+    def _recv_move_ft(self, order: MoveOrder):
+        """Wait for a movement payload, giving up if the master voids
+        the move (its sender died); returns the message or ``None``."""
+        while True:
+            msg = yield Poll(
+                src=order.transfer.src, tag=Tags.move(order.move_id)
+            )
+            if msg is not None:
+                return msg
+            yield from self._poll_ctrl()
+            if self.ledger.is_voided(order.move_id):
+                return None
+            yield from self._maybe_heartbeat()
+            yield Sleep(self.ft.wait_tick)
 
     def _exchange(self, done: bool) -> Generator[Any, Any, Instructions | None]:
         applied, canceled, move_cost = self.ledger.pop_report_fields()
@@ -177,10 +284,11 @@ class SlaveCore:
                 meta={"seq": report.seq, "done": done},
             )
         yield Send(self.master, Tags.STATUS, report, REPORT_BYTES)
+        self._last_master_send = self.ctx.now
         self.outstanding_replies += 1
         if done or not self.cfg.balancer.pipelined:
             # Synchronous interaction (Figure 2a): block for instructions.
-            msg = yield Recv(src=self.master, tag=Tags.INSTR)
+            msg = yield from self._recv_ft(src=self.master, tag=Tags.INSTR)
             self.outstanding_replies -= 1
             instr: Instructions = msg.payload
             yield from self._apply_instructions(instr)
@@ -244,7 +352,14 @@ class SlaveCore:
     def execute_moves(self) -> Generator[Any, Any, None]:
         yield from self.execute_sends()
         for order in self.ledger.pending_recvs():
-            msg = yield Recv(src=order.transfer.src, tag=Tags.move(order.move_id))
+            if self.ft.enabled:
+                msg = yield from self._recv_move_ft(order)
+                if msg is None:
+                    continue  # move voided: its sender died
+            else:
+                msg = yield Recv(
+                    src=order.transfer.src, tag=Tags.move(order.move_id)
+                )
             t0 = yield Now()
             yield from self.apply_recv(order, msg.payload)
             t1 = yield Now()
@@ -295,7 +410,7 @@ class SlaveCore:
             # Drain outstanding pipelined replies so no movement order is
             # silently abandoned.
             while self.outstanding_replies > 0:
-                msg = yield Recv(src=self.master, tag=Tags.INSTR)
+                msg = yield from self._recv_ft(src=self.master, tag=Tags.INSTR)
                 self.outstanding_replies -= 1
                 yield from self._apply_instructions(msg.payload)
             yield from self.drain_moves()
@@ -308,7 +423,11 @@ class SlaveCore:
                 break
             if not self.work_remaining() and not self.ledger.has_pending():
                 # Master asked us to stand by (e.g. a peer still moving
-                # work toward us); back off briefly, then report again.
+                # work toward us, or reassigned work may yet arrive);
+                # back off briefly, then report again.
+                if self.ft.enabled:
+                    yield from self._poll_ctrl()
+                    yield from self._maybe_heartbeat()
                 yield Sleep(0.1)
         nbytes = self.kernels().result_bytes(len(self.owned)) if self.exec_num else 64
         yield Send(self.master, Tags.RESULT, self.result_payload(), nbytes)
@@ -374,6 +493,30 @@ class ParallelMapSlave(SlaveCore):
             self.completed[u] = rep + 1
             self.count_units(1.0)
             yield from self.lb_hook()
+
+    def apply_grant(
+        self, units: tuple[int, ...], data: Any, meta: dict[str, Any]
+    ) -> None:
+        """Adopt units reassigned from a dead slave.
+
+        Whatever progress the dead slave had made on them is lost with
+        it, so the master rebuilds their state from the initial global
+        state and resets their completed-repetition counters to zero.
+        """
+        for u in units:
+            if u in self.completed:
+                raise ProtocolError(
+                    f"slave {self.pid} granted unit {u} it already owns"
+                )
+        if self.exec_num:
+            self.kernels().unpack_units(
+                self.local, np.asarray(units), data, {"shape": "parallel_map"}
+            )
+        completed = meta.get("completed", {})
+        for u in units:
+            self.owned.append(u)
+            self.completed[u] = int(completed.get(u, 0))
+        self.owned.sort()
 
     def pack_for(self, order: MoveOrder) -> MovePayload:
         units = order.transfer.units

@@ -21,6 +21,9 @@ class Message:
         nbytes: modelled wire size; determines transfer time.
         t_sent: virtual time the send completed on the sender's CPU.
         t_arrived: virtual time the message entered the destination mailbox.
+        seq: per-(src, dst) wire sequence number, stamped only when fault
+            injection is active; lets the receiver deduplicate copies.
+            ``-1`` means unsequenced (fault-free fast path).
     """
 
     src: int
@@ -30,6 +33,7 @@ class Message:
     nbytes: int = 0
     t_sent: float = field(default=0.0, compare=False)
     t_arrived: float = field(default=0.0, compare=False)
+    seq: int = field(default=-1, compare=False)
 
     def __repr__(self) -> str:  # keep payloads out of debug output
         return (

@@ -49,7 +49,7 @@ class LoadGenerator:
         """Total time within ``[t0, t1]`` during which at least one
         competing task is runnable (used for CPU accounting)."""
         if t1 < t0:
-            raise ValueError(f"interval reversed: [{t0}, {t1}]")
+            raise ConfigError(f"interval reversed: [{t0}, {t1}]")
         busy = 0.0
         t = t0
         while t < t1:

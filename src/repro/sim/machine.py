@@ -12,6 +12,7 @@ from typing import Any, Callable, Generator, Iterable
 
 from ..config import ClusterSpec
 from ..errors import DeadlockError, SimulationError
+from ..faults.injector import FaultInjector
 from ..obs import NULL_RECORDER, Recorder
 from .engine import Engine
 from .events import Message
@@ -92,6 +93,7 @@ class Cluster:
         spec: ClusterSpec,
         loads: dict[int, LoadGenerator] | None = None,
         recorder: Recorder | None = None,
+        injector: FaultInjector | None = None,
     ):
         self.spec = spec
         self.obs = recorder if recorder is not None else NULL_RECORDER
@@ -110,6 +112,16 @@ class Cluster:
         self._tasks: dict[int, _Task] = {}
         self.message_count = 0
         self.bytes_sent = 0
+        self.retransmits = 0
+        self.messages_lost = 0
+        self.injector = injector
+        self._dead: set[int] = set()
+        self._send_seq: dict[tuple[int, int], int] = {}
+        self._seen_seq: dict[int, set[tuple[int, int]]] = {}
+        if injector is not None:
+            injector.plan.validate_for(spec.n_slaves)
+            for pid, t in injector.crash_times():
+                self.engine.call_at(t, lambda pid=pid: self._crash(pid))
         if self.obs.enabled:
             # Per-message CPU costs, so reports can price interaction
             # overhead without importing the runtime config.
@@ -131,7 +143,7 @@ class Cluster:
         gen = fn(ctx, *args, **kwargs)
         task = _Task(pid, gen, getattr(fn, "__name__", "task"))
         self._tasks[pid] = task
-        self.engine.call_at(self.engine.now, lambda: self._step(task, None))
+        self._resume_later(self.engine.now, task, None)
         return ctx
 
     def task_finish_time(self, pid: int) -> float:
@@ -141,14 +153,25 @@ class Cluster:
             raise SimulationError(f"task on processor {pid} has not finished")
         return task.finish_time
 
+    @property
+    def dead_pids(self) -> frozenset[int]:
+        """Processors whose hosts crashed under fault injection."""
+        return frozenset(self._dead)
+
     # ------------------------------------------------------------------
     # Scheduler core
     # ------------------------------------------------------------------
 
     def _resume_later(self, t: float, task: _Task, value: Any) -> None:
+        if self.injector is not None:
+            # A stalled host makes no progress: resumes that land inside
+            # a stall window slide to the window's end.
+            t = self.injector.stall_clamp(task.pid, t)
         self.engine.call_at(t, lambda: self._step(task, value))
 
     def _step(self, task: _Task, value: Any) -> None:
+        if task.pid in self._dead:
+            return  # crashed host: the task never runs again
         if task.done:  # pragma: no cover - defensive
             raise SimulationError(f"resuming finished task on {task.pid}")
         try:
@@ -216,10 +239,113 @@ class Cluster:
             self.obs.metrics.counter(f"net.bytes.{kind}").inc(req.nbytes)
             self.obs.metrics.counter("net.msgs_total").inc()
             self.obs.metrics.counter("net.bytes_total").inc(req.nbytes)
-        self.engine.call_at(arrival, lambda: self._deliver(msg))
+        if self.injector is None:
+            self.engine.call_at(arrival, lambda: self._deliver(msg))
+        else:
+            key = (task.pid, req.dst)
+            msg.seq = self._send_seq.get(key, 0)
+            self._send_seq[key] = msg.seq + 1
+            self._transmit(msg, cpu_done, attempt=0)
         self._resume_later(cpu_done, task, None)
 
+    def _transmit(self, msg: Message, t_send: float, attempt: int) -> None:
+        """One wire transmission attempt under fault injection.
+
+        Dropped copies are retried with exponential backoff per the
+        plan's transport policy.  A sender that has crashed since the
+        original send cannot retransmit, and a copy that exhausts its
+        retries is lost for good — from there, recovery is the
+        runtime's job (heartbeat timeouts and work reassignment).
+        """
+        injector = self.injector
+        assert injector is not None
+        if attempt > 0 and msg.src in self._dead:
+            return
+        fate = injector.on_message(msg.src, msg.dst, msg.tag, t_send)
+        if self.obs.enabled and fate.faulted:
+            self.obs.emit_counter(
+                "fault",
+                "injected",
+                t_send,
+                1.0,
+                pid=msg.src,
+                meta={
+                    "kinds": list(fate.kinds),
+                    "tag": msg.tag,
+                    "dst": msg.dst,
+                    "seq": msg.seq,
+                    "attempt": attempt,
+                },
+            )
+            self.obs.metrics.counter("faults.injected").inc()
+        if fate.dropped:
+            policy = injector.transport
+            if attempt >= policy.max_retries:
+                self.messages_lost += 1
+                if self.obs.enabled:
+                    self.obs.emit_counter(
+                        "msg",
+                        "lost",
+                        t_send,
+                        1.0,
+                        pid=msg.src,
+                        meta={"tag": msg.tag, "dst": msg.dst, "seq": msg.seq},
+                    )
+                    self.obs.metrics.counter("net.msgs_lost").inc()
+                return
+            retry_at = t_send + policy.delay_for(attempt + 1)
+            self.retransmits += 1
+            if self.obs.enabled:
+                self.obs.emit_counter(
+                    "msg",
+                    "retransmit",
+                    retry_at,
+                    1.0,
+                    pid=msg.src,
+                    meta={
+                        "tag": msg.tag,
+                        "dst": msg.dst,
+                        "seq": msg.seq,
+                        "attempt": attempt + 1,
+                    },
+                )
+                self.obs.metrics.counter("net.retransmits").inc()
+            self.engine.call_at(
+                retry_at, lambda: self._transmit(msg, retry_at, attempt + 1)
+            )
+            return
+        wire = self.spec.network.transfer_time(msg.nbytes)
+        for extra in fate.extra_delays:
+            self.engine.call_at(t_send + wire + extra, lambda: self._deliver(msg))
+
+    def _crash(self, pid: int) -> None:
+        """Permanently kill the host of ``pid`` (fault injection)."""
+        if pid in self._dead:
+            return
+        self._dead.add(pid)
+        if self.obs.enabled:
+            self.obs.emit_counter(
+                "fault",
+                "injected",
+                self.engine.now,
+                1.0,
+                pid=pid,
+                meta={"kinds": ["crash"]},
+            )
+            self.obs.metrics.counter("faults.crashes").inc()
+
     def _deliver(self, msg: Message) -> None:
+        if msg.seq >= 0:
+            # Reliable-transport dedupe: retransmissions and injected
+            # duplicates of an already-delivered copy stop here, before
+            # the mailbox (so the replay checker sees exactly-once).
+            seen = self._seen_seq.setdefault(msg.dst, set())
+            dedupe_key = (msg.src, msg.seq)
+            if dedupe_key in seen:
+                if self.obs.enabled:
+                    self.obs.metrics.counter("net.duplicates_dropped").inc()
+                return
+            seen.add(dedupe_key)
         msg.t_arrived = self.engine.now
         dst_task = self._tasks.get(msg.dst)
         box = self.mailboxes[msg.dst]
@@ -242,7 +368,8 @@ class Cluster:
 
         When run to completion (``until`` is inf), raises
         :class:`DeadlockError` if any task is still blocked or unfinished
-        after the event queue drains.
+        after the event queue drains.  Tasks on crashed hosts are
+        excused: their unfinished state is the injected fault.
         """
         t = self.engine.run(until)
         if math.isinf(until):
@@ -250,7 +377,7 @@ class Cluster:
                 f"pid {tk.pid} ({tk.name}): "
                 + (f"blocked on recv{tk.blocked_on}" if tk.blocked_on else "unfinished")
                 for tk in self._tasks.values()
-                if not tk.done
+                if not tk.done and tk.pid not in self._dead
             ]
             if stuck:
                 raise DeadlockError(

@@ -18,6 +18,7 @@ from typing import Iterable
 
 import numpy as np
 
+from ..errors import SimulationError
 from ..obs.model import CounterEvent, Event
 
 __all__ = ["Trace"]
@@ -83,5 +84,5 @@ class Trace:
             raise KeyError(f"channel {channel!r} is empty")
         idx = int(np.searchsorted(times, t, side="right")) - 1
         if idx < 0:
-            raise ValueError(f"time {t} precedes first sample of {channel!r}")
+            raise SimulationError(f"time {t} precedes first sample of {channel!r}")
         return float(values[idx])

@@ -1,0 +1,96 @@
+"""Chaos CLI (`repro chaos`) and `--faults` plumbing on run/trace."""
+
+import json
+
+import pytest
+
+from repro.apps import build_matmul
+from repro.cli import main
+from repro.config import ClusterSpec, ProcessorSpec, RunConfig
+from repro.faults import load_plan
+from repro.obs import Recorder, RunReport, event_to_dict
+from repro.runtime import run_application
+
+
+def test_chaos_matrix_matmul(capsys, tmp_path):
+    out_json = tmp_path / "matrix.json"
+    rc = main(
+        [
+            "chaos",
+            "matmul",
+            "-n",
+            "32",
+            "--slaves",
+            "4",
+            "--seed",
+            "11",
+            "--fault-seed",
+            "5",
+            "--plans",
+            "message-light",
+            "one-crash",
+            "--json",
+            str(out_json),
+            "--reports",
+            str(tmp_path / "reports"),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "identical" in out and "recovered" in out
+    matrix = json.loads(out_json.read_text())
+    assert matrix["ok"] is True
+    outcomes = {
+        (c["app"], c["plan"]): c["outcome"] for c in matrix["cells"]
+    }
+    assert outcomes[("matmul", "message-light")] == "identical"
+    assert outcomes[("matmul", "one-crash")] == "recovered"
+    report_files = sorted((tmp_path / "reports").glob("*.json"))
+    assert report_files
+    report = RunReport.load(report_files[0])
+    assert report.name == "matmul"
+
+
+def test_chaos_unknown_plan_rejected(capsys):
+    rc = main(["chaos", "matmul", "-n", "32", "--plans", "kaboom"])
+    assert rc == 2
+    assert "'kaboom' is neither" in capsys.readouterr().out
+
+
+def test_run_with_faults_flag(capsys):
+    rc = main(
+        [
+            "run",
+            "matmul",
+            "-n",
+            "32",
+            "--slaves",
+            "4",
+            "--faults",
+            "message-light",
+            "--fault-seed",
+            "5",
+            "--speed",
+            "1e6",
+        ]
+    )
+    assert rc == 0
+    assert "faults[message-light]:" in capsys.readouterr().out
+
+
+def test_faults_none_reproduces_fault_free_trace_byte_for_byte():
+    cfg = RunConfig(
+        cluster=ClusterSpec(n_slaves=4, processor=ProcessorSpec(speed=1e6))
+    )
+    plan = build_matmul(n=32)
+
+    def observed_run(faults):
+        recorder = Recorder()
+        res = run_application(plan, cfg, seed=11, faults=faults, recorder=recorder)
+        return res, [event_to_dict(e) for e in recorder.log.events()]
+
+    base_res, base_events = observed_run(None)
+    none_res, none_events = observed_run(load_plan("none", seed=5))
+    assert none_events == base_events
+    assert none_res.elapsed == base_res.elapsed
+    assert none_res.retransmits == 0 and none_res.dead_pids == ()

@@ -1,0 +1,99 @@
+"""FaultInjector determinism and fault-kind semantics."""
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    LinkPartition,
+    MessageFault,
+    SlaveCrash,
+    SlaveStall,
+)
+
+MASTER = 4
+
+
+def _fates(injector, n=200):
+    return [injector.on_message(0, MASTER, "lb.status", 0.01 * i) for i in range(n)]
+
+
+def test_same_seed_same_fates():
+    plan = FaultPlan(
+        seed=13,
+        message_faults=(
+            MessageFault(kind="drop", probability=0.3),
+            MessageFault(kind="duplicate", probability=0.3),
+            MessageFault(kind="delay", probability=0.3, delay=0.02),
+        ),
+    )
+    a = _fates(FaultInjector(plan, master_pid=MASTER))
+    b = _fates(FaultInjector(plan, master_pid=MASTER))
+    assert a == b
+    assert any(f.dropped for f in a)
+    assert any(len(f.extra_delays) > 1 for f in a)
+
+
+def test_different_seeds_diverge():
+    mk = lambda seed: FaultPlan(
+        seed=seed, message_faults=(MessageFault(kind="drop", probability=0.5),)
+    )
+    a = _fates(FaultInjector(mk(1), master_pid=MASTER))
+    b = _fates(FaultInjector(mk(2), master_pid=MASTER))
+    assert a != b
+
+
+def test_clean_plan_never_faults():
+    injector = FaultInjector(FaultPlan(), master_pid=MASTER)
+    for fate in _fates(injector):
+        assert not fate.faulted
+        assert fate.extra_delays == (0.0,)
+
+
+def test_window_and_endpoint_filters():
+    plan = FaultPlan(
+        message_faults=(
+            MessageFault(kind="drop", probability=1.0, src=2, t_start=1.0, t_end=2.0),
+        )
+    )
+    injector = FaultInjector(plan, master_pid=MASTER)
+    assert injector.on_message(2, MASTER, "lb.status", 1.5).dropped
+    assert not injector.on_message(1, MASTER, "lb.status", 1.5).dropped
+    assert not injector.on_message(2, MASTER, "lb.status", 2.5).dropped
+
+
+def test_partition_drops_both_directions_inside_window():
+    plan = FaultPlan(partitions=(LinkPartition(pid=1, t_start=2.0, t_end=4.0),))
+    injector = FaultInjector(plan, master_pid=MASTER)
+    assert injector.on_message(1, MASTER, "lb.status", 3.0).dropped
+    assert injector.on_message(MASTER, 1, "lb.instr", 3.0).dropped
+    assert not injector.on_message(1, MASTER, "lb.status", 4.5).dropped
+    # Other slaves' links stay up.
+    assert not injector.on_message(2, MASTER, "lb.status", 3.0).dropped
+
+
+def test_stall_clamp_composes_windows():
+    plan = FaultPlan(
+        stalls=(
+            SlaveStall(pid=0, at=1.0, duration=1.0),
+            SlaveStall(pid=0, at=2.0, duration=0.5),
+        )
+    )
+    injector = FaultInjector(plan, master_pid=MASTER)
+    # 1.2 falls in [1, 2) -> clamped to 2.0, which falls in [2, 2.5) -> 2.5.
+    assert injector.stall_clamp(0, 1.2) == pytest.approx(2.5)
+    assert injector.stall_clamp(0, 0.5) == 0.5
+    assert injector.stall_clamp(1, 1.2) == 1.2
+    assert injector.stall_windows(0) == ((1.0, 2.0), (2.0, 2.5))
+
+
+def test_crash_times_listed():
+    plan = FaultPlan(crashes=(SlaveCrash(pid=3, at=2.25),))
+    assert FaultInjector(plan, master_pid=MASTER).crash_times() == ((3, 2.25),)
+
+
+def test_unresolved_plan_rejected():
+    plan = FaultPlan(crashes=(SlaveCrash(pid=0, at_fraction=0.5),))
+    with pytest.raises(FaultPlanError, match="resolved"):
+        FaultInjector(plan, master_pid=MASTER)

@@ -1,0 +1,48 @@
+"""Property check: message-level faults are invisible to the numerics.
+
+With crash-free fault plans (drop/duplicate/delay/reorder only), the
+reliable transport layer (retransmission, receiver-side deduplication)
+must hide every injected perturbation: each application's result is
+bit-identical to the fault-free run with the same seed, no matter the
+fault seed."""
+
+import numpy as np
+import pytest
+
+from repro.apps import build_lu, build_matmul, build_sor
+from repro.config import ClusterSpec, ProcessorSpec, RunConfig
+from repro.faults import named_plan
+from repro.runtime import run_application
+
+APPS = {
+    "matmul": lambda: build_matmul(n=32),
+    "sor": lambda: build_sor(n=26, maxiter=3),
+    "lu": lambda: build_lu(n=24),
+}
+
+
+def _cfg():
+    return RunConfig(
+        cluster=ClusterSpec(n_slaves=4, processor=ProcessorSpec(speed=1e6))
+    )
+
+
+@pytest.mark.parametrize("app", sorted(APPS))
+@pytest.mark.parametrize("plan_name", ["message-light", "message-heavy", "dup-reorder"])
+@pytest.mark.parametrize("fault_seed", [5, 23])
+def test_message_faults_bit_identical(app, plan_name, fault_seed):
+    plan = APPS[app]()
+    baseline = run_application(plan, _cfg(), seed=11)
+    faults = named_plan(plan_name, seed=fault_seed)
+    res = run_application(plan, _cfg(), seed=11, faults=faults)
+    assert res.dead_pids == ()
+    np.testing.assert_array_equal(res.result, baseline.result)
+
+
+def test_heavy_plan_actually_perturbs_the_wire():
+    plan = APPS["matmul"]()
+    res = run_application(
+        plan, _cfg(), seed=11, faults=named_plan("message-heavy", seed=5)
+    )
+    assert res.retransmits > 0
+    assert res.messages_lost == 0

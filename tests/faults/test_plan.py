@@ -1,0 +1,139 @@
+"""FaultPlan validation, serialization, and named-plan catalogue."""
+
+import math
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults import (
+    NAMED_PLANS,
+    FaultPlan,
+    LinkPartition,
+    MessageFault,
+    SlaveCrash,
+    SlaveStall,
+    TransportPolicy,
+    load_plan,
+    named_plan,
+)
+
+
+class TestValidation:
+    def test_unknown_message_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown message-fault kind"):
+            MessageFault(kind="scramble")
+
+    def test_probability_out_of_range(self):
+        with pytest.raises(FaultPlanError, match="probability"):
+            MessageFault(kind="drop", probability=1.5)
+
+    def test_reversed_window(self):
+        with pytest.raises(FaultPlanError, match="reversed"):
+            MessageFault(kind="drop", t_start=3.0, t_end=1.0)
+
+    def test_crash_needs_exactly_one_time(self):
+        with pytest.raises(FaultPlanError, match="exactly one"):
+            SlaveCrash(pid=0)
+        with pytest.raises(FaultPlanError, match="exactly one"):
+            SlaveCrash(pid=0, at=1.0, at_fraction=0.5)
+
+    def test_stall_duration_positive(self):
+        with pytest.raises(FaultPlanError, match="duration"):
+            SlaveStall(pid=0, duration=0.0, at=1.0)
+
+    def test_duplicate_crash_pids_rejected(self):
+        with pytest.raises(FaultPlanError, match="duplicate crash pids"):
+            FaultPlan(
+                crashes=(SlaveCrash(pid=1, at=1.0), SlaveCrash(pid=1, at=2.0))
+            )
+
+    def test_transport_policy_bounds(self):
+        with pytest.raises(FaultPlanError, match="rto"):
+            TransportPolicy(rto=0.0)
+        with pytest.raises(FaultPlanError, match="backoff"):
+            TransportPolicy(backoff=0.5)
+
+    def test_validate_for_rejects_out_of_range_pid(self):
+        plan = FaultPlan(crashes=(SlaveCrash(pid=7, at=1.0),))
+        with pytest.raises(FaultPlanError, match="only 4 slaves"):
+            plan.validate_for(4)
+        plan.validate_for(8)
+
+
+class TestHorizon:
+    def test_needs_horizon_and_resolved(self):
+        plan = FaultPlan(
+            crashes=(SlaveCrash(pid=1, at_fraction=0.4),),
+            stalls=(SlaveStall(pid=0, duration=1.0, at_fraction=0.5),),
+        )
+        assert plan.needs_horizon
+        pinned = plan.resolved(10.0)
+        assert not pinned.needs_horizon
+        assert pinned.crashes[0].at == pytest.approx(4.0)
+        assert pinned.stalls[0].at == pytest.approx(5.0)
+
+    def test_resolved_requires_positive_horizon(self):
+        plan = FaultPlan(crashes=(SlaveCrash(pid=0, at_fraction=0.5),))
+        with pytest.raises(FaultPlanError, match="horizon"):
+            plan.resolved(0.0)
+
+    def test_absolute_times_pass_through(self):
+        plan = FaultPlan(crashes=(SlaveCrash(pid=0, at=3.0),))
+        assert not plan.needs_horizon
+        assert plan.resolved(100.0).crashes[0].at == 3.0
+
+
+class TestSerialization:
+    def test_json_round_trip_preserves_plan(self, tmp_path):
+        plan = FaultPlan(
+            seed=42,
+            name="mixed",
+            message_faults=(
+                MessageFault(kind="drop", probability=0.1, tag_prefix="lb."),
+                MessageFault(kind="delay", probability=0.2, delay=0.01, t_end=5.0),
+            ),
+            crashes=(SlaveCrash(pid=2, at_fraction=0.3),),
+            stalls=(SlaveStall(pid=0, duration=1.5, at=2.0),),
+            partitions=(LinkPartition(pid=1, t_start=1.0, t_end=2.0),),
+            transport=TransportPolicy(rto=0.1, backoff=1.5, max_retries=4),
+        )
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+
+    def test_infinite_window_round_trips(self):
+        plan = FaultPlan(message_faults=(MessageFault(kind="drop"),))
+        out = FaultPlan.from_dict(plan.to_dict())
+        assert math.isinf(out.message_faults[0].t_end)
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict({"crashes": [{"pid": "one", "at": 1.0}]})
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_dict({"message_faults": "nope"})
+
+
+class TestNamedPlans:
+    def test_catalogue_is_sorted_and_complete(self):
+        assert NAMED_PLANS == tuple(sorted(NAMED_PLANS))
+        for name in NAMED_PLANS:
+            plan = named_plan(name, seed=3)
+            assert plan.name == name
+            assert plan.seed == 3
+
+    def test_none_plan_is_empty(self):
+        assert named_plan("none").empty
+        assert not named_plan("message-heavy").empty
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault plan"):
+            named_plan("kaboom")
+
+    def test_load_plan_accepts_name_or_file(self, tmp_path):
+        assert load_plan("one-crash", seed=9).crashes[0].pid == 1
+        path = tmp_path / "custom.json"
+        named_plan("stall").save(path)
+        loaded = load_plan(str(path), seed=7)
+        assert loaded.stalls and loaded.seed == 7
+        with pytest.raises(FaultPlanError, match="neither"):
+            load_plan("no-such-plan-or-file")

@@ -1,0 +1,114 @@
+"""Golden-path recovery: lose a slave mid-run and still finish right."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import check_replay
+from repro.apps import build_adaptive, build_lu, build_matmul
+from repro.config import ClusterSpec, ProcessorSpec, RunConfig
+from repro.errors import SlaveLostError
+from repro.faults import named_plan
+from repro.obs import CounterEvent, Recorder
+from repro.runtime import run_application
+
+SEED = 11
+FAULT_SEED = 5
+
+
+def _cfg():
+    return RunConfig(
+        cluster=ClusterSpec(n_slaves=4, processor=ProcessorSpec(speed=1e6))
+    )
+
+
+def _counters(recorder, category, name):
+    return [
+        e
+        for e in recorder.log.events()
+        if isinstance(e, CounterEvent) and e.category == category and e.name == name
+    ]
+
+
+class TestCrashRecovery:
+    @pytest.fixture(scope="class")
+    def crash_run(self):
+        plan = build_matmul(n=48)
+        baseline = run_application(plan, _cfg(), seed=SEED)
+        faults = named_plan("one-crash", seed=FAULT_SEED).resolved(baseline.elapsed)
+        recorder = Recorder()
+        res = run_application(
+            plan, _cfg(), seed=SEED, faults=faults, recorder=recorder
+        )
+        return baseline, res, recorder
+
+    def test_run_completes_with_dead_slave(self, crash_run):
+        baseline, res, _ = crash_run
+        assert res.dead_pids == (1,)
+        assert res.elapsed > 0
+
+    def test_result_matches_fault_free_run(self, crash_run):
+        baseline, res, _ = crash_run
+        np.testing.assert_array_equal(res.result, baseline.result)
+
+    def test_death_is_observable(self, crash_run):
+        _, _, recorder = crash_run
+        deaths = _counters(recorder, "slave", "declared_dead")
+        assert [e.pid for e in deaths] == [1]
+        suspected = _counters(recorder, "slave", "suspected")
+        assert 1 in {e.pid for e in suspected}
+        # Suspicion precedes the declaration.
+        assert min(e.t for e in suspected) < deaths[0].t
+
+    def test_reassignment_covers_dead_slaves_work(self, crash_run):
+        _, res, recorder = crash_run
+        grants = _counters(recorder, "work", "reassigned")
+        assert grants, "no work/reassigned events after a crash"
+        reassigned = set()
+        for e in grants:
+            assert e.meta["from"] == 1
+            assert e.meta["to"] == e.pid != 1
+            units = set(e.meta["units"])
+            assert units and not units & reassigned, "unit regranted twice"
+            reassigned |= units
+        assert len(reassigned) == res.log.units_reassigned
+
+    def test_crash_run_events_replay_cleanly(self, crash_run):
+        _, _, recorder = crash_run
+        result = check_replay(recorder.log.events())
+        assert not [d for d in result if d.severity.value == "error"], result
+
+
+class TestStallRecovery:
+    def test_stalled_slave_rejoins_and_result_is_identical(self):
+        plan = build_adaptive(n=96)
+        baseline = run_application(plan, _cfg(), seed=SEED)
+        faults = named_plan("stall", seed=FAULT_SEED).resolved(baseline.elapsed)
+        res = run_application(plan, _cfg(), seed=SEED, faults=faults)
+        assert res.dead_pids == ()
+        assert isinstance(res.result, dict)
+        for key in baseline.result:
+            np.testing.assert_array_equal(res.result[key], baseline.result[key])
+
+
+class TestUnsupportedShapes:
+    def test_crash_on_reduction_front_raises_slave_lost(self):
+        plan = build_lu(n=24)
+        baseline = run_application(plan, _cfg(), seed=SEED)
+        faults = named_plan("one-crash", seed=FAULT_SEED).resolved(baseline.elapsed)
+        with pytest.raises(SlaveLostError):
+            run_application(plan, _cfg(), seed=SEED, faults=faults)
+
+
+class TestChaosReplay:
+    def test_dup_reorder_events_pass_replay_check(self):
+        plan = build_matmul(n=32)
+        recorder = Recorder()
+        run_application(
+            plan,
+            _cfg(),
+            seed=SEED,
+            faults=named_plan("dup-reorder", seed=FAULT_SEED),
+            recorder=recorder,
+        )
+        result = check_replay(recorder.log.events())
+        assert not [d for d in result if d.severity.value == "error"], result

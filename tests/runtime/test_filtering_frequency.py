@@ -1,5 +1,7 @@
 """Rate filter and frequency selection tests (Sections 3.2, 4.3)."""
 
+import math
+
 import pytest
 from hypothesis import given, strategies as st
 
@@ -56,6 +58,29 @@ class TestTrendFilter:
         f.update(5.0)
         f.reset()
         assert f.value is None
+
+    def test_zero_progress_samples_converge_to_zero(self):
+        f = TrendFilter()
+        f.update(10.0)
+        for _ in range(60):
+            v = f.update(0.0)  # stalled slave reports no progress
+        assert v == pytest.approx(0.0, abs=1e-6)
+        assert math.isfinite(v)
+
+    def test_zero_as_first_sample_is_legal(self):
+        f = TrendFilter()
+        assert f.update(0.0) == 0.0
+        assert f.update(0.0) == 0.0  # deadband around zero: no div-by-zero
+
+    def test_non_finite_samples_are_dropped(self):
+        f = TrendFilter()
+        assert f.update(math.nan) == 0.0  # no state yet: report zero
+        assert f.value is None  # ...and nothing was absorbed
+        f.update(10.0)
+        assert f.update(math.nan) == 10.0
+        assert f.update(math.inf) == 10.0
+        assert f.value == 10.0
+        assert f.update(12.0) > 10.0  # filter still works afterwards
 
     def test_validation(self):
         with pytest.raises(ConfigError):

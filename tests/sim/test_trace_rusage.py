@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.errors import SimulationError
 from repro.sim.rusage import RusageReport, TaskUsage
 from repro.sim.trace import Trace
 
@@ -50,7 +51,7 @@ class TestTrace:
     def test_value_before_first_sample_raises(self):
         tr = Trace()
         tr.record("x", 5.0, 1.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(SimulationError):
             tr.value_at("x", 1.0)
 
 

@@ -37,6 +37,9 @@ MODULES = [
     "repro.analysis.protocol_lint",
     "repro.analysis.replay",
     "repro.analysis.suite",
+    "repro.faults",
+    "repro.faults.plan",
+    "repro.faults.injector",
     "repro.compiler",
     "repro.compiler.ir",
     "repro.compiler.deps",
