@@ -8,6 +8,7 @@ paper's reporting style, and archives it under ``benchmarks/results/``.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -19,6 +20,14 @@ def save_table(name: str, text: str) -> None:
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print()
     print(text)
+
+
+def save_json(name: str, data: dict) -> None:
+    """Archive a machine-readable result next to the rendered table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n"
+    )
 
 
 def once(benchmark, fn):

@@ -157,7 +157,12 @@ class _SiteCollector(ast.NodeVisitor):
             fam = self._resolve(node.args[1])
             if fam is not None:
                 self._sites_for(fam).sends.append(self._locus(node))
-        elif name in ("Recv", "Poll"):
+        elif name in ("Recv", "Poll") or (
+            isinstance(fn, ast.Attribute) and fn.attr == "_recv_ft"
+        ):
+            # `_recv_ft` is the failure-tolerant wrapper around a
+            # blocking selective Recv (it polls the same tag in a loop);
+            # its tag argument is a receive site like Recv's.
             tag_expr = next(
                 (kw.value for kw in node.keywords if kw.arg == "tag"), None
             )
@@ -166,7 +171,7 @@ class _SiteCollector(ast.NodeVisitor):
             fam = self._resolve(tag_expr) if tag_expr is not None else None
             if fam is not None:
                 bucket = self._sites_for(fam)
-                (bucket.recvs if name == "Recv" else bucket.polls).append(
+                (bucket.polls if name == "Poll" else bucket.recvs).append(
                     self._locus(node)
                 )
         elif (

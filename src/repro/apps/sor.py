@@ -308,6 +308,16 @@ class SorKernels(AppKernels):
         if ctx.get("direction") == "from_right":
             G[units_l[-1] + 1, :] = payload["halo"]
 
+    def extract_units(self, local: dict, units: np.ndarray, ctx: dict) -> dict:
+        """Checkpoint-rollback extraction: read-only, and — unlike
+        :meth:`pack_units` — allowed to cover a dead slave's *entire*
+        ownership.  No halo travels: rollback grants restart at the top
+        of the barrier sweep, where halo values flow through the normal
+        sweep-start exchange."""
+        G = local["G"]
+        units_l = sorted(int(u) for u in units)
+        return {"cols_data": G[units_l, :].copy()}
+
     # -- gather -------------------------------------------------------------
 
     def local_result(self, local: dict) -> np.ndarray:

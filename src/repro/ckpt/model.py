@@ -1,0 +1,234 @@
+"""Checkpoint artifacts: per-slave snapshots and the epoch ledger entry.
+
+Both classes are plain data with explicit JSON codecs.  Snapshot locals
+are opaque application state (numpy-bearing dicts), so the codec encodes
+arrays, scalars, tuples, and non-string-keyed dicts through tagged
+wrapper objects; :func:`encode_state` / :func:`decode_state` round-trip
+exactly (dtype, shape, and key types included), which the property tests
+in ``tests/ckpt`` verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+__all__ = [
+    "SlaveSnapshot",
+    "CheckpointEpoch",
+    "encode_state",
+    "decode_state",
+]
+
+_KIND = "__kind__"
+
+
+def encode_state(value: Any) -> Any:
+    """JSON-safe encoding of opaque (numpy-bearing) local state."""
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return {
+            _KIND: "ndarray",
+            "dtype": str(value.dtype),
+            "shape": list(value.shape),
+            "data": value.ravel().tolist(),
+        }
+    if isinstance(value, tuple):
+        return {_KIND: "tuple", "items": [encode_state(v) for v in value]}
+    if isinstance(value, list):
+        return [encode_state(v) for v in value]
+    if isinstance(value, Mapping):
+        return {
+            _KIND: "dict",
+            "items": [
+                [encode_state(k), encode_state(v)] for k, v in value.items()
+            ],
+        }
+    raise TypeError(f"cannot encode state of type {type(value).__name__}")
+
+
+def decode_state(value: Any) -> Any:
+    """Inverse of :func:`encode_state`."""
+    if isinstance(value, list):
+        return [decode_state(v) for v in value]
+    if isinstance(value, Mapping):
+        kind = value.get(_KIND)
+        if kind == "ndarray":
+            arr = np.asarray(value["data"], dtype=np.dtype(str(value["dtype"])))
+            return arr.reshape([int(s) for s in value["shape"]])
+        if kind == "tuple":
+            return tuple(decode_state(v) for v in value["items"])
+        if kind == "dict":
+            return {
+                decode_state(k): decode_state(v) for k, v in value["items"]
+            }
+        raise TypeError(f"cannot decode tagged state kind {kind!r}")
+    return value
+
+
+@dataclass
+class SlaveSnapshot:
+    """One slave's state at a checkpoint barrier.
+
+    Attributes:
+        pid: owning slave.
+        epoch: checkpoint epoch this snapshot belongs to.
+        rep: distributed-loop repetition the slave will execute next
+            (the epoch's barrier repetition; 0 for the initial state).
+        units: unit ids owned at the barrier (the epoch cut for ``pid``).
+        local: deep-copied opaque local state (``None`` on cost-only
+            runs, where no numerics exist to restore).
+        completed: per-unit progress (``REDUCTION_FRONT``: next front
+            each unit must absorb); empty for other shapes.
+        front_sent: per-unit broadcast-done flags (``REDUCTION_FRONT``).
+        meta: free-form shape extras.
+    """
+
+    pid: int
+    epoch: int
+    rep: int
+    units: tuple[int, ...] = ()
+    local: Any = None
+    completed: dict[int, int] = field(default_factory=dict)
+    front_sent: dict[int, bool] = field(default_factory=dict)
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "pid": self.pid,
+            "epoch": self.epoch,
+            "rep": self.rep,
+            "units": [int(u) for u in self.units],
+            "local": encode_state(self.local),
+            "completed": [[int(u), int(r)] for u, r in self.completed.items()],
+            "front_sent": [
+                [int(u), bool(f)] for u, f in self.front_sent.items()
+            ],
+            "meta": encode_state(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SlaveSnapshot":
+        return cls(
+            pid=int(data["pid"]),
+            epoch=int(data["epoch"]),
+            rep=int(data["rep"]),
+            units=tuple(int(u) for u in data.get("units", ())),
+            local=decode_state(data.get("local")),
+            completed={
+                int(u): int(r) for u, r in data.get("completed", ())
+            },
+            front_sent={
+                int(u): bool(f) for u, f in data.get("front_sent", ())
+            },
+            meta=dict(decode_state(data.get("meta", {})) or {}),
+        )
+
+
+@dataclass
+class CheckpointEpoch:
+    """Master-side ledger entry for one coordinated checkpoint epoch.
+
+    Attributes:
+        epoch: epoch number (0 is the synthetic initial-state epoch).
+        barrier: repetition at which every member snapshots (top of
+            sweep ``barrier`` for PIPELINE, top of front step ``barrier``
+            for REDUCTION_FRONT; unused for PARALLEL_MAP, which
+            snapshots at any hook).
+        opened_at: simulated time the epoch was initiated.
+        members: slaves that must deposit for the epoch to commit.
+        cut: ownership at the cut, ``pid -> sorted unit ids``.
+        boundaries: block-partition boundaries at the cut (``None`` for
+            index partitions).
+        next_move_id: first move id *not* covered by the cut; moves with
+            ``id >= next_move_id`` are voided on rollback to this epoch.
+        placement: ``"master"`` or ``"buddy"``.
+        buddies: ``pid -> buddy pid`` holding its snapshot data (buddy
+            placement only).
+        committed_at: commit time, ``None`` while open/aborted.
+        snapshots: deposited snapshots (master placement; buddy
+            placement stores only manifests here, keyed with
+            ``local=None``).
+    """
+
+    epoch: int
+    barrier: int
+    opened_at: float
+    members: tuple[int, ...]
+    cut: dict[int, tuple[int, ...]]
+    boundaries: tuple[int, ...] | None = None
+    next_move_id: int = 0
+    placement: str = "master"
+    buddies: dict[int, int] = field(default_factory=dict)
+    committed_at: float | None = None
+    snapshots: dict[int, SlaveSnapshot] = field(default_factory=dict)
+
+    @property
+    def committed(self) -> bool:
+        return self.committed_at is not None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "epoch": self.epoch,
+            "barrier": self.barrier,
+            "opened_at": self.opened_at,
+            "members": [int(p) for p in self.members],
+            "cut": [
+                [int(p), [int(u) for u in units]]
+                for p, units in self.cut.items()
+            ],
+            "boundaries": (
+                None
+                if self.boundaries is None
+                else [int(b) for b in self.boundaries]
+            ),
+            "next_move_id": self.next_move_id,
+            "placement": self.placement,
+            "buddies": [[int(p), int(b)] for p, b in self.buddies.items()],
+            "committed_at": self.committed_at,
+            "snapshots": [
+                snap.to_dict() for _, snap in sorted(self.snapshots.items())
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CheckpointEpoch":
+        boundaries = data.get("boundaries")
+        committed_at = data.get("committed_at")
+        snapshots = {
+            int(s["pid"]): SlaveSnapshot.from_dict(s)
+            for s in data.get("snapshots", ())
+        }
+        return cls(
+            epoch=int(data["epoch"]),
+            barrier=int(data["barrier"]),
+            opened_at=float(data["opened_at"]),
+            members=tuple(int(p) for p in data.get("members", ())),
+            cut={
+                int(p): tuple(int(u) for u in units)
+                for p, units in data.get("cut", ())
+            },
+            boundaries=(
+                None
+                if boundaries is None
+                else tuple(int(b) for b in boundaries)
+            ),
+            next_move_id=int(data.get("next_move_id", 0)),
+            placement=str(data.get("placement", "master")),
+            buddies={
+                int(p): int(b) for p, b in data.get("buddies", ())
+            },
+            committed_at=(
+                None if committed_at is None else float(committed_at)
+            ),
+            snapshots=snapshots,
+        )

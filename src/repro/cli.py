@@ -29,7 +29,13 @@ import sys
 from typing import Sequence
 
 from .apps import REGISTRY
-from .config import BalancerConfig, ClusterSpec, ProcessorSpec, RunConfig
+from .config import (
+    BalancerConfig,
+    CheckpointConfig,
+    ClusterSpec,
+    ProcessorSpec,
+    RunConfig,
+)
 from .faults import NAMED_PLANS, FaultPlan, load_plan
 from .obs import Recorder, RunReport
 from .runtime import run_application
@@ -57,6 +63,19 @@ def _loads_from_args(args: argparse.Namespace) -> dict:
     return loads
 
 
+def _ckpt_from_args(args: argparse.Namespace) -> CheckpointConfig:
+    defaults = CheckpointConfig()
+    return CheckpointConfig(
+        enabled=bool(getattr(args, "ckpt", False)),
+        interval=(
+            args.ckpt_interval
+            if getattr(args, "ckpt_interval", None) is not None
+            else defaults.interval
+        ),
+        placement=getattr(args, "ckpt_placement", None) or defaults.placement,
+    )
+
+
 def _run_cfg_from_args(args: argparse.Namespace) -> RunConfig:
     return RunConfig(
         cluster=ClusterSpec(
@@ -65,6 +84,7 @@ def _run_cfg_from_args(args: argparse.Namespace) -> RunConfig:
         balancer=BalancerConfig(pipelined=not args.synchronous),
         execute_numerics=args.numerics,
         dlb_enabled=not args.no_dlb,
+        ckpt=_ckpt_from_args(args),
     )
 
 
@@ -220,17 +240,22 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
     Message-only plans must leave results bit-identical to the
     fault-free baseline (the transport layer hides them).  Crash plans
-    must either recover (PARALLEL_MAP shapes: work reassignment, results
-    still matching) or fail with the documented
-    :class:`~repro.errors.SlaveLostError` (shapes without recovery).
+    must recover with results still matching: PARALLEL_MAP shapes by
+    work reassignment, dependence-carrying shapes by checkpoint rollback
+    (auto-enabled, see :func:`repro.runtime.launcher.resolve_run_cfg`).
+    Whether a cell may legitimately be lost is decided by
+    :func:`repro.runtime.master.can_recover` on the *effective*
+    configuration; an unexpected :class:`~repro.errors.SlaveLostError`
+    fails the cell and the command exits nonzero.
     """
     import json
     import os
 
     import numpy as np
 
-    from .compiler.plan import LoopShape
     from .errors import FaultPlanError, SlaveLostError
+    from .runtime.launcher import resolve_run_cfg
+    from .runtime.master import can_recover
 
     def results_identical(a: object, b: object) -> bool:
         if isinstance(a, dict) and isinstance(b, dict):
@@ -265,7 +290,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 f"chaos: unknown app {app!r}; choices: {', '.join(sorted(REGISTRY))}"
             )
         plan = _build_plan(app, args.n, args.slaves)
-        cfg = RunConfig(cluster=ClusterSpec(n_slaves=args.slaves))
+        cfg = RunConfig(
+            cluster=ClusterSpec(n_slaves=args.slaves),
+            ckpt=_ckpt_from_args(args),
+        )
         base = run_application(plan, cfg, seed=args.seed)
         base_result = base.result
         for pname in plan_names:
@@ -275,7 +303,9 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
             recorder = Recorder() if args.reports is not None else None
             cell: dict[str, object] = {"app": app, "plan": pname}
             has_crash = bool(fault_plan.crashes)
-            recoverable = plan.shape is LoopShape.PARALLEL_MAP
+            recoverable = can_recover(
+                plan, resolve_run_cfg(cfg, plan, fault_plan)
+            )
             try:
                 res = run_application(
                     plan,
@@ -299,6 +329,10 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                 cell["messages_lost"] = res.messages_lost
                 cell["dead_pids"] = list(res.dead_pids)
                 cell["elapsed"] = res.elapsed
+                cell["rollbacks"] = res.log.rollbacks
+                cell["units_restored"] = res.log.units_restored
+                cell["ckpt_epochs_committed"] = res.log.ckpt_epochs_committed
+                cell["ckpt_snapshots"] = res.log.ckpt_snapshots
                 if identical:
                     cell["outcome"] = "recovered" if res.dead_pids else "identical"
                 else:
@@ -443,6 +477,27 @@ def main(argv: Sequence[str] | None = None) -> int:
             default=0,
             help="seed for the fault plan's RNG (deterministic injection)",
         )
+        p.add_argument(
+            "--ckpt",
+            action="store_true",
+            help=(
+                "enable coordinated checkpointing (auto-enabled for "
+                "crash plans on dependence-carrying shapes)"
+            ),
+        )
+        p.add_argument(
+            "--ckpt-interval",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="simulated seconds between checkpoint epochs",
+        )
+        p.add_argument(
+            "--ckpt-placement",
+            choices=("master", "buddy"),
+            default=None,
+            help="where slave snapshots are deposited",
+        )
 
     p_run = sub.add_parser("run", help="run one application on the simulator")
     p_run.add_argument("app", choices=sorted(REGISTRY))
@@ -545,6 +600,19 @@ def main(argv: Sequence[str] | None = None) -> int:
         metavar="DIR",
         default=None,
         help="write a RunReport JSON per faulted cell into DIR",
+    )
+    p_chaos.add_argument(
+        "--ckpt-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="checkpoint epoch interval for cells that enable ckpt",
+    )
+    p_chaos.add_argument(
+        "--ckpt-placement",
+        choices=("master", "buddy"),
+        default=None,
+        help="snapshot placement for cells that enable ckpt",
     )
     p_chaos.set_defaults(fn=_cmd_chaos)
 

@@ -247,6 +247,19 @@ class AppKernels:
     def unpack_units(self, local: Any, units: UnitArray, payload: Any, ctx: dict[str, Any]) -> None:
         raise NotImplementedError
 
+    def extract_units(self, local: Any, units: UnitArray, ctx: dict[str, Any]) -> Any:
+        """Read the state of ``units`` without mutating ``local``.
+
+        Used by checkpoint rollback, which grants a dead slave's units
+        from its *snapshot*: unlike :meth:`pack_units` the owner is not
+        giving the units away (the snapshot stays a valid rollback
+        source), and a slave's entire ownership may be extracted.  The
+        default packs a deep copy; kernels whose ``pack_units`` enforces
+        transfer-only invariants must override this."""
+        import copy
+
+        return self.pack_units(copy.deepcopy(local), units, dict(ctx))
+
 
 @dataclass
 class ExecutionPlan:

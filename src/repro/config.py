@@ -20,6 +20,7 @@ __all__ = [
     "BalancerConfig",
     "GrainConfig",
     "FaultToleranceConfig",
+    "CheckpointConfig",
     "RunConfig",
 ]
 
@@ -222,7 +223,10 @@ class FaultToleranceConfig:
         ctrl_max_retries: control retries before the target is given up
             on (:class:`~repro.errors.SlaveLostError` if it is not dead).
         master_tick: master poll-loop sleep between empty polls.
-        wait_tick: slave poll-loop sleep inside failure-tolerant waits.
+        wait_tick: *maximum* slave poll-loop sleep inside failure-
+            tolerant waits; the loops start at ``wait_tick / 16`` and
+            back off exponentially, so this bounds the wake-up latency
+            (and the per-pipeline-hop overshoot) once a wait is long.
     """
 
     enabled: bool = False
@@ -233,7 +237,7 @@ class FaultToleranceConfig:
     ctrl_backoff: float = 2.0
     ctrl_max_retries: int = 6
     master_tick: float = 0.05
-    wait_tick: float = 0.02
+    wait_tick: float = 0.005
 
     def __post_init__(self) -> None:
         if self.heartbeat_interval <= 0:
@@ -252,6 +256,44 @@ class FaultToleranceConfig:
 
 
 @dataclass(frozen=True)
+class CheckpointConfig:
+    """Coordinated checkpoint/rollback parameters (see docs/fault-tolerance.md).
+
+    Disabled by default: with ``enabled=False`` no checkpoint traffic is
+    generated and fault-free event traces are byte-for-byte identical to
+    runs before checkpointing existed.  Enabling checkpoints implies the
+    failure-tolerant control plane (``RunConfig.ft``).
+
+    Attributes:
+        enabled: take periodic coordinated snapshots and allow the master
+            to roll surviving slaves back after a death on dependence-
+            carrying schedules (PIPELINE / REDUCTION_FRONT).
+        interval: minimum simulated seconds between checkpoint epochs.
+        placement: where slave snapshots are deposited — ``"master"``
+            ships each snapshot to the master's epoch ledger;
+            ``"buddy"`` ships the data to the next live slave
+            (pid + 1 mod n) and only a light manifest to the master.
+        barrier_margin: how many reps past the latest reported progress
+            the master places the checkpoint barrier; grows on a miss.
+    """
+
+    enabled: bool = False
+    interval: float = 2.0
+    placement: str = "master"
+    barrier_margin: int = 2
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ConfigError(f"ckpt interval must be positive, got {self.interval}")
+        if self.placement not in ("master", "buddy"):
+            raise ConfigError(
+                f"ckpt placement must be 'master' or 'buddy', got {self.placement!r}"
+            )
+        if self.barrier_margin < 1:
+            raise ConfigError("ckpt barrier_margin must be >= 1")
+
+
+@dataclass(frozen=True)
 class RunConfig:
     """Top-level knobs for one simulated application run."""
 
@@ -259,6 +301,7 @@ class RunConfig:
     balancer: BalancerConfig = field(default_factory=BalancerConfig)
     grain: GrainConfig = field(default_factory=GrainConfig)
     ft: FaultToleranceConfig = field(default_factory=FaultToleranceConfig)
+    ckpt: CheckpointConfig = field(default_factory=CheckpointConfig)
     execute_numerics: bool = True
     dlb_enabled: bool = True
     trace_enabled: bool = False

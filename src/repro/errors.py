@@ -50,8 +50,11 @@ class FaultPlanError(ConfigError):
 class SlaveLostError(ProtocolError):
     """Raised when a slave is lost and the runtime cannot recover.
 
-    The failure-tolerant runtime declares unresponsive slaves dead and
-    reassigns their work; this error surfaces only when recovery itself
-    is impossible (unsupported schedule shape, no surviving slave, or a
-    recovery instruction that exhausted its retries).
+    The failure-tolerant runtime declares unresponsive slaves dead,
+    reassigns their work (``PARALLEL_MAP``), or rolls survivors back to
+    the last checkpoint epoch (``PIPELINE``/``REDUCTION_FRONT`` with
+    ``RunConfig.ckpt`` enabled); this error surfaces only when recovery
+    itself is impossible (checkpointing disabled on a dependence-carrying
+    shape, no surviving slave, or a recovery instruction that exhausted
+    its retries).
     """

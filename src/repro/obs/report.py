@@ -124,6 +124,7 @@ class RunReport:
     schema: str = SCHEMA
     dlb: dict[str, float] = field(default_factory=dict)
     faults: dict[str, float] = field(default_factory=dict)
+    ckpt: dict[str, float] = field(default_factory=dict)
     slaves: dict[str, dict[str, object]] = field(default_factory=dict)
     imbalance: list[list[float]] = field(default_factory=list)
     overhead: dict[str, object] = field(default_factory=dict)
@@ -145,6 +146,7 @@ class RunReport:
             "dlb_enabled": self.dlb_enabled,
             "dlb": dict(self.dlb),
             "faults": dict(self.faults),
+            "ckpt": dict(self.ckpt),
             "slaves": {pid: dict(data) for pid, data in self.slaves.items()},
             "imbalance": [list(point) for point in self.imbalance],
             "overhead": dict(self.overhead),
@@ -181,6 +183,7 @@ class RunReport:
                     imbalance.append([_as_float(x) for x in point])
         dlb = {str(k): _as_float(v) for k, v in _obj("dlb").items()}
         faults = {str(k): _as_float(v) for k, v in _obj("faults").items()}
+        ckpt = {str(k): _as_float(v) for k, v in _obj("ckpt").items()}
         event_counts = {str(k): _as_int(v) for k, v in _obj("event_counts").items()}
         return cls(
             schema=schema,
@@ -193,6 +196,7 @@ class RunReport:
             dlb_enabled=bool(data.get("dlb_enabled", False)),
             dlb=dlb,
             faults=faults,
+            ckpt=ckpt,
             slaves=slaves,
             imbalance=imbalance,
             overhead=_obj("overhead"),
@@ -244,6 +248,25 @@ class RunReport:
                             "messages_lost",
                             "deaths",
                             "units_reassigned",
+                        )
+                    }
+                )
+            )
+        if any(self.ckpt.values()):
+            lines.append(
+                "  ckpt: committed={epochs_committed:.0f}  "
+                "aborted={epochs_aborted:.0f}  snapshots={snapshots:.0f}  "
+                "rollbacks={rollbacks:.0f}  restores={slave_restores:.0f}  "
+                "units_restored={units_restored:.0f}".format(
+                    **{
+                        k: self.ckpt.get(k, 0.0)
+                        for k in (
+                            "epochs_committed",
+                            "epochs_aborted",
+                            "snapshots",
+                            "rollbacks",
+                            "slave_restores",
+                            "units_restored",
                         )
                     }
                 )
@@ -377,6 +400,18 @@ def build_run_report(result: RunResultLike, recorder: Recorder) -> RunReport:
         "ctrl_retransmits": metrics.counter_value("ft.ctrl_retransmits"),
     }
 
+    ckpt: dict[str, float] = {
+        "epochs_opened": metrics.counter_value("ckpt.epochs_opened"),
+        "epochs_committed": metrics.counter_value("ckpt.epochs_committed"),
+        "epochs_aborted": metrics.counter_value("ckpt.epochs_aborted"),
+        "barrier_misses": metrics.counter_value("ckpt.barrier_misses"),
+        "snapshots": metrics.counter_value("ckpt.snapshots"),
+        "snapshot_bytes": metrics.counter_value("ckpt.snapshot_bytes"),
+        "rollbacks": metrics.counter_value("ckpt.rollbacks"),
+        "units_restored": metrics.counter_value("ckpt.units_restored"),
+        "slave_restores": metrics.counter_value("ckpt.slave_restores"),
+    }
+
     send_cpu = metrics.gauge_value("net.send_cpu_per_msg")
     recv_cpu = metrics.gauge_value("net.recv_cpu_per_msg")
     status_msgs = metrics.counter_value("net.msgs.status")
@@ -428,6 +463,7 @@ def build_run_report(result: RunResultLike, recorder: Recorder) -> RunReport:
         dlb_enabled=result.dlb_enabled,
         dlb=dlb,
         faults=faults,
+        ckpt=ckpt,
         slaves=slaves,
         imbalance=_imbalance_timeline(log, n),
         overhead=overhead,

@@ -27,7 +27,12 @@ from .master import MasterLog, master_task
 from .partition import BlockPartition, IndexPartition
 from .slave import slave_task
 
-__all__ = ["RunResult", "run_application", "sequential_time"]
+__all__ = [
+    "RunResult",
+    "resolve_run_cfg",
+    "run_application",
+    "sequential_time",
+]
 
 
 @dataclass
@@ -90,6 +95,40 @@ def sequential_time(plan: ExecutionPlan, run_cfg: RunConfig) -> float:
     return plan.total_ops() / run_cfg.cluster.processor.speed
 
 
+def resolve_run_cfg(
+    run_cfg: RunConfig, plan: ExecutionPlan, faults: FaultPlan | None
+) -> RunConfig:
+    """Effective configuration for a run.
+
+    - Fault plans with crashes, stalls, or partitions auto-enable the
+      failure-tolerant runtime (``run_cfg.ft``).
+    - Crashes on dependence-carrying shapes (``PIPELINE``,
+      ``REDUCTION_FRONT``) additionally auto-enable checkpointing
+      (``run_cfg.ckpt``), the only recovery mechanism for them.
+    - Enabled checkpointing always implies the failure-tolerant runtime
+      it rides on (epoch controls travel the recovery channel).
+
+    A fault-free run with checkpointing off is returned unchanged and
+    takes exactly the legacy code paths.
+    """
+    have_faults = faults is not None and not faults.empty
+    needs_recovery = have_faults and bool(
+        faults.crashes or faults.stalls or faults.partitions
+    )
+    if (
+        have_faults
+        and faults.crashes
+        and plan.shape is not LoopShape.PARALLEL_MAP
+        and not run_cfg.ckpt.enabled
+    ):
+        run_cfg = replace(
+            run_cfg, ckpt=replace(run_cfg.ckpt, enabled=True)
+        )
+    if (needs_recovery or run_cfg.ckpt.enabled) and not run_cfg.ft.enabled:
+        run_cfg = replace(run_cfg, ft=replace(run_cfg.ft, enabled=True))
+    return run_cfg
+
+
 def _initial_partition(plan: ExecutionPlan, run_cfg: RunConfig):
     restricted = plan.movement.restricted
     if run_cfg.balancer.restricted is not None:
@@ -138,23 +177,19 @@ def run_application(
 
     ``faults`` injects a seeded :class:`~repro.faults.FaultPlan`
     (fractional fault times must already be resolved against a horizon).
-    Message-only plans rely on the transport layer alone; plans with
-    crashes, stalls, or partitions auto-enable the failure-tolerant
-    runtime (``run_cfg.ft``) unless it is already configured on.  With
-    ``faults`` None (or an empty plan) no injector is built and the run
+    Message-only plans rely on the transport layer alone; the effective
+    configuration is computed by :func:`resolve_run_cfg` (crash/stall/
+    partition plans enable ``run_cfg.ft``; crashes on dependence-carrying
+    shapes also enable ``run_cfg.ckpt``).  With ``faults`` None (or an
+    empty plan) and checkpointing off, no injector is built and the run
     takes exactly the legacy code paths.
     """
-    run_cfg = run_cfg or RunConfig()
+    run_cfg = resolve_run_cfg(run_cfg or RunConfig(), plan, faults)
     if recorder is None and run_cfg.trace_enabled:
         recorder = Recorder()
     injector: FaultInjector | None = None
     if faults is not None and not faults.empty:
         injector = FaultInjector(faults, master_pid=run_cfg.cluster.master_pid)
-        needs_runtime_recovery = bool(
-            faults.crashes or faults.stalls or faults.partitions
-        )
-        if needs_runtime_recovery and not run_cfg.ft.enabled:
-            run_cfg = replace(run_cfg, ft=replace(run_cfg.ft, enabled=True))
     if (
         plan.shape is LoopShape.PIPELINE
         and plan.unit_count < run_cfg.cluster.n_slaves

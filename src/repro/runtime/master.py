@@ -17,6 +17,13 @@ from typing import Any, Callable
 
 import numpy as np
 
+from ..ckpt import (
+    CheckpointCoordinator,
+    CheckpointEpoch,
+    SlaveSnapshot,
+    pipeline_repartition,
+    reduction_repartition,
+)
 from ..compiler.plan import ExecutionPlan, LoopShape
 from ..config import RunConfig
 from ..errors import ProtocolError, SlaveLostError
@@ -40,7 +47,18 @@ from .protocol import (
     Tags,
 )
 
-__all__ = ["master_task", "MasterLog"]
+__all__ = ["master_task", "MasterLog", "can_recover"]
+
+
+def can_recover(plan: ExecutionPlan, run_cfg: RunConfig) -> bool:
+    """Can the runtime survive a slave death for this plan and config?
+
+    ``PARALLEL_MAP`` recovers by reassignment alone (iterations are
+    independent, so a dead slave's units are simply recomputed);
+    dependence-carrying shapes (``PIPELINE``, ``REDUCTION_FRONT``) need
+    checkpoint rollback, i.e. ``RunConfig.ckpt`` enabled.
+    """
+    return plan.shape is LoopShape.PARALLEL_MAP or run_cfg.ckpt.enabled
 
 
 @dataclass
@@ -81,6 +99,13 @@ class MasterLog:
     final_partition_counts: list[int] = field(default_factory=list)
     result: Any = None
     merged_units: int = 0
+    # Checkpoint/rollback accounting (zero unless RunConfig.ckpt enabled).
+    rollbacks: int = 0
+    units_restored: int = 0
+    ckpt_epochs_opened: int = 0
+    ckpt_epochs_committed: int = 0
+    ckpt_epochs_aborted: int = 0
+    ckpt_snapshots: int = 0
 
 
 class _Master:
@@ -139,6 +164,40 @@ class _Master:
         self.dead_moves: dict[int, _InFlightMove] = {}
         # Moves force-resolved by recovery: late acks for them are fine.
         self.resolved_moves: set[int] = set()
+        # Checkpoint/rollback state (RunConfig.ckpt; see docs).
+        self.ckpt_cfg = run_cfg.ckpt
+        self.era = 0
+        self.movement_frozen = False
+        self._gen_base = 0
+        self._pending_rollback: dict[str, Any] | None = None
+        # Residuals keyed rep -> {pid: value} so a rollback can discard
+        # pre-rollback contributions and regrant coverage stays exact.
+        self.residuals: dict[int, dict[int, float]] = {}
+        self.coord: CheckpointCoordinator | None = None
+        if self.ckpt_cfg.enabled:
+            self.coord = CheckpointCoordinator(self.ckpt_cfg)
+            # Epoch 0 is the initial state: every slave snapshots it
+            # locally at startup and the master can resynthesize any
+            # slave's slice from the global inputs, so a rollback target
+            # always exists even before the first commit.
+            self.coord.epoch0 = CheckpointEpoch(
+                epoch=0,
+                barrier=0,
+                opened_at=0.0,
+                members=tuple(range(self.n)),
+                cut={
+                    p: tuple(int(u) for u in partition.owned(p))
+                    for p in range(self.n)
+                },
+                boundaries=(
+                    tuple(partition.boundaries)
+                    if isinstance(partition, BlockPartition)
+                    else None
+                ),
+                next_move_id=0,
+                placement=self.ckpt_cfg.placement,
+                committed_at=0.0,
+            )
 
     # ------------------------------------------------------------------
 
@@ -284,6 +343,21 @@ class _Master:
                     )
 
     def _movement_allowed(self, now: float) -> bool:
+        if self.movement_frozen:
+            # After a rollback the partition was rebuilt around the
+            # survivors; further movement could cross the relinked
+            # pipeline ring, so balancing stays frozen for the rest of
+            # the run (grants from later deaths still work).
+            return False
+        if self.coord is not None and (
+            self.coord.open is not None or self.coord.due(now)
+        ):
+            # Movement while an epoch is collecting snapshots would make
+            # the cut inconsistent with the deposits; and once an epoch
+            # is *due*, new moves are deferred so in-flight ones drain
+            # and the epoch can actually open (otherwise continuously
+            # rebalancing schedules, LU above all, starve checkpointing).
+            return False
         if self.in_flight:
             return False
         if any(self.pending_orders[p] for p in range(self.n)):
@@ -392,16 +466,32 @@ class _Master:
                 report.pid in fl.involved() and report.pid not in fl.acked
                 for fl in self.in_flight.values()
             )
-            if not involved and not self._ft_release_blocked(report.pid):
+            if (
+                not involved
+                and not self._ft_release_blocked(report.pid)
+                and self._ft_results_complete()
+            ):
                 self.released.add(report.pid)
+                if (
+                    self.coord is not None
+                    and self.coord.open is not None
+                    and report.pid in self.coord.open.members
+                ):
+                    # A released member will never deposit; the epoch
+                    # would hang open and block movement forever.
+                    self._abort_epoch(now)
                 return Instructions(
-                    phase=decision.phase, release=True, note="release"
+                    phase=decision.phase,
+                    release=True,
+                    note="release",
+                    era=self.era,
                 )
         return Instructions(
             phase=decision.phase,
             skip_hooks=decision.skip_hooks.get(report.pid, 1),
             sends=sends,
             recvs=recvs,
+            era=self.era,
         )
 
     # ------------------------------------------------------------------
@@ -428,6 +518,33 @@ class _Master:
             if rep is None or not rep.done:
                 return True
         return False
+
+    def _ft_results_complete(self) -> bool:
+        """No release until every non-dead slave's result is banked.
+
+        Failure-tolerant slaves return their result as soon as they are
+        done (well before the release), so the master only lets anyone
+        terminate once it could finish the gather without them.  A slave
+        that dies in the silent window between its last report and the
+        suspicion threshold then blocks the release of the survivors —
+        exactly the ones a rollback needs alive.  A banked result only
+        counts while it matches the slave's current ownership (movement
+        or a grant after the early return makes it stale).
+        """
+        if not self.ft.enabled:
+            return True
+        for q in range(self.n):
+            if q in self.dead:
+                continue
+            res = self.results.get(q)
+            if res is None:
+                return False
+            if q in self.released:
+                continue  # verified against ownership at its release
+            owned = {int(u) for u in self.partition.owned(q)}
+            if {int(u) for u in res["units"]} != owned:
+                return False
+        return True
 
     def note_heard(self, pid: int, now: float) -> None:
         if pid in self.dead:
@@ -489,6 +606,8 @@ class _Master:
                         pid=pid,
                         meta={"silent_for": silent},
                     )
+        if self.coord is not None:
+            self._ckpt_tick(now)
 
     def _send_ctrl(
         self,
@@ -518,8 +637,22 @@ class _Master:
         if pc is None:
             return  # duplicate ack for an already-settled control
         ctrl = pc.ctrl
+        if ctrl.kind == "ckpt":
+            if ack.status == "miss" and (
+                self.coord is not None
+                and self.coord.open is not None
+                and self.coord.open.epoch == int(ctrl.meta["epoch"])
+            ):
+                # The slave already ran past the barrier: abort; the
+                # next epoch opens with a wider barrier margin.
+                self._abort_epoch(now, missed=True)
+            return
+        if ctrl.kind == "ckpt_pull":
+            if ack.status == "miss":
+                self._pull_failed(int(ctrl.meta["pid"]), now)
+            return
         if ctrl.kind not in ("cancel_send", "cancel_recv"):
-            return  # grants and fences need nothing further
+            return  # grants, fences, and rollbacks need nothing further
         mid = ctrl.move_id
         assert mid is not None
         fl = self.dead_moves.pop(mid, None)
@@ -540,15 +673,24 @@ class _Master:
             if tr.src in self.dead:
                 self._grant_units(tr.units, tr.src, now)
 
+    def can_recover(self) -> bool:
+        return can_recover(self.plan, self.cfg)
+
     def declare_dead(self, pid: int, now: float) -> None:
-        """Declare ``pid`` dead and reassign everything it owned."""
+        """Declare ``pid`` dead and recover its work.
+
+        ``PARALLEL_MAP`` reassigns the dead slave's units directly (unit
+        results depend only on inputs); dependence-carrying shapes roll
+        every survivor back to the last committed checkpoint epoch and
+        repartition the dead slave's slice from the checkpointed state.
+        """
         if pid in self.dead:
             return
-        if self.plan.shape is not LoopShape.PARALLEL_MAP:
+        if not self.can_recover():
             raise SlaveLostError(
                 f"slave {pid} lost (silent for {self.ft.dead_after}s); "
-                "work reassignment is only supported for PARALLEL_MAP "
-                f"schedules, not {self.plan.shape.name}"
+                f"{self.plan.shape.name} schedules need checkpointing "
+                "(RunConfig.ckpt) to recover, and it is disabled"
             )
         self.dead.add(pid)
         self.suspected.discard(pid)
@@ -567,6 +709,38 @@ class _Master:
                 pid=pid,
                 meta={"lost_progress_units": lost_progress},
             )
+        if (
+            self.coord is not None
+            and self.coord.open is not None
+            and pid in self.coord.open.members
+        ):
+            self._abort_epoch(now)
+        # Failure-tolerant slaves return results at done-time, so a dead
+        # slave may have nothing left to recover.  A banked result only
+        # counts while it matches the final ownership; a stale one is
+        # dropped here so the ``pid in self.results`` checks below read
+        # "a usable result arrived" and recovery re-covers those units.
+        res = self.results.get(pid)
+        if res is not None:
+            owned = {int(u) for u in self.partition.owned(pid)}
+            if {int(u) for u in res["units"]} != owned:
+                del self.results[pid]
+        if self.plan.shape is not LoopShape.PARALLEL_MAP:
+            # Coordinated rollback: drop controls addressed to the dead
+            # slave, then roll the survivors back to the last committed
+            # epoch (movement settling is subsumed — every move issued
+            # after the epoch cut is voided wholesale).
+            for seq in [
+                s for s, pc in self.unacked.items() if pc.dst == pid
+            ]:
+                del self.unacked[seq]
+            self.ctrl_outbox = [
+                (d, c) for (d, c) in self.ctrl_outbox if d != pid
+            ]
+            if pid in self.results:
+                return  # its result already arrived; nothing to recompute
+            self._begin_rollback(pid, now)
+            return
         # Cancel controls parked on an earlier death whose live target is
         # this slave; whoever the unapplied transfer leaves the units with
         # is dead, so they go straight back to the grant pool.
@@ -714,6 +888,366 @@ class _Master:
         local = k.make_local(self.global_state, arr)
         return k.pack_units(local, arr, {"shape": "parallel_map"})
 
+    # ------------------------------------------------------------------
+    # Checkpointing (RunConfig.ckpt; see repro.ckpt and docs)
+    # ------------------------------------------------------------------
+
+    def _abort_epoch(self, now: float, missed: bool = False) -> None:
+        if self.coord is None or self.coord.open is None:
+            return
+        self.coord.abort(now, missed=missed)
+        self.log.ckpt_epochs_aborted += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("ckpt.epochs_aborted").inc()
+            if missed:
+                self.obs.metrics.counter("ckpt.barrier_misses").inc()
+
+    def _ckpt_tick(self, now: float) -> None:
+        """Open a new checkpoint epoch when one is due and safe."""
+        assert self.coord is not None
+        if self._pending_rollback is not None or not self.coord.due(now):
+            return
+        if self.in_flight or any(
+            self.pending_orders[p] for p in range(self.n)
+        ):
+            return  # movement in progress: the cut would be ambiguous
+        members = tuple(
+            p
+            for p in range(self.n)
+            if p not in self.dead and p not in self.released
+        )
+        if not members:
+            return
+        if self.plan.shape is LoopShape.PARALLEL_MAP:
+            barrier = 0  # any hook is a dependence-safe cut for a map
+        else:
+            barrier = (
+                max(
+                    (
+                        self.last_report[p].rep
+                        for p in members
+                        if p in self.last_report
+                    ),
+                    default=0,
+                )
+                + self.coord.margin
+            )
+            if barrier >= self.plan.reps:
+                return  # too near the end for a checkpoint to pay off
+        cut = {
+            p: tuple(int(u) for u in self.partition.owned(p))
+            for p in members
+        }
+        boundaries = (
+            tuple(self.partition.boundaries)
+            if isinstance(self.partition, BlockPartition)
+            else None
+        )
+        buddies: dict[int, int] = {}
+        if self.ckpt_cfg.placement == "buddy" and len(members) > 1:
+            for i, p in enumerate(members):
+                buddies[p] = members[(i + 1) % len(members)]
+        epoch = self.coord.open_epoch(
+            now,
+            barrier=barrier,
+            members=members,
+            cut=cut,
+            boundaries=boundaries,
+            next_move_id=self.next_move_id,
+            buddies=buddies or None,
+        )
+        committed = (
+            self.coord.committed.epoch if self.coord.committed else 0
+        )
+        for p in members:
+            meta: dict[str, Any] = {
+                "epoch": epoch.epoch,
+                "barrier": barrier,
+                "committed": committed,
+            }
+            if p in buddies:
+                meta["buddy"] = buddies[p]
+            self._send_ctrl(p, "ckpt", now, meta=meta)
+        self.log.ckpt_epochs_opened += 1
+        if self.obs.enabled:
+            self.obs.metrics.counter("ckpt.epochs_opened").inc()
+            self.obs.emit_counter(
+                "ckpt",
+                "epoch_open",
+                now,
+                float(epoch.epoch),
+                meta={"barrier": barrier, "members": list(members)},
+            )
+
+    def handle_ckpt_message(self, msg: Any, now: float) -> None:
+        """A ``Tags.CKPT`` message: a snapshot deposit, a buddy-placement
+        manifest, or a pulled snapshot for a pending rollback."""
+        if self.coord is None:
+            return
+        payload = msg.payload
+        kind = payload.get("kind")
+        if kind == "pull":
+            self._pull_arrived(payload["snap"], now)
+            return
+        if kind not in ("deposit", "manifest"):
+            raise ProtocolError(
+                f"master received unknown ckpt message {kind!r}"
+            )
+        pid = int(payload["pid"])
+        epoch_num = int(payload["epoch"])
+        snap: SlaveSnapshot
+        if kind == "deposit":
+            snap = payload["snap"]
+        else:
+            snap = SlaveSnapshot(
+                pid=pid,
+                epoch=epoch_num,
+                rep=int(payload["rep"]),
+                units=tuple(int(u) for u in payload["units"]),
+                local=None,
+            )
+        self.log.ckpt_snapshots += 1
+        open_epoch = self.coord.open
+        if self.coord.deposit(pid, snap, now):
+            self.log.ckpt_epochs_committed += 1
+            if self.obs.enabled:
+                assert open_epoch is not None
+                self.obs.metrics.counter("ckpt.epochs_committed").inc()
+                self.obs.emit_span(
+                    "ckpt",
+                    "epoch",
+                    open_epoch.opened_at,
+                    now,
+                    value=float(len(open_epoch.members)),
+                    meta={
+                        "epoch": epoch_num,
+                        "barrier": open_epoch.barrier,
+                    },
+                )
+
+    # ------------------------------------------------------------------
+    # Coordinated rollback (non-PARALLEL_MAP death recovery)
+    # ------------------------------------------------------------------
+
+    def _begin_rollback(self, dead_pid: int, now: float) -> None:
+        assert self.coord is not None
+        self._abort_epoch(now)
+        self._pending_rollback = None
+        target = self.coord.rollback_target()
+        if target.epoch > 0 and self.exec_num:
+            # Under buddy placement the master holds only manifests for
+            # the committed epoch; dead members' full snapshots must be
+            # pulled from their buddies before regranting.  A broken
+            # buddy chain (buddy also dead) falls back to epoch 0.
+            pulls: dict[int, int] = {}
+            chain_ok = True
+            for d in sorted(self.dead):
+                if d not in target.members:
+                    continue
+                snap = target.snapshots.get(d)
+                if snap is not None and snap.local is not None:
+                    continue
+                buddy = target.buddies.get(d)
+                if buddy is None or buddy in self.dead:
+                    chain_ok = False
+                    break
+                pulls[d] = buddy
+            if not chain_ok:
+                assert self.coord.epoch0 is not None
+                target = self.coord.epoch0
+            elif pulls:
+                for d, buddy in pulls.items():
+                    self._send_ctrl(
+                        buddy,
+                        "ckpt_pull",
+                        now,
+                        meta={"epoch": target.epoch, "pid": d},
+                    )
+                self._pending_rollback = {
+                    "target": target,
+                    "awaiting": set(pulls),
+                }
+                return
+        self._finish_rollback(target, now)
+
+    def _pull_arrived(self, snap: SlaveSnapshot, now: float) -> None:
+        pr = self._pending_rollback
+        if pr is None:
+            return
+        target: CheckpointEpoch = pr["target"]
+        if snap.epoch != target.epoch or snap.pid not in pr["awaiting"]:
+            return  # late reply for a superseded rollback attempt
+        target.snapshots[snap.pid] = snap
+        pr["awaiting"].discard(snap.pid)
+        if not pr["awaiting"]:
+            self._pending_rollback = None
+            self._finish_rollback(target, now)
+
+    def _pull_failed(self, pid: int, now: float) -> None:
+        if self._pending_rollback is None:
+            return
+        # The buddy no longer holds the deposit: fall back to epoch 0,
+        # which every survivor can restore from its local snapshot.
+        assert self.coord is not None and self.coord.epoch0 is not None
+        self._pending_rollback = None
+        self._finish_rollback(self.coord.epoch0, now)
+
+    def _finish_rollback(self, target: CheckpointEpoch, now: float) -> None:
+        """Roll the survivors back to ``target`` and repartition every
+        dead slave's checkpointed slice among them."""
+        assert self.coord is not None
+        survivors = [p for p in target.members if p not in self.dead]
+        if not survivors:
+            raise SlaveLostError(
+                f"no surviving slave left to roll back to epoch "
+                f"{target.epoch}"
+            )
+        gone = [p for p in survivors if p in self.released]
+        if gone:  # pragma: no cover - releases require a complete gather
+            raise SlaveLostError(
+                f"epoch {target.epoch} members {gone} already released; "
+                "cannot roll them back"
+            )
+        self.era += 1
+        # Survivors recompute from the epoch cut; anything they returned
+        # before the rollback is stale (they resend at the new era).
+        for p in survivors:
+            self.results.pop(p, None)
+        self.movement_frozen = True
+        # Every move issued after the epoch cut is void; the survivors
+        # void the same id range locally, so late acks resolve silently.
+        self.resolved_moves.update(
+            range(target.next_move_id, self.next_move_id)
+        )
+        self.in_flight.clear()
+        self.dead_moves.clear()
+        for p in range(self.n):
+            self.pending_orders[p] = []
+        self.unacked.clear()
+        self.ctrl_outbox.clear()
+        dead_sorted = sorted(self.dead)
+        grants_by_rcv: dict[int, list[tuple[int, list[int]]]]
+        ring: dict[int, tuple[int | None, int | None]] = {}
+        if self.plan.shape is LoopShape.PIPELINE:
+            assert target.boundaries is not None
+            new_boundaries, grants_by_rcv = pipeline_repartition(
+                list(target.boundaries), dead_sorted
+            )
+            self.partition = BlockPartition(new_boundaries)
+            for i, p in enumerate(survivors):
+                ring[p] = (
+                    survivors[i - 1] if i > 0 else None,
+                    survivors[i + 1] if i + 1 < len(survivors) else None,
+                )
+        else:  # REDUCTION_FRONT
+            new_owned, grants_by_rcv = reduction_repartition(
+                target.cut,
+                survivors,
+                dead_sorted,
+                self.state.filtered_rates(),
+            )
+            self.partition = IndexPartition(
+                [list(new_owned.get(p, [])) for p in range(self.n)]
+            )
+        # Fresh boundary-exchange generation numbers strictly above any
+        # pre-rollback gen (gens only grow by move executions, bounded
+        # by the number of moves ever issued).
+        self._gen_base += self.next_move_id + 1
+        # Progress accounting restarts from the cut.
+        self.done_units_accum = 0.0
+        self.done_units_by_pid = {}
+        for p in survivors:
+            rep = self.last_report.get(p)
+            if rep is not None:
+                rep.done = False
+        self.residuals.clear()
+        units_restored = 0
+        for p in survivors:
+            grants = [
+                self._rollback_grant(target, d, units)
+                for d, units in grants_by_rcv.get(p, [])
+            ]
+            units_restored += sum(len(g["units"]) for g in grants)
+            meta: dict[str, Any] = {
+                "epoch": target.epoch,
+                "barrier": target.barrier,
+                "era": self.era,
+                "void_from": target.next_move_id,
+                "void_to": self.next_move_id,
+                "grants": grants,
+            }
+            if self.plan.shape is LoopShape.PIPELINE:
+                left, right = ring[p]
+                meta["gen"] = self._gen_base
+                meta["left"] = left
+                meta["right"] = right
+            else:
+                meta["peers"] = list(survivors)
+            self._send_ctrl(p, "rollback", now, meta=meta)
+        self.log.rollbacks += 1
+        self.log.units_restored += units_restored
+        if self.obs.enabled:
+            self.obs.metrics.counter("ckpt.rollbacks").inc()
+            self.obs.metrics.counter("ckpt.units_restored").inc(
+                units_restored
+            )
+            self.obs.emit_counter(
+                "ckpt",
+                "rollback",
+                now,
+                float(units_restored),
+                meta={
+                    "epoch": target.epoch,
+                    "dead": dead_sorted,
+                    "survivors": list(survivors),
+                },
+            )
+
+    def _rollback_grant(
+        self, target: CheckpointEpoch, dead_pid: int, units: list[int]
+    ) -> dict[str, Any]:
+        """One grant record: a dead slave's units as of the epoch cut,
+        with their data extracted from its checkpointed state (or
+        resynthesized from the global inputs for epoch 0)."""
+        arr = np.asarray(sorted(int(u) for u in units))
+        snap = target.snapshots.get(dead_pid)
+        grant: dict[str, Any] = {
+            "from": dead_pid,
+            "units": [int(u) for u in arr],
+        }
+        if self.plan.shape is LoopShape.REDUCTION_FRONT:
+            if snap is not None:
+                grant["completed"] = {
+                    int(u): int(snap.completed.get(int(u), 0)) for u in arr
+                }
+                grant["front_sent"] = {
+                    int(u): bool(snap.front_sent.get(int(u), False))
+                    for u in arr
+                }
+            else:
+                grant["completed"] = {int(u): 0 for u in arr}
+                grant["front_sent"] = {int(u): False for u in arr}
+        if not self.exec_num:
+            grant["data"] = None
+            return grant
+        k = self.plan.kernels
+        ctx = {
+            "shape": (
+                "pipeline"
+                if self.plan.shape is LoopShape.PIPELINE
+                else "reduction_front"
+            )
+        }
+        if snap is not None and snap.local is not None:
+            grant["data"] = k.extract_units(snap.local, arr, ctx)
+        else:
+            cut_units = np.asarray(
+                [int(u) for u in target.cut.get(dead_pid, ())]
+            )
+            local = k.make_local(self.global_state, cut_units)
+            grant["data"] = k.extract_units(local, arr, ctx)
+        return grant
+
 
 def _flush_ctrls(m: _Master):
     while m.ctrl_outbox:
@@ -728,7 +1262,6 @@ def _ft_control_loop(m: _Master, plan: ExecutionPlan):
     now = yield Now()
     for pid in range(m.n):
         m.last_heard[pid] = now
-    residuals: dict[int, list[float]] = {}
     all_pids = set(range(m.n))
     while not (m.released | m.dead) >= all_pids:
         yield from _flush_ctrls(m)
@@ -745,25 +1278,51 @@ def _ft_control_loop(m: _Master, plan: ExecutionPlan):
         tag = msg.tag
         if tag == Tags.STATUS:
             report: SlaveReport = msg.payload
+            if report.era != m.era:
+                # Pre-rollback report: no reply (the restored slave has
+                # already reset its outstanding-reply accounting).
+                m.ft_tick(now)
+                continue
             instr = m.handle_report(report, msg.t_arrived)
             yield Send(report.pid, Tags.INSTR, instr, INSTR_BYTES)
         elif tag == Tags.HB:
             pass  # silence probe: note_heard above is the whole point
         elif tag == Tags.CTRL_ACK:
             m.handle_ctrl_ack(msg.payload, now)
+        elif tag == Tags.CKPT:
+            m.handle_ckpt_message(msg, now)
         elif tag.startswith("conv.res."):
             rep = int(tag.rsplit(".", 1)[1])
-            residuals.setdefault(rep, []).append(float(msg.payload))
-            if len(residuals[rep]) == m.n:
-                global_residual = max(residuals.pop(rep))
+            raw = msg.payload
+            if isinstance(raw, dict):
+                if int(raw.get("era", 0)) != m.era:
+                    m.ft_tick(now)
+                    continue  # pre-rollback residual
+                val = float(raw["res"])
+            else:
+                val = float(raw)
+            bucket = m.residuals.setdefault(rep, {})
+            bucket[msg.src] = val
+            live = {
+                p
+                for p in range(m.n)
+                if p not in m.dead and p not in m.released
+            }
+            if live and live <= set(bucket):
+                global_residual = max(bucket.values())
+                del m.residuals[rep]
                 go = rep + 1 < plan.reps and (
                     plan.convergence_tol is None
                     or global_residual > plan.convergence_tol
                 )
-                for pid in range(m.n):
+                for pid in sorted(live):
                     yield Send(pid, Tags.cont(rep + 1), bool(go), 16)
         elif tag == Tags.RESULT:
-            m.results[msg.src] = msg.payload
+            if (
+                msg.src not in m.dead
+                and int(msg.payload.get("era", 0)) == m.era
+            ):
+                m.results[msg.src] = msg.payload
         else:  # pragma: no cover - no other tags target the master
             raise ProtocolError(f"master received unexpected message {tag}")
         m.ft_tick(now)
@@ -786,7 +1345,11 @@ def _ft_control_loop(m: _Master, plan: ExecutionPlan):
                 )
             yield Sleep(ft.master_tick)
             continue
-        if msg.tag == Tags.RESULT and msg.src not in m.dead:
+        if (
+            msg.tag == Tags.RESULT
+            and msg.src not in m.dead
+            and int(msg.payload.get("era", 0)) == m.era
+        ):
             m.results[msg.src] = msg.payload
             last_progress = now
         elif msg.tag == Tags.CTRL_ACK:
@@ -865,7 +1428,11 @@ def master_task(
                 # the residuals of repetition ``rep`` and broadcasts the
                 # loop condition's verdict before anyone starts ``rep+1``.
                 rep = int(tag.rsplit(".", 1)[1])
-                residuals.setdefault(rep, []).append(float(msg.payload))
+                raw = msg.payload
+                val = (
+                    float(raw["res"]) if isinstance(raw, dict) else float(raw)
+                )
+                residuals.setdefault(rep, []).append(val)
                 if len(residuals[rep]) == m.n:
                     global_residual = max(residuals.pop(rep))
                     go = rep + 1 < plan.reps and (

@@ -128,6 +128,17 @@ class MovementLedger:
             self._canceled.append(move_id)
         return True
 
+    def void_quiet(self, move_id: int) -> None:
+        """Mark a movement void without reporting it as canceled.
+
+        Used when restoring a checkpoint: every move issued after the
+        epoch cut is void, but the master already resolved the whole id
+        range on its side, so reporting each id back would be noise.
+        """
+        self._pending_sends.pop(move_id, None)
+        self._pending_recvs.pop(move_id, None)
+        self._voided.add(move_id)
+
     def mark_canceled(self, move_id: int) -> None:
         """A movement both sides abandoned (e.g. issued during a pipeline
         application's final sweep, where catch-up is impossible)."""

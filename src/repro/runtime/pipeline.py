@@ -35,10 +35,11 @@ from typing import Any, Generator
 
 import numpy as np
 
+from ..ckpt import SlaveSnapshot
 from ..errors import MovementError, ProtocolError
 from ..sim import Now, Poll, Recv, Send, Sleep
 from .movement import MovePayload
-from .protocol import MoveOrder, Tags
+from .protocol import Instructions, MoveOrder, Tags
 from .slave import SlaveCore
 
 __all__ = ["PipelineSlave"]
@@ -79,6 +80,12 @@ class PipelineSlave(SlaveCore):
         # old-value halo for the next sweep, and the receiver may not
         # have merged (and bumped generations) before sending its halo.
         self.skip_halo_recv: set[int] = set()
+        # Pipeline ring neighbours.  Initially adjacency in pid order;
+        # a checkpoint rollback re-links the ring around dead slaves.
+        self.left_pid: int | None = self.pid - 1 if self.pid > 0 else None
+        self.right_pid: int | None = (
+            self.pid + 1 if self.pid < ctx.n_slaves - 1 else None
+        )
 
     # ------------------------------------------------------------------
     # Position helpers
@@ -90,14 +97,6 @@ class PipelineSlave(SlaveCore):
     def _lin_next(self) -> int:
         """Linear index of the next strip to process."""
         return self._lin(self.rep, self.block)
-
-    @property
-    def left_pid(self) -> int | None:
-        return self.pid - 1 if self.pid > 0 else None
-
-    @property
-    def right_pid(self) -> int | None:
-        return self.pid + 1 if self.pid < self.ctx.n_slaves - 1 else None
 
     def work_remaining(self) -> bool:
         return self.rep < self.plan.reps and not self.stopped
@@ -112,6 +111,12 @@ class PipelineSlave(SlaveCore):
         while self.rep < plan.reps and not self.stopped:
             rep = self.rep
             if self.block == 0:
+                if self.ft.enabled and self.ckpt.enabled:
+                    # Top of sweep: the checkpoint barrier point.  The
+                    # neighbour waits below only poll controls while
+                    # blocked, so guarantee one poll (and a deposit of a
+                    # pending snapshot) even on a fast path.
+                    yield from self._poll_ctrl()
                 if plan.dynamic_reps:
                     # Deferred movement executes at the sweep boundary,
                     # after the convergence barrier: every element's
@@ -169,8 +174,12 @@ class PipelineSlave(SlaveCore):
         """
         k = self.kernels()
         res = k.sweep_residual(self.local, rep) if self.exec_num else float("inf")
-        yield Send(self.master, Tags.residual(rep), res, 16)
-        msg = yield Recv(src=self.master, tag=Tags.cont(rep + 1))
+        # With checkpointing the residual carries the rollback era, so
+        # the master can discard stale pre-rollback values computed over
+        # a partition that no longer exists.
+        payload: Any = {"era": self.era, "res": res} if self.ckpt.enabled else res
+        yield Send(self.master, Tags.residual(rep), payload, 16)
+        msg = yield from self._recv_ft(src=self.master, tag=Tags.cont(rep + 1))
         if not msg.payload:
             self.stopped = True
 
@@ -215,15 +224,33 @@ class PipelineSlave(SlaveCore):
         payloads are handled (possibly merging work and bumping the
         expected generation, which is why ``expected_fn`` is re-evaluated
         each time), everything else is stashed for later."""
+        tick = self.ft.wait_tick / 16
         while True:
             tag = expected_fn()
             if tag in self.stash:
                 return self.stash.pop(tag)
-            msg = yield Recv(src=src)
+            if self.ft.enabled:
+                # Poll instead of blocking so recovery controls (and
+                # checkpoint chores) are served while the neighbour is
+                # slow — or dead.  Exponential backoff keeps the common
+                # almost-here wait fine-grained without busy-polling an
+                # absent (possibly dead) neighbour.
+                msg = yield Poll(src=src)
+                if msg is None:
+                    yield from self._poll_ctrl()
+                    yield from self._maybe_heartbeat()
+                    yield Sleep(tick)
+                    tick = min(tick * 2, self.ft.wait_tick)
+                    continue
+            else:
+                msg = yield Recv(src=src)
             if msg.tag == tag:
                 return msg
             if msg.tag.startswith("lb.move."):
                 yield from self._handle_move_message(msg)
+            elif msg.tag == Tags.CKPT:
+                # Buddy placement: the neighbour may also be our ward.
+                self._store_buddy_deposit(msg.payload)
             else:
                 self.stash[msg.tag] = msg
 
@@ -308,6 +335,8 @@ class PipelineSlave(SlaveCore):
                 yield from self._accept_move(order, msg.payload)
 
     def _handle_move_message(self, msg) -> Generator[Any, Any, None]:
+        if self.ledger.is_voided(msg.payload.move_id):
+            return  # stale pre-rollback movement payload
         order = next(
             (
                 o
@@ -475,22 +504,78 @@ class PipelineSlave(SlaveCore):
             self.obs.metrics.counter("pipeline.catchup_strips").inc(len(catch_lins))
 
     # ------------------------------------------------------------------
+    # Checkpoint barrier + rollback restore (RunConfig.ckpt)
+    # ------------------------------------------------------------------
+
+    def _ckpt_barrier_reachable(self, meta: dict[str, Any]) -> bool:
+        # The barrier is the top of sweep ``barrier`` (block 0, before
+        # any strip of that sweep runs); mid-sweep state is not a
+        # dependence-safe cut.
+        barrier = int(meta["barrier"])
+        return self.rep < barrier or (self.rep == barrier and self.block == 0)
+
+    def _at_ckpt_barrier(self, meta: dict[str, Any]) -> bool:
+        return self.rep == int(meta["barrier"]) and self.block == 0
+
+    def _restore_shape(self, snap: SlaveSnapshot, meta: dict[str, Any]) -> None:
+        # All survivors restart with identical fresh generation counters
+        # (the master picks a base beyond any pre-rollback value), so no
+        # stale boundary or halo tag can ever match again.
+        gen = int(meta.get("gen", 0))
+        self.gen_left = gen
+        self.gen_right = gen
+        self.stash = {}
+        self.set_aside = None
+        self.stopped = False
+        self.skip_halo_recv = set()
+        if "left" in meta:
+            left = meta["left"]
+            self.left_pid = None if left is None else int(left)
+        if "right" in meta:
+            right = meta["right"]
+            self.right_pid = None if right is None else int(right)
+
+    def _apply_rollback_grant(self, grant: dict[str, Any]) -> None:
+        units = tuple(int(u) for u in grant["units"])
+        for u in units:
+            if u in self.owned:
+                raise ProtocolError(
+                    f"slave {self.pid} granted unit {u} it already owns"
+                )
+        if self.exec_num and grant.get("data") is not None:
+            self.kernels().unpack_units(
+                self.local,
+                np.asarray(units),
+                grant["data"],
+                {"shape": "pipeline"},
+            )
+        self.owned = sorted(set(self.owned) | set(units))
+
+    # ------------------------------------------------------------------
     # End-of-run drain
     # ------------------------------------------------------------------
 
-    def main(self) -> Generator[Any, Any, None]:
+    def _lifecycle(self) -> Generator[Any, Any, None]:
         while True:
             yield from self.work_loop()
             while self.outstanding_replies > 0:
-                msg = yield Recv(src=self.master, tag=Tags.INSTR)
+                msg = yield from self._recv_ft(src=self.master, tag=Tags.INSTR)
+                instr: Instructions = msg.payload
+                if instr.era != self.era:
+                    continue  # stale pre-rollback reply
                 self.outstanding_replies -= 1
-                yield from self._apply_instructions(msg.payload)
+                yield from self._apply_instructions(instr)
             # Outstanding movement payloads must be consumed before the
             # result gather; block for each.
             for order in self.ledger.pending_recvs():
-                msg = yield Recv(
-                    src=order.transfer.src, tag=Tags.move(order.move_id)
-                )
+                if self.ft.enabled:
+                    msg = yield from self._recv_move_ft(order)
+                    if msg is None:
+                        continue  # move voided: its sender died
+                else:
+                    msg = yield Recv(
+                        src=order.transfer.src, tag=Tags.move(order.move_id)
+                    )
                 yield from self._accept_move(order, msg.payload)
             yield from self._merge_set_aside_if_due()
             if self.work_remaining():
@@ -499,6 +584,13 @@ class PipelineSlave(SlaveCore):
             if self.released:
                 break
             if not self.work_remaining() and not self.ledger.has_pending():
-                yield Sleep(0.1)
-        nbytes = self.kernels().result_bytes(len(self.owned)) if self.exec_num else 64
-        yield Send(self.master, Tags.RESULT, self.result_payload(), nbytes)
+                if self.ft.enabled:
+                    # Done-time return (see SlaveCore._maybe_early_result);
+                    # re-report quickly, the release waits on the gather.
+                    yield from self._maybe_early_result()
+                    yield from self._poll_ctrl()
+                    yield from self._maybe_heartbeat()
+                    yield Sleep(4 * self.ft.wait_tick)
+                else:
+                    yield Sleep(0.1)
+        yield from self._maybe_early_result() if self.ft.enabled else self._send_result()

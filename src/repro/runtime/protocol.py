@@ -25,6 +25,7 @@ __all__ = [
     "CTRL_BYTES",
     "CTRL_ACK_BYTES",
     "HB_BYTES",
+    "CKPT_MANIFEST_BYTES",
 ]
 
 # Modelled wire sizes of the control messages (small, paper: status and
@@ -34,6 +35,9 @@ INSTR_BYTES = 96
 CTRL_BYTES = 96
 CTRL_ACK_BYTES = 32
 HB_BYTES = 16
+# A checkpoint manifest (buddy placement) carries bookkeeping only; the
+# snapshot data itself is sized from the application's input_bytes.
+CKPT_MANIFEST_BYTES = 64
 
 
 class Tags:
@@ -48,6 +52,9 @@ class Tags:
     HB = "lb.hb"  # slave -> master explicit heartbeat, no reply
     CTRL = "lb.ctrl"  # master -> slave recovery control (Ctrl)
     CTRL_ACK = "lb.ctrlack"  # slave -> master control ack (CtrlAck)
+    # Checkpointing only (RunConfig.ckpt.enabled): snapshot deposits,
+    # buddy manifests, and buddy pull replies all travel on one tag.
+    CKPT = "lb.ckpt"
 
     @staticmethod
     def move(move_id: int) -> str:
@@ -111,6 +118,10 @@ class SlaveReport:
     # finished slave still owns its complete units), so redistribution
     # decisions use remaining work where the shape allows tracking it.
     remaining_units: tuple[int, ...] | None = None
+    # Rollback era (checkpointing only).  The master increments its era
+    # on every rollback and drops reports from older eras; 0 always on
+    # legacy paths so fault-free wire payloads are unchanged.
+    era: int = 0
 
     @property
     def rate(self) -> float | None:
@@ -153,6 +164,17 @@ class Ctrl:
             because the peer died; the ack's status tells the master
             whether this side had already executed its half.
         ``fence`` — no-op; exists only to elicit an ack.
+        ``ckpt`` — take a snapshot at the epoch barrier in ``meta``
+            (``epoch``/``barrier``/``committed``/``buddy``); the ack is
+            ``miss`` when the slave already passed the barrier.
+        ``ckpt_pull`` — buddy placement: return the stored snapshot of
+            ``meta['pid']`` for epoch ``meta['epoch']`` to the master
+            (``miss`` when this slave does not hold it).
+        ``rollback`` — restore the local snapshot of ``meta['epoch']``,
+            enter era ``meta['era']``, void moves in
+            ``[meta['void_from'], meta['void_to'])``, and adopt the
+            grants in ``meta['grants']`` (dead slaves' checkpointed
+            state re-partitioned by the master).
     """
 
     seq: int
@@ -168,8 +190,9 @@ class CtrlAck:
     """Slave's acknowledgement of one :class:`Ctrl`.
 
     ``status`` is ``ok`` (applied), ``applied`` (a cancel arrived after
-    the movement half already executed), or ``canceled`` (the movement
-    half was voided before executing).
+    the movement half already executed), ``canceled`` (the movement
+    half was voided before executing), or ``miss`` (a checkpoint barrier
+    already passed / a requested buddy snapshot is not held).
     """
 
     pid: int
@@ -191,6 +214,9 @@ class Instructions:
     recvs: tuple[MoveOrder, ...] = ()
     release: bool = False
     note: str = ""
+    # Rollback era (checkpointing only); slaves drop instructions from
+    # older eras.  0 always on legacy paths (wire payloads unchanged).
+    era: int = 0
 
     def has_moves(self) -> bool:
         return bool(self.sends or self.recvs)

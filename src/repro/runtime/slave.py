@@ -17,10 +17,12 @@ PIPELINE interpreter (SOR) lives in :mod:`repro.runtime.pipeline`.
 
 from __future__ import annotations
 
+import copy
 from typing import Any, Generator
 
 import numpy as np
 
+from ..ckpt import SlaveSnapshot
 from ..compiler.plan import ExecutionPlan, LoopShape
 from ..config import RunConfig
 from ..errors import MovementError, ProtocolError
@@ -28,6 +30,7 @@ from ..obs import NULL_RECORDER
 from ..sim import Compute, Now, Poll, Recv, Send, Sleep, TaskContext
 from .movement import MovementLedger, MovePayload
 from .protocol import (
+    CKPT_MANIFEST_BYTES,
     CTRL_ACK_BYTES,
     HB_BYTES,
     REPORT_BYTES,
@@ -39,7 +42,21 @@ from .protocol import (
     Tags,
 )
 
-__all__ = ["slave_task", "SlaveCore", "ParallelMapSlave", "ReductionFrontSlave"]
+__all__ = [
+    "slave_task",
+    "SlaveCore",
+    "ParallelMapSlave",
+    "ReductionFrontSlave",
+    "RollbackSignal",
+]
+
+
+class RollbackSignal(Exception):
+    """Internal control flow: unwind the slave's lifecycle to restore a
+    checkpoint.  Raised by :meth:`SlaveCore._poll_ctrl` after a rollback
+    control is acknowledged; caught only by :meth:`SlaveCore.main`.
+    Never surfaces to callers (it is not a :class:`~repro.errors.ReproError`).
+    """
 
 
 def slave_task(ctx: TaskContext, plan: ExecutionPlan, run_cfg: RunConfig):
@@ -102,6 +119,19 @@ class SlaveCore:
         self.ft = run_cfg.ft
         self._last_master_send = 0.0
         self._ctrl_acks: dict[int, str] = {}  # ctrl seq -> recorded status
+        # (era, owned) of the result last sent early (done-time return,
+        # before the release) so idle standby rounds don't resend it.
+        self._early_result_key: tuple[int, tuple[int, ...]] | None = None
+        # Checkpoint/rollback runtime (RunConfig.ckpt; inert while
+        # cfg.ckpt.enabled is False — no snapshots, no extra messages).
+        self.ckpt = run_cfg.ckpt
+        self.era = 0  # master's rollback era; stale-era traffic is dropped
+        self._pending_ckpt: dict[str, Any] | None = None
+        self._rollback_meta: dict[str, Any] | None = None
+        self._local_ckpts: dict[int, SlaveSnapshot] = {}
+        # Buddy placement: (epoch, pid) -> snapshot held for a peer.
+        self._buddy_store: dict[tuple[int, int], SlaveSnapshot] = {}
+        self._pull_replies: list[SlaveSnapshot] = []
 
     # -- small helpers ---------------------------------------------------
 
@@ -181,19 +211,33 @@ class SlaveCore:
         while True:
             msg = yield Poll(src=self.master, tag=Tags.CTRL)
             if msg is None:
-                return
-            ctrl: Ctrl = msg.payload
-            status = self._ctrl_acks.get(ctrl.seq)
-            if status is None:
-                status = self._apply_ctrl(ctrl)
-                self._ctrl_acks[ctrl.seq] = status
-            self._last_master_send = self.ctx.now
-            yield Send(
-                self.master,
-                Tags.CTRL_ACK,
-                CtrlAck(self.pid, ctrl.seq, status),
-                CTRL_ACK_BYTES,
-            )
+                break
+            yield from self._handle_ctrl_msg(msg)
+        if self.ckpt.enabled:
+            yield from self._ckpt_housekeeping()
+
+    def _handle_ctrl_msg(self, msg) -> Generator[Any, Any, None]:
+        """Apply and acknowledge one control message.
+
+        Raises :class:`RollbackSignal` after acknowledging a freshly
+        applied rollback (the ack must go out first so the master stops
+        retrying; the seq dedup keeps retransmissions from re-raising).
+        """
+        ctrl: Ctrl = msg.payload
+        status = self._ctrl_acks.get(ctrl.seq)
+        fresh = status is None
+        if fresh:
+            status = self._apply_ctrl(ctrl)
+            self._ctrl_acks[ctrl.seq] = status
+        self._last_master_send = self.ctx.now
+        yield Send(
+            self.master,
+            Tags.CTRL_ACK,
+            CtrlAck(self.pid, ctrl.seq, status),
+            CTRL_ACK_BYTES,
+        )
+        if fresh and ctrl.kind == "rollback":
+            raise RollbackSignal()
 
     def _apply_ctrl(self, ctrl: Ctrl) -> str:
         if ctrl.kind == "fence":
@@ -206,6 +250,18 @@ class SlaveCore:
         if ctrl.kind == "grant":
             self.apply_grant(ctrl.units, ctrl.data, ctrl.meta)
             return "ok"
+        if ctrl.kind == "ckpt":
+            return self._accept_ckpt(dict(ctrl.meta))
+        if ctrl.kind == "ckpt_pull":
+            key = (int(ctrl.meta["epoch"]), int(ctrl.meta["pid"]))
+            snap = self._buddy_store.get(key)
+            if snap is None:
+                return "miss"
+            self._pull_replies.append(snap)
+            return "ok"
+        if ctrl.kind == "rollback":
+            self._rollback_meta = dict(ctrl.meta)
+            return "ok"
         raise ProtocolError(f"slave {self.pid}: unknown control {ctrl.kind!r}")
 
     def apply_grant(
@@ -214,6 +270,196 @@ class SlaveCore:
         """Take ownership of reassigned units (failure recovery)."""
         raise ProtocolError(
             f"slave {self.pid}: work reassignment is not supported for "
+            f"shape {self.plan.shape.name}"
+        )
+
+    # -- checkpointing (RunConfig.ckpt, repro.ckpt) -----------------------
+
+    def _accept_ckpt(self, meta: dict[str, Any]) -> str:
+        """Record a checkpoint request; ``miss`` when the barrier already
+        passed (the master aborts the epoch and retries with margin)."""
+        if self.released or not self._ckpt_barrier_reachable(meta):
+            return "miss"
+        self._pending_ckpt = meta
+        return "ok"
+
+    def _ckpt_barrier_reachable(self, meta: dict[str, Any]) -> bool:
+        """PARALLEL_MAP: iterations are independent, so any hook is a
+        dependence-safe cut and every request is satisfiable.  Shapes
+        with real barriers override."""
+        return True
+
+    def _at_ckpt_barrier(self, meta: dict[str, Any]) -> bool:
+        """Is the current control point a valid snapshot point for the
+        pending request?  (PARALLEL_MAP: always.)"""
+        return True
+
+    def _snapshot_extra(self) -> dict[str, Any]:
+        """Shape-specific progress captured alongside the data slices."""
+        return {}
+
+    def _take_snapshot(self, epoch: int) -> SlaveSnapshot:
+        extra = self._snapshot_extra()
+        return SlaveSnapshot(
+            pid=self.pid,
+            epoch=epoch,
+            rep=self.rep,
+            units=tuple(self.owned),
+            local=copy.deepcopy(self.local),
+            completed=dict(extra.get("completed", {})),
+            front_sent=dict(extra.get("front_sent", {})),
+            meta=dict(extra.get("meta", {})),
+        )
+
+    def _ckpt_housekeeping(self) -> Generator[Any, Any, None]:
+        """Checkpoint-side chores at a poll point: accept buddy deposits,
+        flush pull replies, and deposit a pending snapshot once the
+        barrier is reached."""
+        while True:
+            msg = yield Poll(tag=Tags.CKPT)
+            if msg is None:
+                break
+            self._store_buddy_deposit(msg.payload)
+        while self._pull_replies:
+            snap = self._pull_replies.pop(0)
+            nbytes = self.kernels().input_bytes(len(snap.units))
+            yield Send(
+                self.master,
+                Tags.CKPT,
+                {
+                    "kind": "pull",
+                    "epoch": snap.epoch,
+                    "pid": snap.pid,
+                    "snap": snap,
+                },
+                nbytes,
+            )
+            self._last_master_send = self.ctx.now
+        if self._pending_ckpt is not None and self._at_ckpt_barrier(
+            self._pending_ckpt
+        ):
+            yield from self._deposit_ckpt()
+
+    def _store_buddy_deposit(self, payload: dict[str, Any]) -> None:
+        if payload.get("kind") != "deposit":
+            return
+        pid = int(payload["pid"])
+        self._buddy_store[(int(payload["epoch"]), pid)] = payload["snap"]
+        # Bound memory: keep the two most recent epochs per peer.
+        epochs = sorted(e for e, p in self._buddy_store if p == pid)
+        for e in epochs[:-2]:
+            self._buddy_store.pop((e, pid), None)
+
+    def _deposit_ckpt(self) -> Generator[Any, Any, None]:
+        """Take the pending snapshot and ship it (to the master, or to a
+        buddy slave with a small manifest to the master)."""
+        meta = self._pending_ckpt
+        assert meta is not None
+        self._pending_ckpt = None
+        epoch = int(meta["epoch"])
+        snap = self._take_snapshot(epoch)
+        self._local_ckpts[epoch] = snap
+        committed = int(meta.get("committed", 0))
+        # Keep epoch 0 (always a valid rollback target) plus everything
+        # at or above the last globally committed epoch.
+        self._local_ckpts = {
+            e: s
+            for e, s in self._local_ckpts.items()
+            if e == 0 or e >= committed
+        }
+        nbytes = self.kernels().input_bytes(len(self.owned))
+        buddy = meta.get("buddy")
+        wire = {
+            "kind": "deposit",
+            "epoch": epoch,
+            "pid": self.pid,
+            "snap": snap,
+        }
+        if buddy is None or int(buddy) == self.pid:
+            yield Send(self.master, Tags.CKPT, wire, nbytes)
+        else:
+            yield Send(int(buddy), Tags.CKPT, wire, nbytes)
+            manifest = {
+                "kind": "manifest",
+                "epoch": epoch,
+                "pid": self.pid,
+                "units": tuple(self.owned),
+                "rep": self.rep,
+            }
+            yield Send(self.master, Tags.CKPT, manifest, CKPT_MANIFEST_BYTES)
+        self._last_master_send = self.ctx.now
+        self.obs.metrics.counter("ckpt.snapshots").inc()
+        self.obs.metrics.counter("ckpt.snapshot_bytes").inc(nbytes)
+        if self.obs.enabled:
+            self.obs.emit_counter(
+                "ckpt",
+                "snapshot",
+                self.ctx.now,
+                float(nbytes),
+                pid=self.pid,
+                meta={"epoch": epoch, "units": len(self.owned)},
+            )
+
+    def _rollback_restore(self) -> None:
+        """Restore the checkpoint named by the rollback control and adopt
+        grants of the dead slaves' re-partitioned state (no syscalls: the
+        lifecycle restarts cleanly afterwards)."""
+        meta = self._rollback_meta
+        assert meta is not None
+        self._rollback_meta = None
+        epoch = int(meta["epoch"])
+        snap = self._local_ckpts.get(epoch)
+        if snap is None:
+            raise ProtocolError(
+                f"slave {self.pid} has no local snapshot for epoch {epoch}"
+            )
+        self.local = copy.deepcopy(snap.local)
+        self.owned = list(snap.units)
+        self.rep = snap.rep
+        self.block = 0
+        self.era = int(meta["era"])
+        # Fresh ledger: every pre-rollback order is void.  Moves issued
+        # after the epoch cut are pre-voided so their stale payloads and
+        # late orders are dropped; the master resolved the same range.
+        self.ledger = MovementLedger(self.pid)
+        for mid in range(int(meta["void_from"]), int(meta["void_to"])):
+            self.ledger.void_quiet(mid)
+        self.units_done = 0.0
+        self.work_time = 0.0
+        self.meas_units = 0.0
+        self.meas_work = 0.0
+        self.outstanding_replies = 0
+        self.released = False
+        self._early_result_key = None
+        self._pending_ckpt = None
+        self._local_ckpts = {
+            e: s for e, s in self._local_ckpts.items() if e <= epoch
+        }
+        self._restore_shape(snap, meta)
+        for grant in meta.get("grants", ()):
+            self._apply_rollback_grant(grant)
+        self.obs.metrics.counter("ckpt.slave_restores").inc()
+        if self.obs.enabled:
+            self.obs.emit_counter(
+                "ckpt",
+                "restore",
+                self.ctx.now,
+                float(epoch),
+                pid=self.pid,
+                meta={"era": self.era, "rep": self.rep},
+            )
+
+    def _restore_shape(self, snap: SlaveSnapshot, meta: dict[str, Any]) -> None:
+        """Shape-specific state reset after a rollback restore."""
+        raise ProtocolError(
+            f"slave {self.pid}: rollback is not supported for shape "
+            f"{self.plan.shape.name}"
+        )
+
+    def _apply_rollback_grant(self, grant: dict[str, Any]) -> None:
+        """Adopt one grant of a dead slave's checkpointed units."""
+        raise ProtocolError(
+            f"slave {self.pid}: rollback grants are not supported for "
             f"shape {self.plan.shape.name}"
         )
 
@@ -227,17 +473,22 @@ class SlaveCore:
         if not self.ft.enabled:
             msg = yield Recv(src=src, tag=tag)
             return msg
+        # Exponential backoff: a message that is almost here costs a
+        # fine-grained wait, an absent one degrades to wait_tick polling.
+        tick = self.ft.wait_tick / 16
         while True:
             msg = yield Poll(src=src, tag=tag)
             if msg is not None:
                 return msg
             yield from self._poll_ctrl()
             yield from self._maybe_heartbeat()
-            yield Sleep(self.ft.wait_tick)
+            yield Sleep(tick)
+            tick = min(tick * 2, self.ft.wait_tick)
 
     def _recv_move_ft(self, order: MoveOrder):
         """Wait for a movement payload, giving up if the master voids
         the move (its sender died); returns the message or ``None``."""
+        tick = self.ft.wait_tick / 16
         while True:
             msg = yield Poll(
                 src=order.transfer.src, tag=Tags.move(order.move_id)
@@ -248,7 +499,8 @@ class SlaveCore:
             if self.ledger.is_voided(order.move_id):
                 return None
             yield from self._maybe_heartbeat()
-            yield Sleep(self.ft.wait_tick)
+            yield Sleep(tick)
+            tick = min(tick * 2, self.ft.wait_tick)
 
     def _exchange(self, done: bool) -> Generator[Any, Any, Instructions | None]:
         applied, canceled, move_cost = self.ledger.pop_report_fields()
@@ -267,6 +519,7 @@ class SlaveCore:
             canceled_moves=canceled,
             measured_move_cost_per_unit=move_cost,
             done=done,
+            era=self.era,
         )
         self.seq += 1
         self.units_done = 0.0
@@ -288,18 +541,31 @@ class SlaveCore:
         self.outstanding_replies += 1
         if done or not self.cfg.balancer.pipelined:
             # Synchronous interaction (Figure 2a): block for instructions.
-            msg = yield from self._recv_ft(src=self.master, tag=Tags.INSTR)
-            self.outstanding_replies -= 1
-            instr: Instructions = msg.payload
-            yield from self._apply_instructions(instr)
-            return instr
+            # Replies from an older rollback era are stale (sent before
+            # the master rolled the run back) and are dropped; ours is
+            # still coming.  Era is always 0 on legacy paths, so this
+            # loop runs exactly once there.
+            while True:
+                msg = yield from self._recv_ft(src=self.master, tag=Tags.INSTR)
+                instr: Instructions = msg.payload
+                if instr.era != self.era:
+                    continue
+                self.outstanding_replies -= 1
+                yield from self._apply_instructions(instr)
+                return instr
         # Pipelined interaction (Figure 2b): pick up the reply to a
-        # *previous* report if it has arrived; never block.
-        msg = yield Poll(src=self.master, tag=Tags.INSTR)
-        if msg is not None:
+        # *previous* report if it has arrived; never block.  Stale-era
+        # replies are dropped without consuming the outstanding count.
+        while True:
+            msg = yield Poll(src=self.master, tag=Tags.INSTR)
+            if msg is None:
+                return None
+            instr = msg.payload
+            if instr.era != self.era:
+                continue
             self.outstanding_replies -= 1
-            yield from self._apply_instructions(msg.payload)
-        return None
+            yield from self._apply_instructions(instr)
+            return None
 
     def note_move(self, kind: str, t0: float, t1: float, order: MoveOrder) -> None:
         """Record one work-movement side (marshalling or applying) as a
@@ -396,6 +662,33 @@ class SlaveCore:
             "data": k.local_result(self.local) if self.exec_num else None,
         }
 
+    def _send_result(self) -> Generator[Any, Any, None]:
+        """Ship the result gather message to the master."""
+        payload = self.result_payload()
+        if self.ft.enabled:
+            # Era-tagged so a result computed before a rollback cannot
+            # shadow the recomputed one.
+            payload = dict(payload)
+            payload["era"] = self.era
+        nbytes = (
+            self.kernels().result_bytes(len(self.owned))
+            if self.exec_num
+            else 64
+        )
+        yield Send(self.master, Tags.RESULT, payload, nbytes)
+
+    def _maybe_early_result(self) -> Generator[Any, Any, None]:
+        """Failure-tolerant done-time return: send the result as soon as
+        the work is finished instead of waiting for the release, so the
+        master banks it before letting anyone terminate (and a crash in
+        the pre-suspicion silent window cannot strand survivors without
+        a rollback peer).  Movement or a grant after an early return
+        changes ``owned`` (or the era), which re-arms the send."""
+        key = (self.era, tuple(int(u) for u in self.owned))
+        if self._early_result_key != key:
+            self._early_result_key = key
+            yield from self._send_result()
+
     # -- lifecycle ---------------------------------------------------------
 
     def drain_moves(self) -> Generator[Any, Any, None]:
@@ -405,14 +698,29 @@ class SlaveCore:
             yield from self.execute_moves()
 
     def main(self) -> Generator[Any, Any, None]:
+        if self.ckpt.enabled:
+            # Epoch 0: the initial state is always a valid rollback
+            # target, captured before the first iteration runs.
+            self._local_ckpts[0] = self._take_snapshot(0)
+        while True:
+            try:
+                yield from self._lifecycle()
+                return
+            except RollbackSignal:
+                self._rollback_restore()
+
+    def _lifecycle(self) -> Generator[Any, Any, None]:
         while True:
             yield from self.work_loop()
             # Drain outstanding pipelined replies so no movement order is
-            # silently abandoned.
+            # silently abandoned.  Stale-era replies don't count.
             while self.outstanding_replies > 0:
                 msg = yield from self._recv_ft(src=self.master, tag=Tags.INSTR)
+                instr: Instructions = msg.payload
+                if instr.era != self.era:
+                    continue
                 self.outstanding_replies -= 1
-                yield from self._apply_instructions(msg.payload)
+                yield from self._apply_instructions(instr)
             yield from self.drain_moves()
             if self.work_remaining():
                 continue  # movement handed us fresh work
@@ -424,13 +732,17 @@ class SlaveCore:
             if not self.work_remaining() and not self.ledger.has_pending():
                 # Master asked us to stand by (e.g. a peer still moving
                 # work toward us, or reassigned work may yet arrive);
-                # back off briefly, then report again.
+                # return the result already, then report again shortly.
+                # The release hinges on every result being banked, so the
+                # failure-tolerant standby re-reports quickly.
                 if self.ft.enabled:
+                    yield from self._maybe_early_result()
                     yield from self._poll_ctrl()
                     yield from self._maybe_heartbeat()
-                yield Sleep(0.1)
-        nbytes = self.kernels().result_bytes(len(self.owned)) if self.exec_num else 64
-        yield Send(self.master, Tags.RESULT, self.result_payload(), nbytes)
+                    yield Sleep(4 * self.ft.wait_tick)
+                else:
+                    yield Sleep(0.1)
+        yield from self._maybe_early_result() if self.ft.enabled else self._send_result()
 
 
 class ParallelMapSlave(SlaveCore):
@@ -445,6 +757,9 @@ class ParallelMapSlave(SlaveCore):
     def __init__(self, ctx, plan, run_cfg, init):
         super().__init__(ctx, plan, run_cfg, init)
         self.completed: dict[int, int] = {u: 0 for u in self.owned}
+
+    def _snapshot_extra(self) -> dict[str, Any]:
+        return {"completed": dict(self.completed)}
 
     def work_remaining(self) -> bool:
         return any(self.completed[u] < self.plan.reps for u in self.owned)
@@ -569,6 +884,64 @@ class ReductionFrontSlave(SlaveCore):
         self.front_sent: dict[int, bool] = {u: False for u in self.owned}
         self.front_cache: dict[int, Any] = {}
         self._early_moves: dict[int, Any] = {}
+        # Broadcast targets; narrowed by a rollback when peers have died.
+        self._front_peers: tuple[int, ...] = tuple(
+            p for p in range(ctx.n_slaves) if p != self.pid
+        )
+
+    def _snapshot_extra(self) -> dict[str, Any]:
+        return {
+            "completed": dict(self.completed),
+            "front_sent": {
+                u: self.front_sent.get(u, False) for u in self.owned
+            },
+        }
+
+    def _ckpt_barrier_reachable(self, meta: dict[str, Any]) -> bool:
+        # While rep == k no owned unit has absorbed front k yet, so the
+        # state is a top-of-step-k cut: the barrier is reachable up to
+        # and including the current repetition.
+        return self.rep <= int(meta["barrier"])
+
+    def _at_ckpt_barrier(self, meta: dict[str, Any]) -> bool:
+        return self.rep == int(meta["barrier"])
+
+    def _restore_shape(self, snap: SlaveSnapshot, meta: dict[str, Any]) -> None:
+        self.completed = dict(snap.completed)
+        self.front_sent = dict(snap.front_sent)
+        # Fronts are re-broadcast after the rollback (owners restore with
+        # front_sent False from the barrier on), so the cache restarts
+        # empty; stale pre-rollback broadcasts still in flight carry the
+        # same deterministic values and are harmless.
+        self.front_cache = {}
+        self._early_moves = {}
+        peers = meta.get("peers")
+        if peers is not None:
+            self._front_peers = tuple(
+                int(p) for p in peers if int(p) != self.pid
+            )
+
+    def _apply_rollback_grant(self, grant: dict[str, Any]) -> None:
+        units = tuple(int(u) for u in grant["units"])
+        for u in units:
+            if u in self.completed:
+                raise ProtocolError(
+                    f"slave {self.pid} granted unit {u} it already owns"
+                )
+        if self.exec_num and grant.get("data") is not None:
+            self.kernels().unpack_units(
+                self.local,
+                np.asarray(units),
+                grant["data"],
+                {"shape": "reduction_front"},
+            )
+        completed = grant.get("completed", {})
+        front_sent = grant.get("front_sent", {})
+        for u in units:
+            self.owned.append(u)
+            self.completed[u] = int(completed.get(u, 0))
+            self.front_sent[u] = bool(front_sent.get(u, False))
+        self.owned.sort()
 
     def active_owned_count(self) -> int:
         lo, hi = self.plan.domain(min(self.rep, self.plan.reps - 1))
@@ -641,7 +1014,14 @@ class ReductionFrontSlave(SlaveCore):
     def drain_moves(self) -> Generator[Any, Any, None]:
         yield from self.execute_sends()
         for order in self.ledger.pending_recvs():
-            msg = yield Recv(src=order.transfer.src, tag=Tags.move(order.move_id))
+            if self.ft.enabled:
+                msg = yield from self._recv_move_ft(order)
+                if msg is None:
+                    continue  # move voided: its sender died
+            else:
+                msg = yield Recv(
+                    src=order.transfer.src, tag=Tags.move(order.move_id)
+                )
             yield from self.apply_recv(order, msg.payload)
             self.ledger.complete_recv(order.move_id)
 
@@ -655,13 +1035,27 @@ class ReductionFrontSlave(SlaveCore):
         move payloads are applied directly, and the front is returned as
         soon as it shows up.
         """
+        tick = self.ft.wait_tick / 16
         while True:
             if k in self.front_cache:
                 return self.front_cache[k]
             msg = yield Poll(tag=Tags.front(k))
             if msg is not None:
                 return msg.payload
-            msg = yield Recv()
+            if self.ft.enabled:
+                # Failure-tolerant variant of the blocking dispatch: poll
+                # for anything, serving heartbeats and checkpoint chores
+                # while the front is delayed.
+                msg = yield Poll()
+                if msg is None:
+                    yield from self._maybe_heartbeat()
+                    if self.ckpt.enabled:
+                        yield from self._ckpt_housekeeping()
+                    yield Sleep(tick)
+                    tick = min(tick * 2, self.ft.wait_tick)
+                    continue
+            else:
+                msg = yield Recv()
             tag = msg.tag
             if tag == Tags.front(k):
                 return msg.payload
@@ -670,12 +1064,21 @@ class ReductionFrontSlave(SlaveCore):
                 # for when our loop gets there.
                 self.front_cache[int(tag.split(".")[1])] = msg.payload
             elif tag == Tags.INSTR:
+                instr: Instructions = msg.payload
+                if instr.era != self.era:
+                    continue  # stale pre-rollback reply
                 self.outstanding_replies -= 1
-                yield from self._apply_instructions(msg.payload)
+                yield from self._apply_instructions(instr)
                 if k in self.completed:
                     # A move just handed us the front's unit; compute and
                     # broadcast it ourselves.
                     return (yield from self._produce_front(k))
+            elif tag == Tags.CTRL:
+                yield from self._handle_ctrl_msg(msg)
+                if self.ckpt.enabled:
+                    yield from self._ckpt_housekeeping()
+            elif tag == Tags.CKPT:
+                self._store_buddy_deposit(msg.payload)
             elif tag.startswith("lb.move."):
                 yield from self._apply_move_payload(msg)
                 if k in self.completed:
@@ -689,6 +1092,8 @@ class ReductionFrontSlave(SlaveCore):
         from .partition import Transfer
 
         payload = msg.payload
+        if self.ledger.is_voided(payload.move_id):
+            return  # stale pre-rollback movement payload
         order = next(
             (
                 o
@@ -729,9 +1134,8 @@ class ReductionFrontSlave(SlaveCore):
         front = holder.get("front")
         self.front_sent[k] = True
         nbytes = k_fns.front_bytes(k) if self.exec_num else 8 * max(1, self.plan.n_units - k)
-        for other in range(self.ctx.n_slaves):
-            if other != self.pid:
-                yield Send(other, Tags.front(k), front, nbytes)
+        for other in self._front_peers:
+            yield Send(other, Tags.front(k), front, nbytes)
         return front
 
     def pack_for(self, order: MoveOrder) -> MovePayload:

@@ -35,6 +35,8 @@ def _tag_class(tag: str) -> str:
         return "instr"
     if tag.startswith("lb.move."):
         return "move"
+    if tag == "lb.ckpt":
+        return "ckpt"
     if tag.startswith("app."):
         return "app"
     return "other"

@@ -1,0 +1,273 @@
+"""Checkpoint codecs round-trip exactly.
+
+``repro.ckpt.model`` promises that :func:`encode_state` /
+:func:`decode_state` recover opaque (numpy-bearing) slave state
+*exactly* — dtype, shape, tuple-ness, and non-string dict keys included
+— and that :class:`SlaveSnapshot` / :class:`CheckpointEpoch` survive a
+``to_dict`` -> ``json.dumps`` -> ``json.loads`` -> ``from_dict`` trip
+unchanged.  Buddy-held snapshot data and master-ledger entries both ride
+on these codecs, so an inexact round-trip would corrupt restored state
+silently.  Property-based tests (hypothesis) cover the open-ended state
+space; hand-written cases pin the documented edge behaviours.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ckpt.model import (
+    CheckpointEpoch,
+    SlaveSnapshot,
+    decode_state,
+    encode_state,
+)
+
+# -- strategies ---------------------------------------------------------
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False),
+    st.text(max_size=8),
+)
+
+_arrays = st.one_of(
+    hnp.arrays(
+        dtype=np.float64,
+        shape=hnp.array_shapes(max_dims=3, max_side=4),
+        elements=st.floats(allow_nan=False, width=64),
+    ),
+    hnp.arrays(dtype=np.int32, shape=hnp.array_shapes(max_dims=2, max_side=5)),
+    hnp.arrays(dtype=np.bool_, shape=hnp.array_shapes(max_dims=2, max_side=5)),
+)
+
+# Dict keys must be hashable after decoding; tuples exercise the tagged
+# key path (JSON objects alone cannot represent them).
+_keys = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.text(max_size=6),
+    st.booleans(),
+    st.tuples(st.integers(min_value=-10, max_value=10), st.text(max_size=3)),
+)
+
+state = st.recursive(
+    st.one_of(_scalars, _arrays),
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=4),
+        st.lists(inner, max_size=3).map(tuple),
+        st.dictionaries(_keys, inner, max_size=4),
+    ),
+    max_leaves=10,
+)
+
+snapshots = st.builds(
+    SlaveSnapshot,
+    pid=st.integers(min_value=0, max_value=63),
+    epoch=st.integers(min_value=0, max_value=1000),
+    rep=st.integers(min_value=0, max_value=10_000),
+    units=st.lists(
+        st.integers(min_value=0, max_value=4096), max_size=8, unique=True
+    ).map(tuple),
+    local=state,
+    completed=st.dictionaries(
+        st.integers(min_value=0, max_value=4096),
+        st.integers(min_value=0, max_value=10_000),
+        max_size=6,
+    ),
+    front_sent=st.dictionaries(
+        st.integers(min_value=0, max_value=4096), st.booleans(), max_size=6
+    ),
+    meta=st.dictionaries(st.text(max_size=6), state, max_size=3),
+)
+
+epochs = st.builds(
+    CheckpointEpoch,
+    epoch=st.integers(min_value=0, max_value=1000),
+    barrier=st.integers(min_value=0, max_value=10_000),
+    opened_at=st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    members=st.lists(
+        st.integers(min_value=0, max_value=15), max_size=6, unique=True
+    ).map(tuple),
+    cut=st.dictionaries(
+        st.integers(min_value=0, max_value=15),
+        st.lists(
+            st.integers(min_value=0, max_value=4096), max_size=6, unique=True
+        ).map(tuple),
+        max_size=6,
+    ),
+    boundaries=st.one_of(
+        st.none(),
+        st.lists(
+            st.integers(min_value=0, max_value=4096), min_size=2, max_size=8
+        ).map(lambda b: tuple(sorted(b))),
+    ),
+    next_move_id=st.integers(min_value=0, max_value=10_000),
+    placement=st.sampled_from(["master", "buddy"]),
+    buddies=st.dictionaries(
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=15),
+        max_size=6,
+    ),
+    committed_at=st.one_of(
+        st.none(), st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+    ),
+    snapshots=st.dictionaries(
+        st.integers(min_value=0, max_value=15), snapshots, max_size=3
+    ).map(
+        lambda d: {pid: _rekey(pid, snap) for pid, snap in d.items()}
+    ),
+)
+
+
+def _rekey(pid: int, snap: SlaveSnapshot) -> SlaveSnapshot:
+    """Epoch snapshots are keyed by pid; keep the two consistent."""
+    snap.pid = pid
+    return snap
+
+
+# -- structural equality (ndarray-aware) --------------------------------
+
+
+def assert_state_equal(actual, expected, path="$"):
+    if isinstance(expected, np.ndarray):
+        assert isinstance(actual, np.ndarray), path
+        assert actual.dtype == expected.dtype, path
+        assert actual.shape == expected.shape, path
+        assert np.array_equal(actual, expected), path
+    elif isinstance(expected, tuple):
+        assert isinstance(actual, tuple), path
+        assert len(actual) == len(expected), path
+        for i, (a, e) in enumerate(zip(actual, expected)):
+            assert_state_equal(a, e, f"{path}[{i}]")
+    elif isinstance(expected, list):
+        assert isinstance(actual, list), path
+        assert len(actual) == len(expected), path
+        for i, (a, e) in enumerate(zip(actual, expected)):
+            assert_state_equal(a, e, f"{path}[{i}]")
+    elif isinstance(expected, dict):
+        assert isinstance(actual, dict), path
+        assert set(actual) == set(expected), path
+        for k in expected:
+            assert_state_equal(actual[k], expected[k], f"{path}[{k!r}]")
+    else:
+        assert type(actual) is type(expected), path
+        assert actual == expected, path
+
+
+def _json_trip(obj):
+    """The exact bytes-on-the-wire path: encode, serialize, parse."""
+    return json.loads(json.dumps(obj))
+
+
+# -- properties ---------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(value=state)
+def test_encode_decode_state_round_trips_exactly(value):
+    assert_state_equal(decode_state(_json_trip(encode_state(value))), value)
+
+
+@settings(max_examples=60, deadline=None)
+@given(snap=snapshots)
+def test_slave_snapshot_json_round_trip(snap):
+    back = SlaveSnapshot.from_dict(_json_trip(snap.to_dict()))
+    assert back.pid == snap.pid
+    assert back.epoch == snap.epoch
+    assert back.rep == snap.rep
+    assert back.units == snap.units
+    assert back.completed == snap.completed
+    assert back.front_sent == snap.front_sent
+    assert_state_equal(back.local, snap.local)
+    assert_state_equal(back.meta, snap.meta)
+
+
+@settings(max_examples=60, deadline=None)
+@given(epoch=epochs)
+def test_checkpoint_epoch_json_round_trip(epoch):
+    back = CheckpointEpoch.from_dict(_json_trip(epoch.to_dict()))
+    assert back.epoch == epoch.epoch
+    assert back.barrier == epoch.barrier
+    assert back.opened_at == epoch.opened_at
+    assert back.members == epoch.members
+    assert back.cut == epoch.cut
+    assert back.boundaries == epoch.boundaries
+    assert back.next_move_id == epoch.next_move_id
+    assert back.placement == epoch.placement
+    assert back.buddies == epoch.buddies
+    assert back.committed_at == epoch.committed_at
+    assert back.committed == epoch.committed
+    assert set(back.snapshots) == set(epoch.snapshots)
+    for pid, snap in epoch.snapshots.items():
+        got = back.snapshots[pid]
+        assert (got.pid, got.epoch, got.rep, got.units) == (
+            snap.pid,
+            snap.epoch,
+            snap.rep,
+            snap.units,
+        )
+        assert_state_equal(got.local, snap.local)
+
+
+# -- pinned edge cases --------------------------------------------------
+
+
+def test_ndarray_dtype_and_shape_survive():
+    arr = np.arange(12, dtype=np.float32).reshape(3, 4)
+    back = decode_state(_json_trip(encode_state(arr)))
+    assert back.dtype == np.float32
+    assert back.shape == (3, 4)
+    np.testing.assert_array_equal(back, arr)
+
+
+def test_numpy_scalars_decay_to_python_scalars():
+    assert encode_state(np.int64(7)) == 7
+    assert encode_state(np.float64(2.5)) == 2.5
+    assert encode_state(np.bool_(True)) is True
+
+
+def test_int_keyed_dict_keys_stay_ints():
+    back = decode_state(_json_trip(encode_state({3: "a", (1, 2): "b"})))
+    assert back == {3: "a", (1, 2): "b"}
+    assert all(not isinstance(k, str) for k in back)
+
+
+def test_tuple_and_list_stay_distinct():
+    back = decode_state(_json_trip(encode_state([(1, 2), [3, 4]])))
+    assert back == [(1, 2), [3, 4]]
+    assert isinstance(back[0], tuple)
+    assert isinstance(back[1], list)
+
+
+def test_encode_rejects_unknown_types():
+    with pytest.raises(TypeError):
+        encode_state({1, 2, 3})
+    with pytest.raises(TypeError):
+        encode_state(object())
+
+
+def test_decode_rejects_unknown_kind_tags():
+    with pytest.raises(TypeError):
+        decode_state({"__kind__": "mystery", "items": []})
+
+
+def test_snapshot_defaults_round_trip():
+    snap = SlaveSnapshot(pid=2, epoch=0, rep=0)
+    back = SlaveSnapshot.from_dict(_json_trip(snap.to_dict()))
+    assert back == snap
+
+
+def test_epoch_committed_property_tracks_committed_at():
+    epoch = CheckpointEpoch(
+        epoch=1, barrier=4, opened_at=1.0, members=(0, 1), cut={0: (0,), 1: (1,)}
+    )
+    assert not epoch.committed
+    epoch.committed_at = 2.5
+    assert epoch.committed
+    back = CheckpointEpoch.from_dict(_json_trip(epoch.to_dict()))
+    assert back.committed

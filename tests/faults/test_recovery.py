@@ -1,12 +1,13 @@
 """Golden-path recovery: lose a slave mid-run and still finish right."""
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
 from repro.analysis import check_replay
-from repro.apps import build_adaptive, build_lu, build_matmul
+from repro.apps import build_adaptive, build_lu, build_matmul, build_sor
 from repro.config import ClusterSpec, ProcessorSpec, RunConfig
-from repro.errors import SlaveLostError
 from repro.faults import named_plan
 from repro.obs import CounterEvent, Recorder
 from repro.runtime import run_application
@@ -90,13 +91,60 @@ class TestStallRecovery:
             np.testing.assert_array_equal(res.result[key], baseline.result[key])
 
 
-class TestUnsupportedShapes:
-    def test_crash_on_reduction_front_raises_slave_lost(self):
-        plan = build_lu(n=24)
+class TestCheckpointRollbackRecovery:
+    """Crashes on dependence-carrying shapes roll the survivors back to
+    the last committed checkpoint epoch (or the initial state) instead
+    of raising ``SlaveLostError`` (checkpointing is auto-enabled for
+    crash plans on these shapes by ``resolve_run_cfg``)."""
+
+    @pytest.fixture(scope="class", params=["lu", "sor"])
+    def crash_run(self, request):
+        plan = (
+            build_lu(n=24) if request.param == "lu" else build_sor(n=24)
+        )
         baseline = run_application(plan, _cfg(), seed=SEED)
-        faults = named_plan("one-crash", seed=FAULT_SEED).resolved(baseline.elapsed)
-        with pytest.raises(SlaveLostError):
-            run_application(plan, _cfg(), seed=SEED, faults=faults)
+        faults = named_plan("one-crash", seed=FAULT_SEED).resolved(
+            baseline.elapsed
+        )
+        recorder = Recorder()
+        res = run_application(
+            plan, _cfg(), seed=SEED, faults=faults, recorder=recorder
+        )
+        return baseline, res, recorder
+
+    def test_crash_run_completes_with_rollback(self, crash_run):
+        _, res, _ = crash_run
+        assert res.dead_pids == (1,)
+        assert res.log.rollbacks >= 1
+        assert res.log.units_restored > 0
+
+    def test_result_matches_fault_free_run(self, crash_run):
+        baseline, res, _ = crash_run
+        np.testing.assert_array_equal(res.result, baseline.result)
+
+    def test_rollback_is_observable(self, crash_run):
+        _, res, recorder = crash_run
+        rollbacks = _counters(recorder, "ckpt", "rollback")
+        assert len(rollbacks) == res.log.rollbacks
+        restores = _counters(recorder, "ckpt", "restore")
+        # Every survivor restores once per rollback.
+        assert {e.pid for e in restores} == {0, 2, 3}
+
+    def test_crash_run_events_replay_cleanly(self, crash_run):
+        _, _, recorder = crash_run
+        result = check_replay(recorder.log.events())
+        assert not [d for d in result if d.severity.value == "error"], result
+
+    def test_recovery_requires_checkpointing_for_these_shapes(self):
+        from repro.runtime.master import can_recover
+
+        cfg = _cfg()
+        assert not can_recover(build_lu(n=24), cfg)
+        assert not can_recover(build_sor(n=24), cfg)
+        assert can_recover(build_matmul(n=24), cfg)
+        on = replace(cfg, ckpt=replace(cfg.ckpt, enabled=True))
+        assert can_recover(build_lu(n=24), on)
+        assert can_recover(build_sor(n=24), on)
 
 
 class TestChaosReplay:

@@ -40,6 +40,9 @@ MODULES = [
     "repro.faults",
     "repro.faults.plan",
     "repro.faults.injector",
+    "repro.ckpt",
+    "repro.ckpt.model",
+    "repro.ckpt.coordinator",
     "repro.compiler",
     "repro.compiler.ir",
     "repro.compiler.deps",
