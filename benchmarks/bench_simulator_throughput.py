@@ -4,7 +4,18 @@ Keeps the discrete-event core honest: message ping-pong and compute-loop
 event rates, plus the wall time of a full paper-scale experiment point.
 Regressions here make the experiment suite painful long before they make
 it wrong.
+
+``test_hot_path_speedup_vs_committed_baseline`` is the hot-path
+overhaul's acceptance gate: the committed
+``results/BENCH_baseline.json`` was captured *before* the fast-copier /
+event-loop / syscall-dispatch optimizations landed, and the combined
+event rate of the throughput cells must stay >= 2x that baseline
+(calibration-normalized, so the bar tracks code speed rather than the
+host the benchmark happens to run on).
 """
+
+import json
+import pathlib
 
 import pytest
 
@@ -12,6 +23,8 @@ from repro.apps.sor import build_sor
 from repro.config import ClusterSpec, NetworkSpec, ProcessorSpec, RunConfig
 from repro.experiments.common import run_point
 from repro.sim import Cluster, Compute, Recv, Send
+
+BASELINE_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_baseline.json"
 
 
 def _pingpong(n_messages):
@@ -59,6 +72,70 @@ def test_message_pingpong_throughput(benchmark):
 def test_compute_event_throughput(benchmark):
     benchmark(_compute_loop, 5000)
     assert benchmark.stats["mean"] < 5000 / 20000
+
+
+def test_hot_path_speedup_vs_committed_baseline():
+    """The overhaul target: >= 2x events/sec vs the pre-PR baseline.
+
+    Measured on the two pure hot-path cells (message path + scheduler
+    path) of the ``simulator_throughput`` suite, aggregated as total
+    events over total wall time so neither path can hide behind the
+    other.  Best-of-several timing plus a bounded retry keeps the gate
+    stable on noisy shared runners without lowering the bar.
+    """
+    from repro.bench.harness import calibrate, compare_docs
+    from repro.bench.workloads import run_cell
+
+    baseline = json.loads(BASELINE_PATH.read_text(encoding="utf-8"))
+    base_cells = {
+        c["name"]: c for c in baseline["cells"] if c["suite"] == "simulator_throughput"
+    }
+    jobs = [
+        {
+            "suite": "simulator_throughput",
+            "name": name,
+            "cell": cell,
+            "params": params,
+            "repeat": 5,
+        }
+        for name, cell, params in (
+            ("pingpong", "pingpong", {"n_messages": 20000}),
+            ("compute_loop", "compute_loop", {"n_chunks": 50000}),
+        )
+    ]
+    base_events = sum(base_cells[j["name"]]["metrics"]["events"] for j in jobs)
+    base_wall = sum(base_cells[j["name"]]["metrics"]["wall_s"] for j in jobs)
+    base_rate = base_events / base_wall
+
+    aggregate = 0.0
+    per_cell: dict = {}
+    for _attempt in range(3):
+        cells = [run_cell(job) for job in jobs]
+        current = {
+            "schema": baseline["schema"],
+            "suite": "simulator_throughput",
+            "calibration_s": calibrate(),
+            "cells": cells,
+        }
+        comparison = compare_docs(current, baseline)
+        scale = comparison["calibration_scale"]
+        cur_events = sum(c["metrics"]["events"] for c in cells)
+        cur_wall = sum(c["metrics"]["wall_s"] for c in cells)
+        aggregate = max(aggregate, (cur_events / cur_wall / scale) / base_rate)
+        for row in comparison["rows"]:
+            if row["metric"] == "events_per_sec":
+                per_cell[row["cell"]] = max(
+                    per_cell.get(row["cell"], 0.0), row["speedup_vs_baseline"]
+                )
+        if aggregate >= 2.0 and all(v >= 1.5 for v in per_cell.values()):
+            break
+    assert aggregate >= 2.0, (
+        f"hot-path aggregate only x{aggregate:.2f} vs committed baseline "
+        f"(per cell: {per_cell})"
+    )
+    # Neither individual path may have been sacrificed for the aggregate.
+    for cell_name, speedup in per_cell.items():
+        assert speedup >= 1.5, f"{cell_name} only x{speedup:.2f} vs baseline"
 
 
 def test_paper_scale_sor_point_wall_time(benchmark):

@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""Standalone entry point for the benchmark harness.
+
+Equivalent to ``repro bench``; exists so the benchmark runner can be
+invoked directly from a checkout without installing the package:
+
+    PYTHONPATH=src python benchmarks/harness.py --suite ci-smoke \
+        --json benchmarks/results/BENCH_run.json \
+        --baseline benchmarks/results/BENCH_baseline.json
+
+See ``docs/benchmarking.md`` for suite names, the JSON schema, and how
+the CI regression gate works.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.bench import main
+
+    sys.exit(main())

@@ -115,7 +115,10 @@ class Diagnostic:
     def format(self) -> str:
         """One-line rendering: ``RA101 error [owner] locus: message``."""
         where = f" {self.locus}:" if self.locus else ":"
-        return f"{self.code} {self.severity.value} [{self.pass_name}]{where} {self.message}"
+        return (
+            f"{self.code} {self.severity.value} "
+            f"[{self.pass_name}]{where} {self.message}"
+        )
 
 
 @dataclass

@@ -87,7 +87,9 @@ def adaptive_program() -> Program:
 
 
 def adaptive_directive() -> Directive:
-    return Directive(distribute="cell", distributed_arrays=(("state", 0),), repetitions="rep")
+    return Directive(
+        distribute="cell", distributed_arrays=(("state", 0),), repetitions="rep"
+    )
 
 
 class AdaptiveKernels(AppKernels):
@@ -108,7 +110,9 @@ class AdaptiveKernels(AppKernels):
         # (the worst case for a static block distribution).
         levels = np.zeros(n)
         hot = slice(0, max(1, n // 5))
-        levels[hot] = rng.integers(6, int(REFINED_EXTRA_STEPS) + 1, size=levels[hot].shape)
+        levels[hot] = rng.integers(
+            6, int(REFINED_EXTRA_STEPS) + 1, size=levels[hot].shape
+        )
         # Per-rep multiplicative drift: cells refine/coarsen over time.
         drift = rng.uniform(0.9, 1.1, size=(self.reps, n))
         return {"levels": levels, "drift": drift, "state": rng.standard_normal(n)}
@@ -155,7 +159,9 @@ class AdaptiveKernels(AppKernels):
             "steps": local["steps"][units].copy(),
         }
 
-    def unpack_units(self, local: dict, units: np.ndarray, payload: dict, ctx: dict) -> None:
+    def unpack_units(
+        self, local: dict, units: np.ndarray, payload: dict, ctx: dict
+    ) -> None:
         local["state"][units] = payload["state"]
         local["levels"][units] = payload["levels"]
         local["steps"][units] = payload["steps"]

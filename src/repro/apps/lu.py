@@ -177,7 +177,9 @@ class LuKernels(AppKernels):
         local["cols"] = [u for u in cols if u not in units_l]
         return data
 
-    def unpack_units(self, local: dict, units: np.ndarray, payload: np.ndarray, ctx: dict) -> None:
+    def unpack_units(
+        self, local: dict, units: np.ndarray, payload: np.ndarray, ctx: dict
+    ) -> None:
         units_l = sorted(int(u) for u in units)
         local["G"][:, units_l] = payload
         local["cols"] = sorted(set(local["cols"]) | set(units_l))

@@ -152,7 +152,9 @@ class MatmulKernels(AppKernels):
     def pack_units(self, local: dict, units: np.ndarray, ctx: dict) -> dict:
         return {"A": local["A"][units].copy(), "C": local["C"][units].copy()}
 
-    def unpack_units(self, local: dict, units: np.ndarray, payload: dict, ctx: dict) -> None:
+    def unpack_units(
+        self, local: dict, units: np.ndarray, payload: dict, ctx: dict
+    ) -> None:
         local["A"][units] = payload["A"]
         local["C"][units] = payload["C"]
 

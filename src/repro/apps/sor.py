@@ -77,7 +77,10 @@ def sor_program(dynamic: bool = False) -> Program:
             ArrayRef("b", (j, i)),
         ),
         ops=OPS_PER_ELEMENT,
-        label="b[j][i] = 0.493*(b[j][i-1]+b[j-1][i]+b[j][i+1]+b[j+1][i]) - 0.972*b[j][i]",
+        label=(
+            "b[j][i] = 0.493*(b[j][i-1]+b[j-1][i]"
+            "+b[j][i+1]+b[j+1][i]) - 0.972*b[j][i]"
+        ),
     )
     nest = Loop(
         "iter",
@@ -116,7 +119,9 @@ def sor_directive() -> Directive:
 
 
 def _update_cell(G: np.ndarray, j: int, i: int) -> None:
-    G[j, i] = C1 * (G[j, i - 1] + G[j - 1, i] + G[j, i + 1] + G[j + 1, i]) + C2 * G[j, i]
+    G[j, i] = (
+        C1 * (G[j, i - 1] + G[j - 1, i] + G[j, i + 1] + G[j + 1, i]) + C2 * G[j, i]
+    )
 
 
 def sor_sequential(G0: np.ndarray, maxiter: int) -> np.ndarray:
@@ -300,7 +305,9 @@ class SorKernels(AppKernels):
         local["cols"] = remaining
         return payload
 
-    def unpack_units(self, local: dict, units: np.ndarray, payload: dict, ctx: dict) -> None:
+    def unpack_units(
+        self, local: dict, units: np.ndarray, payload: dict, ctx: dict
+    ) -> None:
         G = local["G"]
         units_l = sorted(int(u) for u in units)
         G[units_l, :] = payload["cols_data"]

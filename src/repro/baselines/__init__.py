@@ -13,7 +13,13 @@ The paper's *static block distribution* baseline is the DLB runtime with
 """
 
 from .diffusion import run_diffusion
-from .self_sched import ChunkPolicy, FactoringPolicy, GuidedPolicy, TrapezoidPolicy, run_self_scheduling
+from .self_sched import (
+    ChunkPolicy,
+    FactoringPolicy,
+    GuidedPolicy,
+    TrapezoidPolicy,
+    run_self_scheduling,
+)
 
 __all__ = [
     "ChunkPolicy",

@@ -215,7 +215,13 @@ def run_self_scheduling(
     for pid in range(run_cfg.cluster.n_slaves):
         cluster.spawn(pid, _ss_slave, plan, exec_num)
     cluster.spawn(
-        run_cfg.cluster.master_pid, _ss_master, plan, policy, exec_num, global_state, sink
+        run_cfg.cluster.master_pid,
+        _ss_master,
+        plan,
+        policy,
+        exec_num,
+        global_state,
+        sink,
     )
     cluster.run()
     elapsed = max(

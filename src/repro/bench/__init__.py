@@ -1,0 +1,37 @@
+"""Reproducible benchmark harness (``repro bench``).
+
+One subsystem wraps every performance measurement the repo cares about:
+
+- named suites (:data:`~repro.bench.harness.SUITES`) built from small,
+  picklable workload cells (:mod:`repro.bench.workloads`);
+- multiprocessing fan-out across independent cells;
+- a schema-versioned JSON result document (``BENCH_run.json``) with
+  events/sec and wall time per cell;
+- baseline comparison with a host-speed calibration factor, so a run on
+  a slower machine is not mistaken for a regression (see
+  ``docs/benchmarking.md``).
+
+The committed baseline lives at ``benchmarks/results/BENCH_baseline.json``
+and records the pre-overhaul hot-path performance; CI runs the
+``ci-smoke`` suite against it on every PR and fails on >25% regression.
+"""
+
+from __future__ import annotations
+
+from .harness import (
+    SCHEMA_VERSION,
+    SUITES,
+    compare_docs,
+    main,
+    run_suite,
+    validate_doc,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SUITES",
+    "compare_docs",
+    "main",
+    "run_suite",
+    "validate_doc",
+]

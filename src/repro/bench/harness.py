@@ -1,0 +1,422 @@
+"""Suite registry, fan-out runner, JSON schema, and the baseline gate.
+
+The document format is schema-versioned (``repro-bench/1``):
+
+.. code-block:: json
+
+    {
+      "schema": "repro-bench/1",
+      "suite": "ci-smoke",
+      "created_unix": 1700000000.0,
+      "host": {"python": "3.12.1", "platform": "...", "cpu_count": 4},
+      "calibration_s": 0.031,
+      "workers": 2,
+      "repeat": 1,
+      "cells": [
+        {"suite": "ci-smoke", "name": "pingpong", "cell": "pingpong",
+         "params": {"n_messages": 20000},
+         "metrics": {"wall_s": 0.41, "events": 120002.0,
+                     "events_per_sec": 292688.0},
+         "meta": {"sim_elapsed": 30.4}}
+      ]
+    }
+
+Baseline comparison normalizes by the calibration factor — a fixed
+pure-Python workload timed serially before the cells run — so the gate
+measures *code* speed, not *machine* speed.  ``wall_s`` regresses when
+the normalized time exceeds baseline by more than the threshold;
+``events_per_sec`` regresses when the normalized rate falls short of
+baseline by more than the threshold.  Deterministic ``meta.sim_elapsed``
+drift is reported as a warning (it means simulation semantics changed,
+which is the determinism suite's jurisdiction, not a perf regression).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import platform
+import time
+from pathlib import Path
+from typing import Any, Sequence
+
+from .workloads import CELLS, run_cell
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SUITES",
+    "compare_docs",
+    "main",
+    "run_suite",
+    "validate_doc",
+]
+
+SCHEMA_VERSION = "repro-bench/1"
+
+# Metric direction for the regression gate; anything else is archived
+# but never compared.
+HIGHER_IS_BETTER = frozenset({"events_per_sec"})
+LOWER_IS_BETTER = frozenset({"wall_s"})
+
+DEFAULT_THRESHOLD = 0.25
+
+
+def _cell(name: str, cell: str, **params: Any) -> dict[str, Any]:
+    if cell not in CELLS:
+        raise ValueError(f"unknown cell kind {cell!r}")
+    return {"name": name, "cell": cell, "params": params}
+
+
+SUITES: dict[str, list[dict[str, Any]]] = {
+    # Library hot-path throughput: message path, scheduler path, and
+    # paper-scale end-to-end points (the suite the >=2x overhaul target
+    # is measured on).
+    "simulator_throughput": [
+        _cell("pingpong", "pingpong", n_messages=20000),
+        _cell("compute_loop", "compute_loop", n_chunks=50000),
+        _cell("mm_dedicated_point", "run", app="matmul", n=500, P=7),
+        _cell("sor_paper_point", "run", app="sor", n=2000, P=7, maxiter=15),
+        _cell("lu_point", "run", app="lu", n=300, P=4),
+    ],
+    # Figure 5: MM on a dedicated homogeneous cluster (static + DLB
+    # pair per processor count).
+    "fig5_mm_dedicated": [
+        _cell("P2", "figure_pair", app="matmul", n=500, P=2),
+        _cell("P4", "figure_pair", app="matmul", n=500, P=4),
+        _cell("P7", "figure_pair", app="matmul", n=500, P=7),
+    ],
+    # Figure 8: SOR with a constant competing load on processor 0.
+    "fig8_sor_loaded": [
+        _cell("P2", "figure_pair", app="sor", n=2000, P=2, maxiter=15, load_k=1),
+        _cell("P4", "figure_pair", app="sor", n=2000, P=4, maxiter=15, load_k=1),
+        _cell("P7", "figure_pair", app="sor", n=2000, P=7, maxiter=15, load_k=1),
+    ],
+    # Fault-free checkpointing premium per loop shape and placement.
+    "checkpoint_overhead": [
+        _cell("mm_master", "checkpoint", app="matmul", n=256, placement="master"),
+        _cell("mm_buddy", "checkpoint", app="matmul", n=256, placement="buddy"),
+        _cell("sor_master", "checkpoint", app="sor", n=256, placement="master"),
+        _cell("sor_buddy", "checkpoint", app="sor", n=256, placement="buddy"),
+        _cell("lu_master", "checkpoint", app="lu", n=300, placement="master"),
+        _cell("lu_buddy", "checkpoint", app="lu", n=300, placement="buddy"),
+    ],
+    # Fast PR gate: one cell per hot path, sized for stable timing but
+    # bounded wall clock (used by the CI bench job).
+    "ci-smoke": [
+        _cell("pingpong", "pingpong", n_messages=20000),
+        _cell("compute_loop", "compute_loop", n_chunks=50000),
+        _cell("mm_pair", "figure_pair", app="matmul", n=500, P=4),
+        _cell(
+            "sor_loaded_pair",
+            "figure_pair",
+            app="sor",
+            n=1200,
+            P=4,
+            maxiter=10,
+            load_k=1,
+        ),
+        _cell("ckpt_sor", "checkpoint", app="sor", n=192, placement="master"),
+    ],
+}
+
+
+def _calibration_workload() -> int:
+    acc = 0
+    for i in range(1_000_000):
+        acc += i * i % 7
+    return acc
+
+
+def calibrate(rounds: int = 3) -> float:
+    """Host speed probe: best wall time of a fixed pure-Python workload.
+
+    Run serially before any fan-out so it measures an unloaded core.
+    """
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        _calibration_workload()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _resolve_workers(workers: str | int, n_jobs: int) -> int:
+    if workers == "auto":
+        return max(1, min(n_jobs, (multiprocessing.cpu_count() or 2) - 1))
+    n = int(workers)
+    if n < 1:
+        raise ValueError(f"workers must be >= 1, got {n}")
+    return min(n, n_jobs) if n_jobs else 1
+
+
+def run_suite(
+    suite: str, workers: str | int = "auto", repeat: int = 1
+) -> dict[str, Any]:
+    """Run every cell of ``suite`` (or ``all``) and return the document.
+
+    Independent cells fan out over a spawn-based process pool when more
+    than one worker is resolved; with one worker they run inline (also
+    the path used under test, and on single-core hosts).
+    """
+    suite_names = sorted(SUITES) if suite == "all" else [suite]
+    for name in suite_names:
+        if name not in SUITES:
+            choices = ", ".join(sorted(SUITES))
+            raise KeyError(f"unknown suite {name!r}; choices: {choices} or 'all'")
+    jobs = [
+        {**spec, "suite": name, "repeat": repeat}
+        for name in suite_names
+        for spec in SUITES[name]
+    ]
+    calibration_s = calibrate()
+    n_workers = _resolve_workers(workers, len(jobs))
+    if n_workers > 1:
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(processes=n_workers) as pool:
+            cells = pool.map(run_cell, jobs)
+    else:
+        cells = [run_cell(job) for job in jobs]
+    return {
+        "schema": SCHEMA_VERSION,
+        "suite": suite,
+        "created_unix": time.time(),
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": multiprocessing.cpu_count(),
+        },
+        "calibration_s": calibration_s,
+        "workers": n_workers,
+        "repeat": repeat,
+        "cells": cells,
+    }
+
+
+def validate_doc(doc: Any) -> list[str]:
+    """Schema check for a bench document; returns human-readable errors."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("schema") != SCHEMA_VERSION:
+        errors.append(
+            f"schema mismatch: want {SCHEMA_VERSION!r}, got {doc.get('schema')!r}"
+        )
+    for key, kind in (
+        ("suite", str),
+        ("calibration_s", (int, float)),
+        ("cells", list),
+        ("host", dict),
+    ):
+        if not isinstance(doc.get(key), kind):
+            errors.append(f"missing or mistyped field {key!r}")
+    if errors:
+        return errors
+    if doc["calibration_s"] <= 0:
+        errors.append("calibration_s must be positive")
+    for i, cell in enumerate(doc["cells"]):
+        where = f"cells[{i}]"
+        if not isinstance(cell, dict):
+            errors.append(f"{where} is not an object")
+            continue
+        for key, kind in (("suite", str), ("name", str), ("metrics", dict)):
+            if not isinstance(cell.get(key), kind):
+                errors.append(f"{where}: missing or mistyped field {key!r}")
+        metrics = cell.get("metrics")
+        if isinstance(metrics, dict):
+            if not isinstance(metrics.get("wall_s"), (int, float)):
+                errors.append(f"{where}: metrics.wall_s missing or mistyped")
+            for mname, mval in metrics.items():
+                if not isinstance(mval, (int, float)):
+                    errors.append(f"{where}: metric {mname!r} is not numeric")
+    return errors
+
+
+def compare_docs(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> dict[str, Any]:
+    """Gate ``current`` against ``baseline``.
+
+    Wall times are normalized into baseline-host units via the
+    calibration ratio before applying the threshold; rates are
+    normalized the opposite way.  Returns a comparison document with
+    one row per (cell, gated metric) and the overall verdict.
+    """
+    scale = baseline["calibration_s"] / current["calibration_s"]
+    base_cells = {(c["suite"], c["name"]): c for c in baseline["cells"]}
+    rows: list[dict[str, Any]] = []
+    warnings: list[str] = []
+    regressions = 0
+    compared = 0
+    for cell in current["cells"]:
+        key = (cell["suite"], cell["name"])
+        base = base_cells.get(key)
+        if base is None:
+            warnings.append(f"{key[0]}/{key[1]}: no baseline cell (skipped)")
+            continue
+        sim_now = cell.get("meta", {}).get("sim_elapsed")
+        sim_base = base.get("meta", {}).get("sim_elapsed")
+        if sim_now is not None and sim_base is not None and sim_now != sim_base:
+            warnings.append(
+                f"{key[0]}/{key[1]}: simulated outcome drifted "
+                f"({sim_base} -> {sim_now}); check determinism suite"
+            )
+        for metric, cur_raw in cell["metrics"].items():
+            base_raw = base["metrics"].get(metric)
+            if base_raw is None or not (
+                metric in HIGHER_IS_BETTER or metric in LOWER_IS_BETTER
+            ):
+                continue
+            compared += 1
+            if metric in LOWER_IS_BETTER:
+                normalized = cur_raw * scale
+                speedup = base_raw / normalized if normalized > 0 else float("inf")
+                regressed = normalized > base_raw * (1.0 + threshold)
+            else:
+                normalized = cur_raw / scale
+                speedup = normalized / base_raw if base_raw > 0 else float("inf")
+                regressed = normalized < base_raw * (1.0 - threshold)
+            regressions += regressed
+            rows.append(
+                {
+                    "suite": key[0],
+                    "cell": key[1],
+                    "metric": metric,
+                    "baseline": base_raw,
+                    "current": cur_raw,
+                    "normalized": normalized,
+                    "speedup_vs_baseline": speedup,
+                    "regression": bool(regressed),
+                }
+            )
+    return {
+        "threshold": threshold,
+        "calibration_scale": scale,
+        "compared": compared,
+        "regressions": regressions,
+        "rows": rows,
+        "warnings": warnings,
+        "ok": regressions == 0,
+    }
+
+
+def _format_report(doc: dict[str, Any], comparison: dict[str, Any] | None) -> str:
+    lines = [f"suite {doc['suite']}: {len(doc['cells'])} cell(s), "
+             f"calibration {doc['calibration_s'] * 1e3:.1f} ms, "
+             f"{doc['workers']} worker(s)"]
+    for cell in doc["cells"]:
+        m = cell["metrics"]
+        eps = m.get("events_per_sec")
+        eps_txt = f"  {eps:>12,.0f} ev/s" if eps is not None else ""
+        lines.append(
+            f"  {cell['suite']:>22}/{cell['name']:<18} {m['wall_s']:8.3f} s{eps_txt}"
+        )
+    if comparison is not None:
+        lines.append(
+            f"baseline gate: {comparison['compared']} metric(s) compared, "
+            f"threshold {comparison['threshold']:.0%}, "
+            f"scale x{comparison['calibration_scale']:.3f}"
+        )
+        for row in comparison["rows"]:
+            verdict = "REGRESSION" if row["regression"] else "ok"
+            lines.append(
+                f"  {row['suite']:>22}/{row['cell']:<18} {row['metric']:<15} "
+                f"x{row['speedup_vs_baseline']:.2f} vs baseline  [{verdict}]"
+            )
+        for warning in comparison["warnings"]:
+            lines.append(f"  warning: {warning}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """``repro bench`` / ``benchmarks/harness.py`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="run a named benchmark suite and gate against a baseline",
+    )
+    parser.add_argument(
+        "--suite",
+        default="ci-smoke",
+        help=f"suite to run: {', '.join(sorted(SUITES))}, or 'all'",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None, help="write the BENCH_run document"
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="baseline document to gate against (nonzero exit on regression)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed fractional regression before failing (default 0.25)",
+    )
+    parser.add_argument(
+        "--workers",
+        default="auto",
+        help="process-pool width for cell fan-out ('auto' or an integer)",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="runs per cell; the fastest is reported (default 1)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list suites and cells, then exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in sorted(SUITES):
+            cells = ", ".join(spec["name"] for spec in SUITES[name])
+            print(f"{name}: {cells}")
+        return 0
+
+    baseline_doc = None
+    if args.baseline is not None:
+        try:
+            baseline_doc = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"bench: cannot read baseline {args.baseline}: {exc}")
+            return 2
+        problems = validate_doc(baseline_doc)
+        if problems:
+            print(f"bench: invalid baseline {args.baseline}:")
+            for problem in problems:
+                print(f"  - {problem}")
+            return 2
+
+    try:
+        doc = run_suite(args.suite, workers=args.workers, repeat=args.repeat)
+    except KeyError as exc:
+        print(f"bench: {exc.args[0]}")
+        return 2
+
+    comparison = None
+    if baseline_doc is not None:
+        comparison = compare_docs(doc, baseline_doc, threshold=args.threshold)
+        doc["baseline"] = {"path": str(args.baseline), **comparison}
+
+    if args.json is not None:
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    print(_format_report(doc, comparison))
+    if args.json is not None:
+        print(f"bench results written to {args.json}")
+    if comparison is not None and not comparison["ok"]:
+        print(
+            f"bench: FAILED — {comparison['regressions']} metric(s) regressed "
+            f"beyond {args.threshold:.0%}"
+        )
+        return 1
+    return 0

@@ -13,6 +13,8 @@ Commands:
 - ``chaos``    — run an application x fault-plan matrix and validate
                  results against fault-free baselines.
 - ``figures``  — regenerate the paper's tables/figures (all or by name).
+- ``bench``    — run a named benchmark suite and optionally gate it
+                 against a recorded baseline (see ``repro.bench``).
 - ``source``   — show an application's generated SPMD program listing.
 - ``features`` — print the Table 1 feature matrix.
 
@@ -626,6 +628,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     p_fig.set_defaults(fn=_cmd_figures)
 
+    sub.add_parser(
+        "bench",
+        help="run a benchmark suite and gate against a baseline",
+        add_help=False,
+    )
+
     p_src = sub.add_parser("source", help="show a generated SPMD program")
     p_src.add_argument("app", choices=sorted(REGISTRY))
     p_src.add_argument("-n", type=int, default=200)
@@ -635,7 +643,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_feat = sub.add_parser("features", help="print the Table 1 matrix")
     p_feat.set_defaults(fn=_cmd_features)
 
-    args = parser.parse_args(argv)
+    raw = list(argv) if argv is not None else sys.argv[1:]
+    if raw and raw[0] == "bench":
+        # ``bench`` owns its full option surface (repro.bench.harness);
+        # delegate before the main parser can reject its flags.
+        from .bench import main as bench_main
+
+        return bench_main(raw[1:])
+    args = parser.parse_args(raw)
     return args.fn(args)
 
 

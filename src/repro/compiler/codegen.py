@@ -44,7 +44,9 @@ from .plan import (
 __all__ = ["compile_program", "derive_channels", "select_shape"]
 
 
-def select_shape(deps: DependenceInfo, program: Program, directive: Directive) -> LoopShape:
+def select_shape(
+    deps: DependenceInfo, program: Program, directive: Directive
+) -> LoopShape:
     """Choose the canonical schedule shape from analysis results."""
     if deps.loop_carried and deps.pipeline_vars:
         return LoopShape.PIPELINE
@@ -134,7 +136,9 @@ def derive_channels(
     return tuple(channels)
 
 
-def _unit_bytes(program: Program, directive: Directive, params: Mapping[str, float]) -> int:
+def _unit_bytes(
+    program: Program, directive: Directive, params: Mapping[str, float]
+) -> int:
     """Bytes of distributed data owned per distributed-loop iteration."""
     total = 0
     for name, dim in directive.distributed_arrays:
@@ -244,7 +248,9 @@ def _hook_levels(
         per_elem_ops = per_row_ops / max(1, owned)
         est_block_ops = max(per_row_ops, 0.15 * 1.0e6)
         levels.append(HookLevel("after each element (lbhook2)", per_elem_ops, depth=4))
-        levels.append(HookLevel("after each pipelined row (lbhook1)", per_row_ops, depth=3))
+        levels.append(
+            HookLevel("after each pipelined row (lbhook1)", per_row_ops, depth=3)
+        )
         levels.append(
             HookLevel("after each strip block (lbhook1a)", est_block_ops, depth=2)
         )
@@ -394,11 +400,17 @@ def compile_program(
         directive=directive,
         strip=strip,
         front_cost=front_cost,
-        unit_domain=unit_domain if (varying_bounds or shape is LoopShape.REDUCTION_FRONT) else None,
+        unit_domain=(
+            unit_domain
+            if (varying_bounds or shape is LoopShape.REDUCTION_FRONT)
+            else None
+        ),
         unit_lo=unit_lo,
         cost_uniform_in_unit=d not in unit_cost_expr.variables(),
         dynamic_reps=dynamic_reps,
-        convergence_tol=float(params["tol"]) if dynamic_reps and "tol" in params else None,
+        convergence_tol=(
+            float(params["tol"]) if dynamic_reps and "tol" in params else None
+        ),
     )
 
 
@@ -419,7 +431,9 @@ def _render_stmt(s: Stmt, indent: int, out: list[str]) -> None:
             _render_stmt(b, indent + 1, out)
         out.append(f"{pad}}}")
     elif isinstance(s, Loop):
-        out.append(f"{pad}for ({s.index} = {s.lower}; {s.index} < {s.upper}; {s.index}++) {{")
+        out.append(
+            f"{pad}for ({s.index} = {s.lower}; {s.index} < {s.upper}; {s.index}++) {{"
+        )
         for b in s.body:
             _render_stmt(b, indent + 1, out)
         out.append(f"{pad}}}")
@@ -457,13 +471,18 @@ def render_source(
     if shape is LoopShape.PIPELINE:
         out.append("send(left, first_owned_column);        /* sweep-start halo */")
         out.append("receive(right, right_halo);")
-        out.append(f"for ({strip.loop_var}0 = 0; {strip.loop_var}0 < n_blocks; {strip.loop_var}0++) {{")
+        out.append(
+            f"for ({strip.loop_var}0 = 0; "
+            f"{strip.loop_var}0 < n_blocks; {strip.loop_var}0++) {{"
+        )
         out.append("    if (pid != 0) receive(left, left_halo_block);")
         out.append(f"    /* strip of {strip.loop_var}: owned columns updated */")
         for s in program.find_loop(directive.distribute).body:
             _render_stmt(s, 1, out)
         out.append("    if (pid != pcount-1) send(right, boundary_block);")
-        out.append("    lbhook();                          /* " + hook_level_name + " */")
+        out.append(
+            "    lbhook();                          /* " + hook_level_name + " */"
+        )
         out.append("}")
     elif shape is LoopShape.REDUCTION_FRONT:
         rep_var = program.loop_path(directive.distribute)[-2].index
@@ -475,13 +494,17 @@ def render_source(
             _render_stmt(s, 2, out)
         out.append("    }")
         out.append("    mark_inactive(" + rep_var + ");     /* active slices, 4.7 */")
-        out.append("    lbhook();                          /* " + hook_level_name + " */")
+        out.append(
+            "    lbhook();                          /* " + hook_level_name + " */"
+        )
         out.append("}")
     else:
         out.append(f"for ({directive.distribute} in my units) {{")
         for s in program.find_loop(directive.distribute).body:
             _render_stmt(s, 1, out)
-        out.append("    lbhook();                          /* " + hook_level_name + " */")
+        out.append(
+            "    lbhook();                          /* " + hook_level_name + " */"
+        )
         out.append("}")
     out.append("")
     out.append("/* master control loop mirrors the slave loop structure (4.1):")

@@ -53,7 +53,9 @@ class Affine:
         return tuple(sorted((v, c) for v, c in terms.items() if c != 0))
 
     @classmethod
-    def build(cls, constant: Number = 0, terms: Mapping[str, Number] | None = None) -> "Affine":
+    def build(
+        cls, constant: Number = 0, terms: Mapping[str, Number] | None = None
+    ) -> "Affine":
         return cls(constant, cls._normalize(terms or {}))
 
     def coeff(self, name: str) -> Number:
@@ -131,7 +133,9 @@ class Affine:
                 raise CompileError(f"non-affine product: ({self}) * ({other})")
         if not isinstance(other, (int, float)):
             raise TypeError(f"cannot multiply Affine by {other!r}")
-        return Affine.build(self.constant * other, {v: c * other for v, c in self.terms})
+        return Affine.build(
+            self.constant * other, {v: c * other for v, c in self.terms}
+        )
 
     __rmul__ = __mul__
 

@@ -13,7 +13,7 @@ supplied by the application through the :class:`AppKernels` interface
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
@@ -244,7 +244,9 @@ class AppKernels:
         index at which the movement is applied)."""
         raise NotImplementedError
 
-    def unpack_units(self, local: Any, units: UnitArray, payload: Any, ctx: dict[str, Any]) -> None:
+    def unpack_units(
+        self, local: Any, units: UnitArray, payload: Any, ctx: dict[str, Any]
+    ) -> None:
         raise NotImplementedError
 
     def extract_units(self, local: Any, units: UnitArray, ctx: dict[str, Any]) -> Any:

@@ -39,7 +39,9 @@ def pipelining(
 
     series = ExperimentSeries(
         name="Ablation (3.3): pipelined vs synchronous master-slave interaction",
-        headers=("latency_s", "t_sync", "t_pipe", "sync_penalty_%", "eff_sync", "eff_pipe"),
+        headers=(
+            "latency_s", "t_sync", "t_pipe", "sync_penalty_%", "eff_sync", "eff_pipe"
+        ),
         expected=(
             "pipelining removes the balancing round trip from the critical "
             "path; the synchronous penalty grows with network latency"
@@ -139,5 +141,7 @@ def refinements(
     }
     for label, bal in configs.items():
         r = run_point(plan, n_slaves, loads=loads, balancer=bal, seed=seed)
-        series.add(label, r.elapsed, r.efficiency, r.log.moves_applied, r.log.units_moved)
+        series.add(
+            label, r.elapsed, r.efficiency, r.log.moves_applied, r.log.units_moved
+        )
     return series

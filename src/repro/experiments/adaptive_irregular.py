@@ -18,7 +18,9 @@ __all__ = ["run"]
 def run(n: int = 400, reps: int = 6, seed: int = 3) -> ExperimentSeries:
     series = ExperimentSeries(
         name="ADAPT: data-dependent iteration sizes on a dedicated cluster",
-        headers=("P", "t_static", "t_dlb", "eff_static", "eff_dlb", "moves", "units_moved"),
+        headers=(
+            "P", "t_static", "t_dlb", "eff_static", "eff_dlb", "moves", "units_moved"
+        ),
         expected=(
             "static block distribution is gated by the hot region's owner; "
             "DLB discovers the imbalance from measured rates and shortens "

@@ -29,7 +29,8 @@ def run(n: int = 2000, maxiter: int = 15, n_slaves_hint: int = 8) -> dict:
             status = "not frequent enough" if lv not in (placement.level,) else status
         chosen = "  <== chosen" if lv == placement.level else ""
         diagnosis.append(
-            f"{lv.name}: ~{lv.ops_between_hooks:.0f} ops between hooks ({status}){chosen}"
+            f"{lv.name}: ~{lv.ops_between_hooks:.0f} "
+            f"ops between hooks ({status}){chosen}"
         )
     return {
         "plan": plan,

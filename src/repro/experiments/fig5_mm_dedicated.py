@@ -12,7 +12,6 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..apps.matmul import build_matmul
-from ..runtime.launcher import sequential_time
 from .common import ExperimentSeries, run_point
 
 __all__ = ["run"]

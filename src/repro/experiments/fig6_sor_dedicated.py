@@ -23,7 +23,10 @@ def run(
     seed: int = 0,
 ) -> ExperimentSeries:
     series = ExperimentSeries(
-        name=f"Figure 6: {n}x{n} SOR ({maxiter} sweeps), dedicated homogeneous environment",
+        name=(
+            f"Figure 6: {n}x{n} SOR ({maxiter} sweeps), "
+            "dedicated homogeneous environment"
+        ),
         headers=(
             "P",
             "t_seq",

@@ -49,7 +49,12 @@ def run(
         plan = build_matmul(n=n, n_slaves_hint=P)
         loads = {0: ConstantLoad(k=competing_tasks)}
         r_sta = run_point(
-            plan, P, loads=loads, dlb=False, execute_numerics=execute_numerics, seed=seed
+            plan,
+            P,
+            loads=loads,
+            dlb=False,
+            execute_numerics=execute_numerics,
+            seed=seed,
         )
         r_dlb = run_point(
             plan, P, loads=loads, dlb=True, execute_numerics=execute_numerics, seed=seed

@@ -21,6 +21,8 @@ __all__ = ["NULL_RECORDER", "Recorder"]
 class Recorder:
     """One run's event log + metrics registry behind an enable flag."""
 
+    __slots__ = ("enabled", "log", "metrics")
+
     def __init__(
         self,
         enabled: bool = True,

@@ -1405,7 +1405,9 @@ def master_task(
         if block_size is not None:
             payload["block_size"] = block_size
         payload["skip"] = hooks_to_skip(floor_period, est_rate, uph[pid])
-        nbytes = kernels.input_bytes(len(units)) if exec_num else 64 * max(1, len(units))
+        nbytes = (
+            kernels.input_bytes(len(units)) if exec_num else 64 * max(1, len(units))
+        )
         yield Send(pid, Tags.INIT, payload, nbytes)
 
     # Control loop: serve reports (and, for WHILE-repetition plans, the
@@ -1466,9 +1468,14 @@ def master_task(
     log.merged_units = len(seen)
     log.final_partition_counts = m._counts()
     if exec_num:
-        parts = {pid: res["data"] for pid, res in m.results.items() if res["data"] is not None}
+        parts = {
+            pid: res["data"]
+            for pid, res in m.results.items()
+            if res["data"] is not None
+        }
         units_by_pid = {pid: np.asarray(res["units"]) for pid, res in m.results.items()}
         log.result = kernels.merge_results(
-            global_state, {pid: (units_by_pid[pid], parts.get(pid)) for pid in m.results}
+            global_state,
+            {pid: (units_by_pid[pid], parts.get(pid)) for pid in m.results},
         )
     result_sink["log"] = log

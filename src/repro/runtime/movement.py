@@ -55,7 +55,9 @@ class MovementLedger:
 
     # -- order intake ---------------------------------------------------
 
-    def add_orders(self, sends: tuple[MoveOrder, ...], recvs: tuple[MoveOrder, ...]) -> None:
+    def add_orders(
+        self, sends: tuple[MoveOrder, ...], recvs: tuple[MoveOrder, ...]
+    ) -> None:
         for o in sends:
             if o.transfer.src != self.pid:
                 raise MovementError(
@@ -158,7 +160,9 @@ class MovementLedger:
         if n_units > 0 and wall_time >= 0:
             self._last_cost_per_unit = wall_time / n_units
 
-    def pop_report_fields(self) -> tuple[tuple[int, ...], tuple[int, ...], float | None]:
+    def pop_report_fields(
+        self,
+    ) -> tuple[tuple[int, ...], tuple[int, ...], float | None]:
         """Applied + canceled move ids and last measured cost, cleared
         after reporting."""
         applied = tuple(self._applied)

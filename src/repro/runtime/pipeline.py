@@ -197,7 +197,11 @@ class PipelineSlave(SlaveCore):
                 self.left_pid,
                 Tags.halo(rep, self.gen_left),
                 payload,
-                k.boundary_bytes(self.total_rows) if self.exec_num else 8 * self.total_rows,
+                (
+                    k.boundary_bytes(self.total_rows)
+                    if self.exec_num
+                    else 8 * self.total_rows
+                ),
             )
         if self.right_pid is not None:
             if rep in self.skip_halo_recv:
@@ -361,7 +365,9 @@ class PipelineSlave(SlaveCore):
             )
         yield from self._accept_move(order, msg.payload)
 
-    def _accept_move(self, order: MoveOrder, payload: MovePayload) -> Generator[Any, Any, None]:
+    def _accept_move(
+        self, order: MoveOrder, payload: MovePayload
+    ) -> Generator[Any, Any, None]:
         if payload.meta.get("canceled"):
             self.ledger.mark_canceled(order.move_id)
             return
@@ -480,7 +486,11 @@ class PipelineSlave(SlaveCore):
                     src,
                     Tags.boundary(r, b, self.gen_right),
                     values,
-                    k.boundary_bytes(rows[1] - rows[0]) if self.exec_num else 8 * (rows[1] - rows[0]),
+                    (
+                        k.boundary_bytes(rows[1] - rows[0])
+                        if self.exec_num
+                        else 8 * (rows[1] - rows[0])
+                    ),
                 )
         t1 = yield Now()
         self.ledger.record_cost(t1 - t0, order.transfer.count)
@@ -593,4 +603,6 @@ class PipelineSlave(SlaveCore):
                     yield Sleep(4 * self.ft.wait_tick)
                 else:
                     yield Sleep(0.1)
-        yield from self._maybe_early_result() if self.ft.enabled else self._send_result()
+        yield from (
+            self._maybe_early_result() if self.ft.enabled else self._send_result()
+        )

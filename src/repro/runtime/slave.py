@@ -17,7 +17,6 @@ PIPELINE interpreter (SOR) lives in :mod:`repro.runtime.pipeline`.
 
 from __future__ import annotations
 
-import copy
 from typing import Any, Generator
 
 import numpy as np
@@ -26,6 +25,7 @@ from ..ckpt import SlaveSnapshot
 from ..compiler.plan import ExecutionPlan, LoopShape
 from ..config import RunConfig
 from ..errors import MovementError, ProtocolError
+from ..fastcopy import fast_state_copy
 from ..obs import NULL_RECORDER
 from ..sim import Compute, Now, Poll, Recv, Send, Sleep, TaskContext
 from .movement import MovementLedger, MovePayload
@@ -305,7 +305,7 @@ class SlaveCore:
             epoch=epoch,
             rep=self.rep,
             units=tuple(self.owned),
-            local=copy.deepcopy(self.local),
+            local=fast_state_copy(self.local),
             completed=dict(extra.get("completed", {})),
             front_sent=dict(extra.get("front_sent", {})),
             meta=dict(extra.get("meta", {})),
@@ -388,9 +388,9 @@ class SlaveCore:
             }
             yield Send(self.master, Tags.CKPT, manifest, CKPT_MANIFEST_BYTES)
         self._last_master_send = self.ctx.now
-        self.obs.metrics.counter("ckpt.snapshots").inc()
-        self.obs.metrics.counter("ckpt.snapshot_bytes").inc(nbytes)
         if self.obs.enabled:
+            self.obs.metrics.counter("ckpt.snapshots").inc()
+            self.obs.metrics.counter("ckpt.snapshot_bytes").inc(nbytes)
             self.obs.emit_counter(
                 "ckpt",
                 "snapshot",
@@ -413,7 +413,7 @@ class SlaveCore:
             raise ProtocolError(
                 f"slave {self.pid} has no local snapshot for epoch {epoch}"
             )
-        self.local = copy.deepcopy(snap.local)
+        self.local = fast_state_copy(snap.local)
         self.owned = list(snap.units)
         self.rep = snap.rep
         self.block = 0
@@ -438,8 +438,8 @@ class SlaveCore:
         self._restore_shape(snap, meta)
         for grant in meta.get("grants", ()):
             self._apply_rollback_grant(grant)
-        self.obs.metrics.counter("ckpt.slave_restores").inc()
         if self.obs.enabled:
+            self.obs.metrics.counter("ckpt.slave_restores").inc()
             self.obs.emit_counter(
                 "ckpt",
                 "restore",
@@ -742,7 +742,9 @@ class SlaveCore:
                     yield Sleep(4 * self.ft.wait_tick)
                 else:
                     yield Sleep(0.1)
-        yield from self._maybe_early_result() if self.ft.enabled else self._send_result()
+        yield from (
+            self._maybe_early_result() if self.ft.enabled else self._send_result()
+        )
 
 
 class ParallelMapSlave(SlaveCore):
@@ -1133,7 +1135,9 @@ class ReductionFrontSlave(SlaveCore):
         self.note_access(dt, (k,), k, name="front")
         front = holder.get("front")
         self.front_sent[k] = True
-        nbytes = k_fns.front_bytes(k) if self.exec_num else 8 * max(1, self.plan.n_units - k)
+        nbytes = (
+            k_fns.front_bytes(k) if self.exec_num else 8 * max(1, self.plan.n_units - k)
+        )
         for other in self._front_peers:
             yield Send(other, Tags.front(k), front, nbytes)
         return front

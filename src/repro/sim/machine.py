@@ -8,10 +8,12 @@ run-level accounting.
 from __future__ import annotations
 
 import math
+from heapq import heappush
 from typing import Any, Callable, Generator, Iterable
 
 from ..config import ClusterSpec
 from ..errors import DeadlockError, SimulationError
+from ..fastcopy import _PAYLOAD_COPIERS, _passthrough
 from ..faults.injector import FaultInjector
 from ..obs import NULL_RECORDER, Recorder
 from .engine import Engine
@@ -45,6 +47,10 @@ def _tag_class(tag: str) -> str:
 class TaskContext:
     """Handle given to every task; identifies it and exposes the cluster."""
 
+    # ``core`` is attached by the slave runtime (diagnostics hook);
+    # ``obs`` stays a property so the recorder has one owner.
+    __slots__ = ("cluster", "pid", "core")
+
     def __init__(self, cluster: "Cluster", pid: int):
         self.cluster = cluster
         self.pid = pid
@@ -59,7 +65,7 @@ class TaskContext:
 
     @property
     def now(self) -> float:
-        return self.cluster.engine.now
+        return self.cluster.engine._now
 
     @property
     def obs(self) -> Recorder:
@@ -112,6 +118,32 @@ class Cluster:
             Mailbox(pid, self.obs) for pid in range(spec.n_processors)
         ]
         self._tasks: dict[int, _Task] = {}
+        # Hot-path bindings: the network spec and its per-message CPU
+        # charges are resolved once instead of three attribute hops per
+        # send/recv.
+        self._net = spec.network
+        self._send_cpu = spec.network.send_cpu
+        self._recv_cpu = spec.network.recv_cpu
+        self._net_latency = spec.network.latency
+        self._net_bandwidth = spec.network.bandwidth
+        self._n_procs = spec.n_processors  # property resolved once
+        # Pre-bound callbacks: scheduling happens once or more per event,
+        # so the bound-method allocation and attribute hops add up.
+        self._call_at = self.engine.call_at
+        self._step_cb = self._step
+        self._deliver_cb = self._deliver
+        self._observe = self.obs.enabled
+        # Per-instance copy of the syscall dispatch table (fast variants
+        # unless fault injection needs stall clamping on every resume);
+        # subclassed syscalls get cached into it by _resolve_syscall.
+        self._handlers = dict(
+            _SYSCALLS_SAFE if injector is not None else _SYSCALLS_FAST
+        )
+        self._handlers_bases = tuple(self._handlers.items())
+        # Delivery can hand a message straight to a blocked receiver and
+        # push the resume onto the heap directly only when no injector
+        # needs stall clamping and no observer needs true queue depths.
+        self._fastpath = injector is None and not self._observe
         self.message_count = 0
         self.bytes_sent = 0
         self.retransmits = 0
@@ -123,7 +155,7 @@ class Cluster:
         if injector is not None:
             injector.plan.validate_for(spec.n_slaves)
             for pid, t in injector.crash_times():
-                self.engine.call_at(t, lambda pid=pid: self._crash(pid))
+                self.engine.call_at(t, self._crash, pid)
         if self.obs.enabled:
             # Per-message CPU costs, so reports can price interaction
             # overhead without importing the runtime config.
@@ -145,7 +177,7 @@ class Cluster:
         gen = fn(ctx, *args, **kwargs)
         task = _Task(pid, gen, getattr(fn, "__name__", "task"))
         self._tasks[pid] = task
-        self._resume_later(self.engine.now, task, None)
+        self._resume_later(self.engine._now, task, None)
         return ctx
 
     def task_finish_time(self, pid: int) -> float:
@@ -165,11 +197,12 @@ class Cluster:
     # ------------------------------------------------------------------
 
     def _resume_later(self, t: float, task: _Task, value: Any) -> None:
-        if self.injector is not None:
+        injector = self.injector
+        if injector is not None:
             # A stalled host makes no progress: resumes that land inside
             # a stall window slide to the window's end.
-            t = self.injector.stall_clamp(task.pid, t)
-        self.engine.call_at(t, lambda: self._step(task, value))
+            t = injector.stall_clamp(task.pid, t)
+        self._call_at(t, self._step_cb, task, value)
 
     def _step(self, task: _Task, value: Any) -> None:
         if task.pid in self._dead:
@@ -180,69 +213,174 @@ class Cluster:
             req = task.gen.send(value)
         except StopIteration:
             task.done = True
-            task.finish_time = self.engine.now
+            task.finish_time = self.engine._now
             return
-        self._dispatch(task, req)
+        handler = self._handlers.get(req.__class__)
+        if handler is None:
+            handler = self._resolve_syscall(req, task)
+        handler(self, task, req)
 
-    def _dispatch(self, task: _Task, req: Any) -> None:
-        now = self.engine.now
-        proc = self.processors[task.pid]
-        if isinstance(req, Compute):
-            if req.fn is not None:
-                req.fn()
-            finish = proc.run_ops(now, req.ops)
-            self._resume_later(finish, task, None)
-        elif isinstance(req, Send):
-            self._do_send(task, req)
-        elif isinstance(req, Recv):
-            msg = self.mailboxes[task.pid].take(req.src, req.tag)
-            if msg is not None:
-                finish = proc.run_cpu(now, self.spec.network.recv_cpu)
-                self._resume_later(finish, task, msg)
-            else:
-                task.blocked_on = (req.src, req.tag)
-        elif isinstance(req, Poll):
-            msg = self.mailboxes[task.pid].take(req.src, req.tag)
-            if msg is not None:
-                finish = proc.run_cpu(now, self.spec.network.recv_cpu)
-                self._resume_later(finish, task, msg)
-            else:
-                self._resume_later(now, task, None)
-        elif isinstance(req, Sleep):
-            if req.dt < 0:
-                raise SimulationError(f"negative sleep: {req.dt}")
-            self._resume_later(now + req.dt, task, None)
-        elif isinstance(req, Now):
-            self._resume_later(now, task, now)
+    def _resolve_syscall(
+        self, req: Any, task: _Task
+    ) -> "Callable[[Cluster, _Task, Any], None]":
+        """Dispatch slow path: subclassed syscalls keep their isinstance
+        semantics (and are cached by concrete type); anything else is the
+        unknown-syscall error."""
+        for base, handler in self._handlers_bases:
+            if isinstance(req, base):
+                self._handlers[req.__class__] = handler
+                return handler
+        raise SimulationError(f"unknown syscall from task {task.pid}: {req!r}")
+
+    # Per-syscall handlers, dispatched by concrete request type.  Two
+    # variants exist per syscall: the ``_do_*`` handlers route resumes
+    # through ``_resume_later`` (fault-injection stall clamping), while
+    # the ``_fast_*`` handlers — installed when no injector is present —
+    # schedule straight on the engine, skipping a call layer per event.
+    # Splitting the isinstance ladder keeps each resume to one dict
+    # lookup either way.
+
+    def _do_compute(self, task: _Task, req: Compute) -> None:
+        if req.fn is not None:
+            req.fn()
+        finish = self.processors[task.pid].run_ops(self.engine._now, req.ops)
+        self._resume_later(finish, task, None)
+
+    def _do_recv(self, task: _Task, req: Recv) -> None:
+        msg = self.mailboxes[task.pid].take(req.src, req.tag)
+        if msg is not None:
+            finish = self.processors[task.pid].run_cpu(
+                self.engine._now, self._recv_cpu
+            )
+            self._resume_later(finish, task, msg)
         else:
-            raise SimulationError(f"unknown syscall from task {task.pid}: {req!r}")
+            task.blocked_on = (req.src, req.tag)
+
+    def _do_poll(self, task: _Task, req: Poll) -> None:
+        now = self.engine._now
+        msg = self.mailboxes[task.pid].take(req.src, req.tag)
+        if msg is not None:
+            finish = self.processors[task.pid].run_cpu(now, self._recv_cpu)
+            self._resume_later(finish, task, msg)
+        else:
+            self._resume_later(now, task, None)
+
+    def _do_sleep(self, task: _Task, req: Sleep) -> None:
+        if req.dt < 0:
+            raise SimulationError(f"negative sleep: {req.dt}")
+        self._resume_later(self.engine._now + req.dt, task, None)
+
+    def _do_now(self, task: _Task, _req: Now) -> None:
+        now = self.engine._now
+        self._resume_later(now, task, now)
+
+    # The fast handlers push heap entries directly instead of going
+    # through Engine.call_at: every scheduled time below is computed
+    # from ``now`` plus a non-negative, non-NaN increment (run_cpu
+    # validates its inputs), so call_at's past/NaN guards cannot fire.
+    # The entry layout must match Engine's ``(t, seq, fn, args)``.
+
+    def _fast_compute(self, task: _Task, req: Compute) -> None:
+        if req.fn is not None:
+            req.fn()
+        proc = self.processors[task.pid]
+        eng = self.engine
+        finish = proc.run_cpu(eng._now, req.ops / proc._speed)
+        heappush(eng._heap, (finish, eng._seq, self._step_cb, (task, None)))
+        eng._seq += 1
+
+    def _fast_recv(self, task: _Task, req: Recv) -> None:
+        box = self.mailboxes[task.pid]
+        # Skip the take() call for an empty queue — the common case when
+        # receivers block ahead of arrivals.
+        msg = box.take(req.src, req.tag) if box._queue else None
+        if msg is not None:
+            eng = self.engine
+            finish = self.processors[task.pid].run_cpu(eng._now, self._recv_cpu)
+            heappush(eng._heap, (finish, eng._seq, self._step_cb, (task, msg)))
+            eng._seq += 1
+        else:
+            task.blocked_on = (req.src, req.tag)
+
+    def _fast_poll(self, task: _Task, req: Poll) -> None:
+        eng = self.engine
+        now = eng._now
+        box = self.mailboxes[task.pid]
+        msg = box.take(req.src, req.tag) if box._queue else None
+        if msg is not None:
+            finish = self.processors[task.pid].run_cpu(now, self._recv_cpu)
+            heappush(eng._heap, (finish, eng._seq, self._step_cb, (task, msg)))
+        else:
+            heappush(eng._heap, (now, eng._seq, self._step_cb, (task, None)))
+        eng._seq += 1
+
+    def _fast_sleep(self, task: _Task, req: Sleep) -> None:
+        # Sleeps are rare and ``dt`` is caller-supplied: keep call_at's
+        # validation.
+        dt = req.dt
+        if dt < 0:
+            raise SimulationError(f"negative sleep: {dt}")
+        self._call_at(self.engine._now + dt, self._step_cb, task, None)
+
+    def _fast_now(self, task: _Task, _req: Now) -> None:
+        eng = self.engine
+        now = eng._now
+        heappush(eng._heap, (now, eng._seq, self._step_cb, (task, now)))
+        eng._seq += 1
+
+    def _fast_send(self, task: _Task, req: Send) -> None:
+        if not 0 <= req.dst < self._n_procs:
+            raise SimulationError(f"send to unknown processor {req.dst}")
+        nbytes = req.nbytes
+        eng = self.engine
+        cpu_done = self.processors[task.pid].run_cpu(eng._now, self._send_cpu)
+        # Inlined snapshot_payload dispatch: immutable payloads (the
+        # common case for control traffic) skip both call layers.
+        payload = req.payload
+        copier = _PAYLOAD_COPIERS.get(payload.__class__)
+        if copier is not _passthrough:
+            payload = snapshot_payload(payload)
+        msg = Message(task.pid, req.dst, req.tag, payload, nbytes, cpu_done)
+        # Inlined NetworkSpec.transfer_time; the parentheses keep the
+        # float summation order (and thus traces) bit-identical.
+        arrival = cpu_done + (self._net_latency + nbytes / self._net_bandwidth)
+        self.message_count += 1
+        self.bytes_sent += nbytes
+        if self._observe:
+            kind = _tag_class(req.tag)
+            self.obs.metrics.counter(f"net.msgs.{kind}").inc()
+            self.obs.metrics.counter(f"net.bytes.{kind}").inc(nbytes)
+            self.obs.metrics.counter("net.msgs_total").inc()
+            self.obs.metrics.counter("net.bytes_total").inc(nbytes)
+        seq = eng._seq
+        heap = eng._heap
+        heappush(heap, (arrival, seq, self._deliver_cb, (msg,)))
+        heappush(heap, (cpu_done, seq + 1, self._step_cb, (task, None)))
+        eng._seq = seq + 2
 
     def _do_send(self, task: _Task, req: Send) -> None:
         if not 0 <= req.dst < self.spec.n_processors:
             raise SimulationError(f"send to unknown processor {req.dst}")
-        now = self.engine.now
-        net = self.spec.network
-        proc = self.processors[task.pid]
-        cpu_done = proc.run_cpu(now, net.send_cpu)
-        msg = Message(
-            src=task.pid,
-            dst=req.dst,
-            tag=req.tag,
-            payload=snapshot_payload(req.payload),
-            nbytes=req.nbytes,
-            t_sent=cpu_done,
+        nbytes = req.nbytes
+        cpu_done = self.processors[task.pid].run_cpu(
+            self.engine._now, self._send_cpu
         )
-        arrival = cpu_done + net.transfer_time(req.nbytes)
+        msg = Message(
+            task.pid, req.dst, req.tag, snapshot_payload(req.payload), nbytes, cpu_done
+        )
+        # Inlined NetworkSpec.transfer_time; the parentheses keep the
+        # float summation order (and thus traces) bit-identical.
+        arrival = cpu_done + (self._net_latency + nbytes / self._net_bandwidth)
         self.message_count += 1
-        self.bytes_sent += req.nbytes
-        if self.obs.enabled:
+        self.bytes_sent += nbytes
+        if self._observe:
             kind = _tag_class(req.tag)
             self.obs.metrics.counter(f"net.msgs.{kind}").inc()
-            self.obs.metrics.counter(f"net.bytes.{kind}").inc(req.nbytes)
+            self.obs.metrics.counter(f"net.bytes.{kind}").inc(nbytes)
             self.obs.metrics.counter("net.msgs_total").inc()
-            self.obs.metrics.counter("net.bytes_total").inc(req.nbytes)
+            self.obs.metrics.counter("net.bytes_total").inc(nbytes)
         if self.injector is None:
-            self.engine.call_at(arrival, lambda: self._deliver(msg))
+            self._call_at(arrival, self._deliver_cb, msg)
         else:
             key = (task.pid, req.dst)
             msg.seq = self._send_seq.get(key, 0)
@@ -312,13 +450,11 @@ class Cluster:
                     },
                 )
                 self.obs.metrics.counter("net.retransmits").inc()
-            self.engine.call_at(
-                retry_at, lambda: self._transmit(msg, retry_at, attempt + 1)
-            )
+            self.engine.call_at(retry_at, self._transmit, msg, retry_at, attempt + 1)
             return
-        wire = self.spec.network.transfer_time(msg.nbytes)
+        wire = self._net.transfer_time(msg.nbytes)
         for extra in fate.extra_delays:
-            self.engine.call_at(t_send + wire + extra, lambda: self._deliver(msg))
+            self.engine.call_at(t_send + wire + extra, self._deliver, msg)
 
     def _crash(self, pid: int) -> None:
         """Permanently kill the host of ``pid`` (fault injection)."""
@@ -348,8 +484,29 @@ class Cluster:
                     self.obs.metrics.counter("net.duplicates_dropped").inc()
                 return
             seen.add(dedupe_key)
-        msg.t_arrived = self.engine.now
+        now = self.engine._now
+        msg.t_arrived = now
         dst_task = self._tasks.get(msg.dst)
+        if (
+            self._fastpath
+            and dst_task is not None
+            and dst_task.blocked_on is not None
+        ):
+            src, tag = dst_task.blocked_on
+            if (src is None or msg.src == src) and (tag is None or msg.tag == tag):
+                # While a task is blocked, no queued message matches its
+                # filter (delivery would have resumed it already), so
+                # this message is exactly what take() would return: hand
+                # it over without the enqueue/scan/dequeue round trip.
+                # Not taken when observing, so net/msg spans report true
+                # queue depths; not taken under fault injection, so
+                # stall clamping sees every resume.
+                dst_task.blocked_on = None
+                eng = self.engine
+                finish = self.processors[msg.dst].run_cpu(now, self._recv_cpu)
+                heappush(eng._heap, (finish, eng._seq, self._step_cb, (dst_task, msg)))
+                eng._seq += 1
+                return
         box = self.mailboxes[msg.dst]
         box.deliver(msg)
         if dst_task is not None and dst_task.blocked_on is not None:
@@ -358,7 +515,7 @@ class Cluster:
             if matched is not None:
                 dst_task.blocked_on = None
                 proc = self.processors[msg.dst]
-                finish = proc.run_cpu(self.engine.now, self.spec.network.recv_cpu)
+                finish = proc.run_cpu(self.engine._now, self._recv_cpu)
                 self._resume_later(finish, dst_task, matched)
 
     # ------------------------------------------------------------------
@@ -406,3 +563,24 @@ class Cluster:
     def slave_pids(self) -> Iterable[int]:
         """Processor ids hosting slaves (excludes the master)."""
         return range(self.spec.n_slaves)
+
+
+# Concrete-type dispatch tables for task syscalls; filled after the
+# class body so the unbound handlers can be referenced directly.
+_SYSCALLS_SAFE: dict[type, Callable[[Cluster, _Task, Any], None]] = {
+    Compute: Cluster._do_compute,
+    Send: Cluster._do_send,
+    Recv: Cluster._do_recv,
+    Poll: Cluster._do_poll,
+    Sleep: Cluster._do_sleep,
+    Now: Cluster._do_now,
+}
+
+_SYSCALLS_FAST: dict[type, Callable[[Cluster, _Task, Any], None]] = {
+    Compute: Cluster._fast_compute,
+    Send: Cluster._fast_send,
+    Recv: Cluster._fast_recv,
+    Poll: Cluster._fast_poll,
+    Sleep: Cluster._fast_sleep,
+    Now: Cluster._fast_now,
+}

@@ -8,37 +8,13 @@ model (see :class:`repro.config.NetworkSpec`).
 
 from __future__ import annotations
 
-import copy
 from collections import deque
-from typing import Any
 
-import numpy as np
-
+from ..fastcopy import snapshot_payload
 from ..obs import NULL_RECORDER, Recorder
 from .events import Message
 
 __all__ = ["Mailbox", "snapshot_payload"]
-
-
-def snapshot_payload(payload: Any) -> Any:
-    """Copy mutable numeric state out of a payload at send time.
-
-    NumPy arrays (including arrays nested one level deep in dicts, lists
-    and tuples) are copied; other objects are passed through unchanged.
-    This mirrors a real network, where the bytes leave the sender's
-    buffers at send time.
-    """
-    if isinstance(payload, np.ndarray):
-        return payload.copy()
-    if isinstance(payload, dict):
-        return {k: snapshot_payload(v) for k, v in payload.items()}
-    if isinstance(payload, (list, tuple)):
-        cls = type(payload)
-        copied = [snapshot_payload(v) for v in payload]
-        return cls(copied) if cls is not tuple else tuple(copied)
-    if hasattr(payload, "__dict__") and getattr(payload, "_snapshot_deep", False):
-        return copy.deepcopy(payload)
-    return payload
 
 
 class Mailbox:
@@ -47,6 +23,8 @@ class Mailbox:
     With an enabled :class:`~repro.obs.Recorder`, each delivery emits a
     ``net/msg`` span covering the message's wire time (send to arrival).
     """
+
+    __slots__ = ("pid", "_obs", "_queue")
 
     def __init__(self, pid: int = -1, recorder: Recorder | None = None) -> None:
         self.pid = pid
@@ -77,8 +55,10 @@ class Mailbox:
 
     def take(self, src: int | None = None, tag: str | None = None) -> Message | None:
         """Remove and return the oldest matching message, or ``None``."""
+        # The match predicate is inlined (see ``_matches``): take() runs
+        # once per receive and the call overhead is measurable.
         for i, msg in enumerate(self._queue):
-            if self._matches(msg, src, tag):
+            if (src is None or msg.src == src) and (tag is None or msg.tag == tag):
                 del self._queue[i]
                 return msg
         return None
@@ -86,6 +66,6 @@ class Mailbox:
     def peek(self, src: int | None = None, tag: str | None = None) -> Message | None:
         """Return (without removing) the oldest matching message."""
         for msg in self._queue:
-            if self._matches(msg, src, tag):
+            if (src is None or msg.src == src) and (tag is None or msg.tag == tag):
                 return msg
         return None

@@ -24,7 +24,7 @@ from typing import Any, Callable
 __all__ = ["Compute", "Send", "Recv", "Poll", "Sleep", "Now"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Compute:
     """Consume ``ops`` operations of CPU; run ``fn()`` eagerly if given.
 
@@ -37,7 +37,7 @@ class Compute:
     fn: Callable[[], Any] | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class Send:
     """Send ``payload`` to processor ``dst`` under ``tag``.
 
@@ -51,7 +51,7 @@ class Send:
     nbytes: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class Recv:
     """Block until a message matching ``(src, tag)`` is available.
 
@@ -63,7 +63,7 @@ class Recv:
     tag: str | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class Poll:
     """Non-blocking variant of :class:`Recv`; resumes with ``None`` if no
     matching message is queued."""
@@ -72,7 +72,7 @@ class Poll:
     tag: str | None = None
 
 
-@dataclass
+@dataclass(slots=True)
 class Sleep:
     """Yield the CPU for ``dt`` seconds of virtual time."""
 
@@ -81,6 +81,8 @@ class Sleep:
 
 class Now:
     """Request the current virtual time."""
+
+    __slots__ = ()
 
     def __repr__(self) -> str:
         return "Now()"

@@ -59,6 +59,19 @@ def _slot_advance(u0: float, cpu: float, q: float, cycle: float) -> float:
 class Processor:
     """One workstation: speed, quantum scheduling, competing load, accounting."""
 
+    __slots__ = (
+        "pid",
+        "spec",
+        "load",
+        "_obs",
+        "_observe",
+        "_unloaded",
+        "_speed",
+        "_busy_until",
+        "app_cpu_total",
+        "app_cpu_while_loaded",
+    )
+
     def __init__(
         self,
         pid: int,
@@ -74,6 +87,13 @@ class Processor:
         # simulator's hottest call site and a bool load keeps the
         # disabled-observability cost at one branch.
         self._observe = self._obs.enabled
+        # A generator that reports zero competing tasks forever (NoLoad,
+        # ConstantLoad(k=0)) lets run_cpu skip the segment walk entirely:
+        # with k == 0 the walk reduces to ``finish = t0 + cpu``.
+        self._unloaded = (
+            self.load.k_at(0.0) == 0 and math.isinf(self.load.next_change(0.0))
+        )
+        self._speed = spec.speed  # hot-path binding for run_ops callers
         self._busy_until = 0.0
         # Accounting (exact, accumulated as computation is performed).
         self.app_cpu_total = 0.0
@@ -153,6 +173,22 @@ class Processor:
                 f"processor {self.pid}: overlapping compute requests "
                 f"(t0={t0} < busy_until={self._busy_until})"
             )
+        if self._unloaded:
+            # Dedicated processor: identical arithmetic to one k=0 pass
+            # of the segment walk below, without the generator calls.
+            if cpu > _EPS * (cpu if cpu > 1.0 else 1.0):
+                self.app_cpu_total += cpu
+                t = t0 + cpu
+            else:
+                t = t0
+            self._busy_until = t
+            if self._observe and cpu > 0:
+                self._obs.emit_span(
+                    "cpu", "compute", t0, t, pid=self.pid, value=cpu
+                )
+                self._obs.metrics.counter("cpu.bursts").inc()
+                self._obs.metrics.histogram("cpu.burst_s").observe(cpu)
+            return t
         remaining = cpu
         t = t0
         # Walk constant-load segments.  The round-robin cycle is anchored

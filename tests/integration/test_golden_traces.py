@@ -1,0 +1,142 @@
+"""Golden-trace regression suite for the hot-path overhaul.
+
+The fast-copier, engine, and obs changes must be *invisible*: the full
+structured event trace of a run (every span, message, move, checkpoint)
+must stay byte-identical, and the RunReport-level metrics and numeric
+results must not move at all.  This suite pins sha256 hashes of the
+JSONL trace plus the key metrics for MM/SOR/LU (and a checkpointed SOR
+run, which exercises the slave snapshot copy path) against goldens
+captured before the optimizations landed.
+
+Regenerate (only when a *deliberate* semantic change occurs)::
+
+    PYTHONPATH=src:. python tests/integration/test_golden_traces.py
+
+which rewrites ``tests/integration/golden_traces.json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.apps import build_lu, build_matmul, build_sor
+from repro.config import CheckpointConfig, ClusterSpec, ProcessorSpec, RunConfig
+from repro.obs import Recorder
+from repro.runtime import run_application
+from repro.sim import ConstantLoad, OscillatingLoad
+
+GOLDENS_PATH = Path(__file__).with_name("golden_traces.json")
+
+
+def _cfg(ckpt: bool = False) -> RunConfig:
+    return RunConfig(
+        cluster=ClusterSpec(n_slaves=4, processor=ProcessorSpec(speed=3e4)),
+        ckpt=CheckpointConfig(enabled=ckpt, interval=0.5),
+    )
+
+
+CASES = {
+    "matmul": lambda: (
+        build_matmul(n=64),
+        _cfg(),
+        {0: ConstantLoad(k=1)},
+    ),
+    "sor": lambda: (
+        build_sor(n=48, maxiter=6),
+        _cfg(),
+        {1: OscillatingLoad(k=2, period=4, duration=2)},
+    ),
+    "lu": lambda: (
+        build_lu(n=60),
+        _cfg(),
+        {2: ConstantLoad(k=1)},
+    ),
+    "sor_ckpt": lambda: (
+        build_sor(n=48, maxiter=6),
+        _cfg(ckpt=True),
+        {0: ConstantLoad(k=1)},
+    ),
+}
+
+
+def _result_digest(obj, h: "hashlib._Hash") -> None:
+    if obj is None:
+        h.update(b"none")
+    elif isinstance(obj, dict):
+        for key in sorted(obj):
+            h.update(str(key).encode())
+            _result_digest(obj[key], h)
+    else:
+        arr = np.ascontiguousarray(np.asarray(obj))
+        h.update(str(arr.dtype).encode())
+        h.update(str(arr.shape).encode())
+        h.update(arr.tobytes())
+
+
+def run_case(name: str) -> dict:
+    plan, cfg, loads = CASES[name]()
+    recorder = Recorder()
+    res = run_application(plan, cfg, loads=loads, seed=7, recorder=recorder)
+    trace = recorder.log.to_jsonl().encode("utf-8")
+    rh = hashlib.sha256()
+    _result_digest(res.result, rh)
+    return {
+        "trace_sha256": hashlib.sha256(trace).hexdigest(),
+        "result_sha256": rh.hexdigest(),
+        "metrics": {
+            "elapsed": res.elapsed,
+            "message_count": res.message_count,
+            "bytes_sent": res.bytes_sent,
+            "moves_applied": res.log.moves_applied,
+            "units_moved": res.log.units_moved,
+            "reports_received": res.log.reports_received,
+            "final_partition_counts": list(res.log.final_partition_counts),
+            "ckpt_epochs_committed": res.log.ckpt_epochs_committed,
+            "ckpt_snapshots": res.log.ckpt_snapshots,
+            "trace_events": len(recorder.log),
+        },
+    }
+
+
+@pytest.fixture(scope="module")
+def goldens() -> dict:
+    assert GOLDENS_PATH.exists(), (
+        f"missing {GOLDENS_PATH}; regenerate with "
+        f"`PYTHONPATH=src:. python {__file__}`"
+    )
+    return json.loads(GOLDENS_PATH.read_text(encoding="utf-8"))
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_trace_matches_golden(name: str, goldens: dict) -> None:
+    assert name in goldens, f"no golden for {name!r}; regenerate goldens"
+    got = run_case(name)
+    want = goldens[name]
+    assert got["metrics"] == want["metrics"], (
+        f"{name}: RunReport metrics drifted from golden"
+    )
+    assert got["result_sha256"] == want["result_sha256"], (
+        f"{name}: numeric result drifted from golden"
+    )
+    assert got["trace_sha256"] == want["trace_sha256"], (
+        f"{name}: event trace is no longer byte-identical to golden"
+    )
+
+
+def test_ckpt_case_exercises_snapshot_path(goldens: dict) -> None:
+    # Guard against the checkpoint golden silently degenerating into a
+    # plain run (which would stop covering the snapshot copy path).
+    assert goldens["sor_ckpt"]["metrics"]["ckpt_snapshots"] > 0
+
+
+if __name__ == "__main__":
+    doc = {name: run_case(name) for name in sorted(CASES)}
+    GOLDENS_PATH.write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"wrote {GOLDENS_PATH} ({len(doc)} case(s))")

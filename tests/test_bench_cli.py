@@ -1,0 +1,152 @@
+"""``repro bench`` CLI coverage: suite selection, document schema,
+and the baseline regression gate's exit codes.
+
+Cells are monkeypatched down to trivial sizes where possible so these
+tests exercise the harness plumbing, not simulator wall time.
+"""
+
+import json
+
+import pytest
+
+from repro.bench import SCHEMA_VERSION, SUITES, compare_docs, main, validate_doc
+from repro.bench.harness import run_suite
+from repro.cli import main as cli_main
+
+TINY_SUITE = [
+    {"name": "pingpong", "cell": "pingpong", "params": {"n_messages": 50}},
+    {"name": "compute_loop", "cell": "compute_loop", "params": {"n_chunks": 50}},
+]
+
+
+@pytest.fixture()
+def tiny_suites(monkeypatch):
+    monkeypatch.setitem(SUITES, "tiny", TINY_SUITE)
+    return "tiny"
+
+
+def test_list_exits_zero_and_names_every_suite(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in SUITES:
+        assert name in out
+
+
+def test_unknown_suite_is_usage_error(capsys):
+    assert main(["--suite", "no-such-suite"]) == 2
+    assert "unknown suite" in capsys.readouterr().out
+
+
+def test_run_suite_document_matches_schema(tiny_suites):
+    doc = run_suite(tiny_suites, workers=1)
+    assert doc["schema"] == SCHEMA_VERSION
+    assert validate_doc(doc) == []
+    assert [c["name"] for c in doc["cells"]] == ["pingpong", "compute_loop"]
+    for cell in doc["cells"]:
+        assert cell["suite"] == tiny_suites
+        assert cell["metrics"]["wall_s"] > 0
+        assert cell["metrics"]["events_per_sec"] > 0
+
+
+def test_cli_delegates_bench_subcommand(tiny_suites, capsys, tmp_path):
+    out_path = tmp_path / "BENCH_run.json"
+    rc = cli_main(["bench", "--suite", tiny_suites, "--json", str(out_path)])
+    assert rc == 0
+    doc = json.loads(out_path.read_text())
+    assert validate_doc(doc) == []
+    assert doc["suite"] == tiny_suites
+
+
+def test_gate_passes_against_own_baseline(tiny_suites, tmp_path, capsys):
+    base_path = tmp_path / "base.json"
+    assert main(["--suite", tiny_suites, "--json", str(base_path)]) == 0
+    rc = main(["--suite", tiny_suites, "--baseline", str(base_path)])
+    assert rc == 0
+    assert "baseline gate" in capsys.readouterr().out
+
+
+def test_gate_fails_on_synthetic_regression(tiny_suites, tmp_path, capsys):
+    # Doctor the baseline so it claims the code used to be far faster:
+    # the current run then regresses >25% on every throughput metric
+    # and the CLI must exit 1.
+    base_path = tmp_path / "base.json"
+    assert main(["--suite", tiny_suites, "--json", str(base_path)]) == 0
+    doc = json.loads(base_path.read_text())
+    for cell in doc["cells"]:
+        cell["metrics"]["wall_s"] /= 10.0
+        cell["metrics"]["events_per_sec"] *= 10.0
+    base_path.write_text(json.dumps(doc))
+    rc = main(["--suite", tiny_suites, "--baseline", str(base_path)])
+    assert rc == 1
+    assert "FAILED" in capsys.readouterr().out
+
+
+def test_missing_or_invalid_baseline_is_usage_error(tiny_suites, tmp_path, capsys):
+    assert main(["--suite", tiny_suites, "--baseline", "/nonexistent.json"]) == 2
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema": "wrong/0"}))
+    assert main(["--suite", tiny_suites, "--baseline", str(bad)]) == 2
+    out = capsys.readouterr().out
+    assert "invalid baseline" in out
+
+
+def test_validate_doc_reports_specific_problems():
+    assert validate_doc("nope") == ["document is not a JSON object"]
+    doc = {
+        "schema": SCHEMA_VERSION,
+        "suite": "s",
+        "calibration_s": 0.01,
+        "host": {},
+        "cells": [{"suite": "s", "name": "c", "metrics": {"wall_s": "slow"}}],
+    }
+    problems = validate_doc(doc)
+    assert any("wall_s" in p for p in problems)
+
+
+def test_compare_docs_normalizes_by_calibration():
+    cell = {
+        "suite": "s",
+        "name": "c",
+        "metrics": {"wall_s": 2.0, "events_per_sec": 100.0},
+        "meta": {"sim_elapsed": 1.0},
+    }
+    baseline = {"calibration_s": 0.01, "cells": [cell]}
+    # Current host is 2x slower (calibration 0.02) and the cell took 2x
+    # the wall time: normalized, that is *no* regression.
+    current = {
+        "calibration_s": 0.02,
+        "cells": [
+            {
+                "suite": "s",
+                "name": "c",
+                "metrics": {"wall_s": 4.0, "events_per_sec": 50.0},
+                "meta": {"sim_elapsed": 1.0},
+            }
+        ],
+    }
+    cmp_doc = compare_docs(current, baseline, threshold=0.25)
+    assert cmp_doc["ok"], cmp_doc
+    assert cmp_doc["warnings"] == []
+    for row in cmp_doc["rows"]:
+        assert row["speedup_vs_baseline"] == pytest.approx(1.0)
+
+
+def test_compare_docs_warns_on_sim_elapsed_drift():
+    base_cell = {
+        "suite": "s",
+        "name": "c",
+        "metrics": {"wall_s": 1.0},
+        "meta": {"sim_elapsed": 1.0},
+    }
+    cur_cell = {
+        "suite": "s",
+        "name": "c",
+        "metrics": {"wall_s": 1.0},
+        "meta": {"sim_elapsed": 2.0},
+    }
+    cmp_doc = compare_docs(
+        {"calibration_s": 0.01, "cells": [cur_cell]},
+        {"calibration_s": 0.01, "cells": [base_cell]},
+    )
+    assert cmp_doc["ok"]
+    assert any("drifted" in w for w in cmp_doc["warnings"])

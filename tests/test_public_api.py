@@ -13,8 +13,12 @@ MODULES = [
     "repro",
     "repro.config",
     "repro.errors",
+    "repro.fastcopy",
     "repro.validate",
     "repro.cli",
+    "repro.bench",
+    "repro.bench.harness",
+    "repro.bench.workloads",
     "repro.sim",
     "repro.sim.engine",
     "repro.sim.load",
