@@ -1,11 +1,17 @@
 """Near-neighbour diffusion load balancing (paper Section 6, refs [16][17]).
 
-No central balancer makes *placement* decisions: slaves are arranged in
-a chain; periodically each slave exchanges its remaining-work count with
-its neighbours and shifts iterations toward the lighter side when the
-imbalance exceeds a threshold.  Decisions use only local information, so
-load gradients take multiple exchange rounds to propagate across the
-chain — the latency the paper's global-information design avoids.
+No central balancer makes *placement* decisions: periodically each slave
+exchanges its remaining-work count with its topology neighbours and
+shifts iterations toward the lighter side when the imbalance exceeds a
+threshold.  Decisions use only local information, so load gradients take
+multiple exchange rounds to propagate across the network — the latency
+the paper's global-information design avoids.
+
+By default slaves form a chain (the original baseline); passing a
+:class:`~repro.config.TopologySpec` (or setting one on the cluster spec)
+makes the exchange graph topology-aware — ring, 2-D mesh, fat-tree, or
+WAN-linked two-cluster neighbour sets from :mod:`repro.sim.network` —
+and prices every message over the topology's routed links.
 
 A passive coordinator only *detects termination* (it counts completed
 units and broadcasts a stop notice) and gathers results; it takes no
@@ -17,15 +23,16 @@ literature assumes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Mapping
 
 import numpy as np
 
 from ..compiler.plan import ExecutionPlan, LoopShape
-from ..config import RunConfig
-from ..errors import ProtocolError
+from ..config import RunConfig, TopologySpec
+from ..errors import ConfigError
 from ..sim import Cluster, Compute, LoadGenerator, Poll, Recv, Send, Sleep
+from ..sim.network import build_topology
 from ..sim.rusage import RusageReport
 from ..runtime.partition import proportional_counts
 
@@ -50,6 +57,7 @@ class DiffusionResult:
     moves: int
     units_moved: int
     result: Any = None
+    topology: str = "chain"
 
     @property
     def speedup(self) -> float:
@@ -66,16 +74,13 @@ def _diff_slave(
     exec_num: bool,
     init_units: tuple[int, ...],
     local,
+    neighbors: tuple[int, ...],
     exchange_every: int,
     threshold: int,
     stats: dict,
 ):
     kernels = plan.kernels
     pid = ctx.pid
-    n = ctx.n_slaves
-    left = pid - 1 if pid > 0 else None
-    right = pid + 1 if pid < n - 1 else None
-    neighbors = [nb for nb in (left, right) if nb is not None]
     pending = sorted(init_units)
     done_units: list[int] = []
     unreported = 0
@@ -120,8 +125,11 @@ def _diff_slave(
                 continue
             excess = (len(pending) - their) // 2
             if excess >= threshold and excess <= len(pending):
-                give = pending[-excess:] if nb == right else pending[:excess]
-                pending = pending[:-excess] if nb == right else pending[excess:]
+                # Shift contiguous index ranges toward the neighbour:
+                # higher-numbered neighbours take the tail, lower ones
+                # the head (preserves locality on chains and rings).
+                give = pending[-excess:] if nb > pid else pending[:excess]
+                pending = pending[:-excess] if nb > pid else pending[excess:]
                 payload: dict[str, Any] = {"units": tuple(give)}
                 if exec_num:
                     payload["data"] = kernels.pack_units(local, np.asarray(give), {})
@@ -184,15 +192,37 @@ def run_diffusion(
     exchange_every: int = 2,
     threshold: int = 2,
     seed: int = 0,
+    topology: TopologySpec | None = None,
 ) -> DiffusionResult:
-    """Run ``plan`` under near-neighbour diffusion balancing."""
+    """Run ``plan`` under near-neighbour diffusion balancing.
+
+    ``topology`` (or ``run_cfg.cluster.topology``) selects the exchange
+    graph and prices messages over the topology's links; with neither,
+    slaves form the legacy chain over a crossbar.
+    """
     if plan.shape is not LoopShape.PARALLEL_MAP:
-        raise ProtocolError("diffusion baseline supports independent iterations only")
-    cluster = Cluster(run_cfg.cluster, dict(loads or {}))
+        raise ConfigError(
+            "diffusion baseline supports PARALLEL_MAP plans (independent "
+            f"iterations) only; plan {plan.name!r} has shape "
+            f"{plan.shape.name}. PIPELINE and REDUCTION_FRONT loops need "
+            "the central runtime (repro.runtime.run_application)."
+        )
+    n = run_cfg.cluster.n_slaves
+    topo_spec = topology if topology is not None else run_cfg.cluster.topology
+    cluster_spec = run_cfg.cluster
+    neighbor_map: dict[int, tuple[int, ...]] | None = None
+    topo_name = "chain"
+    if topo_spec is not None:
+        if topo_spec.n_members is None:
+            topo_spec = replace(topo_spec, n_members=n)
+        topo = build_topology(topo_spec, topo_spec.n_members, cluster_spec.network)
+        neighbor_map = {pid: topo.neighbors(pid) for pid in range(n)}
+        cluster_spec = replace(cluster_spec, topology=topo_spec)
+        topo_name = topo_spec.kind
+    cluster = Cluster(cluster_spec, dict(loads or {}))
     exec_num = run_cfg.execute_numerics
     rng = np.random.default_rng(seed)
     global_state = plan.kernels.make_global(rng) if exec_num else None
-    n = run_cfg.cluster.n_slaves
     lo, hi = plan.unit_space()
     counts = proportional_counts(hi - lo, [1.0] * n, minimum=1)
     stats: dict[str, int] = {}
@@ -206,8 +236,14 @@ def run_diffusion(
             if exec_num
             else None
         )
+        if neighbor_map is not None:
+            neighbors = neighbor_map[pid]
+        else:  # legacy chain
+            neighbors = tuple(
+                nb for nb in (pid - 1, pid + 1) if 0 <= nb < n
+            )
         cluster.spawn(
-            pid, _diff_slave, plan, exec_num, units, local,
+            pid, _diff_slave, plan, exec_num, units, local, neighbors,
             exchange_every, threshold, stats,
         )
     cluster.spawn(run_cfg.cluster.master_pid, _diff_master, n, hi - lo, sink)
@@ -234,4 +270,5 @@ def run_diffusion(
         moves=stats.get("moves", 0),
         units_moved=stats.get("moved_units", 0),
         result=result,
+        topology=topo_name,
     )

@@ -47,6 +47,7 @@ __all__ = [
     "SCHEMA_VERSION",
     "SUITES",
     "compare_docs",
+    "csv_report",
     "main",
     "run_suite",
     "validate_doc",
@@ -101,6 +102,19 @@ SUITES: dict[str, list[dict[str, Any]]] = {
         _cell("lu_master", "checkpoint", app="lu", n=300, placement="master"),
         _cell("lu_buddy", "checkpoint", app="lu", n=300, placement="buddy"),
     ],
+    # Scaling-crossover study: centralized vs hierarchical (fanout
+    # 4/8/16) vs diffusion, weak-scaled over P under three competing
+    # load regimes, plus interconnect probes at a fixed P.  The nightly
+    # scaling-bench lane runs this with --max-p 256; the crossover
+    # analysis is attached to the document as doc["crossover"].
+    "scaling_crossover": [
+        _cell(f"P{P}_{regime}", "scaling", P=P, regime=regime)
+        for P in (8, 32, 64, 128, 256, 512, 1024)
+        for regime in ("constant", "oscillating", "trace")
+    ] + [
+        _cell(f"topo_{kind}_P64", "scaling", P=64, regime="constant", topology=kind)
+        for kind in ("ring", "mesh2d", "fat_tree", "two_cluster")
+    ],
     # Fast PR gate: one cell per hot path, sized for stable timing but
     # bounded wall clock (used by the CI bench job).
     "ci-smoke": [
@@ -150,14 +164,38 @@ def _resolve_workers(workers: str | int, n_jobs: int) -> int:
     return min(n, n_jobs) if n_jobs else 1
 
 
+def _job_selected(
+    spec: dict[str, Any], max_p: int | None, topologies: Sequence[str] | None
+) -> bool:
+    """Apply the --max-p / --topologies cell filters to one job spec.
+
+    ``max_p`` drops cells whose ``P`` parameter exceeds it (cells with
+    no ``P`` always run); ``topologies`` keeps only the named
+    interconnects, with ``crossbar`` meaning the default no-topology
+    cells.  Cells without a ``topology`` knob ignore the filter.
+    """
+    params = spec["params"]
+    if max_p is not None and params.get("P", 0) > max_p:
+        return False
+    if topologies is not None and spec["cell"] == "scaling":
+        return (params.get("topology") or "crossbar") in topologies
+    return True
+
+
 def run_suite(
-    suite: str, workers: str | int = "auto", repeat: int = 1
+    suite: str,
+    workers: str | int = "auto",
+    repeat: int = 1,
+    max_p: int | None = None,
+    topologies: Sequence[str] | None = None,
 ) -> dict[str, Any]:
     """Run every cell of ``suite`` (or ``all``) and return the document.
 
     Independent cells fan out over a spawn-based process pool when more
     than one worker is resolved; with one worker they run inline (also
-    the path used under test, and on single-core hosts).
+    the path used under test, and on single-core hosts).  ``max_p`` and
+    ``topologies`` filter cells (see :func:`_job_selected`) — the
+    nightly lane uses them to bound wall clock.
     """
     suite_names = sorted(SUITES) if suite == "all" else [suite]
     for name in suite_names:
@@ -168,7 +206,13 @@ def run_suite(
         {**spec, "suite": name, "repeat": repeat}
         for name in suite_names
         for spec in SUITES[name]
+        if _job_selected(spec, max_p, topologies)
     ]
+    if not jobs:
+        raise KeyError(
+            f"suite {suite!r}: every cell was filtered out "
+            f"(max_p={max_p}, topologies={topologies})"
+        )
     calibration_s = calibrate()
     n_workers = _resolve_workers(workers, len(jobs))
     if n_workers > 1:
@@ -177,7 +221,7 @@ def run_suite(
             cells = pool.map(run_cell, jobs)
     else:
         cells = [run_cell(job) for job in jobs]
-    return {
+    doc: dict[str, Any] = {
         "schema": SCHEMA_VERSION,
         "suite": suite,
         "created_unix": time.time(),
@@ -191,6 +235,17 @@ def run_suite(
         "repeat": repeat,
         "cells": cells,
     }
+    if max_p is not None:
+        doc["max_p"] = max_p
+    if topologies is not None:
+        doc["topologies"] = list(topologies)
+    if any(c.get("cell") == "scaling" for c in cells):
+        from ..scale.crossover import crossover_analysis
+
+        doc["crossover"] = crossover_analysis(
+            [c for c in cells if c.get("cell") == "scaling"]
+        )
+    return doc
 
 
 def validate_doc(doc: Any) -> list[str]:
@@ -302,6 +357,46 @@ def compare_docs(
     }
 
 
+def csv_report(doc: dict[str, Any]) -> str:
+    """Plot-ready long-form CSV for a bench document.
+
+    One row per (cell, control-plane mode) for scaling cells — simulated
+    makespan and message count per mode — and one ``wall``-mode row for
+    every other cell, so a single file feeds both the crossover plots
+    and plain wall-time charts.
+    """
+    import csv
+    import io
+
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(
+        [
+            "suite", "name", "cell", "P", "regime", "topology",
+            "mode", "sim_makespan_s", "messages", "wall_s",
+        ]
+    )
+    for cell in doc["cells"]:
+        meta = cell.get("meta", {})
+        common = [
+            cell["suite"], cell["name"], cell["cell"],
+            meta.get("P", ""), meta.get("regime", ""), meta.get("topology", ""),
+        ]
+        spans = meta.get("makespans")
+        if spans:
+            msgs = meta.get("messages", {})
+            for mode, span in spans.items():
+                writer.writerow(
+                    common + [mode, span, msgs.get(mode, ""), cell["metrics"]["wall_s"]]
+                )
+        else:
+            writer.writerow(
+                common + ["wall", meta.get("sim_elapsed", ""), meta.get("messages", ""),
+                          cell["metrics"]["wall_s"]]
+            )
+    return buf.getvalue()
+
+
 def _format_report(doc: dict[str, Any], comparison: dict[str, Any] | None) -> str:
     lines = [f"suite {doc['suite']}: {len(doc['cells'])} cell(s), "
              f"calibration {doc['calibration_s'] * 1e3:.1f} ms, "
@@ -327,6 +422,15 @@ def _format_report(doc: dict[str, Any], comparison: dict[str, Any] | None) -> st
             )
         for warning in comparison["warnings"]:
             lines.append(f"  warning: {warning}")
+    crossover = doc.get("crossover")
+    if crossover:
+        for regime, entry in crossover["regimes"].items():
+            at = entry["crossover_P"]
+            verdict = (
+                f"hierarchy wins from P={at}" if at is not None
+                else "central master never loses in swept range"
+            )
+            lines.append(f"  crossover[{regime}]: {verdict}")
     return "\n".join(lines)
 
 
@@ -368,6 +472,26 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="runs per cell; the fastest is reported (default 1)",
     )
     parser.add_argument(
+        "--max-p",
+        type=int,
+        default=None,
+        metavar="P",
+        help="skip cells whose processor count exceeds P (nightly lane uses 256)",
+    )
+    parser.add_argument(
+        "--topologies",
+        default=None,
+        metavar="LIST",
+        help="comma-separated interconnects to keep for scaling cells "
+        "(crossbar, ring, mesh2d, fat_tree, two_cluster)",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="PATH",
+        default=None,
+        help="also write a plot-ready long-form CSV report",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list suites and cells, then exit"
     )
     args = parser.parse_args(argv)
@@ -392,8 +516,19 @@ def main(argv: Sequence[str] | None = None) -> int:
                 print(f"  - {problem}")
             return 2
 
+    topologies = (
+        [t.strip() for t in args.topologies.split(",") if t.strip()]
+        if args.topologies is not None
+        else None
+    )
     try:
-        doc = run_suite(args.suite, workers=args.workers, repeat=args.repeat)
+        doc = run_suite(
+            args.suite,
+            workers=args.workers,
+            repeat=args.repeat,
+            max_p=args.max_p,
+            topologies=topologies,
+        )
     except KeyError as exc:
         print(f"bench: {exc.args[0]}")
         return 2
@@ -410,9 +545,16 @@ def main(argv: Sequence[str] | None = None) -> int:
             json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
         )
 
+    if args.csv is not None:
+        csv_path = Path(args.csv)
+        csv_path.parent.mkdir(parents=True, exist_ok=True)
+        csv_path.write_text(csv_report(doc), encoding="utf-8")
+
     print(_format_report(doc, comparison))
     if args.json is not None:
         print(f"bench results written to {args.json}")
+    if args.csv is not None:
+        print(f"csv report written to {args.csv}")
     if comparison is not None and not comparison["ok"]:
         print(
             f"bench: FAILED — {comparison['regressions']} metric(s) regressed "

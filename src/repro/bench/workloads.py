@@ -29,6 +29,7 @@ from ..config import (
 )
 from ..experiments.common import PAPER_QUANTUM, PAPER_SPEED, run_point
 from ..runtime import run_application
+from ..scale.crossover import cell_scaling
 from ..sim import Cluster, Compute, ConstantLoad, Recv, Send
 
 __all__ = ["CELLS", "run_cell"]
@@ -207,6 +208,9 @@ CELLS = {
     "run": cell_run,
     "figure_pair": cell_figure_pair,
     "checkpoint": cell_checkpoint,
+    # Crossover study cell (centralized vs hierarchical vs diffusion at
+    # one P x load-regime point); lives with the scale package.
+    "scaling": cell_scaling,
 }
 
 

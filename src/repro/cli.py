@@ -186,10 +186,36 @@ def _check_subjects(args: argparse.Namespace) -> list[tuple[str, object]]:
     return [(app, _build_plan(app, args.n, args.slaves)) for app in apps]
 
 
+def _check_hier_protocol():
+    """Protocol lint (RA4xx) over the hierarchical control plane.
+
+    Same send/receive pairing pass the central runtime gets, but with
+    the tag families derived from :class:`repro.scale.protocol.ScaleTags`
+    and the sources of the sub-master tree tasks — so a new ``sc.*``
+    message that is sent but never drained (or declared but dead) fails
+    ``repro check --hier`` exactly like an ``lb.*`` one fails the
+    default run.
+    """
+    import inspect
+
+    from .analysis import CheckResult
+    from .analysis.protocol_lint import lint_sources, tag_families
+    from .scale import hierarchy
+    from .scale.protocol import ScaleTags
+
+    diags = lint_sources(
+        [("scale/hierarchy.py", inspect.getsource(hierarchy))],
+        tag_families(ScaleTags),
+    )
+    return CheckResult(subject="hier-protocol[sc.*]", diagnostics=diags)
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from .analysis import CheckResult, check_log_file, check_suite
 
     results: list[CheckResult] = []
+    if args.hier:
+        results.append(_check_hier_protocol())
     if args.events is not None:
         results.append(
             CheckResult(
@@ -237,6 +263,123 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _results_identical(a: object, b: object) -> bool:
+    """Deep bit-identity between two run results (dicts/arrays/None)."""
+    import numpy as np
+
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(
+            _results_identical(a[k], b[k]) for k in a
+        )
+    if a is None or b is None:
+        return a is b
+    return bool(np.array_equal(np.asarray(a), np.asarray(b)))
+
+
+def _cmd_chaos_hier(args: argparse.Namespace) -> int:
+    """Sub-master-crash matrix for the hierarchical control plane.
+
+    For each PARALLEL_MAP application: a fault-free hierarchical
+    baseline, then one cell per targeted sub-master crash (the first
+    and the last level-1 sub-master, at 40% and 60% of the fault-free
+    horizon).  Every crash cell must complete with results identical to
+    the baseline — the custody rule (units travel leaf-to-leaf only)
+    means a dead sub-master can never lose shipped cells — and must
+    actually exercise the failure detector (``deaths``/``reparents``
+    counters).  PIPELINE / REDUCTION_FRONT apps are skipped: the
+    hierarchical plane is PARALLEL_MAP-only, their crash recovery is
+    the central runtime's checkpoint machinery (the default matrix).
+    """
+    import json
+
+    from .compiler.plan import LoopShape
+    from .faults import FaultPlan, SlaveCrash
+    from .scale import build_tree, hier_can_recover, run_hierarchical
+
+    apps = args.apps or sorted(REGISTRY)
+    cells: list[dict[str, object]] = []
+    failed = 0
+    for app in apps:
+        if app not in REGISTRY:
+            raise SystemExit(
+                f"chaos: unknown app {app!r}; choices: {', '.join(sorted(REGISTRY))}"
+            )
+        plan = _build_plan(app, args.n, args.slaves)
+        if plan.shape is not LoopShape.PARALLEL_MAP:
+            print(f"chaos {app:>8} x hier           skipped ({plan.shape.name})")
+            continue
+        cfg = RunConfig(cluster=ClusterSpec(n_slaves=args.slaves))
+        tree = build_tree(args.slaves, args.fanout)
+        if not tree.internal:
+            raise SystemExit(
+                f"chaos: --slaves {args.slaves} with --fanout {args.fanout} "
+                "builds a flat tree (no sub-masters to crash); "
+                "use more slaves or a smaller fanout"
+            )
+        base = run_hierarchical(plan, cfg, fanout=args.fanout, seed=args.seed)
+        targets = [
+            ("first-submaster", tree.internal[0], 0.4),
+            ("last-submaster", tree.internal[-1], 0.6),
+        ]
+        for label, pid, frac in targets:
+            faults = FaultPlan(
+                name=f"hier-{label}",
+                crashes=(SlaveCrash(pid=pid, at=frac * base.elapsed),),
+            )
+            assert hier_can_recover(tree, faults)
+            cell: dict[str, object] = {
+                "app": app,
+                "plan": f"hier-{label}",
+                "fanout": args.fanout,
+                "crash_pid": pid,
+            }
+            res = run_hierarchical(
+                plan, cfg, fanout=args.fanout, seed=args.seed, faults=faults
+            )
+            identical = _results_identical(res.result, base.result)
+            cell["bit_identical"] = identical
+            cell["deaths"] = res.deaths
+            cell["reparents"] = res.reparents
+            cell["dead_pids"] = list(res.dead_pids)
+            cell["elapsed"] = res.elapsed
+            if identical and res.deaths >= 1 and res.reparents >= 1:
+                cell["outcome"] = "recovered"
+            else:
+                cell["outcome"] = "FAILED"
+                cell["detail"] = (
+                    "results diverged from fault-free baseline"
+                    if not identical
+                    else "crash did not exercise the failure detector"
+                )
+                failed += 1
+            cells.append(cell)
+            detail = f"  ({cell['detail']})" if "detail" in cell else ""
+            print(
+                f"chaos {app:>8} x {cell['plan']:<14} {cell['outcome']}"
+                f"  [pid={pid} deaths={res.deaths} reparents={res.reparents}]"
+                f"{detail}"
+            )
+    ok = failed == 0
+    print(
+        f"\nchaos: {len(cells)} hierarchical cell(s), {failed} failure(s) "
+        f"[fanout={args.fanout} slaves={args.slaves} seed={args.seed}]"
+    )
+    if args.json is not None:
+        doc = {
+            "ok": ok,
+            "control": "hier",
+            "fanout": args.fanout,
+            "n": args.n,
+            "slaves": args.slaves,
+            "seed": args.seed,
+            "cells": cells,
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+        print(f"chaos results written to {args.json}")
+    return 0 if ok else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     """Run an application x fault-plan matrix and validate every cell.
 
@@ -253,20 +396,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     import json
     import os
 
-    import numpy as np
-
     from .errors import FaultPlanError, SlaveLostError
     from .runtime.launcher import resolve_run_cfg
     from .runtime.master import can_recover
 
-    def results_identical(a: object, b: object) -> bool:
-        if isinstance(a, dict) and isinstance(b, dict):
-            return a.keys() == b.keys() and all(
-                results_identical(a[k], b[k]) for k in a
-            )
-        if a is None or b is None:
-            return a is b
-        return bool(np.array_equal(np.asarray(a), np.asarray(b)))
+    if args.control == "hier":
+        return _cmd_chaos_hier(args)
 
     apps = args.apps or sorted(REGISTRY)
     plan_names = args.plans or [
@@ -325,7 +460,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
                     cell["detail"] = f"unexpected SlaveLostError: {exc}"
                     failed += 1
             else:
-                identical = results_identical(res.result, base_result)
+                identical = _results_identical(res.result, base_result)
                 cell["bit_identical"] = identical
                 cell["retransmits"] = res.retransmits
                 cell["messages_lost"] = res.messages_lost
@@ -552,6 +687,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="static passes only (skip the recorded replay simulations)",
     )
     p_check.add_argument(
+        "--hier",
+        action="store_true",
+        help=(
+            "also lint the hierarchical control plane's sc.* protocol "
+            "(send/receive pairing over repro.scale sources)"
+        ),
+    )
+    p_check.add_argument(
         "--events",
         metavar="PATH",
         default=None,
@@ -582,6 +725,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         type=int,
         default=0,
         help="seed for the fault plans' RNG",
+    )
+    p_chaos.add_argument(
+        "--control",
+        choices=("central", "hier"),
+        default="central",
+        help=(
+            "control plane to stress: 'central' runs the fault-plan "
+            "matrix against the central runtime (default); 'hier' runs "
+            "targeted sub-master crashes against the hierarchical plane"
+        ),
+    )
+    p_chaos.add_argument(
+        "--fanout",
+        type=int,
+        default=4,
+        help="sub-master fanout for --control hier (default 4)",
     )
     p_chaos.add_argument(
         "--plans",

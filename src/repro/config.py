@@ -16,6 +16,7 @@ from .errors import ConfigError
 __all__ = [
     "ProcessorSpec",
     "NetworkSpec",
+    "TopologySpec",
     "ClusterSpec",
     "BalancerConfig",
     "GrainConfig",
@@ -90,6 +91,75 @@ class NetworkSpec:
 
 
 @dataclass(frozen=True)
+class TopologySpec:
+    """Interconnect topology replacing the default uncontended crossbar.
+
+    With a topology configured, message transfer time is computed by a
+    :class:`repro.sim.network.Fabric` over the topology's links (per-hop
+    latency, per-link bandwidth, and — with ``contention`` — per-link
+    store-and-forward queueing) instead of the single dedicated path the
+    crossbar assumes.  Per-message CPU overheads are unchanged.
+
+    The fabric spans ``n_members`` *member* nodes (defaults to the
+    cluster's slave count); processors beyond the members (masters,
+    sub-masters) are attached to a member's network port via the
+    ``Cluster``'s attach map.
+
+    Attributes:
+        kind: ``"ring"``, ``"mesh2d"``, ``"fat_tree"``, or
+            ``"two_cluster"``.
+        n_members: fabric node count (default: the cluster's slaves).
+        radix: fat-tree switch radix (leaves per edge switch).
+        fat_factor: fat-tree per-level uplink bandwidth multiplier
+            (``radix`` gives full bisection; lower oversubscribes).
+        split: two-cluster boundary — members ``< split`` are in cluster
+            A (default: half).
+        wan_latency: two-cluster A-to-B one-way latency in seconds.
+        wan_latency_back: B-to-A latency (defaults to ``wan_latency``;
+            setting it differently models asymmetric WAN paths).
+        wan_bandwidth: shared inter-cluster link bandwidth, bytes/s.
+        hop_latency: per-hop wire latency (default: the network spec's
+            crossbar latency).
+        contention: model per-link serialization queueing (deterministic
+            busy-time bookkeeping) instead of latency-only routes.
+    """
+
+    kind: str = "ring"
+    n_members: int | None = None
+    radix: int = 4
+    fat_factor: float = 2.0
+    split: int | None = None
+    wan_latency: float = 0.025
+    wan_latency_back: float | None = None
+    wan_bandwidth: float = 10.0e6
+    hop_latency: float | None = None
+    contention: bool = True
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("ring", "mesh2d", "fat_tree", "two_cluster"):
+            raise ConfigError(
+                "topology kind must be one of 'ring', 'mesh2d', 'fat_tree', "
+                f"'two_cluster', got {self.kind!r}"
+            )
+        if self.n_members is not None and self.n_members < 2:
+            raise ConfigError(f"topology needs >= 2 members, got {self.n_members}")
+        if self.radix < 2:
+            raise ConfigError(f"fat-tree radix must be >= 2, got {self.radix}")
+        if self.fat_factor < 1.0:
+            raise ConfigError(f"fat_factor must be >= 1, got {self.fat_factor}")
+        if self.split is not None and self.split < 1:
+            raise ConfigError(f"two_cluster split must be >= 1, got {self.split}")
+        if self.wan_latency < 0 or (
+            self.wan_latency_back is not None and self.wan_latency_back < 0
+        ):
+            raise ConfigError("WAN latencies must be >= 0")
+        if self.wan_bandwidth <= 0:
+            raise ConfigError("WAN bandwidth must be positive")
+        if self.hop_latency is not None and self.hop_latency < 0:
+            raise ConfigError("hop_latency must be >= 0")
+
+
+@dataclass(frozen=True)
 class ClusterSpec:
     """A cluster: ``n_slaves`` worker processors plus one master processor.
 
@@ -103,6 +173,8 @@ class ClusterSpec:
     network: NetworkSpec = field(default_factory=NetworkSpec)
     processor_overrides: tuple[tuple[int, ProcessorSpec], ...] = ()
     stagger_phases: bool = True
+    # None keeps the legacy uncontended crossbar (byte-identical traces).
+    topology: TopologySpec | None = None
 
     def __post_init__(self) -> None:
         if self.n_slaves < 1:
@@ -110,6 +182,13 @@ class ClusterSpec:
         for pid, _spec in self.processor_overrides:
             if not 0 <= pid <= self.n_slaves:
                 raise ConfigError(f"processor override pid {pid} out of range")
+        if self.topology is not None:
+            members = self.topology.n_members
+            if members is not None and members > self.n_processors:
+                raise ConfigError(
+                    f"topology spans {members} members but the cluster has "
+                    f"only {self.n_processors} processors"
+                )
 
     @property
     def n_processors(self) -> int:

@@ -1,0 +1,734 @@
+"""Hierarchical dynamic load balancing: a tree of sub-masters.
+
+The paper's central master polls every slave, so its per-message CPU
+cost caps the slave count it can serve (at the calibrated 0.5 ms per
+message and a 0.5 s reporting period, roughly a thousand reports per
+second).  Here the control plane is a configurable-fanout tree: leaves
+compute units and report ``{rate, remaining, done}`` to their parent;
+each sub-master runs the paper's rate-filtered proportional
+redistribution (:class:`~repro.runtime.filtering.TrendFilter` +
+:func:`~repro.runtime.partition.proportional_counts`) over its shard and
+sends only one aggregate summary per period upward.  Movement *orders*
+(``sc.take``) descend the tree; moved *units* travel leaf-to-leaf, so no
+internal node ever holds work and a sub-master crash cannot lose shipped
+cells.
+
+Fault tolerance: periodic reports/summaries double as heartbeats.  Every
+internal node (and the root) watches its children; an internal child
+silent for ``dead_after`` seconds is declared dead and its orphans are
+adopted by the detecting node (``sc.reparent``), whose cumulative
+counters reconstruct the shard's progress from the orphans' next
+reports.  Leaf silence is *not* acted upon — leaf-crash recovery is the
+central runtime's job (see ``repro.runtime.master``); this mode targets
+control-plane failures.
+
+Supports PARALLEL_MAP plans (independent iterations): the bag-of-units
+custody model above has no meaning for dependence-carrying shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..compiler.plan import ExecutionPlan, LoopShape
+from ..config import RunConfig, TopologySpec
+from ..errors import ConfigError, SimulationError
+from ..faults import FaultInjector, FaultPlan
+from ..obs import Recorder
+from ..runtime.filtering import TrendFilter
+from ..runtime.partition import proportional_counts
+from ..sim import Cluster, Compute, LoadGenerator, Poll, Recv, Send, Sleep
+from ..sim.rusage import RusageReport
+from .protocol import ScaleTags
+
+# Module-level alias named `Tags` so the protocol lint's AST resolver
+# (which pairs `Tags.X` send/receive sites) sees this control plane's
+# message sites exactly as it sees the central runtime's.
+Tags = ScaleTags
+
+__all__ = [
+    "HierarchyConfig",
+    "HierarchyResult",
+    "Tree",
+    "build_tree",
+    "hier_can_recover",
+    "run_hierarchical",
+]
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Control-plane parameters of the sub-master tree.
+
+    Attributes:
+        report_period: leaf reporting cadence in simulated seconds; also
+            the cadence of aggregate summaries at each tree level.
+        balance_period: how often each sub-master (and the root) runs a
+            redistribution pass over its children.
+        imbalance_threshold: a child's surplus must exceed this fraction
+            of the mean remaining work per child before an order is cut.
+        min_move: smallest number of units worth an order.
+        idle_tick: leaf poll-loop sleep when out of work.
+        tick: sub-master poll-loop sleep between empty polls.
+        dead_after: silence before an internal child is declared dead
+            and its shard re-parented (must comfortably exceed
+            ``report_period``).
+    """
+
+    report_period: float = 0.5
+    balance_period: float = 1.0
+    imbalance_threshold: float = 0.25
+    min_move: int = 2
+    idle_tick: float = 0.02
+    tick: float = 0.02
+    dead_after: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.report_period <= 0 or self.balance_period <= 0:
+            raise ConfigError("hierarchy periods must be positive")
+        if not 0 <= self.imbalance_threshold < 1:
+            raise ConfigError("imbalance_threshold must be in [0, 1)")
+        if self.min_move < 1:
+            raise ConfigError("min_move must be >= 1")
+        if self.idle_tick <= 0 or self.tick <= 0:
+            raise ConfigError("poll ticks must be positive")
+        if self.dead_after <= 2 * self.report_period:
+            raise ConfigError(
+                "dead_after must exceed two report periods, got "
+                f"{self.dead_after} vs period {self.report_period}"
+            )
+
+
+@dataclass(frozen=True)
+class Tree:
+    """Static shape of the control tree.
+
+    Leaves are pids ``0..n_leaves-1``; internal nodes are assigned pids
+    level by level above them; the root has the highest pid (and is the
+    cluster's ``master_pid``).
+    """
+
+    n_leaves: int
+    fanout: int | None
+    parent: dict[int, int]
+    children: dict[int, tuple[int, ...]]
+    internal: tuple[int, ...]  # internal node pids, excluding the root
+    root: int
+    level_of: dict[int, int]
+
+    @property
+    def levels(self) -> int:
+        """Number of control levels above the leaves (1 for flat)."""
+        return self.level_of[self.root]
+
+    @property
+    def n_internal(self) -> int:
+        return len(self.internal)
+
+    def subtree_children(self, node: int) -> dict[int, tuple[int, ...]]:
+        """Children map for every internal node at or below ``node``."""
+        out: dict[int, tuple[int, ...]] = {}
+        stack = [node]
+        while stack:
+            cur = stack.pop()
+            kids = self.children.get(cur)
+            if kids is None:
+                continue
+            out[cur] = kids
+            stack.extend(kids)
+        return out
+
+    def first_leaf(self, node: int) -> int:
+        """Lowest-pid leaf in the subtree under ``node``."""
+        cur = node
+        while cur >= self.n_leaves:
+            cur = self.children[cur][0]
+        return cur
+
+    def shard_leaves(self, node: int) -> tuple[int, ...]:
+        """All leaves in the subtree under ``node``."""
+        if node < self.n_leaves:
+            return (node,)
+        out: list[int] = []
+        stack = [node]
+        while stack:
+            cur = stack.pop()
+            if cur < self.n_leaves:
+                out.append(cur)
+            else:
+                stack.extend(self.children[cur])
+        return tuple(sorted(out))
+
+
+def build_tree(n_leaves: int, fanout: int | None = None) -> Tree:
+    """Build the control tree: ``fanout`` children per sub-master.
+
+    ``fanout=None`` (or ``>= n_leaves``) yields the flat/centralized
+    shape: the root parents every leaf directly, which is exactly the
+    paper's single-master architecture expressed in this protocol.
+    """
+    if n_leaves < 1:
+        raise ConfigError(f"need at least one leaf, got {n_leaves}")
+    if fanout is not None and fanout < 2:
+        raise ConfigError(f"fanout must be >= 2, got {fanout}")
+    level = list(range(n_leaves))
+    next_pid = n_leaves
+    parent: dict[int, int] = {}
+    children: dict[int, tuple[int, ...]] = {}
+    level_of = {pid: 0 for pid in level}
+    internal: list[int] = []
+    depth = 0
+    while fanout is not None and len(level) > fanout:
+        groups = -(-len(level) // fanout)
+        nxt: list[int] = []
+        for g in range(groups):
+            pid = next_pid
+            next_pid += 1
+            kids = tuple(level[g * fanout : (g + 1) * fanout])
+            children[pid] = kids
+            for k in kids:
+                parent[k] = pid
+            level_of[pid] = depth + 1
+            internal.append(pid)
+            nxt.append(pid)
+        level = nxt
+        depth += 1
+    root = next_pid
+    children[root] = tuple(level)
+    for k in level:
+        parent[k] = root
+    level_of[root] = depth + 1
+    return Tree(
+        n_leaves=n_leaves,
+        fanout=fanout,
+        parent=parent,
+        children=children,
+        internal=tuple(internal),
+        root=root,
+        level_of=level_of,
+    )
+
+
+def hier_can_recover(tree: Tree, faults: FaultPlan | None) -> bool:
+    """Whether a hierarchical run is expected to survive ``faults``.
+
+    Sub-master (internal node) crashes are recoverable: the parent
+    detects the silence and re-parents the shard.  Leaf crashes are not
+    (their pending units die with them); root crashes are not modeled.
+    """
+    if faults is None or faults.empty:
+        return True
+    return all(
+        tree.n_leaves <= crash.pid < tree.root for crash in faults.crashes
+    )
+
+
+@dataclass
+class HierarchyResult:
+    """Outcome and metrics of one hierarchical run."""
+
+    name: str
+    n_leaves: int
+    n_internal: int
+    levels: int
+    fanout: int | None
+    elapsed: float
+    sequential_time: float
+    rusage: RusageReport
+    message_count: int
+    bytes_sent: int
+    moves: int
+    units_moved: int
+    takes: int
+    reports: int
+    deaths: int
+    reparents: int
+    result: Any = None
+    dead_pids: tuple[int, ...] = ()
+    recorder: Recorder | None = None
+
+    @property
+    def speedup(self) -> float:
+        return self.sequential_time / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def efficiency(self) -> float:
+        return self.rusage.efficiency(self.sequential_time, list(range(self.n_leaves)))
+
+    def summary(self) -> str:
+        return (
+            f"{self.name}: P={self.n_leaves} (+{self.n_internal} sub-masters, "
+            f"{self.levels} level(s)) elapsed={self.elapsed:.2f}s "
+            f"speedup={self.speedup:.2f} moves={self.moves} "
+            f"({self.units_moved} units) takes={self.takes} "
+            f"deaths={self.deaths} msgs={self.message_count}"
+        )
+
+
+class _Child:
+    """A parent's view of one child (leaf or sub-master)."""
+
+    __slots__ = ("filt", "remaining", "done", "intake", "last_heard")
+
+    def __init__(self, remaining: int, intake: int, now: float):
+        self.filt = TrendFilter()
+        self.remaining = remaining
+        self.done = 0
+        self.intake = intake
+        self.last_heard = now
+
+
+def _leaf_task(
+    ctx,
+    plan: ExecutionPlan,
+    exec_num: bool,
+    init_units: tuple[int, ...],
+    local,
+    parent_pid: int,
+    root_pid: int,
+    hc: HierarchyConfig,
+    stats: dict,
+):
+    kernels = plan.kernels
+    unit_bytes = plan.movement.unit_bytes
+    pending = list(init_units)
+    done_units: list[int] = []
+    done = 0
+    units_since = 0
+    parent = parent_pid
+    last_report = 0.0
+    terminated = False
+
+    while not terminated:
+        while True:
+            msg = yield Poll()
+            if msg is None:
+                break
+            tag = msg.tag
+            if tag == Tags.UNITS:
+                units = list(msg.payload["units"])
+                if exec_num and msg.payload.get("data") is not None:
+                    kernels.unpack_units(
+                        local, np.asarray(units), msg.payload["data"], {}
+                    )
+                pending.extend(units)
+                pending.sort()
+                stats["received"] = stats.get("received", 0) + len(units)
+            elif tag == Tags.TAKE:
+                k = min(int(msg.payload["count"]), len(pending))
+                dst = int(msg.payload["dst"])
+                if k > 0 and dst != ctx.pid:
+                    give = pending[-k:]
+                    del pending[-k:]
+                    payload: dict[str, Any] = {"units": tuple(give)}
+                    if exec_num:
+                        payload["data"] = kernels.pack_units(
+                            local, np.asarray(give), {}
+                        )
+                    yield Send(dst, Tags.UNITS, payload, max(16, k * unit_bytes))
+                    stats["moves"] = stats.get("moves", 0) + 1
+                    stats["moved_units"] = stats.get("moved_units", 0) + k
+            elif tag == Tags.REPARENT:
+                parent = int(msg.payload["parent"])
+            elif tag == Tags.TERM:
+                terminated = True
+        if terminated:
+            break
+        if pending:
+            u = pending.pop(0)
+            arr = np.array([u])
+            yield Compute(
+                plan.unit_cost(0, u),
+                fn=(lambda: kernels.run_units(local, 0, arr)) if exec_num else None,
+            )
+            done_units.append(u)
+            done += 1
+            units_since += 1
+        else:
+            yield Sleep(hc.idle_tick)
+        now = ctx.now
+        if (now - last_report >= hc.report_period) or (units_since and not pending):
+            dt = now - last_report
+            # An idle interval carries no speed information: report
+            # rate=None so the parent keeps its filtered estimate
+            # instead of mistaking idleness for a dead-slow processor.
+            rate: float | None
+            if units_since:
+                rate = units_since / dt if dt > 0 else 0.0
+            elif pending:
+                rate = 0.0  # genuinely starved by competing load
+            else:
+                rate = None
+            yield Send(
+                parent,
+                Tags.REPORT,
+                {
+                    "pid": ctx.pid,
+                    "done": done,
+                    "remaining": len(pending),
+                    "rate": rate,
+                },
+                32,
+            )
+            last_report = now
+            units_since = 0
+
+    payload = {"units": tuple(done_units)}
+    if exec_num:
+        payload["data"] = kernels.local_result(local)
+    nbytes = kernels.result_bytes(len(done_units)) if exec_num else 64
+    yield Send(root_pid, Tags.RESULT, payload, nbytes)
+
+
+def _node_task(
+    ctx,
+    tree: Tree,
+    kids: tuple[int, ...],
+    init_remaining: dict[int, int],
+    parent_pid: int | None,
+    level: int,
+    hc: HierarchyConfig,
+    stats: dict,
+    total_units: int,
+    sink: dict,
+):
+    """A sub-master (``parent_pid`` set) or the root (``parent_pid`` None)."""
+    obs = ctx.obs
+    n_leaves = tree.n_leaves
+    subtree = tree.subtree_children(ctx.pid)
+    children: dict[int, _Child] = {}
+    now = ctx.now
+    for pid in kids:
+        intake = pid if pid < n_leaves else tree.first_leaf(pid)
+        children[pid] = _Child(init_remaining.get(pid, 0), intake, now)
+    parent = parent_pid
+    terminated = False
+    last_sum = now
+    last_balance = now
+    last_scan = now
+    scan_every = hc.dead_after / 2.0
+
+    def _summary() -> dict[str, Any]:
+        rem_total = 0
+        done_total = 0
+        rate_total = 0.0
+        intake = ctx.pid
+        best_rem: int | None = None
+        for st in children.values():
+            rem_total += st.remaining
+            done_total += st.done
+            if st.filt.value is not None:
+                rate_total += st.filt.value
+            if best_rem is None or st.remaining < best_rem:
+                best_rem = st.remaining
+                intake = st.intake
+        return {
+            "node": ctx.pid,
+            "done": done_total,
+            "remaining": rem_total,
+            "rate": rate_total if rate_total > 0 else None,
+            "intake": intake,
+        }
+
+    def _route_take(count: int, dst: int):
+        """Forward a movement order toward my most-loaded child."""
+        best: int | None = None
+        best_rem = 0
+        for pid, st in children.items():
+            if st.remaining > best_rem:
+                best = pid
+                best_rem = st.remaining
+        if best is None:
+            return
+        k = min(count, best_rem)
+        children[best].remaining -= k
+        yield Send(best, Tags.TAKE, {"count": k, "dst": dst}, 32)
+
+    def _balance(t: float):
+        """The paper's proportional redistribution over my children."""
+        if len(children) < 2:
+            return
+        items = list(children.items())
+        total_rem = sum(st.remaining for _, st in items)
+        if total_rem <= 0:
+            return
+        weights = [
+            st.filt.value if st.filt.value is not None else 1.0 for _, st in items
+        ]
+        targets = proportional_counts(total_rem, weights)
+        surplus = [st.remaining - tgt for (_, st), tgt in zip(items, targets)]
+        thresh = max(
+            hc.min_move, int(hc.imbalance_threshold * total_rem / len(items))
+        )
+        givers = sorted(
+            (i for i in range(len(items)) if surplus[i] >= thresh),
+            key=lambda i: -surplus[i],
+        )
+        takers = sorted(
+            (i for i in range(len(items)) if surplus[i] < 0),
+            key=lambda i: surplus[i],
+        )
+        ti = 0
+        for gi in givers:
+            while surplus[gi] >= hc.min_move and ti < len(takers):
+                di = takers[ti]
+                need = -surplus[di]
+                if need <= 0:
+                    ti += 1
+                    continue
+                k = min(surplus[gi], need)
+                if k < hc.min_move:
+                    break
+                g_pid, g_st = items[gi]
+                d_st = items[di][1]
+                yield Send(g_pid, Tags.TAKE, {"count": k, "dst": d_st.intake}, 32)
+                g_st.remaining -= k
+                d_st.remaining += k
+                surplus[gi] -= k
+                surplus[di] += k
+                stats["takes"] = stats.get("takes", 0) + 1
+                stats["take_units"] = stats.get("take_units", 0) + k
+                if obs.enabled:
+                    obs.metrics.counter(f"scale.takes.l{level}").inc()
+                    obs.metrics.counter(f"scale.take_units.l{level}").inc(k)
+                    obs.emit_counter(
+                        "scale",
+                        "take",
+                        t,
+                        float(k),
+                        pid=ctx.pid,
+                        meta={"level": level, "src": g_pid, "dst": d_st.intake},
+                    )
+
+    def _scan(t: float):
+        """Declare silent internal children dead; adopt their orphans."""
+        dead = [
+            pid
+            for pid, st in children.items()
+            if pid >= n_leaves and t - st.last_heard > hc.dead_after
+        ]
+        for pid in dead:
+            del children[pid]
+            stats["deaths"] = stats.get("deaths", 0) + 1
+            orphans = subtree.get(pid, ())
+            if obs.enabled:
+                obs.metrics.counter("scale.deaths").inc()
+                obs.emit_counter(
+                    "scale",
+                    "death",
+                    t,
+                    1.0,
+                    pid=ctx.pid,
+                    meta={"dead": pid, "level": level, "orphans": list(orphans)},
+                )
+            for o in orphans:
+                intake = o if o < n_leaves else tree.first_leaf(o)
+                children[o] = _Child(0, intake, t)
+                yield Send(o, Tags.REPARENT, {"parent": ctx.pid}, 16)
+                stats["reparents"] = stats.get("reparents", 0) + 1
+                if obs.enabled:
+                    obs.metrics.counter("scale.reparents").inc()
+
+    while not terminated:
+        msg = yield Poll()
+        now = ctx.now
+        if msg is not None:
+            tag = msg.tag
+            if tag == Tags.REPORT or tag == Tags.SUM:
+                st = children.get(msg.src)
+                if st is not None:  # stale senders (reparented away) ignored
+                    p = msg.payload
+                    st.remaining = int(p["remaining"])
+                    st.done = int(p["done"])
+                    rate = p.get("rate")
+                    if rate is not None:
+                        st.filt.update(float(rate))
+                    if tag == Tags.SUM:
+                        st.intake = int(p["intake"])
+                    st.last_heard = now
+                    stats["reports"] = stats.get("reports", 0) + 1
+            elif tag == Tags.TAKE:
+                yield from _route_take(
+                    int(msg.payload["count"]), int(msg.payload["dst"])
+                )
+            elif tag == Tags.REPARENT:
+                parent = int(msg.payload["parent"])
+            elif tag == Tags.TERM:
+                terminated = True
+                break
+        else:
+            yield Sleep(hc.tick)
+        if parent is not None and now - last_sum >= hc.report_period:
+            yield Send(parent, Tags.SUM, _summary(), 48)
+            last_sum = now
+        if now - last_balance >= hc.balance_period:
+            yield from _balance(now)
+            last_balance = now
+        if now - last_scan >= scan_every:
+            yield from _scan(now)
+            last_scan = now
+        if parent is None:
+            if sum(st.done for st in children.values()) >= total_units:
+                for pid in range(tree.root):
+                    yield Send(pid, Tags.TERM, None, 16)
+                break
+
+    if parent_pid is None:
+        results = {}
+        for _ in range(n_leaves):
+            msg = yield Recv(tag=Tags.RESULT)
+            results[msg.src] = msg.payload
+        sink["results"] = results
+
+
+def run_hierarchical(
+    plan: ExecutionPlan,
+    run_cfg: RunConfig | None = None,
+    loads: Mapping[int, LoadGenerator] | None = None,
+    *,
+    fanout: int | None = 8,
+    hier: HierarchyConfig | None = None,
+    seed: int = 0,
+    recorder: Recorder | None = None,
+    faults: FaultPlan | None = None,
+    topology: TopologySpec | None = None,
+) -> HierarchyResult:
+    """Run ``plan`` under the hierarchical control plane.
+
+    ``run_cfg.cluster.n_slaves`` is the *leaf* (worker) count; sub-master
+    and root processors are added on top of it.  ``fanout=None`` runs
+    the flat/centralized shape.  ``topology`` (or
+    ``run_cfg.cluster.topology``) prices messages over an explicit
+    interconnect, with each sub-master attached to its shard's first
+    leaf node and the root to leaf 0.
+    """
+    run_cfg = run_cfg or RunConfig()
+    hc = hier or HierarchyConfig()
+    if plan.shape is not LoopShape.PARALLEL_MAP:
+        raise ConfigError(
+            "hierarchical control plane supports PARALLEL_MAP plans only; "
+            f"{plan.name!r} is {plan.shape.name}. Use the central runtime "
+            "(repro.runtime.run_application) for PIPELINE / REDUCTION_FRONT."
+        )
+    n_leaves = run_cfg.cluster.n_slaves
+    tree = build_tree(n_leaves, fanout)
+    loads = dict(loads or {})
+    for pid in loads:
+        if not 0 <= pid < n_leaves:
+            raise ConfigError(f"competing load assigned to non-leaf processor {pid}")
+
+    topo = topology if topology is not None else run_cfg.cluster.topology
+    if topo is not None and topo.n_members is None:
+        topo = replace(topo, n_members=n_leaves)
+    spec = replace(run_cfg.cluster, n_slaves=tree.root, topology=topo)
+    attach = None
+    if topo is not None:
+        attach = {
+            node: tree.first_leaf(node) for node in (*tree.internal, tree.root)
+        }
+    injector = None
+    if faults is not None and not faults.empty:
+        injector = FaultInjector(faults, master_pid=tree.root)
+    cluster = Cluster(spec, loads, recorder, injector, fabric_attach=attach)
+    if recorder is not None and recorder.enabled:
+        recorder.metrics.gauge("scale.levels").set(float(tree.levels))
+        recorder.metrics.gauge("scale.n_internal").set(float(tree.n_internal))
+
+    exec_num = run_cfg.execute_numerics
+    rng = np.random.default_rng(seed)
+    global_state = plan.kernels.make_global(rng) if exec_num else None
+    lo, hi = plan.unit_space()
+    counts = proportional_counts(hi - lo, [1.0] * n_leaves, minimum=1)
+    stats: dict[str, int] = {}
+    sink: dict[str, Any] = {}
+    leaf_units: dict[int, tuple[int, ...]] = {}
+    start = lo
+    for pid in range(n_leaves):
+        units = tuple(range(start, start + counts[pid]))
+        start += counts[pid]
+        leaf_units[pid] = units
+        local = (
+            plan.kernels.make_local(global_state, np.asarray(units))
+            if exec_num
+            else None
+        )
+        cluster.spawn(
+            pid,
+            _leaf_task,
+            plan,
+            exec_num,
+            units,
+            local,
+            tree.parent[pid],
+            tree.root,
+            hc,
+            stats,
+        )
+
+    def _shard_units(node: int) -> int:
+        return sum(len(leaf_units[leaf]) for leaf in tree.shard_leaves(node))
+
+    for node in (*tree.internal, tree.root):
+        kids = tree.children[node]
+        init_remaining = {kid: _shard_units(kid) for kid in kids}
+        cluster.spawn(
+            node,
+            _node_task,
+            tree,
+            kids,
+            init_remaining,
+            tree.parent.get(node),
+            tree.level_of[node],
+            hc,
+            stats,
+            hi - lo,
+            sink,
+        )
+
+    cluster.run(until=run_cfg.max_virtual_time)
+    if "results" not in sink:
+        if cluster.engine.pending():
+            raise SimulationError(
+                f"hierarchical run exceeded max_virtual_time="
+                f"{run_cfg.max_virtual_time}"
+            )
+        cluster.run()  # surfaces DeadlockError diagnostics
+        raise SimulationError("root never gathered results")
+
+    elapsed = max(
+        cluster.task_finish_time(pid)
+        for pid in range(spec.n_processors)
+        if pid not in cluster.dead_pids
+    )
+    result = None
+    if exec_num and sink.get("results"):
+        merged = {
+            pid: (np.asarray(res["units"]), res.get("data"))
+            for pid, res in sink["results"].items()
+            if res.get("data") is not None and len(res["units"])
+        }
+        result = plan.kernels.merge_results(global_state, merged)
+    return HierarchyResult(
+        name=plan.name,
+        n_leaves=n_leaves,
+        n_internal=tree.n_internal,
+        levels=tree.levels,
+        fanout=fanout,
+        elapsed=elapsed,
+        sequential_time=plan.total_ops() / run_cfg.cluster.processor.speed,
+        rusage=cluster.rusage(elapsed),
+        message_count=cluster.message_count,
+        bytes_sent=cluster.bytes_sent,
+        moves=stats.get("moves", 0),
+        units_moved=stats.get("moved_units", 0),
+        takes=stats.get("takes", 0),
+        reports=stats.get("reports", 0),
+        deaths=stats.get("deaths", 0),
+        reparents=stats.get("reparents", 0),
+        result=result,
+        dead_pids=tuple(sorted(cluster.dead_pids)),
+        recorder=recorder,
+    )

@@ -1,0 +1,40 @@
+"""Message tags of the hierarchical control plane.
+
+All tags are prefixed ``sc.`` so metrics classify them separately (see
+``repro.sim.machine._tag_class``) and the protocol lint can derive the
+tag families from this class exactly as it does for the central
+runtime's :class:`repro.runtime.protocol.Tags`.
+
+Custody rule: work units only ever travel **leaf to leaf** (``UNITS``).
+Sub-masters route balancing *orders*, never unit payloads, so a
+sub-master crash can delay redistribution but can never lose shipped
+cells.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ScaleTags"]
+
+
+class ScaleTags:
+    """Tag constants for the sub-master tree protocol."""
+
+    # Leaf -> parent: periodic {pid, done (cumulative), remaining, rate}.
+    REPORT = "sc.report"
+    # Internal node -> parent: aggregate shard summary {node, done,
+    # remaining, rate, intake} (cumulative, so a re-parented shard's
+    # progress is reconstructed from its next summary alone).
+    SUM = "sc.sum"
+    # Parent -> child: movement order {count, dst}; internal nodes route
+    # it toward their most-loaded leaf, a leaf ships units.
+    TAKE = "sc.take"
+    # Leaf -> leaf: moved work {units, data?}.  There is no separate
+    # heartbeat tag: periodic REPORT/SUM traffic doubles as the
+    # keepalive the failure detector watches.
+    UNITS = "sc.units"
+    # Parent -> orphan after a sub-master death: {parent} to re-home.
+    REPARENT = "sc.reparent"
+    # Root -> everyone: computation complete, leaves answer with RESULT.
+    TERM = "sc.term"
+    # Leaf -> root: final {units, data?}.
+    RESULT = "sc.result"

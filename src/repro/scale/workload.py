@@ -1,0 +1,67 @@
+"""Synthetic bag-of-units workloads for the scaling-crossover study.
+
+The crossover sweep needs unit count and unit cost controllable
+independently of any real application's problem size (weak scaling:
+units proportional to P, cost per unit fixed).  :class:`SyntheticBag`
+exposes exactly the plan surface the PARALLEL_MAP runtimes consume
+(shape, unit space, unit costs, movement sizing); it carries no kernels,
+so it is only valid with ``execute_numerics=False``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..compiler.plan import LoopShape, MovementSpec
+from ..errors import ConfigError
+
+__all__ = ["SyntheticBag", "synthetic_bag"]
+
+
+@dataclass(frozen=True)
+class SyntheticBag:
+    """A uniform bag of independent work units (PARALLEL_MAP shape)."""
+
+    name: str
+    n_units: int
+    ops_per_unit: float
+    movement: MovementSpec
+    shape: LoopShape = LoopShape.PARALLEL_MAP
+    unit_lo: int = 0
+    reps: int = 1
+    kernels: None = None  # execute_numerics=False only
+
+    @property
+    def unit_count(self) -> int:
+        return self.n_units
+
+    def unit_space(self) -> tuple[int, int]:
+        return (0, self.n_units)
+
+    def unit_cost(self, rep: int, unit: int) -> float:
+        return self.ops_per_unit
+
+    def units_cost(self, rep: int, units) -> float:
+        return self.ops_per_unit * len(units)
+
+    def total_ops(self) -> float:
+        return self.ops_per_unit * self.n_units
+
+
+def synthetic_bag(
+    n_units: int,
+    ops_per_unit: float,
+    unit_bytes: int = 1024,
+    name: str = "bag",
+) -> SyntheticBag:
+    """Build a uniform synthetic bag-of-units workload."""
+    if n_units < 1:
+        raise ConfigError(f"need at least one unit, got {n_units}")
+    if ops_per_unit <= 0:
+        raise ConfigError(f"ops_per_unit must be positive, got {ops_per_unit}")
+    return SyntheticBag(
+        name=name,
+        n_units=n_units,
+        ops_per_unit=ops_per_unit,
+        movement=MovementSpec(restricted=False, unit_bytes=unit_bytes),
+    )

@@ -31,6 +31,15 @@ from .load import (
     StepLoad,
 )
 from .machine import Cluster, TaskContext
+from .network import (
+    Fabric,
+    FatTreeTopology,
+    Mesh2DTopology,
+    RingTopology,
+    Topology,
+    TwoClusterTopology,
+    build_topology,
+)
 from .process import Compute, Poll, Recv, Send, Sleep, Now
 from .processor import Processor
 from .rusage import RusageReport
@@ -47,6 +56,13 @@ __all__ = [
     "CompositeLoad",
     "Cluster",
     "TaskContext",
+    "Topology",
+    "RingTopology",
+    "Mesh2DTopology",
+    "FatTreeTopology",
+    "TwoClusterTopology",
+    "build_topology",
+    "Fabric",
     "Compute",
     "Send",
     "Recv",

@@ -19,7 +19,7 @@ from ..obs import NULL_RECORDER, Recorder
 from .engine import Engine
 from .events import Message
 from .load import LoadGenerator, NoLoad
-from .network import Mailbox, snapshot_payload
+from .network import Fabric, Mailbox, build_topology, snapshot_payload
 from .process import Compute, Now, Poll, Recv, Send, Sleep
 from .processor import Processor
 from .rusage import RusageReport, TaskUsage
@@ -41,6 +41,8 @@ def _tag_class(tag: str) -> str:
         return "ckpt"
     if tag.startswith("app."):
         return "app"
+    if tag.startswith("sc."):
+        return "scale"
     return "other"
 
 
@@ -102,6 +104,7 @@ class Cluster:
         loads: dict[int, LoadGenerator] | None = None,
         recorder: Recorder | None = None,
         injector: FaultInjector | None = None,
+        fabric_attach: dict[int, int] | None = None,
     ):
         self.spec = spec
         self.obs = recorder if recorder is not None else NULL_RECORDER
@@ -127,6 +130,17 @@ class Cluster:
         self._net_latency = spec.network.latency
         self._net_bandwidth = spec.network.bandwidth
         self._n_procs = spec.n_processors  # property resolved once
+        # Optional interconnect topology: None keeps the legacy crossbar
+        # arithmetic below byte-identical; a fabric reprices arrivals
+        # over explicit routed links (see repro.sim.network.Fabric).
+        self._fabric = None
+        if spec.topology is not None:
+            members = spec.topology.n_members or spec.n_slaves
+            self._fabric = Fabric(
+                build_topology(spec.topology, members, spec.network),
+                spec.network,
+                fabric_attach,
+            )
         # Pre-bound callbacks: scheduling happens once or more per event,
         # so the bound-method allocation and attribute hops add up.
         self._call_at = self.engine.call_at
@@ -341,9 +355,12 @@ class Cluster:
         if copier is not _passthrough:
             payload = snapshot_payload(payload)
         msg = Message(task.pid, req.dst, req.tag, payload, nbytes, cpu_done)
-        # Inlined NetworkSpec.transfer_time; the parentheses keep the
-        # float summation order (and thus traces) bit-identical.
-        arrival = cpu_done + (self._net_latency + nbytes / self._net_bandwidth)
+        if self._fabric is None:
+            # Inlined NetworkSpec.transfer_time; the parentheses keep the
+            # float summation order (and thus traces) bit-identical.
+            arrival = cpu_done + (self._net_latency + nbytes / self._net_bandwidth)
+        else:
+            arrival = self._fabric.arrival(task.pid, req.dst, nbytes, cpu_done)
         self.message_count += 1
         self.bytes_sent += nbytes
         if self._observe:
@@ -368,9 +385,12 @@ class Cluster:
         msg = Message(
             task.pid, req.dst, req.tag, snapshot_payload(req.payload), nbytes, cpu_done
         )
-        # Inlined NetworkSpec.transfer_time; the parentheses keep the
-        # float summation order (and thus traces) bit-identical.
-        arrival = cpu_done + (self._net_latency + nbytes / self._net_bandwidth)
+        if self._fabric is None:
+            # Inlined NetworkSpec.transfer_time; the parentheses keep the
+            # float summation order (and thus traces) bit-identical.
+            arrival = cpu_done + (self._net_latency + nbytes / self._net_bandwidth)
+        else:
+            arrival = self._fabric.arrival(task.pid, req.dst, nbytes, cpu_done)
         self.message_count += 1
         self.bytes_sent += nbytes
         if self._observe:
@@ -452,7 +472,12 @@ class Cluster:
                 self.obs.metrics.counter("net.retransmits").inc()
             self.engine.call_at(retry_at, self._transmit, msg, retry_at, attempt + 1)
             return
-        wire = self._net.transfer_time(msg.nbytes)
+        if self._fabric is None:
+            wire = self._net.transfer_time(msg.nbytes)
+        else:
+            wire = (
+                self._fabric.arrival(msg.src, msg.dst, msg.nbytes, t_send) - t_send
+            )
         for extra in fate.extra_delays:
             self.engine.call_at(t_send + wire + extra, self._deliver, msg)
 

@@ -3,10 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.apps import build_matmul, build_sor
+from repro.apps import build_lu, build_matmul, build_sor
 from repro.baselines.diffusion import run_diffusion
-from repro.config import ClusterSpec, ProcessorSpec, RunConfig
-from repro.errors import ProtocolError
+from repro.config import ClusterSpec, ProcessorSpec, RunConfig, TopologySpec
+from repro.errors import ConfigError
 from repro.sim import ConstantLoad
 
 
@@ -48,6 +48,56 @@ class TestDiffusion:
         np.testing.assert_allclose(res.result, g["A"] @ g["B"], atol=1e-9)
         assert res.moves == 0
 
-    def test_non_parallel_map_rejected(self):
-        with pytest.raises(ProtocolError):
+    def test_non_parallel_map_rejected_up_front(self):
+        with pytest.raises(ConfigError, match="PARALLEL_MAP"):
             run_diffusion(build_sor(n=20, maxiter=2), cfg())
+
+    def test_rejection_names_offending_shape(self):
+        with pytest.raises(ConfigError, match="REDUCTION_FRONT"):
+            run_diffusion(build_lu(n=12), cfg())
+
+
+class TestTopologyAwareDiffusion:
+    def test_ring_numerics_correct_under_load(self):
+        plan = build_matmul(n=60)
+        res = run_diffusion(
+            plan,
+            cfg(numerics=True, n_slaves=4),
+            loads={0: ConstantLoad(k=2)},
+            seed=4,
+            topology=TopologySpec(kind="ring"),
+        )
+        g = plan.kernels.make_global(np.random.default_rng(4))
+        np.testing.assert_allclose(res.result, g["A"] @ g["B"], atol=1e-9)
+        assert res.topology == "ring"
+
+    def test_mesh_numerics_correct(self):
+        plan = build_matmul(n=60)
+        res = run_diffusion(
+            plan,
+            cfg(numerics=True, n_slaves=6),
+            loads={1: ConstantLoad(k=2)},
+            seed=2,
+            topology=TopologySpec(kind="mesh2d"),
+        )
+        g = plan.kernels.make_global(np.random.default_rng(2))
+        np.testing.assert_allclose(res.result, g["A"] @ g["B"], atol=1e-9)
+
+    def test_two_cluster_wan_slows_cross_traffic(self):
+        plan = build_matmul(n=80)
+        kw = dict(loads={0: ConstantLoad(k=3)}, seed=1)
+        fast = run_diffusion(plan, cfg(n_slaves=4), **kw)
+        wan = run_diffusion(
+            plan,
+            cfg(n_slaves=4),
+            topology=TopologySpec(kind="two_cluster", wan_latency=0.2),
+            **kw,
+        )
+        # Same work, but every cross-cluster message pays the WAN
+        # latency, so exchanges propagate more slowly.
+        assert wan.elapsed >= fast.elapsed
+
+    def test_default_stays_chain(self):
+        plan = build_matmul(n=40)
+        res = run_diffusion(plan, cfg())
+        assert res.topology == "chain"

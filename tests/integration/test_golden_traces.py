@@ -28,6 +28,7 @@ from repro.apps import build_lu, build_matmul, build_sor
 from repro.config import CheckpointConfig, ClusterSpec, ProcessorSpec, RunConfig
 from repro.obs import Recorder
 from repro.runtime import run_application
+from repro.scale import run_hierarchical
 from repro.sim import ConstantLoad, OscillatingLoad
 
 GOLDENS_PATH = Path(__file__).with_name("golden_traces.json")
@@ -63,6 +64,18 @@ CASES = {
     ),
 }
 
+# Hierarchical control-plane cases run through run_hierarchical instead
+# of the central runtime; fanout 2 over 8 leaves builds a three-level
+# tree, so the golden pins SUM aggregation and TAKE routing too.
+HIER_CASES = {
+    "hier_matmul": lambda: (
+        build_matmul(n=48),
+        RunConfig(cluster=ClusterSpec(n_slaves=8, processor=ProcessorSpec(speed=3e4))),
+        {0: ConstantLoad(k=1)},
+        2,  # fanout
+    ),
+}
+
 
 def _result_digest(obj, h: "hashlib._Hash") -> None:
     if obj is None:
@@ -79,6 +92,8 @@ def _result_digest(obj, h: "hashlib._Hash") -> None:
 
 
 def run_case(name: str) -> dict:
+    if name in HIER_CASES:
+        return _run_hier_case(name)
     plan, cfg, loads = CASES[name]()
     recorder = Recorder()
     res = run_application(plan, cfg, loads=loads, seed=7, recorder=recorder)
@@ -103,6 +118,34 @@ def run_case(name: str) -> dict:
     }
 
 
+def _run_hier_case(name: str) -> dict:
+    plan, cfg, loads, fanout = HIER_CASES[name]()
+    recorder = Recorder()
+    res = run_hierarchical(
+        plan, cfg, loads, fanout=fanout, seed=7, recorder=recorder
+    )
+    trace = recorder.log.to_jsonl().encode("utf-8")
+    rh = hashlib.sha256()
+    _result_digest(res.result, rh)
+    return {
+        "trace_sha256": hashlib.sha256(trace).hexdigest(),
+        "result_sha256": rh.hexdigest(),
+        "metrics": {
+            "elapsed": res.elapsed,
+            "message_count": res.message_count,
+            "bytes_sent": res.bytes_sent,
+            "moves": res.moves,
+            "units_moved": res.units_moved,
+            "takes": res.takes,
+            "reports": res.reports,
+            "deaths": res.deaths,
+            "reparents": res.reparents,
+            "levels": res.levels,
+            "trace_events": len(recorder.log),
+        },
+    }
+
+
 @pytest.fixture(scope="module")
 def goldens() -> dict:
     assert GOLDENS_PATH.exists(), (
@@ -112,7 +155,7 @@ def goldens() -> dict:
     return json.loads(GOLDENS_PATH.read_text(encoding="utf-8"))
 
 
-@pytest.mark.parametrize("name", sorted(CASES))
+@pytest.mark.parametrize("name", sorted(CASES) + sorted(HIER_CASES))
 def test_trace_matches_golden(name: str, goldens: dict) -> None:
     assert name in goldens, f"no golden for {name!r}; regenerate goldens"
     got = run_case(name)
@@ -135,7 +178,7 @@ def test_ckpt_case_exercises_snapshot_path(goldens: dict) -> None:
 
 
 if __name__ == "__main__":
-    doc = {name: run_case(name) for name in sorted(CASES)}
+    doc = {name: run_case(name) for name in sorted(CASES) + sorted(HIER_CASES)}
     GOLDENS_PATH.write_text(
         json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )

@@ -79,6 +79,11 @@ MODULES = [
     "repro.baselines",
     "repro.baselines.self_sched",
     "repro.baselines.diffusion",
+    "repro.scale",
+    "repro.scale.protocol",
+    "repro.scale.hierarchy",
+    "repro.scale.workload",
+    "repro.scale.crossover",
     "repro.experiments",
 ]
 
