@@ -12,11 +12,9 @@ requirement without a matching channel is a read of stale or absent data
 from __future__ import annotations
 
 from ..compiler.plan import ChannelSpec, ExecutionPlan, LoopShape
-from .diagnostics import Diagnostic, Severity
+from .diagnostics import Diagnostic
 
 __all__ = ["check_communication"]
-
-_PASS = "comm"
 
 
 def _covers_distance(channel: ChannelSpec, dist: int) -> bool:
@@ -53,31 +51,27 @@ def check_communication(plan: ExecutionPlan) -> list[Diagnostic]:
             continue
         if dist > 0:
             found.append(
-                Diagnostic(
-                    code="RA201",
-                    severity=Severity.ERROR,
-                    message=(
+                Diagnostic.new(
+                    "RA201",
+                    (
                         f"flow dependence at distance +{dist} along "
                         f"{deps.distributed_var!r} has no boundary channel: "
                         f"readers would use stale neighbour values"
                     ),
-                    pass_name=_PASS,
                     locus=plan.name,
                     details={"distance": dist},
                 )
             )
         else:
             found.append(
-                Diagnostic(
-                    code="RA202",
-                    severity=Severity.ERROR,
-                    message=(
+                Diagnostic.new(
+                    "RA202",
+                    (
                         f"anti dependence at distance {dist} along "
                         f"{deps.distributed_var!r} has no halo channel: "
                         f"old values are overwritten before the left "
                         f"neighbour reads them"
                     ),
-                    pass_name=_PASS,
                     locus=plan.name,
                     details={"distance": dist},
                 )
@@ -97,16 +91,14 @@ def check_communication(plan: ExecutionPlan) -> list[Diagnostic]:
             )
             continue
         found.append(
-            Diagnostic(
-                code="RA203",
-                severity=Severity.ERROR,
-                message=(
+            Diagnostic.new(
+                "RA203",
+                (
                     f"non-local read {read} (subscript independent of "
                     f"{deps.distributed_var!r}) has no broadcast channel: "
                     f"under dynamic ownership the reader cannot locate "
                     f"the owner (Section 4.6)"
                 ),
-                pass_name=_PASS,
                 locus=str(read),
                 details={"array": read.array},
             )
@@ -114,16 +106,14 @@ def check_communication(plan: ExecutionPlan) -> list[Diagnostic]:
 
     if deps.carried_unknown:
         found.append(
-            Diagnostic(
-                code="RA204",
-                severity=Severity.WARNING,
-                message=(
+            Diagnostic.new(
+                "RA204",
+                (
                     "a dependence distance along the distributed loop is "
                     "unresolvable at compile time; the analysis treats it "
                     "as carried, so movement must stay restricted and "
                     "every neighbour exchange is assumed live"
                 ),
-                pass_name=_PASS,
                 locus=plan.name,
             )
         )
@@ -134,14 +124,12 @@ def check_communication(plan: ExecutionPlan) -> list[Diagnostic]:
         if ch.kind == "move" or i in used:
             continue
         found.append(
-            Diagnostic(
-                code="RA205",
-                severity=Severity.INFO,
-                message=(
+            Diagnostic.new(
+                "RA205",
+                (
                     f"channel {ch.kind}/{ch.direction} (array={ch.array}, "
                     f"distance={ch.distance}) covers no analysed dependence"
                 ),
-                pass_name=_PASS,
                 locus=plan.name,
                 details={"kind": ch.kind, "direction": ch.direction},
             )
@@ -155,14 +143,12 @@ def check_communication(plan: ExecutionPlan) -> list[Diagnostic]:
         and not any(ch.kind in ("boundary", "halo") for ch in plan.comms)
     ):
         found.append(
-            Diagnostic(
-                code="RA201",
-                severity=Severity.ERROR,
-                message=(
+            Diagnostic.new(
+                "RA201",
+                (
                     "pipeline plan models no boundary or halo channel at "
                     "all despite loop-carried dependences"
                 ),
-                pass_name=_PASS,
                 locus=plan.name,
             )
         )

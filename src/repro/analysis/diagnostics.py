@@ -4,8 +4,14 @@ Every analysis pass reports :class:`Diagnostic` records with a stable
 ``RAnnn`` code, a severity, and a source locus, collected into a
 :class:`CheckResult`.  Codes are stable API: tools (CI gates, waiver
 files, tests) key on them, so a code is never reused for a different
-condition.  The full table lives in :data:`CODES` and is documented in
-``docs/static-analysis.md``.
+condition.
+
+The single source of truth for the code space is :data:`REGISTRY`
+(code -> :class:`CodeInfo`: default severity, one-line summary, emitting
+pass); the table in ``docs/static-analysis.md`` is asserted to match it
+exactly by the test suite.  Passes construct findings through
+:meth:`Diagnostic.new`, which fills the severity and pass name from the
+registry so per-module severity literals cannot drift.
 """
 
 from __future__ import annotations
@@ -15,7 +21,14 @@ import json
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping
 
-__all__ = ["CODES", "CheckResult", "Diagnostic", "Severity"]
+__all__ = [
+    "CODES",
+    "REGISTRY",
+    "CheckResult",
+    "CodeInfo",
+    "Diagnostic",
+    "Severity",
+]
 
 
 class Severity(enum.Enum):
@@ -31,34 +44,152 @@ class Severity(enum.Enum):
         return {"error": 0, "warning": 1, "info": 2}[self.value]
 
 
-CODES: dict[str, str] = {
+@dataclass(frozen=True)
+class CodeInfo:
+    """Registry entry of one stable diagnostic code.
+
+    Attributes:
+        severity: the default severity a finding of this code carries
+            (a pass may override it for a specific site, e.g. ``RA102``
+            is a warning when the plan disables DLB movement).
+        summary: one-line condition summary, mirrored verbatim in the
+            docs table.
+        pass_name: the emitting pass (``owner`` | ``comm`` | ``movement``
+            | ``protocol`` | ``replay`` | ``model``).
+    """
+
+    severity: Severity
+    summary: str
+    pass_name: str
+
+
+_E = Severity.ERROR
+_W = Severity.WARNING
+_I = Severity.INFO
+
+REGISTRY: dict[str, CodeInfo] = {
     # Owner-computes checker (RA1xx)
-    "RA101": "write to a non-owned element of a distributed array",
-    "RA102": "write to a distributed array independent of the distributed "
-    "loop without reduction-front machinery",
-    "RA103": "front-style write whose subscript is not an owned unit id",
-    "RA104": "write to a replicated array inside the distributed loop",
+    "RA101": CodeInfo(
+        _E, "write to a non-owned element of a distributed array", "owner"
+    ),
+    "RA102": CodeInfo(
+        _E,
+        "write to a distributed array independent of the distributed "
+        "loop without reduction-front machinery",
+        "owner",
+    ),
+    "RA103": CodeInfo(
+        _E, "front-style write whose subscript is not an owned unit id", "owner"
+    ),
+    "RA104": CodeInfo(
+        _W, "write to a replicated array inside the distributed loop", "owner"
+    ),
     # Communication-completeness checker (RA2xx)
-    "RA201": "loop-carried flow dependence not covered by a modelled message",
-    "RA202": "anti dependence (old-value read) not covered by a modelled message",
-    "RA203": "non-local read not covered by a broadcast channel",
-    "RA204": "unresolvable dependence distance: conservative treatment required",
-    "RA205": "modelled channel covers no dependence (superfluous traffic)",
+    "RA201": CodeInfo(
+        _E, "loop-carried flow dependence not covered by a modelled message", "comm"
+    ),
+    "RA202": CodeInfo(
+        _E,
+        "anti dependence (old-value read) not covered by a modelled message",
+        "comm",
+    ),
+    "RA203": CodeInfo(
+        _E, "non-local read not covered by a broadcast channel", "comm"
+    ),
+    "RA204": CodeInfo(
+        _W,
+        "unresolvable dependence distance: conservative treatment required",
+        "comm",
+    ),
+    "RA205": CodeInfo(
+        _I, "modelled channel covers no dependence (superfluous traffic)", "comm"
+    ),
     # Movement-safety checker (RA3xx)
-    "RA301": "unrestricted work movement despite loop-carried dependences",
-    "RA302": "movement payload size is not positive",
-    "RA303": "movement channel direction contradicts the movement constraint",
-    "RA304": "carried dependence distance exceeds the modelled halo width",
+    "RA301": CodeInfo(
+        _E, "unrestricted work movement despite loop-carried dependences", "movement"
+    ),
+    "RA302": CodeInfo(_E, "movement payload size is not positive", "movement"),
+    "RA303": CodeInfo(
+        _E,
+        "movement channel direction contradicts the movement constraint",
+        "movement",
+    ),
+    "RA304": CodeInfo(
+        _W,
+        "carried dependence distance exceeds the modelled halo width",
+        "movement",
+    ),
     # Protocol lint (RA4xx)
-    "RA401": "message tag family sent but never selectively received",
-    "RA402": "message tag family received but never sent",
-    "RA403": "tag family declared in the protocol but never used",
-    "RA404": "tag family consumed only by non-blocking polls",
+    "RA401": CodeInfo(
+        _E, "message tag family sent but never selectively received", "protocol"
+    ),
+    "RA402": CodeInfo(
+        _E, "message tag family received but never sent", "protocol"
+    ),
+    "RA403": CodeInfo(
+        _W, "tag family declared in the protocol but never used", "protocol"
+    ),
+    "RA404": CodeInfo(
+        _W, "tag family consumed only by non-blocking polls", "protocol"
+    ),
+    "RA405": CodeInfo(
+        _E,
+        "control kind constructed and sent but no receiver arm handles it",
+        "protocol",
+    ),
+    "RA406": CodeInfo(
+        _W, "control kind handled by a receiver arm but never sent", "protocol"
+    ),
     # Happens-before replay checker (RA5xx)
-    "RA501": "element touched by two slaves without an ordering message",
-    "RA502": "event log carries no access events; replay check is vacuous",
-    "RA503": "access event malformed; element accounting incomplete",
+    "RA501": CodeInfo(
+        _E, "element touched by two slaves without an ordering message", "replay"
+    ),
+    "RA502": CodeInfo(
+        _W, "event log carries no access events; replay check is vacuous", "replay"
+    ),
+    "RA503": CodeInfo(
+        _W, "access event malformed; element accounting incomplete", "replay"
+    ),
+    # Protocol model checker: deadlock/liveness (RA6xx)
+    "RA601": CodeInfo(
+        _E,
+        "model: reachable non-quiescent state with no enabled transition "
+        "(deadlock)",
+        "model",
+    ),
+    "RA602": CodeInfo(
+        _E,
+        "model: reachable state from which termination is unreachable "
+        "(livelock)",
+        "model",
+    ),
+    "RA603": CodeInfo(
+        _I,
+        "model: exploration budget exhausted; verification was bounded, "
+        "not exhaustive",
+        "model",
+    ),
+    # Protocol model checker: safety invariants (RA7xx)
+    "RA701": CodeInfo(
+        _E, "model: work unit lost (conservation undercount)", "model"
+    ),
+    "RA702": CodeInfo(
+        _E,
+        "model: work unit duplicated or owned by more than one actor",
+        "model",
+    ),
+    "RA703": CodeInfo(
+        _E,
+        "model: era/epoch monotonicity violated (stale state applied)",
+        "model",
+    ),
+    "RA704": CodeInfo(
+        _E, "model: protocol-specific safety invariant violated", "model"
+    ),
 }
+
+#: Backward-compatible view: code -> one-line summary.
+CODES: dict[str, str] = {code: info.summary for code, info in REGISTRY.items()}
 
 
 @dataclass(frozen=True)
@@ -66,11 +197,11 @@ class Diagnostic:
     """One finding of one analysis pass.
 
     Attributes:
-        code: stable ``RAnnn`` identifier (a :data:`CODES` key).
+        code: stable ``RAnnn`` identifier (a :data:`REGISTRY` key).
         severity: finding severity.
         message: human-readable description of this occurrence.
         pass_name: emitting pass (``owner`` | ``comm`` | ``movement`` |
-            ``protocol`` | ``replay``).
+            ``protocol`` | ``replay`` | ``model``).
         locus: source position of the finding — a statement label, a
             ``file:line``, a plan name, or a unit id, whichever the pass
             can pinpoint.
@@ -85,8 +216,33 @@ class Diagnostic:
     details: Mapping[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        if self.code not in CODES:
+        if self.code not in REGISTRY:
             raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    @classmethod
+    def new(
+        cls,
+        code: str,
+        message: str,
+        *,
+        locus: str = "",
+        details: Mapping[str, object] | None = None,
+        severity: Severity | None = None,
+    ) -> "Diagnostic":
+        """Construct a finding with severity and pass from the registry.
+
+        ``severity`` overrides the registry default for the rare code
+        whose weight is site-dependent.
+        """
+        info = REGISTRY[code]
+        return cls(
+            code=code,
+            severity=severity if severity is not None else info.severity,
+            message=message,
+            pass_name=info.pass_name,
+            locus=locus,
+            details=details if details is not None else {},
+        )
 
     def to_dict(self) -> dict[str, object]:
         """Flat JSON-safe representation."""
@@ -189,6 +345,9 @@ class CheckResult:
         lines = [f"check {self.subject}: " + ("OK" if self.ok else "FAILED")]
         for d in self.sorted():
             lines.append("  " + d.format())
+            trace = d.details.get("trace")
+            if isinstance(trace, (list, tuple)):
+                lines.extend(f"      {step}" for step in trace)
         if not self.diagnostics:
             lines.append("  no findings")
         return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Model-check entry points: explore a model, report ``RA6xx``/``RA7xx``.
+
+:func:`check_model` explores one :class:`~repro.analysis.model.core.Model`
+and converts every violation into a :class:`Diagnostic` whose ``details``
+carry the minimized counterexample as a rendered message-sequence trace
+(``details["trace"]``) plus exploration statistics.  A budget-truncated
+run additionally reports ``RA603`` (info): the verdict is bounded, not
+exhaustive.
+"""
+
+from __future__ import annotations
+
+from ..diagnostics import CheckResult, Diagnostic
+from .core import Model
+from .explore import ExplorationResult, explore
+from .trace import render_trace
+
+__all__ = ["check_model"]
+
+
+def check_model(
+    model: Model,
+    *,
+    por: bool = True,
+    budget: int | None = None,
+    seed: int = 0,
+) -> tuple[CheckResult, ExplorationResult]:
+    """Explore ``model`` exhaustively and report findings.
+
+    Returns the :class:`CheckResult` (subject ``model:<name>``) and the
+    raw :class:`ExplorationResult` for callers that want statistics.
+    """
+    result = explore(model, por=por, budget=budget, seed=seed)
+    check = CheckResult(subject=f"model:{model.name}")
+    stats: dict[str, object] = {
+        "plane": model.plane,
+        "states": result.states,
+        "transitions": result.transitions,
+        "terminal_states": result.terminal_states,
+        "exhaustive": result.exhaustive,
+    }
+    for violation in result.violations:
+        check.diagnostics.append(
+            Diagnostic.new(
+                violation.code,
+                violation.message,
+                locus=model.name,
+                details={
+                    **stats,
+                    "kind": violation.kind,
+                    "trace": render_trace(violation.trace),
+                },
+            )
+        )
+    if not result.exhaustive:
+        check.diagnostics.append(
+            Diagnostic.new(
+                "RA603",
+                f"state budget {budget} exhausted after {result.states} "
+                f"states; verdict is from bounded exploration plus "
+                f"{result.walks} random walks, not an exhaustive proof",
+                locus=model.name,
+                details=stats,
+            )
+        )
+    return check, result

@@ -1,0 +1,56 @@
+"""Counterexample rendering: message-sequence traces.
+
+A violation's evidence is a shortest path of actor steps from the
+initial state.  :func:`render_trace` turns it into numbered
+message-sequence lines a human can replay against the protocol sources:
+
+.. code-block:: text
+
+    1. s0        work(u0)                      send s0 -> master lb.status (rem=1)
+    2. master    reply                recv s0  send master -> s0 lb.instr ('noop',)
+
+Each line shows the acting actor, the step label, the consumed message
+(if any) and every send the step performed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .core import Msg, Step
+
+__all__ = ["render_trace"]
+
+
+def _payload_str(payload: object) -> str:
+    if payload == () or payload is None:
+        return ""
+    text = repr(payload)
+    if len(text) > 48:
+        text = text[:45] + "..."
+    return f" {text}"
+
+
+def _msg_str(msg: Msg) -> str:
+    return f"{msg.src} -> {msg.dst} {msg.tag}{_payload_str(msg.payload)}"
+
+
+def render_step(index: int, step: Step) -> list[str]:
+    """Render one step as one or more trace lines."""
+    parts = [f"{index:3d}. {step.actor:<10} {step.label}"]
+    if step.consumed is not None:
+        parts.append(f"recv {_msg_str(step.consumed)}")
+    lines = ["  ".join(parts)]
+    for msg in step.sends:
+        lines.append(f"       {'':<10} send {_msg_str(msg)}")
+    return lines
+
+
+def render_trace(trace: Sequence[Step] | Iterable[Step]) -> list[str]:
+    """Numbered message-sequence rendering of a counterexample path."""
+    lines: list[str] = []
+    for i, step in enumerate(trace, start=1):
+        lines.extend(render_step(i, step))
+    if not lines:
+        lines.append("(violation in the initial state)")
+    return lines

@@ -12,11 +12,9 @@ arbitrarily — the second seeded-fault class the acceptance tests pin.
 from __future__ import annotations
 
 from ..compiler.plan import ExecutionPlan, LoopShape
-from .diagnostics import Diagnostic, Severity
+from .diagnostics import Diagnostic
 
 __all__ = ["check_movement"]
-
-_PASS = "movement"
 
 
 def check_movement(plan: ExecutionPlan) -> list[Diagnostic]:
@@ -26,17 +24,15 @@ def check_movement(plan: ExecutionPlan) -> list[Diagnostic]:
 
     if deps.movement_restricted and not plan.movement.restricted:
         found.append(
-            Diagnostic(
-                code="RA301",
-                severity=Severity.ERROR,
-                message=(
+            Diagnostic.new(
+                "RA301",
+                (
                     "plan permits unrestricted work movement, but the "
                     "distributed loop carries dependences at distances "
                     f"{list(deps.carried_distances) or 'unknown'}: moving "
                     "a non-edge iteration breaks the block distribution "
                     "and the neighbour exchanges that depend on it"
                 ),
-                pass_name=_PASS,
                 locus=plan.name,
                 details={
                     "carried_distances": list(deps.carried_distances),
@@ -47,30 +43,26 @@ def check_movement(plan: ExecutionPlan) -> list[Diagnostic]:
 
     if plan.shape is LoopShape.PIPELINE and not plan.movement.restricted:
         found.append(
-            Diagnostic(
-                code="RA301",
-                severity=Severity.ERROR,
-                message=(
+            Diagnostic.new(
+                "RA301",
+                (
                     "pipeline schedules require block-preserving movement: "
                     "a mid-block column moved to a non-adjacent slave "
                     "could never re-anchor its boundary traffic"
                 ),
-                pass_name=_PASS,
                 locus=plan.name,
             )
         )
 
     if plan.movement.unit_bytes <= 0:
         found.append(
-            Diagnostic(
-                code="RA302",
-                severity=Severity.ERROR,
-                message=(
+            Diagnostic.new(
+                "RA302",
+                (
                     f"movement payload size is {plan.movement.unit_bytes} "
                     f"bytes per unit; transfers would be costed as free "
                     f"and the profitability test is meaningless"
                 ),
-                pass_name=_PASS,
                 locus=plan.name,
                 details={"unit_bytes": plan.movement.unit_bytes},
             )
@@ -81,17 +73,15 @@ def check_movement(plan: ExecutionPlan) -> list[Diagnostic]:
         expected = "adjacent" if plan.movement.restricted else "any"
         if ch.direction != expected:
             found.append(
-                Diagnostic(
-                    code="RA303",
-                    severity=Severity.ERROR,
-                    message=(
+                Diagnostic.new(
+                    "RA303",
+                    (
                         f"movement channel is modelled as "
                         f"{ch.direction!r} but the movement spec says "
                         f"restricted={plan.movement.restricted}: the "
                         f"generated code and the balancer would disagree "
                         f"about legal transfers"
                     ),
-                    pass_name=_PASS,
                     locus=plan.name,
                     details={
                         "channel_direction": ch.direction,
@@ -103,16 +93,14 @@ def check_movement(plan: ExecutionPlan) -> list[Diagnostic]:
     wide = [d for d in deps.carried_distances if abs(d) > 1]
     if wide and plan.movement.restricted:
         found.append(
-            Diagnostic(
-                code="RA304",
-                severity=Severity.WARNING,
-                message=(
+            Diagnostic.new(
+                "RA304",
+                (
                     f"carried distances {wide} exceed the width-1 "
                     f"neighbour halo the runtime models; adjacent-only "
                     f"movement alone does not make width-{max(abs(d) for d in wide)} "
                     f"exchanges safe"
                 ),
-                pass_name=_PASS,
                 locus=plan.name,
                 details={"distances": wide},
             )

@@ -31,8 +31,6 @@ from .diagnostics import Diagnostic, Severity
 
 __all__ = ["check_owner_computes"]
 
-_PASS = "owner"
-
 
 def _is_plain_var(expr: Affine, name: str) -> bool:
     """True when ``expr`` is exactly the variable ``name``."""
@@ -74,15 +72,12 @@ def check_owner_computes(plan: ExecutionPlan) -> list[Diagnostic]:
     program, directive = plan.program, plan.directive
     if program is None or directive is None:
         return [
-            Diagnostic(
-                code="RA102",
-                severity=Severity.WARNING,
-                message=(
-                    "plan carries no IR provenance; owner-computes check "
-                    "skipped"
-                ),
-                pass_name=_PASS,
+            Diagnostic.new(
+                "RA102",
+                "plan carries no IR provenance; owner-computes check "
+                "skipped",
                 locus=plan.name,
+                severity=Severity.WARNING,
             )
         ]
     return check_program(program, directive, plan.shape)
@@ -102,15 +97,13 @@ def check_program(
             # distributed loop leaves per-slave copies that never merge.
             if inside:
                 found.append(
-                    Diagnostic(
-                        code="RA104",
-                        severity=Severity.WARNING,
-                        message=(
+                    Diagnostic.new(
+                        "RA104",
+                        (
                             f"write to replicated array "
                             f"{assign.target.array!r} inside the "
                             f"distributed loop: slave copies diverge"
                         ),
-                        pass_name=_PASS,
                         locus=locus,
                     )
                 )
@@ -123,16 +116,14 @@ def check_program(
                 continue
             if sub.coeff(d) != 0:
                 found.append(
-                    Diagnostic(
-                        code="RA101",
-                        severity=Severity.ERROR,
-                        message=(
+                    Diagnostic.new(
+                        "RA101",
+                        (
                             f"iteration {d} writes "
                             f"{assign.target.array}[...][{sub}] on the "
                             f"distributed dimension: the target is owned "
                             f"by a different slave"
                         ),
-                        pass_name=_PASS,
                         locus=locus,
                         details={"subscript": str(sub), "distributed": d},
                     )
@@ -141,15 +132,13 @@ def check_program(
                 # Subscript ignores the distributed index entirely: every
                 # iteration writes the same (possibly non-owned) element.
                 found.append(
-                    Diagnostic(
-                        code="RA101",
-                        severity=Severity.ERROR,
-                        message=(
+                    Diagnostic.new(
+                        "RA101",
+                        (
                             f"write {assign.target} inside the distributed "
                             f"loop does not use the distributed index {d}: "
                             f"all iterations target one owner's element"
                         ),
-                        pass_name=_PASS,
                         locus=locus,
                         details={"subscript": str(sub), "distributed": d},
                     )
@@ -163,31 +152,27 @@ def check_program(
         )
         if owner_var is None:
             found.append(
-                Diagnostic(
-                    code="RA103",
-                    severity=Severity.ERROR,
-                    message=(
+                Diagnostic.new(
+                    "RA103",
+                    (
                         f"write {assign.target} outside the distributed "
                         f"loop has distributed-dim subscript {sub}, which "
                         f"is not a plain enclosing loop index: no unique "
                         f"owner can compute it"
                     ),
-                    pass_name=_PASS,
                     locus=locus,
                     details={"subscript": str(sub)},
                 )
             )
         elif shape is not None and shape is not LoopShape.REDUCTION_FRONT:
             found.append(
-                Diagnostic(
-                    code="RA102",
-                    severity=Severity.ERROR,
-                    message=(
+                Diagnostic.new(
+                    "RA102",
+                    (
                         f"owner-computed front write {assign.target} "
                         f"requires reduction-front broadcast machinery, "
                         f"but the plan shape is {shape.value}"
                     ),
-                    pass_name=_PASS,
                     locus=locus,
                     details={"shape": shape.value},
                 )

@@ -21,6 +21,20 @@ Tag families are derived from the ``Tags`` class itself (constants keep
 their literal; constructors are probed with placeholder arguments and
 the variable segments generalised), so the lint tracks protocol changes
 without a hand-maintained table.
+
+Below the tag level sits the *kind* sub-protocol: recovery control
+(``lb.ctrl``) and checkpoint traffic (``lb.ckpt``) multiplex many
+exchanges over one tag, dispatching on a ``kind`` string (``grant``,
+``cancel_send``, ``ckpt``, ``rollback``, ``deposit``, ``manifest``,
+``pull``, ...).  :func:`lint_kinds` pairs every constructed kind with a
+receiver dispatch arm (``RA405``/``RA406``), so dropping a handler arm
+for e.g. ``rollback`` is caught statically even though the ``lb.ctrl``
+tag itself still has a selective receive.
+
+:func:`check_protocol` runs both levels over all four control planes:
+the base master/slave/pipeline protocol, the FT recovery messages, the
+checkpoint exchanges (all in the runtime sources), and the hierarchical
+``sc.*`` plane.
 """
 
 from __future__ import annotations
@@ -29,11 +43,14 @@ import ast
 import inspect
 from dataclasses import dataclass, field
 
-from .diagnostics import Diagnostic, Severity
+from .diagnostics import Diagnostic
 
-__all__ = ["check_protocol", "lint_sources", "tag_families"]
-
-_PASS = "protocol"
+__all__ = [
+    "check_protocol",
+    "lint_kinds",
+    "lint_sources",
+    "tag_families",
+]
 
 _DUMMY = 987654321  # placeholder argument, assumed absent from literals
 
@@ -243,44 +260,32 @@ def lint_sources(
         receivers = sites.recvs + sites.polls + sites.dispatches
         if sites.sends and not receivers:
             found.append(
-                Diagnostic(
-                    code="RA401",
-                    severity=Severity.ERROR,
-                    message=(
-                        f"tag family {fam.key!r} is sent but no selective "
-                        f"receive, dispatch, or poll consumes it: messages "
-                        f"would pile up unread"
-                    ),
-                    pass_name=_PASS,
+                Diagnostic.new(
+                    "RA401",
+                    f"tag family {fam.key!r} is sent but no selective "
+                    f"receive, dispatch, or poll consumes it: messages "
+                    f"would pile up unread",
                     locus=sites.sends[0],
                     details={"sends": sites.sends},
                 )
             )
         elif receivers and not sites.sends:
             found.append(
-                Diagnostic(
-                    code="RA402",
-                    severity=Severity.ERROR,
-                    message=(
-                        f"tag family {fam.key!r} is selectively received "
-                        f"but never sent: a blocking consumer would "
-                        f"deadlock waiting for it"
-                    ),
-                    pass_name=_PASS,
+                Diagnostic.new(
+                    "RA402",
+                    f"tag family {fam.key!r} is selectively received "
+                    f"but never sent: a blocking consumer would "
+                    f"deadlock waiting for it",
                     locus=receivers[0],
                     details={"receives": receivers},
                 )
             )
         elif not sites.sends and not receivers:
             found.append(
-                Diagnostic(
-                    code="RA403",
-                    severity=Severity.WARNING,
-                    message=(
-                        f"tag family {fam.key!r} is declared in Tags but "
-                        f"neither sent nor received by the runtime"
-                    ),
-                    pass_name=_PASS,
+                Diagnostic.new(
+                    "RA403",
+                    f"tag family {fam.key!r} is declared in Tags but "
+                    f"neither sent nor received by the runtime",
                     locus="protocol.py",
                 )
             )
@@ -291,15 +296,11 @@ def lint_sources(
             and not sites.dispatches
         ):
             found.append(
-                Diagnostic(
-                    code="RA404",
-                    severity=Severity.WARNING,
-                    message=(
-                        f"tag family {fam.key!r} is consumed only by "
-                        f"non-blocking polls: delivery is never guaranteed "
-                        f"to be drained"
-                    ),
-                    pass_name=_PASS,
+                Diagnostic.new(
+                    "RA404",
+                    f"tag family {fam.key!r} is consumed only by "
+                    f"non-blocking polls: delivery is never guaranteed "
+                    f"to be drained",
                     locus=sites.polls[0],
                     details={"polls": sites.polls},
                 )
@@ -307,6 +308,184 @@ def lint_sources(
     return found
 
 
+class _KindCollector(ast.NodeVisitor):
+    """Collect construction and dispatch sites of ``kind`` strings.
+
+    Constructed kinds come from ``Ctrl(kind=...)`` (or its positional
+    second argument), ``_send_ctrl(dst, "kind", ...)`` calls, and
+    ``{"kind": "..."}`` payload literals.  Handled kinds come from
+    equality or membership dispatches on a kind reference — an
+    attribute ``*.kind``, a bare ``kind`` variable, or a
+    ``payload.get("kind")`` call.
+    """
+
+    def __init__(self, module: str):
+        self.module = module
+        self.constructed: dict[str, list[str]] = {}
+        self.handled: dict[str, list[str]] = {}
+
+    def _locus(self, node: ast.AST) -> str:
+        return f"{self.module}:{getattr(node, 'lineno', 0)}"
+
+    def _note(
+        self, bucket: dict[str, list[str]], kind: str, node: ast.AST
+    ) -> None:
+        bucket.setdefault(kind, []).append(self._locus(node))
+
+    @staticmethod
+    def _is_kind_ref(node: ast.expr) -> bool:
+        if isinstance(node, ast.Name) and node.id == "kind":
+            return True
+        if isinstance(node, ast.Attribute) and node.attr == "kind":
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "get"
+            and bool(node.args)
+            and isinstance(node.args[0], ast.Constant)
+            and node.args[0].value == "kind"
+        )
+
+    @staticmethod
+    def _str_const(node: ast.expr) -> str | None:
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        return None
+
+    def visit_Call(self, node: ast.Call) -> None:
+        fn = node.func
+        name = fn.id if isinstance(fn, ast.Name) else None
+        attr = fn.attr if isinstance(fn, ast.Attribute) else None
+        if name == "Ctrl" or attr == "_send_ctrl":
+            expr: ast.expr | None = next(
+                (kw.value for kw in node.keywords if kw.arg == "kind"), None
+            )
+            if expr is None:
+                pos = 1  # Ctrl(seq, kind, ...) / _send_ctrl(dst, kind, ...)
+                if len(node.args) > pos:
+                    expr = node.args[pos]
+            kind = self._str_const(expr) if expr is not None else None
+            if kind is not None:
+                self._note(self.constructed, kind, node)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # `kind = "cancel_recv" if src == pid else "cancel_send"` style
+        # construction: string literals bound to a ``kind`` variable are
+        # construction sites (non-literal values, e.g. payload lookups
+        # in handlers, contribute nothing).
+        if any(
+            isinstance(t, ast.Name) and t.id == "kind" for t in node.targets
+        ):
+            for kind in self._literal_branches(node.value):
+                self._note(self.constructed, kind, node)
+        self.generic_visit(node)
+
+    @classmethod
+    def _literal_branches(cls, value: ast.expr) -> list[str]:
+        """String literals a ``kind = ...`` binding can evaluate to.
+
+        Only direct literals and conditional-expression branches count;
+        handler-side bindings (``kind = payload.get("kind")``) yield
+        nothing.
+        """
+        kind = cls._str_const(value)
+        if kind is not None:
+            return [kind]
+        if isinstance(value, ast.IfExp):
+            return cls._literal_branches(value.body) + cls._literal_branches(
+                value.orelse
+            )
+        return []
+
+    def visit_Dict(self, node: ast.Dict) -> None:
+        for key, value in zip(node.keys, node.values):
+            if (
+                key is not None
+                and self._str_const(key) == "kind"
+                and self._str_const(value) is not None
+            ):
+                self._note(self.constructed, str(self._str_const(value)), node)
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if len(node.ops) == 1 and self._is_kind_ref(node.left):
+            op, right = node.ops[0], node.comparators[0]
+            if isinstance(op, (ast.Eq, ast.NotEq)):
+                kind = self._str_const(right)
+                if kind is not None:
+                    self._note(self.handled, kind, node)
+            elif isinstance(op, (ast.In, ast.NotIn)) and isinstance(
+                right, (ast.Tuple, ast.List, ast.Set)
+            ):
+                for elt in right.elts:
+                    kind = self._str_const(elt)
+                    if kind is not None:
+                        self._note(self.handled, kind, node)
+        self.generic_visit(node)
+
+
+def lint_kinds(sources: list[tuple[str, str]]) -> list[Diagnostic]:
+    """Pair constructed control/checkpoint kinds with dispatch arms.
+
+    A kind that is constructed and shipped but matches no receiver arm
+    hits the runtime's unknown-control error path (``RA405``); an arm
+    for a kind nothing constructs is dead dispatch code (``RA406``).
+    """
+    constructed: dict[str, list[str]] = {}
+    handled: dict[str, list[str]] = {}
+    for module, text in sources:
+        collector = _KindCollector(module)
+        collector.visit(ast.parse(text))
+        for kind, sites in collector.constructed.items():
+            constructed.setdefault(kind, []).extend(sites)
+        for kind, sites in collector.handled.items():
+            handled.setdefault(kind, []).extend(sites)
+
+    found: list[Diagnostic] = []
+    for kind in sorted(set(constructed) - set(handled)):
+        found.append(
+            Diagnostic.new(
+                "RA405",
+                f"control kind {kind!r} is constructed and sent but no "
+                f"receiver dispatch arm handles it: the consumer would "
+                f"reject it as an unknown control",
+                locus=constructed[kind][0],
+                details={"constructed": constructed[kind]},
+            )
+        )
+    for kind in sorted(set(handled) - set(constructed)):
+        found.append(
+            Diagnostic.new(
+                "RA406",
+                f"control kind {kind!r} has a receiver dispatch arm but "
+                f"is never constructed: dead protocol arm",
+                locus=handled[kind][0],
+                details={"handled": handled[kind]},
+            )
+        )
+    return found
+
+
+def _hier_sources() -> list[tuple[str, str]]:
+    from ..scale import hierarchy
+
+    return [("scale/hierarchy.py", inspect.getsource(hierarchy))]
+
+
 def check_protocol() -> list[Diagnostic]:
-    """Lint the shipped runtime sources (master, slave, pipeline)."""
-    return lint_sources(_default_sources())
+    """Lint all four control planes of the shipped runtime sources.
+
+    Covers the base master/slave/pipeline tag families (which include
+    the FT ``lb.hb``/``lb.ctrl``/``lb.ctrlack`` and checkpoint
+    ``lb.ckpt`` traffic), the ``kind`` sub-protocol multiplexed over the
+    control/checkpoint tags, and the hierarchical ``sc.*`` plane.
+    """
+    from ..scale.protocol import ScaleTags
+
+    sources = _default_sources()
+    found = lint_sources(sources)
+    found.extend(lint_kinds(sources))
+    found.extend(lint_sources(_hier_sources(), tag_families(ScaleTags)))
+    return found

@@ -25,11 +25,10 @@ from pathlib import Path
 from typing import Iterable, Mapping
 
 from ..obs import Event, EventLog, SpanEvent
-from .diagnostics import Diagnostic, Severity
+from .diagnostics import Diagnostic
 
 __all__ = ["check_replay", "check_log_file"]
 
-_PASS = "replay"
 
 # Timeline entry kinds, in tie-break order at equal timestamps: an
 # arrival is causally earliest (its send happened strictly before in sim
@@ -67,15 +66,13 @@ def check_replay(events: Iterable[Event], subject: str = "log") -> list[Diagnost
             n_access += 1
             if _units_of(ev.meta) is None:
                 found.append(
-                    Diagnostic(
-                        code="RA503",
-                        severity=Severity.WARNING,
-                        message=(
+                    Diagnostic.new(
+                        "RA503",
+                        (
                             f"access event {ev.name!r} at t={ev.t_start:g} "
                             f"(pid {ev.pid}) has no integer unit list in "
                             f"meta; its writes cannot be accounted"
                         ),
-                        pass_name=_PASS,
                         locus=subject,
                     )
                 )
@@ -89,15 +86,13 @@ def check_replay(events: Iterable[Event], subject: str = "log") -> list[Diagnost
 
     if n_access == 0:
         found.append(
-            Diagnostic(
-                code="RA502",
-                severity=Severity.WARNING,
-                message=(
+            Diagnostic.new(
+                "RA502",
+                (
                     "event log contains no access events; the replay "
                     "check is vacuous (record with observability enabled "
                     "on an instrumented runtime)"
                 ),
-                pass_name=_PASS,
                 locus=subject,
             )
         )
@@ -156,16 +151,14 @@ def check_replay(events: Iterable[Event], subject: str = "log") -> list[Diagnost
                 ):
                     raced_units.add(u)
                     found.append(
-                        Diagnostic(
-                            code="RA501",
-                            severity=Severity.ERROR,
-                            message=(
+                        Diagnostic.new(
+                            "RA501",
+                            (
                                 f"element {u} written by slave {prev[0]} "
                                 f"(until t={prev[1]:g}) and then by slave "
                                 f"{pid} (from t={ev.t_start:g}) with no "
                                 f"message chain ordering the two writes"
                             ),
-                            pass_name=_PASS,
                             locus=f"unit {u}",
                             details={
                                 "unit": u,

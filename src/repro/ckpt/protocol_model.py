@@ -1,0 +1,695 @@
+"""Finite-state abstraction of the checkpoint/rollback control plane.
+
+Models the epoch and era machinery of
+:class:`~repro.ckpt.coordinator.CheckpointCoordinator` plus the
+master/slave rollback exchange in ``runtime/master.py``:
+
+- Slaves run a rep-counted loop (work -> ``lb.status`` -> ``lb.instr``
+  hook cycle, like the centralized model but with repetition progress
+  instead of unit custody).
+- The master nondeterministically opens checkpoint epochs (bounded by
+  ``epochs``): every live member gets a ``ckpt`` control and answers
+  with a deposit carrying its repetition and owned units; when all
+  members have deposited, the epoch commits and becomes the rollback
+  target.  A crash aborts the open epoch, exactly like
+  ``Master._abort_epoch``.
+- On a crash the master rolls back atomically (master placement — the
+  deposits live at the master, so no buddy pulls are needed): the era
+  increments, survivors are sent a ``rollback`` control with the target
+  epoch's cut (their deposited repetition and units, plus the dead
+  members' units regranted to the first survivor), and all traffic
+  stamped with an older era is dropped on both sides.
+
+Verified properties: era/epoch monotonicity (``RA703`` — applying a
+stale-era instruction or accepting a deposit into the wrong epoch is a
+transition violation), ledger unit conservation across rollback
+repartition (``RA701``/``RA702``), deadlock-freedom and termination
+reachability.  Out of scope (documented): buddy placement and snapshot
+pulls, barrier placement margins, and checkpoint timing — the open
+step is a nondeterministic choice wherever the real coordinator's
+``due()`` could fire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, Iterable, Mapping, NamedTuple
+
+from ..analysis.model.core import Invariant, Model, Msg, Step, selective
+
+__all__ = ["CkptConfig", "MUTATIONS", "build_model"]
+
+MASTER = "master"
+
+#: Seeded checkpoint-protocol corruptions for the checker's test suite.
+MUTATIONS: dict[str, str] = {
+    "skip_era_check": "slaves apply stale-era instructions after rollback",
+    "commit_stale_deposit": (
+        "master accepts a deposit from an aborted epoch into the open one"
+    ),
+    "skip_dead_grant": (
+        "rollback restores survivors but never regrants dead units"
+    ),
+}
+
+
+@dataclass(frozen=True)
+class CkptConfig:
+    """Size of the explored configuration (keep these small)."""
+
+    n_slaves: int = 2
+    units: int = 2
+    reps: int = 2
+    epochs: int = 1
+    crashable: tuple[str, ...] = ("s1",)
+    mutation: str | None = None
+
+    def slave_names(self) -> list[str]:
+        return [f"s{i}" for i in range(self.n_slaves)]
+
+    def initial_owned(self, index: int) -> frozenset[int]:
+        return frozenset(
+            u for u in range(self.units) if u % self.n_slaves == index
+        )
+
+
+class CkptSlaveLocal(NamedTuple):
+    phase: str  # run | wait_instr | done | crashed
+    era: int
+    rep: int
+    owned: tuple[int, ...]
+
+
+class CkptSlave:
+    """Rep-loop slave with checkpoint deposits and rollback adoption."""
+
+    def __init__(self, name: str, cfg: CkptConfig, index: int):
+        self.name = name
+        self.cfg = cfg
+        self.index = index
+        self.crashable = name in cfg.crashable
+
+    def init(self) -> Hashable:
+        return CkptSlaveLocal(
+            phase="run",
+            era=0,
+            rep=0,
+            owned=tuple(sorted(self.cfg.initial_owned(self.index))),
+        )
+
+    def _ctrl_steps(
+        self, s: CkptSlaveLocal, pending: tuple[Msg, ...]
+    ) -> Iterable[Step]:
+        for msg in selective(pending, lambda m: m.tag == "lb.ctrl"):
+            payload = msg.payload
+            assert isinstance(payload, tuple)
+            kind = payload[0]
+            if kind == "ckpt":
+                epoch = payload[1]
+                yield Step(
+                    actor=self.name,
+                    label=f"deposit(e{epoch} rep={s.rep})",
+                    next_state=s,
+                    consumed=msg,
+                    sends=(
+                        Msg(
+                            self.name,
+                            MASTER,
+                            "ckpt",
+                            ("deposit", epoch, s.rep, s.owned),
+                        ),
+                    ),
+                )
+            elif kind == "rollback":
+                _, era, epoch, rep, owned = payload
+                if era <= s.era:
+                    # A rollback control is only ever stamped with a
+                    # fresh era; an equal-or-older one is unreachable
+                    # unless the protocol regressed.
+                    yield Step(
+                        actor=self.name,
+                        label=f"drop stale rollback(era {era})",
+                        next_state=s,
+                        consumed=msg,
+                    )
+                    continue
+                yield Step(
+                    actor=self.name,
+                    label=f"rollback(era {era} -> e{epoch} rep={rep})",
+                    next_state=CkptSlaveLocal(
+                        phase="run", era=era, rep=rep, owned=owned
+                    ),
+                    consumed=msg,
+                )
+            else:  # pragma: no cover - malformed model
+                raise ValueError(f"unknown control {payload!r}")
+
+    def _instr_steps(
+        self, s: CkptSlaveLocal, pending: tuple[Msg, ...]
+    ) -> Iterable[Step]:
+        for msg in selective(pending, lambda m: m.tag == "lb.instr"):
+            payload = msg.payload
+            assert isinstance(payload, tuple)
+            era, kind = payload
+            if era < s.era:
+                if self.cfg.mutation == "skip_era_check":
+                    # Mutation: the era guard is gone — the slave acts
+                    # on an instruction from before the rollback.
+                    yield Step(
+                        actor=self.name,
+                        label=f"APPLY stale instr({kind}, era {era})",
+                        next_state=s._replace(
+                            phase="done" if kind == "release" else "run"
+                        ),
+                        consumed=msg,
+                        violation=(
+                            "RA703",
+                            f"slave {self.name} applied a stale-era "
+                            f"instruction ({kind!r} from era {era} at "
+                            f"era {s.era}); pre-rollback state leaked "
+                            f"across the era fence",
+                        ),
+                    )
+                else:
+                    yield Step(
+                        actor=self.name,
+                        label=f"drop stale instr(era {era})",
+                        next_state=s,
+                        consumed=msg,
+                    )
+            elif kind == "noop":
+                yield Step(
+                    actor=self.name,
+                    label="instr(noop)",
+                    next_state=s._replace(phase="run"),
+                    consumed=msg,
+                )
+            elif kind == "release":
+                yield Step(
+                    actor=self.name,
+                    label="instr(release)",
+                    next_state=s._replace(phase="done"),
+                    consumed=msg,
+                )
+            else:  # pragma: no cover - malformed model
+                raise ValueError(f"unknown instruction {payload!r}")
+
+    def steps(
+        self, local: Hashable, pending: tuple[Msg, ...]
+    ) -> Iterable[Step]:
+        s = local
+        assert isinstance(s, CkptSlaveLocal)
+        if s.phase in ("done", "crashed"):
+            return
+        if self.crashable:
+            yield Step(
+                actor=self.name,
+                label="crash",
+                next_state=s._replace(phase="crashed"),
+                sends=(Msg("fd", MASTER, "fd.crash", (self.name,)),),
+            )
+        yield from self._ctrl_steps(s, pending)
+        if s.phase == "run":
+            if s.rep < self.cfg.reps:
+                nxt = s._replace(phase="wait_instr", rep=s.rep + 1)
+                yield Step(
+                    actor=self.name,
+                    label=f"work(rep {s.rep})",
+                    next_state=nxt,
+                    sends=(
+                        Msg(
+                            self.name,
+                            MASTER,
+                            "lb.status",
+                            ("status", s.era, s.rep + 1, False),
+                        ),
+                    ),
+                )
+            else:
+                yield Step(
+                    actor=self.name,
+                    label="report_done",
+                    next_state=s._replace(phase="wait_instr"),
+                    sends=(
+                        Msg(
+                            self.name,
+                            MASTER,
+                            "lb.status",
+                            ("status", s.era, s.rep, True),
+                        ),
+                    ),
+                )
+        elif s.phase == "wait_instr":
+            yield from self._instr_steps(s, pending)
+
+
+#: An open epoch: ``(epoch, members, cut, deposited)`` where ``cut`` is
+#: the ownership ledger at open time and ``deposited`` maps member ->
+#: deposited rep (-1 while missing).
+OpenEpoch = tuple[
+    int,
+    tuple[str, ...],
+    tuple[tuple[str, tuple[int, ...]], ...],
+    tuple[tuple[str, int], ...],
+]
+
+#: A committed epoch: ``(epoch, cut, reps)``.
+Committed = tuple[
+    int,
+    tuple[tuple[str, tuple[int, ...]], ...],
+    tuple[tuple[str, int], ...],
+]
+
+
+class CkptMasterLocal(NamedTuple):
+    phase: str  # run | final
+    era: int
+    next_epoch: int
+    epochs_left: int
+    open: OpenEpoch | None
+    committed: Committed | None
+    owned: tuple[tuple[str, tuple[int, ...]], ...]  # authoritative ledger
+    parked: frozenset[str]
+    dead: frozenset[str]
+
+
+class CkptMaster:
+    """Epoch coordinator + rollback driver + release barrier."""
+
+    def __init__(self, cfg: CkptConfig):
+        self.name = MASTER
+        self.cfg = cfg
+
+    def init(self) -> Hashable:
+        return CkptMasterLocal(
+            phase="run",
+            era=0,
+            next_epoch=1,
+            epochs_left=self.cfg.epochs,
+            open=None,
+            committed=None,
+            owned=tuple(
+                (name, tuple(sorted(self.cfg.initial_owned(i))))
+                for i, name in enumerate(self.cfg.slave_names())
+            ),
+            parked=frozenset(),
+            dead=frozenset(),
+        )
+
+    def _live(self, m: CkptMasterLocal) -> list[str]:
+        return [n for n in self.cfg.slave_names() if n not in m.dead]
+
+    def _epoch0(self, m: CkptMasterLocal) -> Committed:
+        cut = tuple(
+            (name, tuple(sorted(self.cfg.initial_owned(i))))
+            for i, name in enumerate(self.cfg.slave_names())
+        )
+        reps = tuple((name, 0) for name in self.cfg.slave_names())
+        return (0, cut, reps)
+
+    # -- epoch lifecycle -------------------------------------------------
+
+    def _open_step(self, m: CkptMasterLocal) -> Step:
+        members = tuple(self._live(m))
+        epoch = m.next_epoch
+        nxt = m._replace(
+            next_epoch=epoch + 1,
+            epochs_left=m.epochs_left - 1,
+            open=(
+                epoch,
+                members,
+                m.owned,
+                tuple((p, -1) for p in members),
+            ),
+        )
+        return Step(
+            actor=self.name,
+            label=f"open_epoch(e{epoch})",
+            next_state=nxt,
+            sends=tuple(
+                Msg(self.name, p, "lb.ctrl", ("ckpt", epoch))
+                for p in members
+            ),
+        )
+
+    def _deposit_steps(
+        self, m: CkptMasterLocal, msg: Msg
+    ) -> Iterable[Step]:
+        payload = msg.payload
+        assert isinstance(payload, tuple)
+        _, epoch, rep, _owned = payload
+        depositor = msg.src
+        stale = (
+            m.open is None
+            or epoch != m.open[0]
+            or depositor not in m.open[1]
+        )
+        if stale:
+            if (
+                self.cfg.mutation == "commit_stale_deposit"
+                and m.open is not None
+                and depositor in m.open[1]
+            ):
+                # Mutation: the epoch guard is gone — a deposit taken
+                # for an aborted epoch is folded into the open one.
+                yield from self._record_deposit(
+                    m,
+                    msg,
+                    depositor,
+                    rep,
+                    violation=(
+                        "RA703",
+                        f"deposit for epoch {epoch} accepted into open "
+                        f"epoch {m.open[0]}: the committed cut mixes "
+                        f"epochs",
+                    ),
+                )
+            else:
+                yield Step(
+                    actor=self.name,
+                    label=f"ignore late deposit(e{epoch} {depositor})",
+                    next_state=m,
+                    consumed=msg,
+                )
+            return
+        yield from self._record_deposit(m, msg, depositor, rep)
+
+    def _record_deposit(
+        self,
+        m: CkptMasterLocal,
+        msg: Msg,
+        depositor: str,
+        rep: int,
+        violation: tuple[str, str] | None = None,
+    ) -> Iterable[Step]:
+        assert m.open is not None
+        epoch, members, cut, deposited = m.open
+        new_dep = tuple(
+            (p, rep if p == depositor else r) for p, r in deposited
+        )
+        if all(r >= 0 for _, r in new_dep):
+            nxt = m._replace(
+                open=None, committed=(epoch, cut, new_dep)
+            )
+            label = f"commit(e{epoch})"
+        else:
+            nxt = m._replace(open=(epoch, members, cut, new_dep))
+            label = f"deposit({depositor} -> e{epoch})"
+        yield Step(
+            actor=self.name,
+            label=label,
+            next_state=nxt,
+            consumed=msg,
+            violation=violation,
+        )
+
+    # -- rollback --------------------------------------------------------
+
+    def _declare_step(self, m: CkptMasterLocal, msg: Msg) -> Step:
+        payload = msg.payload
+        assert isinstance(payload, tuple)
+        victim = str(payload[0])
+        if victim in m.dead:
+            return Step(
+                actor=self.name,
+                label=f"fd({victim}: already declared)",
+                next_state=m,
+                consumed=msg,
+            )
+        if m.phase == "final":
+            # The run already released: a late death needs no rollback,
+            # only a tombstone so the victim's channels stop counting.
+            return Step(
+                actor=self.name,
+                label=f"declare_dead({victim}) post-release",
+                next_state=m._replace(dead=m.dead | {victim}),
+                consumed=msg,
+            )
+        dead = m.dead | {victim}
+        live = [n for n in self.cfg.slave_names() if n not in dead]
+        target = m.committed or self._epoch0(m)
+        epoch, cut, reps = target
+        cut_map = dict(cut)
+        rep_map = dict(reps)
+        era = m.era + 1
+        # Survivors restore their own cut; every dead member's cut units
+        # are adopted by the first survivor (the model does not score
+        # placement quality, only custody).
+        adopted: set[int] = set()
+        for d in sorted(dead):
+            adopted.update(cut_map.get(d, ()))
+        new_owned: list[tuple[str, tuple[int, ...]]] = []
+        sends: list[Msg] = []
+        for i, name in enumerate(sorted(live)):
+            units = set(cut_map.get(name, ()))
+            if i == 0 and self.cfg.mutation != "skip_dead_grant":
+                units |= adopted
+            owned_t = tuple(sorted(units))
+            new_owned.append((name, owned_t))
+            sends.append(
+                Msg(
+                    self.name,
+                    name,
+                    "lb.ctrl",
+                    (
+                        "rollback",
+                        era,
+                        epoch,
+                        rep_map.get(name, 0),
+                        owned_t,
+                    ),
+                )
+            )
+        full_owned = tuple(
+            sorted(new_owned + [(d, ()) for d in sorted(dead)])
+        )
+        nxt = m._replace(
+            era=era,
+            open=None,  # a death aborts the open epoch
+            owned=full_owned,
+            parked=frozenset(),  # survivors restart from the cut
+            dead=dead,
+        )
+        if not live:
+            nxt = nxt._replace(phase="final")
+            sends = []
+        return Step(
+            actor=self.name,
+            label=f"declare_dead({victim}) + rollback(era {era})",
+            next_state=nxt,
+            consumed=msg,
+            sends=tuple(sends),
+        )
+
+    # -- status / release ------------------------------------------------
+
+    def _status_steps(
+        self, m: CkptMasterLocal, msg: Msg
+    ) -> Iterable[Step]:
+        payload = msg.payload
+        assert isinstance(payload, tuple)
+        _, era, _rep, done = payload
+        reporter = msg.src
+        if era < m.era:
+            yield Step(
+                actor=self.name,
+                label=f"drop stale status({reporter}, era {era})",
+                next_state=m,
+                consumed=msg,
+            )
+            return
+        if not done:
+            yield Step(
+                actor=self.name,
+                label=f"reply({reporter}: noop)",
+                next_state=m,
+                consumed=msg,
+                sends=(
+                    Msg(self.name, reporter, "lb.instr", (m.era, "noop")),
+                ),
+            )
+            return
+        parked = m.parked | {reporter}
+        live = self._live(m)
+        if all(p in parked for p in live):
+            yield Step(
+                actor=self.name,
+                label=f"park({reporter}) + release-all",
+                next_state=m._replace(
+                    phase="final",
+                    parked=frozenset(),
+                    open=None,
+                ),
+                consumed=msg,
+                sends=tuple(
+                    Msg(self.name, p, "lb.instr", (m.era, "release"))
+                    for p in sorted(live)
+                ),
+            )
+        else:
+            yield Step(
+                actor=self.name,
+                label=f"park({reporter})",
+                next_state=m._replace(parked=parked),
+                consumed=msg,
+            )
+
+    def steps(
+        self, local: Hashable, pending: tuple[Msg, ...]
+    ) -> Iterable[Step]:
+        m = local
+        assert isinstance(m, CkptMasterLocal)
+        for msg in selective(pending, lambda x: x.tag == "fd.crash"):
+            yield self._declare_step(m, msg)
+        if m.phase != "run":
+            # Post-release: drain stray reports and late deposits so
+            # the run can quiesce (the real master ignores them too).
+            for msg in selective(
+                pending, lambda x: x.tag in ("lb.status", "ckpt")
+            ):
+                yield Step(
+                    actor=self.name,
+                    label=f"discard post-release {msg.tag} from {msg.src}",
+                    next_state=m,
+                    consumed=msg,
+                )
+            return
+        for msg in selective(
+            pending,
+            lambda x: x.tag in ("lb.status", "ckpt") and x.src in m.dead,
+        ):
+            yield Step(
+                actor=self.name,
+                label=f"drop ghost {msg.tag} from {msg.src}",
+                next_state=m,
+                consumed=msg,
+            )
+        for msg in selective(
+            pending,
+            lambda x: x.tag == "lb.status" and x.src not in m.dead,
+        ):
+            yield from self._status_steps(m, msg)
+        for msg in selective(
+            pending, lambda x: x.tag == "ckpt" and x.src not in m.dead
+        ):
+            yield from self._deposit_steps(m, msg)
+        if (
+            m.open is None
+            and m.epochs_left > 0
+            and not m.parked
+            and self._live(m)
+        ):
+            yield self._open_step(m)
+
+
+# -- invariants and model assembly -------------------------------------
+
+
+def ledger_conservation(cfg: CkptConfig) -> Invariant:
+    """The master's post-rollback ownership ledger must partition the
+    unit space over live slaves (authoritative custody for this plane:
+    rollback rebuilds every slave's owned set from the cut)."""
+
+    def check(
+        locals_: Mapping[str, Hashable],
+        channels: Mapping[tuple[str, str], tuple[Msg, ...]],
+    ) -> tuple[str, str] | None:
+        m = locals_.get(MASTER)
+        if not isinstance(m, CkptMasterLocal):
+            return None
+        if m.phase != "run":
+            return None  # released or abandoned; the ledger is retired
+        if len(m.dead) >= cfg.n_slaves:
+            return None  # nobody left; the run is abandoned
+        counts = {u: 0 for u in range(cfg.units)}
+        for slave, units in m.owned:
+            if slave in m.dead:
+                continue
+            for u in units:
+                counts[u] = counts.get(u, 0) + 1
+        lost = sorted(u for u, c in counts.items() if c == 0)
+        dup = sorted(u for u, c in counts.items() if c > 1)
+        if dup:
+            return (
+                "RA702",
+                f"rollback ledger assigns unit(s) {dup} to more than "
+                f"one survivor",
+            )
+        if lost:
+            return (
+                "RA701",
+                f"rollback ledger dropped unit(s) {lost}: dead members' "
+                f"checkpointed units were never regranted",
+            )
+        return None
+
+    return check
+
+
+def _tombstoned(locals_: Mapping[str, Hashable]) -> frozenset[str]:
+    """Actors whose mailboxes no longer matter for quiescence: declared
+    dead, crashed, or released (a released slave's process has exited,
+    so a checkpoint order it never drained is discarded, not stuck)."""
+    out = set(getattr(locals_[MASTER], "dead", frozenset()))
+    for name, local in locals_.items():
+        if name != MASTER and getattr(local, "phase", "") in (
+            "done",
+            "crashed",
+        ):
+            out.add(name)
+    return frozenset(out)
+
+
+def _terminal(
+    cfg: CkptConfig,
+) -> "Callable[[Mapping[str, Hashable]], bool]":
+    def done(locals_: Mapping[str, Hashable]) -> bool:
+        for name, local in locals_.items():
+            if name == MASTER:
+                if getattr(local, "phase", "") != "final":
+                    return False
+            elif getattr(local, "phase", "") not in ("done", "crashed"):
+                return False
+        return True
+
+    return done
+
+
+def build_model(
+    cfg: CkptConfig | None = None, mutation: str | None = None
+) -> Model:
+    """Build the checkpoint-plane model for one configuration."""
+    cfg = cfg or CkptConfig()
+    if mutation is not None:
+        if mutation not in MUTATIONS:
+            raise ValueError(f"unknown mutation {mutation!r}")
+        cfg = CkptConfig(
+            n_slaves=cfg.n_slaves,
+            units=cfg.units,
+            reps=cfg.reps,
+            epochs=cfg.epochs,
+            crashable=cfg.crashable,
+            mutation=mutation,
+        )
+    name = (
+        f"ckpt-p{cfg.n_slaves}-u{cfg.units}-r{cfg.reps}"
+        f"-e{cfg.epochs}-x{len(cfg.crashable)}"
+    )
+    if cfg.mutation:
+        name += f"!{cfg.mutation}"
+    actors: list[object] = [CkptMaster(cfg)] + [
+        CkptSlave(n, cfg, i) for i, n in enumerate(cfg.slave_names())
+    ]
+    return Model(
+        name=name,
+        plane="ckpt",
+        actors=actors,  # type: ignore[arg-type]
+        invariants=[ledger_conservation(cfg)],
+        terminal=_terminal(cfg),
+        dead_of=_tombstoned,
+        notes=(
+            "master snapshot placement (no buddy pulls); epoch opening "
+            "is a nondeterministic choice bounded by the epoch budget; "
+            "accurate failure detector"
+        ),
+    )

@@ -210,19 +210,44 @@ def _check_hier_protocol():
     return CheckResult(subject="hier-protocol[sc.*]", diagnostics=diags)
 
 
+def _check_models(args: argparse.Namespace) -> list:
+    """Model-check the control planes (``repro check --model``).
+
+    Runs the standard sweep (`repro.analysis.model.configs`): every
+    plane's clean model, explored exhaustively unless ``--model-budget``
+    caps the state count.  Counterexamples ride along in each
+    diagnostic's ``details["trace"]`` and are printed by
+    ``CheckResult.describe`` / serialized by ``--json``.
+    """
+    from .analysis.model import run_sweep
+
+    planes = tuple(args.model_plane) if args.model_plane else None
+    out = []
+    for check, ex in run_sweep(
+        planes, budget=args.model_budget, seed=args.seed
+    ):
+        mode = "exhaustive" if ex.exhaustive else "bounded"
+        check.subject += f"[{mode}:{ex.states} states]"
+        out.append(check)
+    return out
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from .analysis import CheckResult, check_log_file, check_suite
 
     results: list[CheckResult] = []
     if args.hier:
         results.append(_check_hier_protocol())
+    if args.model:
+        results.extend(_check_models(args))
     if args.events is not None:
         results.append(
             CheckResult(
                 subject=args.events, diagnostics=check_log_file(args.events)
             )
         )
-    if args.events is None or args.apps or args.plan_factory:
+    focused = args.events is not None or args.model
+    if not focused or args.apps or args.plan_factory:
         protocol_pending = True
         for name, plan in _check_subjects(args):
             if args.no_replay:
@@ -692,6 +717,33 @@ def main(argv: Sequence[str] | None = None) -> int:
         help=(
             "also lint the hierarchical control plane's sc.* protocol "
             "(send/receive pairing over repro.scale sources)"
+        ),
+    )
+    p_check.add_argument(
+        "--model",
+        action="store_true",
+        help=(
+            "also model-check the control planes: exhaustive "
+            "deadlock/liveness/unit-conservation verification of the "
+            "centralized, ft, ckpt and hier protocol models (RA6xx/RA7xx)"
+        ),
+    )
+    p_check.add_argument(
+        "--model-plane",
+        action="append",
+        choices=["centralized", "ft", "ckpt", "hier"],
+        default=None,
+        metavar="PLANE",
+        help="restrict --model to these planes (repeatable; default: all)",
+    )
+    p_check.add_argument(
+        "--model-budget",
+        type=int,
+        default=None,
+        metavar="STATES",
+        help=(
+            "cap exploration at this many states per model; the verdict "
+            "degrades to bounded + randomized walks (RA603)"
         ),
     )
     p_check.add_argument(

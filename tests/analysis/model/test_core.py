@@ -1,0 +1,218 @@
+"""Model-checker substrate tests: toy models with known verdicts."""
+
+from repro.analysis.model import Model, Msg, Step, check_model
+from repro.analysis.model.core import initial_state, selective
+
+
+def _codes(result):
+    return sorted({d.code for d in result.diagnostics})
+
+
+class _PingPong:
+    """Two actors volley a token ``rounds`` times, then stop."""
+
+    def __init__(self, name, peer, rounds, serve):
+        self.name = name
+        self.peer = peer
+        self.rounds = rounds
+        self.serve = serve
+
+    def init(self):
+        return ("serve",) if self.serve else ("wait",)
+
+    def steps(self, local, pending):
+        if local[0] == "serve":
+            yield Step(
+                actor=self.name,
+                label="serve",
+                next_state=("wait",),
+                sends=(Msg(self.name, self.peer, "ball", (self.rounds,)),),
+            )
+            return
+        for msg in selective(pending, lambda m: m.tag == "ball"):
+            hops = msg.payload[0]
+            if hops <= 0:
+                yield Step(
+                    actor=self.name,
+                    label="catch",
+                    next_state=("done",),
+                    consumed=msg,
+                )
+            else:
+                yield Step(
+                    actor=self.name,
+                    label="return",
+                    next_state=("wait",),
+                    consumed=msg,
+                    sends=(
+                        Msg(self.name, self.peer, "ball", (hops - 1,)),
+                    ),
+                )
+
+
+def _pingpong_model(rounds=2):
+    return Model(
+        name=f"pingpong-{rounds}",
+        plane="centralized",
+        actors=[
+            _PingPong("a", "b", rounds, serve=True),
+            _PingPong("b", "a", rounds, serve=False),
+        ],
+        terminal=lambda locals_: any(
+            local == ("done",) for local in locals_.values()
+        ),
+    )
+
+
+class _Waiter:
+    """Waits forever for a message nobody sends."""
+
+    def __init__(self, name):
+        self.name = name
+
+    def init(self):
+        return ("wait",)
+
+    def steps(self, local, pending):
+        for msg in selective(pending, lambda m: m.tag == "go"):
+            yield Step(
+                actor=self.name,
+                label="go",
+                next_state=("done",),
+                consumed=msg,
+            )
+
+
+class TestVerdicts:
+    def test_pingpong_terminates_clean(self):
+        result, ex = check_model(_pingpong_model())
+        assert _codes(result) == []
+        assert ex.exhaustive and ex.terminal_states >= 1
+
+    def test_mutual_wait_is_ra601_with_trace(self):
+        model = Model(
+            name="mutual-wait",
+            plane="centralized",
+            actors=[_Waiter("a"), _Waiter("b")],
+            terminal=lambda locals_: all(
+                local == ("done",) for local in locals_.values()
+            ),
+        )
+        result, _ = check_model(model)
+        ra601 = result.by_code("RA601")
+        assert ra601, _codes(result)
+        # The initial state is already stuck: the minimal trace is the
+        # explicit zero-step marker.
+        assert ra601[0].details["trace"] == [
+            "(violation in the initial state)"
+        ]
+
+    def test_invariant_violation_is_reported_with_shortest_trace(self):
+        def no_low_token(locals_, channels):
+            for msgs in channels.values():
+                for msg in msgs:
+                    if msg.tag == "ball" and msg.payload[0] == 0:
+                        return ("RA701", "token decayed to zero")
+            return None
+
+        model = _pingpong_model(rounds=1)
+        model.invariants = [no_low_token]
+        result, _ = check_model(model)
+        ra701 = result.by_code("RA701")
+        assert ra701
+        # serve(1) then return(0): two steps to the violating state.
+        assert len(ra701[0].details["trace"]) >= 2
+
+    def test_transition_violation_is_reported(self):
+        class Bad(_Waiter):
+            def steps(self, local, pending):
+                if local == ("wait",):
+                    yield Step(
+                        actor=self.name,
+                        label="boom",
+                        next_state=("done",),
+                        violation=("RA704", "seeded edge violation"),
+                    )
+
+        model = Model(
+            name="bad-edge",
+            plane="centralized",
+            actors=[Bad("a")],
+            terminal=lambda locals_: True,
+        )
+        result, _ = check_model(model)
+        assert result.by_code("RA704")
+
+    def test_budget_fallback_reports_ra603(self):
+        result, ex = check_model(_pingpong_model(rounds=6), budget=3)
+        assert not ex.exhaustive
+        assert result.by_code("RA603")
+
+
+class TestSelectiveReceive:
+    def test_first_match_per_sender(self):
+        msgs = [
+            Msg("s0", "m", "a", (1,)),
+            Msg("s0", "m", "b", (2,)),
+            Msg("s0", "m", "b", (3,)),
+            Msg("s1", "m", "b", (4,)),
+        ]
+        got = selective(msgs, lambda m: m.tag == "b")
+        assert [m.payload for m in got] == [(2,), (4,)]
+
+
+class TestStateOps:
+    def test_initial_state_sorts_actors(self):
+        state = initial_state(_pingpong_model())
+        assert [name for name, _ in state.locals] == ["a", "b"]
+
+    def test_replace_rejects_unpended_consume(self):
+        state = initial_state(_pingpong_model())
+        ghost = Msg("b", "a", "ball", (9,))
+        try:
+            state.replace("a", ("wait",), ghost, ())
+        except ValueError as err:
+            assert "not pending" in str(err)
+        else:  # pragma: no cover
+            raise AssertionError("expected ValueError")
+
+
+class TestPartialOrderReduction:
+    def test_pure_local_steps_reduce_state_count(self):
+        class Counter:
+            def __init__(self, name):
+                self.name = name
+
+            def init(self):
+                return 0
+
+            def steps(self, local, pending):
+                if local < 2:
+                    yield Step(
+                        actor=self.name,
+                        label=f"tick{local}",
+                        next_state=local + 1,
+                    )
+
+        def build():
+            return Model(
+                name="counters",
+                plane="centralized",
+                actors=[Counter("a"), Counter("b")],
+                terminal=lambda locals_: all(
+                    v == 2 for v in locals_.values()
+                ),
+            )
+
+        _, full = check_model(build(), por=False)
+        _, reduced = check_model(build(), por=True)
+        assert reduced.exhaustive and full.exhaustive
+        assert reduced.states < full.states
+
+    def test_send_carrying_steps_are_not_reduced(self):
+        # Ping-pong steps all send or consume, so POR must change
+        # nothing: identical graph, identical verdict.
+        _, full = check_model(_pingpong_model(), por=False)
+        _, reduced = check_model(_pingpong_model(), por=True)
+        assert reduced.states == full.states
+        assert reduced.transitions == full.transitions

@@ -1,0 +1,66 @@
+"""Golden-file stability + JSON round-trip of model-check findings.
+
+The ``--json`` document is consumed by CI artifact tooling, so its
+shape — and the determinism of the exploration that fills it — are API.
+The golden file pins the complete output of checking the centralized
+model seeded with ``drop_release``: same states, same minimized
+counterexample, same serialization, byte for byte (modulo JSON
+formatting).  Regenerate it deliberately, never accidentally:
+
+    python - <<'PY'
+    import json
+    from repro.runtime.protocol_model import CentralConfig, build_model
+    from repro.analysis.model import check_model
+    result, _ = check_model(build_model(CentralConfig(), "drop_release"),
+                            por=True, budget=None, seed=0)
+    print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    PY
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis.diagnostics import CheckResult, Diagnostic
+from repro.analysis.model import check_model
+from repro.runtime.protocol_model import CentralConfig, build_model
+
+GOLDEN = Path(__file__).parent / "fixtures" / "drop_release_golden.json"
+
+
+def _fresh():
+    result, _ = check_model(
+        build_model(CentralConfig(), "drop_release"),
+        por=True,
+        budget=None,
+        seed=0,
+    )
+    return result
+
+
+class TestGoldenFile:
+    def test_check_output_matches_golden(self):
+        got = _fresh().to_dict()
+        want = json.loads(GOLDEN.read_text(encoding="utf-8"))
+        assert got == want, (
+            "model-check output drifted from the golden file; if the "
+            "change is intentional, regenerate per the module docstring"
+        )
+
+    def test_exploration_is_deterministic(self):
+        assert _fresh().to_dict() == _fresh().to_dict()
+
+
+class TestRoundTrip:
+    def test_checkresult_roundtrips_through_json(self):
+        result = _fresh()
+        wire = json.dumps(result.to_dict(), sort_keys=True)
+        back = CheckResult.from_dict(json.loads(wire))
+        assert back.subject == result.subject
+        assert back.diagnostics == result.diagnostics
+        assert json.dumps(back.to_dict(), sort_keys=True) == wire
+
+    def test_diagnostic_roundtrip_preserves_trace_details(self):
+        for diag in _fresh().diagnostics:
+            back = Diagnostic.from_dict(diag.to_dict())
+            assert back == diag
+            assert back.details["trace"] == diag.details["trace"]

@@ -1,0 +1,127 @@
+"""Plane-shim verification: clean models pass, seeded mutations fail.
+
+The exhaustive half of the standard sweep runs here with the *small*
+configurations only (the bigger sweep members are exercised nightly by
+the CI model-check step); every seeded mutation from every shim's
+``MUTATIONS`` dict must be pinpointed with the exact diagnostic codes
+the registry promises for it.
+"""
+
+import pytest
+
+from repro.analysis.model import check_model, mutation_sweep, standard_sweep
+from repro.ckpt.protocol_model import CkptConfig
+from repro.ckpt.protocol_model import build_model as build_ckpt
+from repro.faults.protocol_model import FTConfig
+from repro.faults.protocol_model import build_model as build_ft
+from repro.runtime.protocol_model import CentralConfig
+from repro.runtime.protocol_model import build_model as build_central
+from repro.scale.protocol_model import HierConfig
+from repro.scale.protocol_model import build_model as build_hier
+
+_SMALL_CLEAN = [
+    build_central(CentralConfig()),
+    build_central(CentralConfig(shape="front")),
+    build_ft(FTConfig()),
+    build_ckpt(CkptConfig()),
+    build_hier(HierConfig()),
+]
+
+_CACHE: dict = {}
+
+
+def _checked(model):
+    """Explore once per model per session (exploration is deterministic)."""
+    if model.name not in _CACHE:
+        _CACHE[model.name] = check_model(
+            model, por=True, budget=None, seed=0
+        )
+    return _CACHE[model.name]
+
+
+def _codes(result):
+    return sorted({d.code for d in result.diagnostics})
+
+
+@pytest.mark.parametrize(
+    "model", _SMALL_CLEAN, ids=lambda m: m.name
+)
+class TestCleanPlanes:
+    def test_exhaustive_and_clean(self, model):
+        result, ex = _checked(model)
+        assert ex.exhaustive
+        assert _codes(result) == [], [
+            d.format() for d in result.diagnostics
+        ]
+        assert ex.terminal_states >= 1
+
+
+@pytest.mark.parametrize(
+    "model", _SMALL_CLEAN, ids=lambda m: m.name
+)
+class TestReductionParity:
+    def test_por_verdict_matches_full_expansion(self, model):
+        checked, _ = _checked(model)
+        full, _ = check_model(model, por=False, budget=None, seed=0)
+        assert _codes(checked) == _codes(full)
+
+
+@pytest.mark.parametrize(
+    "model,expected",
+    mutation_sweep(),
+    ids=lambda arg: arg.name if hasattr(arg, "name") else "-".join(arg),
+)
+class TestSeededMutations:
+    def test_mutation_is_caught_with_expected_codes(
+        self, model, expected
+    ):
+        result, ex = _checked(model)
+        got = set(_codes(result))
+        assert set(expected) <= got, (
+            f"{model.name}: wanted {sorted(expected)}, got {sorted(got)}"
+        )
+        # Every reported violation must carry a replayable trace.
+        for diag in result.diagnostics:
+            assert isinstance(diag.details.get("trace"), list)
+
+    def test_counterexample_traces_name_real_actors(self, model, expected):
+        result, _ = _checked(model)
+        actor_names = set(model.actor_names())
+        for diag in result.diagnostics:
+            for line in diag.details["trace"]:
+                # Step lines look like "  3. s0   label ..."; sends are
+                # indented continuations without a step number.
+                parts = line.split()
+                if parts and parts[0].rstrip(".").isdigit():
+                    assert parts[1] in actor_names, line
+
+
+class TestSweepRegistry:
+    def test_standard_sweep_covers_all_planes(self):
+        planes = {m.plane for m in standard_sweep()}
+        assert planes == {"centralized", "ft", "ckpt", "hier"}
+
+    def test_plane_filter(self):
+        models = standard_sweep(("ft",))
+        assert models and all(m.plane == "ft" for m in models)
+        with pytest.raises(ValueError):
+            standard_sweep(("nonsense",))
+
+    def test_mutations_cover_every_shim_mutation(self):
+        from repro.ckpt import protocol_model as ckpt
+        from repro.faults import protocol_model as ft
+        from repro.runtime import protocol_model as central
+        from repro.scale import protocol_model as hier
+
+        declared = set()
+        for mod in (central, ft, ckpt, hier):
+            declared |= {
+                f"{mod.__name__}:{name}" for name in mod.MUTATIONS
+            }
+        swept = set()
+        for model, _ in mutation_sweep():
+            mutation = model.name.split("!", 1)[1]
+            for mod in (central, ft, ckpt, hier):
+                if mutation in mod.MUTATIONS:
+                    swept.add(f"{mod.__name__}:{mutation}")
+        assert swept == declared

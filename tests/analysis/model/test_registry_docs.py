@@ -1,0 +1,71 @@
+"""The docs code table must mirror the diagnostics registry exactly.
+
+``docs/static-analysis.md`` advertises the code space as a stable API;
+this test regenerates the expected table rows from
+:data:`repro.analysis.diagnostics.REGISTRY` (the single source of
+truth) and fails on any drift — a missing code, a stale severity, or a
+reworded summary.
+"""
+
+import re
+from pathlib import Path
+
+from repro.analysis.diagnostics import CODES, REGISTRY
+
+DOCS = Path(__file__).resolve().parents[3] / "docs" / "static-analysis.md"
+
+_ROW = re.compile(r"^\| (RA\d{3}) \| (\w+) \| (.+) \|$")
+
+
+def _docs_rows():
+    rows = {}
+    for line in DOCS.read_text(encoding="utf-8").splitlines():
+        match = _ROW.match(line.strip())
+        if match:
+            code, severity, summary = match.groups()
+            rows[code] = (severity, summary.strip())
+    return rows
+
+
+class TestDocsTable:
+    def test_every_registry_code_is_documented(self):
+        rows = _docs_rows()
+        missing = sorted(set(REGISTRY) - set(rows))
+        assert not missing, f"codes missing from docs table: {missing}"
+
+    def test_no_phantom_codes_in_docs(self):
+        rows = _docs_rows()
+        phantom = sorted(set(rows) - set(REGISTRY))
+        assert not phantom, f"docs table rows without registry: {phantom}"
+
+    def test_severity_and_summary_match_registry(self):
+        rows = _docs_rows()
+        for code, info in REGISTRY.items():
+            severity, summary = rows[code]
+            assert severity == info.severity.value, (
+                f"{code}: docs say {severity!r}, registry says "
+                f"{info.severity.value!r}"
+            )
+            assert summary == info.summary, (
+                f"{code}: docs summary drifted:\n"
+                f"  docs:     {summary}\n  registry: {info.summary}"
+            )
+
+    def test_codes_view_is_registry_projection(self):
+        assert CODES == {c: i.summary for c, i in REGISTRY.items()}
+
+
+class TestRegistryShape:
+    def test_model_codes_belong_to_model_pass(self):
+        for code, info in REGISTRY.items():
+            if code.startswith(("RA6", "RA7")):
+                assert info.pass_name == "model", code
+
+    def test_code_space_is_dense_per_pass(self):
+        # Codes are allocated xx01, xx02, ... without gaps, so a typo'd
+        # new code is caught here rather than silently extending a hole.
+        by_prefix: dict[str, list[int]] = {}
+        for code in REGISTRY:
+            by_prefix.setdefault(code[:4], []).append(int(code[4:]))
+        for prefix, nums in by_prefix.items():
+            assert sorted(nums) == list(range(1, len(nums) + 1)), prefix

@@ -41,12 +41,20 @@ MODULES = [
     "repro.analysis.protocol_lint",
     "repro.analysis.replay",
     "repro.analysis.suite",
+    "repro.analysis.model",
+    "repro.analysis.model.core",
+    "repro.analysis.model.explore",
+    "repro.analysis.model.checker",
+    "repro.analysis.model.trace",
+    "repro.analysis.model.configs",
     "repro.faults",
     "repro.faults.plan",
     "repro.faults.injector",
+    "repro.faults.protocol_model",
     "repro.ckpt",
     "repro.ckpt.model",
     "repro.ckpt.coordinator",
+    "repro.ckpt.protocol_model",
     "repro.compiler",
     "repro.compiler.ir",
     "repro.compiler.deps",
@@ -61,6 +69,7 @@ MODULES = [
     "repro.compiler.autodistribute",
     "repro.runtime",
     "repro.runtime.protocol",
+    "repro.runtime.protocol_model",
     "repro.runtime.partition",
     "repro.runtime.filtering",
     "repro.runtime.frequency",
@@ -81,6 +90,7 @@ MODULES = [
     "repro.baselines.diffusion",
     "repro.scale",
     "repro.scale.protocol",
+    "repro.scale.protocol_model",
     "repro.scale.hierarchy",
     "repro.scale.workload",
     "repro.scale.crossover",
