@@ -188,15 +188,25 @@ def run_suite(
     repeat: int = 1,
     max_p: int | None = None,
     topologies: Sequence[str] | None = None,
+    state_dir: str | None = None,
+    timeout_s: float | None = None,
+    self_chaos: Any = None,
 ) -> dict[str, Any]:
     """Run every cell of ``suite`` (or ``all``) and return the document.
 
-    Independent cells fan out over a spawn-based process pool when more
-    than one worker is resolved; with one worker they run inline (also
-    the path used under test, and on single-core hosts).  ``max_p`` and
-    ``topologies`` filter cells (see :func:`_job_selected`) — the
-    nightly lane uses them to bound wall clock.
+    Cells are submitted to :func:`repro.orchestrator.submit_sweep`: more
+    than one worker fans out over the warm spawn pool, one worker runs
+    inline (also the path used under test, and on single-core hosts).
+    A cell that raises is recorded in the document with ``status`` and
+    ``error`` (its traceback) instead of killing the sweep; ``timeout_s``
+    bounds each cell attempt's wall clock.  ``state_dir`` enables the
+    write-ahead journal + result cache, making an interrupted or killed
+    bench run resumable (re-invoke with the same ``state_dir``).
+    ``max_p`` and ``topologies`` filter cells (see :func:`_job_selected`)
+    — the nightly lane uses them to bound wall clock.
     """
+    from ..orchestrator import JobSpec, submit_sweep
+
     suite_names = sorted(SUITES) if suite == "all" else [suite]
     for name in suite_names:
         if name not in SUITES:
@@ -215,16 +225,45 @@ def run_suite(
         )
     calibration_s = calibrate()
     n_workers = _resolve_workers(workers, len(jobs))
-    if n_workers > 1:
-        ctx = multiprocessing.get_context("spawn")
-        with ctx.Pool(processes=n_workers) as pool:
-            cells = pool.map(run_cell, jobs)
-    else:
-        cells = [run_cell(job) for job in jobs]
+    specs = [
+        JobSpec(
+            id=f"{job['suite']}/{job['name']}",
+            fn="repro.bench.workloads:run_cell",
+            params={"job": job},
+            timeout_s=timeout_s,
+            max_retries=1,
+            backoff_s=0.1,
+        )
+        for job in jobs
+    ]
+    sweep = submit_sweep(
+        specs,
+        state_dir=state_dir,
+        workers=n_workers,
+        meta={"suite": suite, "repeat": repeat},
+        chaos=self_chaos,
+    )
+    cells: list[dict[str, Any]] = []
+    for record in sweep.records:
+        if record.ok:
+            cells.append(record.result)
+            continue
+        job = dict(record.spec.params["job"])
+        cells.append(
+            {
+                "suite": job["suite"],
+                "name": job["name"],
+                "cell": job["cell"],
+                "params": job["params"],
+                "status": record.state.value,
+                "error": record.error,
+                "metrics": {},
+            }
+        )
     doc: dict[str, Any] = {
         "schema": SCHEMA_VERSION,
         "suite": suite,
-        "created_unix": time.time(),
+        "created_unix": sweep.created_unix,
         "host": {
             "python": platform.python_version(),
             "platform": platform.platform(),
@@ -235,16 +274,26 @@ def run_suite(
         "repeat": repeat,
         "cells": cells,
     }
+    if sweep.interrupted:
+        doc["interrupted"] = True
+    if state_dir is not None:
+        doc["sweep"] = {
+            "sweep_id": sweep.sweep_id,
+            "state_dir": state_dir,
+            "stats": sweep.stats,
+        }
     if max_p is not None:
         doc["max_p"] = max_p
     if topologies is not None:
         doc["topologies"] = list(topologies)
-    if any(c.get("cell") == "scaling" for c in cells):
+    scaling_cells = [
+        c for c in cells
+        if c.get("cell") == "scaling" and c.get("status") is None
+    ]
+    if scaling_cells:
         from ..scale.crossover import crossover_analysis
 
-        doc["crossover"] = crossover_analysis(
-            [c for c in cells if c.get("cell") == "scaling"]
-        )
+        doc["crossover"] = crossover_analysis(scaling_cells)
     return doc
 
 
@@ -277,9 +326,16 @@ def validate_doc(doc: Any) -> list[str]:
         for key, kind in (("suite", str), ("name", str), ("metrics", dict)):
             if not isinstance(cell.get(key), kind):
                 errors.append(f"{where}: missing or mistyped field {key!r}")
+        status = cell.get("status")
+        if status is not None and not isinstance(status, str):
+            errors.append(f"{where}: status must be a string when present")
         metrics = cell.get("metrics")
         if isinstance(metrics, dict):
-            if not isinstance(metrics.get("wall_s"), (int, float)):
+            # Cells that failed (or never ran: timeout/cancelled/pending)
+            # legitimately carry no measurements — status says why.
+            if status is None and not isinstance(
+                metrics.get("wall_s"), (int, float)
+            ):
                 errors.append(f"{where}: metrics.wall_s missing or mistyped")
             for mname, mval in metrics.items():
                 if not isinstance(mval, (int, float)):
@@ -307,9 +363,19 @@ def compare_docs(
     compared = 0
     for cell in current["cells"]:
         key = (cell["suite"], cell["name"])
+        if cell.get("status") is not None:
+            warnings.append(
+                f"{key[0]}/{key[1]}: cell {cell['status']} (not compared)"
+            )
+            continue
         base = base_cells.get(key)
         if base is None:
             warnings.append(f"{key[0]}/{key[1]}: no baseline cell (skipped)")
+            continue
+        if base.get("status") is not None:
+            warnings.append(
+                f"{key[0]}/{key[1]}: baseline cell {base['status']} (skipped)"
+            )
             continue
         sim_now = cell.get("meta", {}).get("sim_elapsed")
         sim_base = base.get("meta", {}).get("sim_elapsed")
@@ -377,6 +443,8 @@ def csv_report(doc: dict[str, Any]) -> str:
         ]
     )
     for cell in doc["cells"]:
+        if cell.get("status") is not None:
+            continue
         meta = cell.get("meta", {})
         common = [
             cell["suite"], cell["name"], cell["cell"],
@@ -402,6 +470,15 @@ def _format_report(doc: dict[str, Any], comparison: dict[str, Any] | None) -> st
              f"calibration {doc['calibration_s'] * 1e3:.1f} ms, "
              f"{doc['workers']} worker(s)"]
     for cell in doc["cells"]:
+        status = cell.get("status")
+        if status is not None:
+            error = (cell.get("error") or "").strip().splitlines()
+            detail = f"  ({error[-1]})" if error else ""
+            lines.append(
+                f"  {cell['suite']:>22}/{cell['name']:<18} "
+                f"{status.upper():>10}{detail}"
+            )
+            continue
         m = cell["metrics"]
         eps = m.get("events_per_sec")
         eps_txt = f"  {eps:>12,.0f} ev/s" if eps is not None else ""
@@ -492,6 +569,28 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="also write a plot-ready long-form CSV report",
     )
     parser.add_argument(
+        "--state-dir",
+        metavar="DIR",
+        default=None,
+        help="journal + result-cache directory (makes the run resumable: "
+        "re-invoke with the same DIR after a crash or Ctrl-C)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-cell wall-clock budget in seconds (hung cells are "
+        "killed and recorded as timeout)",
+    )
+    parser.add_argument(
+        "--self-chaos",
+        default=None,
+        metavar="SPEC",
+        help="inject orchestrator faults while benching, e.g. "
+        "'kill-worker:2' (testing hook)",
+    )
+    parser.add_argument(
         "--list", action="store_true", help="list suites and cells, then exit"
     )
     args = parser.parse_args(argv)
@@ -521,6 +620,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.topologies is not None
         else None
     )
+    self_chaos = None
+    if args.self_chaos is not None:
+        from ..faults.selfchaos import SelfChaos
+
+        parsed = SelfChaos.parse(args.self_chaos)
+        self_chaos = None if parsed.empty else parsed
     try:
         doc = run_suite(
             args.suite,
@@ -528,6 +633,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             repeat=args.repeat,
             max_p=args.max_p,
             topologies=topologies,
+            state_dir=args.state_dir,
+            timeout_s=args.timeout,
+            self_chaos=self_chaos,
         )
     except KeyError as exc:
         print(f"bench: {exc.args[0]}")
@@ -555,6 +663,21 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"bench results written to {args.json}")
     if args.csv is not None:
         print(f"csv report written to {args.csv}")
+    if doc.get("interrupted"):
+        print(
+            "bench: interrupted — partial results persisted"
+            + (
+                f"; resume with --state-dir {args.state_dir}"
+                if args.state_dir
+                else ""
+            )
+        )
+        return 2
+    broken = [c for c in doc["cells"] if c.get("status") is not None]
+    if broken:
+        names = ", ".join(f"{c['suite']}/{c['name']}" for c in broken)
+        print(f"bench: FAILED — {len(broken)} cell(s) did not complete: {names}")
+        return 1
     if comparison is not None and not comparison["ok"]:
         print(
             f"bench: FAILED — {comparison['regressions']} metric(s) regressed "

@@ -15,6 +15,10 @@ Commands:
 - ``figures``  — regenerate the paper's tables/figures (all or by name).
 - ``bench``    — run a named benchmark suite and optionally gate it
                  against a recorded baseline (see ``repro.bench``).
+- ``orchestrate`` — operate crash-safe experiment sweeps: run a jobs
+                 file, inspect/resume/cancel a journaled sweep, and
+                 garbage-collect its result cache
+                 (see ``repro.orchestrator``).
 - ``source``   — show an application's generated SPMD program listing.
 - ``features`` — print the Table 1 feature matrix.
 
@@ -288,17 +292,19 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
-def _results_identical(a: object, b: object) -> bool:
-    """Deep bit-identity between two run results (dicts/arrays/None)."""
-    import numpy as np
+def _chaos_failed_cell(record: object) -> dict[str, object]:
+    """Synthesize a FAILED matrix cell for a job that never completed."""
+    from .orchestrator import JobRecord
 
-    if isinstance(a, dict) and isinstance(b, dict):
-        return a.keys() == b.keys() and all(
-            _results_identical(a[k], b[k]) for k in a
-        )
-    if a is None or b is None:
-        return a is b
-    return bool(np.array_equal(np.asarray(a), np.asarray(b)))
+    assert isinstance(record, JobRecord)
+    error_lines = (record.error or "").strip().splitlines()
+    detail = error_lines[-1] if error_lines else f"job {record.state.value}"
+    return {
+        "app": str(record.spec.params.get("app", record.spec.id)),
+        "plan": "*",
+        "outcome": "FAILED",
+        "detail": f"chaos job did not complete: {detail}",
+    }
 
 
 def _cmd_chaos_hier(args: argparse.Namespace) -> int:
@@ -314,74 +320,74 @@ def _cmd_chaos_hier(args: argparse.Namespace) -> int:
     counters).  PIPELINE / REDUCTION_FRONT apps are skipped: the
     hierarchical plane is PARALLEL_MAP-only, their crash recovery is
     the central runtime's checkpoint machinery (the default matrix).
+    Apps fan out as jobs of an orchestrated sweep (one baseline + both
+    crash cells per job).
     """
     import json
 
-    from .compiler.plan import LoopShape
-    from .faults import FaultPlan, SlaveCrash
-    from .scale import build_tree, hier_can_recover, run_hierarchical
+    from .orchestrator import JobSpec, submit_sweep
+    from .scale import build_tree
 
     apps = args.apps or sorted(REGISTRY)
-    cells: list[dict[str, object]] = []
-    failed = 0
     for app in apps:
         if app not in REGISTRY:
             raise SystemExit(
                 f"chaos: unknown app {app!r}; choices: {', '.join(sorted(REGISTRY))}"
             )
-        plan = _build_plan(app, args.n, args.slaves)
-        if plan.shape is not LoopShape.PARALLEL_MAP:
-            print(f"chaos {app:>8} x hier           skipped ({plan.shape.name})")
-            continue
-        cfg = RunConfig(cluster=ClusterSpec(n_slaves=args.slaves))
-        tree = build_tree(args.slaves, args.fanout)
-        if not tree.internal:
-            raise SystemExit(
-                f"chaos: --slaves {args.slaves} with --fanout {args.fanout} "
-                "builds a flat tree (no sub-masters to crash); "
-                "use more slaves or a smaller fanout"
-            )
-        base = run_hierarchical(plan, cfg, fanout=args.fanout, seed=args.seed)
-        targets = [
-            ("first-submaster", tree.internal[0], 0.4),
-            ("last-submaster", tree.internal[-1], 0.6),
-        ]
-        for label, pid, frac in targets:
-            faults = FaultPlan(
-                name=f"hier-{label}",
-                crashes=(SlaveCrash(pid=pid, at=frac * base.elapsed),),
-            )
-            assert hier_can_recover(tree, faults)
-            cell: dict[str, object] = {
+    tree = build_tree(args.slaves, args.fanout)
+    if not tree.internal:
+        raise SystemExit(
+            f"chaos: --slaves {args.slaves} with --fanout {args.fanout} "
+            "builds a flat tree (no sub-masters to crash); "
+            "use more slaves or a smaller fanout"
+        )
+    specs = [
+        JobSpec(
+            id=f"chaos-hier/{app}",
+            fn="repro.faults.chaosrun:chaos_hier_cells",
+            params={
                 "app": app,
-                "plan": f"hier-{label}",
+                "n": args.n,
+                "slaves": args.slaves,
                 "fanout": args.fanout,
-                "crash_pid": pid,
-            }
-            res = run_hierarchical(
-                plan, cfg, fanout=args.fanout, seed=args.seed, faults=faults
+                "seed": args.seed,
+            },
+            max_retries=1,
+            backoff_s=0.1,
+        )
+        for app in apps
+    ]
+    sweep = submit_sweep(
+        specs,
+        state_dir=args.state_dir,
+        workers=args.workers,
+        meta={"matrix": "chaos-hier"},
+    )
+    cells: list[dict[str, object]] = []
+    failed = 0
+    for record in sweep.records:
+        if not record.ok:
+            cell = _chaos_failed_cell(record)
+            cells.append(cell)
+            failed += 1
+            print(
+                f"chaos {cell['app']:>8} x {'*':<14} FAILED  ({cell['detail']})"
             )
-            identical = _results_identical(res.result, base.result)
-            cell["bit_identical"] = identical
-            cell["deaths"] = res.deaths
-            cell["reparents"] = res.reparents
-            cell["dead_pids"] = list(res.dead_pids)
-            cell["elapsed"] = res.elapsed
-            if identical and res.deaths >= 1 and res.reparents >= 1:
-                cell["outcome"] = "recovered"
-            else:
-                cell["outcome"] = "FAILED"
-                cell["detail"] = (
-                    "results diverged from fault-free baseline"
-                    if not identical
-                    else "crash did not exercise the failure detector"
-                )
-                failed += 1
+            continue
+        row = record.result
+        if row["skipped"] is not None:
+            print(
+                f"chaos {row['app']:>8} x hier           skipped ({row['skipped']})"
+            )
+            continue
+        for cell in row["cells"]:
+            failed += cell["outcome"] == "FAILED"
             cells.append(cell)
             detail = f"  ({cell['detail']})" if "detail" in cell else ""
             print(
-                f"chaos {app:>8} x {cell['plan']:<14} {cell['outcome']}"
-                f"  [pid={pid} deaths={res.deaths} reparents={res.reparents}]"
+                f"chaos {cell['app']:>8} x {cell['plan']:<14} {cell['outcome']}"
+                f"  [pid={cell['crash_pid']} deaths={cell['deaths']}"
+                f" reparents={cell['reparents']}]"
                 f"{detail}"
             )
     ok = failed == 0
@@ -416,14 +422,15 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     Whether a cell may legitimately be lost is decided by
     :func:`repro.runtime.master.can_recover` on the *effective*
     configuration; an unexpected :class:`~repro.errors.SlaveLostError`
-    fails the cell and the command exits nonzero.
+    fails the cell and the command exits nonzero.  Apps fan out as jobs
+    of an orchestrated sweep (one baseline + every plan cell per job);
+    ``--workers`` widens the warm pool and ``--state-dir`` makes the
+    matrix resumable.
     """
     import json
-    import os
 
-    from .errors import FaultPlanError, SlaveLostError
-    from .runtime.launcher import resolve_run_cfg
-    from .runtime.master import can_recover
+    from .errors import FaultPlanError
+    from .orchestrator import JobSpec, submit_sweep
 
     if args.control == "hier":
         return _cmd_chaos_hier(args)
@@ -442,71 +449,58 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     except FaultPlanError as exc:
         print(f"chaos: {exc}")
         return 2
-    if args.reports is not None:
-        os.makedirs(args.reports, exist_ok=True)
-    cells: list[dict[str, object]] = []
-    failed = 0
     for app in apps:
         if app not in REGISTRY:
             raise SystemExit(
                 f"chaos: unknown app {app!r}; choices: {', '.join(sorted(REGISTRY))}"
             )
-        plan = _build_plan(app, args.n, args.slaves)
-        cfg = RunConfig(
-            cluster=ClusterSpec(n_slaves=args.slaves),
-            ckpt=_ckpt_from_args(args),
+    ckpt_cfg = _ckpt_from_args(args)
+    specs = [
+        JobSpec(
+            id=f"chaos/{app}",
+            fn="repro.faults.chaosrun:chaos_app_cells",
+            params={
+                "app": app,
+                "plans": list(plan_names),
+                "n": args.n,
+                "slaves": args.slaves,
+                "seed": args.seed,
+                "fault_seed": args.fault_seed,
+                "ckpt": ckpt_cfg.enabled,
+                "ckpt_interval": ckpt_cfg.interval,
+                "ckpt_placement": ckpt_cfg.placement,
+                "reports_dir": args.reports,
+            },
+            max_retries=1,
+            backoff_s=0.1,
         )
-        base = run_application(plan, cfg, seed=args.seed)
-        base_result = base.result
-        for pname in plan_names:
-            fault_plan = load_plan(pname, seed=args.fault_seed)
-            if fault_plan.needs_horizon:
-                fault_plan = fault_plan.resolved(base.elapsed)
-            recorder = Recorder() if args.reports is not None else None
-            cell: dict[str, object] = {"app": app, "plan": pname}
-            has_crash = bool(fault_plan.crashes)
-            recoverable = can_recover(
-                plan, resolve_run_cfg(cfg, plan, fault_plan)
+        for app in apps
+    ]
+    sweep = submit_sweep(
+        specs,
+        state_dir=args.state_dir,
+        workers=args.workers,
+        meta={"matrix": "chaos"},
+    )
+    cells: list[dict[str, object]] = []
+    failed = 0
+    for record in sweep.records:
+        if not record.ok:
+            cell = _chaos_failed_cell(record)
+            cells.append(cell)
+            failed += 1
+            print(
+                f"chaos {cell['app']:>8} x {'*':<14} FAILED  ({cell['detail']})"
             )
-            try:
-                res = run_application(
-                    plan,
-                    cfg,
-                    seed=args.seed,
-                    faults=fault_plan,
-                    recorder=recorder,
-                )
-            except SlaveLostError as exc:
-                if has_crash and not recoverable:
-                    cell["outcome"] = "lost-expected"
-                    cell["detail"] = str(exc)
-                else:
-                    cell["outcome"] = "FAILED"
-                    cell["detail"] = f"unexpected SlaveLostError: {exc}"
-                    failed += 1
-            else:
-                identical = _results_identical(res.result, base_result)
-                cell["bit_identical"] = identical
-                cell["retransmits"] = res.retransmits
-                cell["messages_lost"] = res.messages_lost
-                cell["dead_pids"] = list(res.dead_pids)
-                cell["elapsed"] = res.elapsed
-                cell["rollbacks"] = res.log.rollbacks
-                cell["units_restored"] = res.log.units_restored
-                cell["ckpt_epochs_committed"] = res.log.ckpt_epochs_committed
-                cell["ckpt_snapshots"] = res.log.ckpt_snapshots
-                if identical:
-                    cell["outcome"] = "recovered" if res.dead_pids else "identical"
-                else:
-                    cell["outcome"] = "FAILED"
-                    cell["detail"] = "results diverged from fault-free baseline"
-                    failed += 1
-                if recorder is not None:
-                    path = os.path.join(args.reports, f"{app}-{pname}.json")
-                    res.make_report().save(path)
+            continue
+        for cell in record.result:
+            failed += cell["outcome"] == "FAILED"
             cells.append(cell)
             detail = f"  ({cell['detail']})" if "detail" in cell else ""
-            print(f"chaos {app:>8} x {pname:<14} {cell['outcome']}{detail}")
+            print(
+                f"chaos {cell['app']:>8} x {cell['plan']:<14} "
+                f"{cell['outcome']}{detail}"
+            )
     ok = failed == 0
     print(
         f"\nchaos: {len(cells)} cell(s), {failed} failure(s) "
@@ -827,6 +821,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=None,
         help="snapshot placement for cells that enable ckpt",
     )
+    p_chaos.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="warm-pool width for app fan-out (default 1: inline)",
+    )
+    p_chaos.add_argument(
+        "--state-dir",
+        metavar="DIR",
+        default=None,
+        help="journal + result-cache directory (makes the matrix resumable)",
+    )
     p_chaos.set_defaults(fn=_cmd_chaos)
 
     p_fig = sub.add_parser("figures", help="regenerate paper tables/figures")
@@ -842,6 +848,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     sub.add_parser(
         "bench",
         help="run a benchmark suite and gate against a baseline",
+        add_help=False,
+    )
+
+    sub.add_parser(
+        "orchestrate",
+        help="operate crash-safe sweeps: run/status/resume/cancel/gc",
         add_help=False,
     )
 
@@ -861,6 +873,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         from .bench import main as bench_main
 
         return bench_main(raw[1:])
+    if raw and raw[0] == "orchestrate":
+        # same arrangement for the sweep operations CLI
+        from .orchestrator.cli import main as orchestrate_main
+
+        return orchestrate_main(raw[1:])
     args = parser.parse_args(raw)
     return args.fn(args)
 

@@ -20,6 +20,7 @@ from .plan import (
     load_plan,
     named_plan,
 )
+from .selfchaos import SelfChaos
 
 __all__ = [
     "NAMED_PLANS",
@@ -27,6 +28,7 @@ __all__ = [
     "FaultPlan",
     "LinkPartition",
     "MessageFault",
+    "SelfChaos",
     "SlaveCrash",
     "SlaveStall",
     "TransportPolicy",

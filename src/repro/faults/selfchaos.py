@@ -1,0 +1,106 @@
+"""Self-chaos: fault injection aimed at the orchestrator itself.
+
+The rest of ``repro.faults`` injects failures into the *simulated*
+cluster.  :class:`SelfChaos` instead injects real process failures into
+``repro.orchestrator`` sweeps — SIGKILLing a warm worker mid-job, or
+the orchestrator process mid-sweep — which is how the resume and
+retry machinery proves itself (the CI ``orchestrator`` job and
+``tests/orchestrator/test_resume.py`` both drive it).
+
+Specs parse from compact CLI strings::
+
+    kill-worker:2                   # SIGKILL the worker running the 2nd dispatch
+    kill-orchestrator:3             # SIGKILL the orchestrator after 3 jobs finish
+    kill-worker:1,kill-orchestrator:4
+
+Each trigger fires at most once per process: a resumed sweep is given a
+fresh spec (or none) by its operator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..errors import FaultPlanError
+
+__all__ = ["SelfChaos"]
+
+
+@dataclass(frozen=True)
+class SelfChaos:
+    """Deterministic kill schedule for orchestrator self-testing.
+
+    ``kill_worker_dispatch`` — 1-based pool-wide dispatch number whose
+    worker is SIGKILLed at job start (the job is retried on a fresh
+    worker).  ``kill_orchestrator_jobs`` — SIGKILL the orchestrator
+    process itself once this many jobs have reached a final state (the
+    sweep must then be resumed from the journal).
+    """
+
+    kill_worker_dispatch: int | None = None
+    kill_orchestrator_jobs: int | None = None
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("kill-worker", self.kill_worker_dispatch),
+            ("kill-orchestrator", self.kill_orchestrator_jobs),
+        ):
+            if value is not None and value < 1:
+                raise FaultPlanError(f"self-chaos {label} wants a count >= 1")
+
+    @property
+    def empty(self) -> bool:
+        """True when no trigger is armed."""
+        return (
+            self.kill_worker_dispatch is None
+            and self.kill_orchestrator_jobs is None
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "SelfChaos":
+        """Parse the ``kill-worker:N,kill-orchestrator:M`` CLI syntax."""
+        worker: int | None = None
+        orchestrator: int | None = None
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            kind, sep, count = part.partition(":")
+            if not sep:
+                raise FaultPlanError(
+                    f"self-chaos trigger {part!r} wants 'kind:count'"
+                )
+            try:
+                n = int(count)
+            except ValueError as exc:
+                raise FaultPlanError(
+                    f"self-chaos trigger {part!r}: bad count {count!r}"
+                ) from exc
+            if kind == "kill-worker":
+                worker = n
+            elif kind == "kill-orchestrator":
+                orchestrator = n
+            else:
+                raise FaultPlanError(
+                    f"unknown self-chaos trigger {kind!r}; "
+                    "choices: kill-worker, kill-orchestrator"
+                )
+        return cls(kill_worker_dispatch=worker, kill_orchestrator_jobs=orchestrator)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe encoding."""
+        return {
+            "kill_worker_dispatch": self.kill_worker_dispatch,
+            "kill_orchestrator_jobs": self.kill_orchestrator_jobs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SelfChaos":
+        """Inverse of :meth:`to_dict`."""
+        worker = data.get("kill_worker_dispatch")
+        orch = data.get("kill_orchestrator_jobs")
+        return cls(
+            kill_worker_dispatch=int(worker) if worker is not None else None,
+            kill_orchestrator_jobs=int(orch) if orch is not None else None,
+        )

@@ -125,6 +125,7 @@ class RunReport:
     dlb: dict[str, float] = field(default_factory=dict)
     faults: dict[str, float] = field(default_factory=dict)
     ckpt: dict[str, float] = field(default_factory=dict)
+    orch: dict[str, float] = field(default_factory=dict)
     slaves: dict[str, dict[str, object]] = field(default_factory=dict)
     imbalance: list[list[float]] = field(default_factory=list)
     overhead: dict[str, object] = field(default_factory=dict)
@@ -147,6 +148,7 @@ class RunReport:
             "dlb": dict(self.dlb),
             "faults": dict(self.faults),
             "ckpt": dict(self.ckpt),
+            "orch": dict(self.orch),
             "slaves": {pid: dict(data) for pid, data in self.slaves.items()},
             "imbalance": [list(point) for point in self.imbalance],
             "overhead": dict(self.overhead),
@@ -184,6 +186,7 @@ class RunReport:
         dlb = {str(k): _as_float(v) for k, v in _obj("dlb").items()}
         faults = {str(k): _as_float(v) for k, v in _obj("faults").items()}
         ckpt = {str(k): _as_float(v) for k, v in _obj("ckpt").items()}
+        orch = {str(k): _as_float(v) for k, v in _obj("orch").items()}
         event_counts = {str(k): _as_int(v) for k, v in _obj("event_counts").items()}
         return cls(
             schema=schema,
@@ -197,6 +200,7 @@ class RunReport:
             dlb=dlb,
             faults=faults,
             ckpt=ckpt,
+            orch=orch,
             slaves=slaves,
             imbalance=imbalance,
             overhead=_obj("overhead"),
@@ -267,6 +271,26 @@ class RunReport:
                             "rollbacks",
                             "slave_restores",
                             "units_restored",
+                        )
+                    }
+                )
+            )
+        if any(self.orch.values()):
+            lines.append(
+                "  orch: jobs={jobs:.0f}  succeeded={succeeded:.0f}  "
+                "cached={cached:.0f}  failed={failed:.0f}  "
+                "timeout={timeout:.0f}  retries={retries:.0f}  "
+                "restarts={worker_restarts:.0f}".format(
+                    **{
+                        k: self.orch.get(k, 0.0)
+                        for k in (
+                            "jobs",
+                            "succeeded",
+                            "cached",
+                            "failed",
+                            "timeout",
+                            "retries",
+                            "worker_restarts",
                         )
                     }
                 )
@@ -400,6 +424,18 @@ def build_run_report(result: RunResultLike, recorder: Recorder) -> RunReport:
         "ctrl_retransmits": metrics.counter_value("ft.ctrl_retransmits"),
     }
 
+    orch: dict[str, float] = {
+        "jobs": metrics.counter_value("orch.jobs.submitted"),
+        "succeeded": metrics.counter_value("orch.jobs.succeeded"),
+        "cached": metrics.counter_value("orch.jobs.cached"),
+        "failed": metrics.counter_value("orch.jobs.failed"),
+        "timeout": metrics.counter_value("orch.jobs.timeout"),
+        "cancelled": metrics.counter_value("orch.jobs.cancelled"),
+        "cache_hits": metrics.counter_value("orch.cache_hits"),
+        "retries": metrics.counter_value("orch.retries"),
+        "worker_restarts": metrics.counter_value("orch.workers.restarted"),
+    }
+
     ckpt: dict[str, float] = {
         "epochs_opened": metrics.counter_value("ckpt.epochs_opened"),
         "epochs_committed": metrics.counter_value("ckpt.epochs_committed"),
@@ -464,6 +500,7 @@ def build_run_report(result: RunResultLike, recorder: Recorder) -> RunReport:
         dlb=dlb,
         faults=faults,
         ckpt=ckpt,
+        orch=orch,
         slaves=slaves,
         imbalance=_imbalance_timeline(log, n),
         overhead=overhead,

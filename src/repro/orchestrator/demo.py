@@ -1,0 +1,60 @@
+"""Deterministic demo jobs for orchestrator tests and the CI sweep.
+
+Every function here is module-level (importable in spawn workers) and
+deterministic in its inputs, so sweeps built on them produce
+byte-identical merged documents across crash/resume cycles — the
+property the CI ``orchestrator`` job asserts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from typing import Any
+
+__all__ = ["flaky", "probe"]
+
+
+def probe(
+    x: int,
+    sleep_s: float = 0.0,
+    hang_s: float = 0.0,
+    fail: bool = False,
+) -> dict[str, Any]:
+    """A deterministic unit of 'work': hash the input, optionally misbehave.
+
+    ``sleep_s`` models real computation time, ``hang_s`` models a stuck
+    job (used with a per-job ``timeout_s`` budget), ``fail`` raises —
+    none of them change the returned value for a given ``x``.
+    """
+    if sleep_s > 0:
+        time.sleep(sleep_s)
+    if hang_s > 0:
+        time.sleep(hang_s)
+    if fail:
+        raise RuntimeError(f"probe({x}) asked to fail")
+    digest = hashlib.sha256(f"probe:{x}".encode()).hexdigest()
+    return {"x": x, "digest": digest[:16], "square": x * x}
+
+
+def flaky(x: int, fail_times: int, marker_dir: str) -> dict[str, Any]:
+    """Fail the first ``fail_times`` calls (per marker file), then succeed.
+
+    The attempt count is tracked in a file under ``marker_dir`` so it
+    survives worker restarts — this is how retry/backoff paths are
+    exercised end-to-end with real process boundaries.  The successful
+    return value depends only on ``x``.
+    """
+    os.makedirs(marker_dir, exist_ok=True)
+    marker = os.path.join(marker_dir, f"flaky-{x}.count")
+    try:
+        with open(marker, encoding="utf-8") as fh:
+            seen = int(fh.read().strip() or "0")
+    except (OSError, ValueError):
+        seen = 0
+    with open(marker, "w", encoding="utf-8") as fh:
+        fh.write(str(seen + 1))
+    if seen < fail_times:
+        raise RuntimeError(f"flaky({x}) failing attempt {seen + 1}/{fail_times}")
+    return probe(x)

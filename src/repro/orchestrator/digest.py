@@ -1,0 +1,65 @@
+"""Content-hash digests for job identity and result caching.
+
+The cache key of a job is a SHA-256 over a *canonical* JSON encoding of
+``(fn, params)``: keys sorted, compact separators, no NaN/Infinity.
+Canonicalization makes the digest independent of dict insertion order,
+process identity, and ``PYTHONHASHSEED`` — two processes that build the
+same job spec always agree on the key, which is what lets a resumed
+sweep (and any later sweep) serve completed cells from the store for
+free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Mapping
+
+__all__ = ["DIGEST_SCHEMA", "canonical_json", "content_digest"]
+
+DIGEST_SCHEMA = "repro-orch-digest/1"
+"""Version tag mixed into every digest; bump to invalidate old caches."""
+
+
+def _jsonable(value: Any) -> Any:
+    """Reject values that would not survive a JSON round-trip intact."""
+    if isinstance(value, float) and (value != value or value in (
+        float("inf"), float("-inf")
+    )):
+        raise ValueError(f"non-finite float {value!r} is not digestable")
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, Mapping):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise ValueError(f"non-string mapping key {key!r} is not digestable")
+            out[key] = _jsonable(item)
+        return out
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    raise ValueError(
+        f"value of type {type(value).__name__} is not digestable; "
+        "job params must be JSON-safe"
+    )
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON text: sorted keys, compact, ASCII-only."""
+    return json.dumps(
+        _jsonable(value),
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+        allow_nan=False,
+    )
+
+
+def content_digest(fn: str, params: Mapping[str, Any]) -> str:
+    """SHA-256 hex digest identifying one job's content.
+
+    Stable across processes and ``PYTHONHASHSEED`` values (pinned by a
+    property test in ``tests/orchestrator/test_digest.py``).
+    """
+    text = canonical_json({"schema": DIGEST_SCHEMA, "fn": fn, "params": params})
+    return hashlib.sha256(text.encode("ascii")).hexdigest()

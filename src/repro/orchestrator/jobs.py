@@ -1,0 +1,163 @@
+"""Job model: specs, lifecycle states, and per-sweep records.
+
+A job is a named call of a module-level function — ``fn`` is a
+``"package.module:callable"`` string so specs are picklable, journalable,
+and resolvable inside spawn workers without shipping code objects.  The
+job's content digest (see :mod:`.digest`) is its cache key.
+"""
+
+from __future__ import annotations
+
+import enum
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from .digest import content_digest
+
+__all__ = [
+    "FINAL_STATES",
+    "JobRecord",
+    "JobSpec",
+    "JobState",
+    "resolve_fn",
+]
+
+
+class JobState(enum.Enum):
+    """Lifecycle of one job inside a sweep.
+
+    ``CACHED`` is a success served from the content-hash store without
+    running anything; ``TIMEOUT`` is a failure whose *last* attempt
+    exceeded the job's wall-clock budget (earlier attempts may have
+    crashed instead).
+    """
+
+    PENDING = "pending"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    CACHED = "cached"
+    FAILED = "failed"
+    TIMEOUT = "timeout"
+    CANCELLED = "cancelled"
+
+
+FINAL_STATES = frozenset(
+    {
+        JobState.SUCCEEDED,
+        JobState.CACHED,
+        JobState.FAILED,
+        JobState.TIMEOUT,
+        JobState.CANCELLED,
+    }
+)
+"""States a job never leaves; everything else is re-runnable on resume."""
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One schedulable unit of work.
+
+    ``params`` must be JSON-safe (they travel through the journal and
+    the digest).  ``priority`` is higher-runs-first; ties dispatch in
+    submission order.  ``timeout_s`` is a per-attempt wall-clock budget
+    enforced by the pool (``None`` means unbounded).  ``max_retries``
+    counts *re*-tries: a job runs at most ``max_retries + 1`` times.
+    """
+
+    id: str
+    fn: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+    priority: int = 0
+    timeout_s: float | None = None
+    max_retries: int = 2
+    backoff_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not self.id:
+            raise ValueError("job id must be non-empty")
+        if ":" not in self.fn:
+            raise ValueError(
+                f"job {self.id!r}: fn must be 'module:callable', got {self.fn!r}"
+            )
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"job {self.id!r}: timeout_s must be positive")
+        if self.max_retries < 0:
+            raise ValueError(f"job {self.id!r}: max_retries must be >= 0")
+        if self.backoff_s < 0:
+            raise ValueError(f"job {self.id!r}: backoff_s must be >= 0")
+
+    @property
+    def digest(self) -> str:
+        """Content-hash cache key of this job (independent of id)."""
+        return content_digest(self.fn, self.params)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe encoding (journal ``job`` records)."""
+        return {
+            "id": self.id,
+            "fn": self.fn,
+            "params": dict(self.params),
+            "priority": self.priority,
+            "timeout_s": self.timeout_s,
+            "max_retries": self.max_retries,
+            "backoff_s": self.backoff_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JobSpec":
+        """Inverse of :meth:`to_dict`."""
+        timeout = data.get("timeout_s")
+        return cls(
+            id=str(data["id"]),
+            fn=str(data["fn"]),
+            params=dict(data.get("params", {})),
+            priority=int(data.get("priority", 0)),
+            timeout_s=float(timeout) if timeout is not None else None,
+            max_retries=int(data.get("max_retries", 2)),
+            backoff_s=float(data.get("backoff_s", 0.25)),
+        )
+
+
+@dataclass
+class JobRecord:
+    """Mutable per-sweep view of one job's progress."""
+
+    spec: JobSpec
+    state: JobState = JobState.PENDING
+    attempts: int = 0
+    error: str | None = None
+    result: Any = None
+
+    @property
+    def final(self) -> bool:
+        """True once the job can never run again in this sweep."""
+        return self.state in FINAL_STATES
+
+    @property
+    def ok(self) -> bool:
+        """True when the job produced a result (fresh or cached)."""
+        return self.state in (JobState.SUCCEEDED, JobState.CACHED)
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-safe status row (no result payload)."""
+        return {
+            "id": self.spec.id,
+            "state": self.state.value,
+            "attempts": self.attempts,
+            "digest": self.spec.digest,
+            "error": self.error,
+        }
+
+
+def resolve_fn(fn: str) -> Callable[..., Any]:
+    """Import and return the callable named by a ``module:callable`` path."""
+    mod_name, sep, attr = fn.partition(":")
+    if not sep or not mod_name or not attr:
+        raise ValueError(f"fn must be 'module:callable', got {fn!r}")
+    target: Any = importlib.import_module(mod_name)
+    for part in attr.split("."):
+        target = getattr(target, part)
+    if not callable(target):
+        raise TypeError(f"{fn!r} resolved to non-callable {target!r}")
+    return target  # type: ignore[no-any-return]

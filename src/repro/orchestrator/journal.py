@@ -1,0 +1,305 @@
+"""Append-only write-ahead journal of sweep state transitions.
+
+The journal is a JSONL file (``<state_dir>/journal.jsonl``) that fully
+describes a sweep: a header record, one ``job`` record per submitted
+spec, and one ``transition`` record per state change.  Every append is
+flushed and fsynced *before* the transition takes effect in memory, so
+a SIGKILLed orchestrator can always be resumed from disk.  A torn final
+line (the crash happened mid-write) is tolerated on replay and simply
+dropped — the transition it described had not happened yet.
+
+Record shapes (``type`` discriminates)::
+
+    {"type": "sweep", "schema": "repro-orch-journal/1",
+     "sweep_id": "...", "created_unix": 1700000000.0, "meta": {...}}
+    {"type": "job", "spec": {...JobSpec.to_dict()...}}
+    {"type": "transition", "job": "id", "state": "running",
+     "attempt": 1, "wall_unix": ..., "detail": null, "digest": null}
+    {"type": "cancel", "job": "id" | "*"}
+
+``repro orchestrate gc`` compacts the journal down to the header, the
+job records, and one final transition per finished job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Any, Mapping
+
+from .jobs import FINAL_STATES, JobSpec, JobState
+
+__all__ = [
+    "JOURNAL_SCHEMA",
+    "Journal",
+    "JournalView",
+    "compact_journal",
+    "replay_journal",
+]
+
+JOURNAL_SCHEMA = "repro-orch-journal/1"
+JOURNAL_NAME = "journal.jsonl"
+
+
+def journal_path(state_dir: str | Path) -> Path:
+    """Location of the journal inside a sweep state directory."""
+    return Path(state_dir) / JOURNAL_NAME
+
+
+class Journal:
+    """Writer half: append records durably, in order.
+
+    With ``state_dir=None`` the journal is a no-op sink (in-memory
+    sweeps still get retry/timeout/caching semantics, just no
+    crash-safety).
+    """
+
+    def __init__(self, state_dir: str | Path | None) -> None:
+        self.path: Path | None = None
+        self._fh: IO[str] | None = None
+        if state_dir is not None:
+            Path(state_dir).mkdir(parents=True, exist_ok=True)
+            self.path = journal_path(state_dir)
+            self._fh = open(self.path, "a", encoding="utf-8")
+
+    @property
+    def persistent(self) -> bool:
+        """True when records actually reach disk."""
+        return self._fh is not None
+
+    def append(self, record: Mapping[str, Any]) -> None:
+        """Durably append one record (write + flush + fsync)."""
+        if self._fh is None:
+            return
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self.flush()
+
+    def flush(self) -> None:
+        """Force buffered records to disk."""
+        if self._fh is not None:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        """Flush and release the file handle (idempotent)."""
+        if self._fh is not None:
+            self.flush()
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- record constructors --------------------------------------------
+
+    def sweep_header(
+        self, sweep_id: str, meta: Mapping[str, Any] | None = None
+    ) -> dict[str, Any]:
+        """Write (and return) the sweep header record."""
+        record = {
+            "type": "sweep",
+            "schema": JOURNAL_SCHEMA,
+            "sweep_id": sweep_id,
+            "created_unix": time.time(),
+            "meta": dict(meta or {}),
+        }
+        self.append(record)
+        return record
+
+    def job(self, spec: JobSpec) -> None:
+        """Record one submitted job spec."""
+        self.append({"type": "job", "spec": spec.to_dict()})
+
+    def transition(
+        self,
+        job_id: str,
+        state: JobState,
+        attempt: int,
+        detail: str | None = None,
+        digest: str | None = None,
+    ) -> None:
+        """Record one job state change (the WAL write)."""
+        self.append(
+            {
+                "type": "transition",
+                "job": job_id,
+                "state": state.value,
+                "attempt": attempt,
+                "wall_unix": time.time(),
+                "detail": detail,
+                "digest": digest,
+            }
+        )
+
+    def cancel(self, job_id: str) -> None:
+        """Record a cancellation request (``"*"`` = every non-final job)."""
+        self.append({"type": "cancel", "job": job_id})
+
+
+@dataclass
+class JournalView:
+    """Reader half: the replayed state of a journal."""
+
+    sweep_id: str = ""
+    created_unix: float = 0.0
+    meta: dict[str, Any] = field(default_factory=dict)
+    specs: list[JobSpec] = field(default_factory=list)
+    states: dict[str, JobState] = field(default_factory=dict)
+    attempts: dict[str, int] = field(default_factory=dict)
+    details: dict[str, str | None] = field(default_factory=dict)
+    digests: dict[str, str] = field(default_factory=dict)
+    cancelled: set[str] = field(default_factory=set)
+    cancel_all: bool = False
+    torn_records: int = 0
+
+    @property
+    def empty(self) -> bool:
+        """True when no sweep header was ever written."""
+        return not self.sweep_id and not self.specs
+
+    def is_cancelled(self, job_id: str) -> bool:
+        """Whether a cancel record covers this job."""
+        return self.cancel_all or job_id in self.cancelled
+
+    def final_state(self, job_id: str) -> JobState | None:
+        """The job's recorded state if it is final, else ``None``."""
+        state = self.states.get(job_id)
+        return state if state is not None and state in FINAL_STATES else None
+
+    def pending_specs(self) -> list[JobSpec]:
+        """Specs that still need running (non-final and not cancelled)."""
+        return [
+            spec
+            for spec in self.specs
+            if self.final_state(spec.id) is None and not self.is_cancelled(spec.id)
+        ]
+
+
+def replay_journal(state_dir: str | Path) -> JournalView:
+    """Rebuild sweep state from the journal (tolerates a torn tail).
+
+    Lines that fail to parse are counted in ``torn_records`` — only a
+    crash mid-append produces them, and only as the final line; any
+    mid-file garbage also lands there rather than aborting the replay,
+    because a partial view still names every job that durably reached a
+    final state.
+    """
+    view = JournalView()
+    path = journal_path(state_dir)
+    if not path.exists():
+        return view
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                view.torn_records += 1
+                continue
+            if not isinstance(record, dict):
+                view.torn_records += 1
+                continue
+            kind = record.get("type")
+            try:
+                if kind == "sweep":
+                    view.sweep_id = str(record["sweep_id"])
+                    view.created_unix = float(record["created_unix"])
+                    meta = record.get("meta", {})
+                    view.meta = dict(meta) if isinstance(meta, dict) else {}
+                elif kind == "job":
+                    spec = JobSpec.from_dict(record["spec"])
+                    if all(existing.id != spec.id for existing in view.specs):
+                        view.specs.append(spec)
+                elif kind == "transition":
+                    job_id = str(record["job"])
+                    view.states[job_id] = JobState(record["state"])
+                    view.attempts[job_id] = int(record.get("attempt", 0))
+                    detail = record.get("detail")
+                    view.details[job_id] = (
+                        str(detail) if detail is not None else None
+                    )
+                    digest = record.get("digest")
+                    if digest is not None:
+                        view.digests[job_id] = str(digest)
+                elif kind == "cancel":
+                    target = str(record["job"])
+                    if target == "*":
+                        view.cancel_all = True
+                    else:
+                        view.cancelled.add(target)
+                else:
+                    view.torn_records += 1
+            except (KeyError, TypeError, ValueError):
+                view.torn_records += 1
+    return view
+
+
+def compact_journal(state_dir: str | Path) -> int:
+    """Rewrite the journal keeping only what resume needs.
+
+    Keeps the header, every job spec, the latest transition per job, and
+    collapses cancel records.  Returns the number of records dropped.
+    The rewrite lands via atomic rename so a crash mid-compaction leaves
+    the old journal intact.
+    """
+    path = journal_path(state_dir)
+    if not path.exists():
+        return 0
+    with open(path, encoding="utf-8") as fh:
+        before = sum(1 for line in fh if line.strip())
+    view = replay_journal(state_dir)
+    tmp = path.with_suffix(".jsonl.tmp")
+    kept = 0
+    with open(tmp, "w", encoding="utf-8") as fh:
+        def emit(record: Mapping[str, Any]) -> None:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+        if view.sweep_id or view.specs:
+            emit(
+                {
+                    "type": "sweep",
+                    "schema": JOURNAL_SCHEMA,
+                    "sweep_id": view.sweep_id,
+                    "created_unix": view.created_unix,
+                    "meta": view.meta,
+                }
+            )
+            kept += 1
+        for spec in view.specs:
+            emit({"type": "job", "spec": spec.to_dict()})
+            kept += 1
+        for spec in view.specs:
+            state = view.states.get(spec.id)
+            if state is None:
+                continue
+            emit(
+                {
+                    "type": "transition",
+                    "job": spec.id,
+                    "state": state.value,
+                    "attempt": view.attempts.get(spec.id, 0),
+                    "wall_unix": view.created_unix,
+                    "detail": view.details.get(spec.id),
+                    "digest": view.digests.get(spec.id),
+                }
+            )
+            kept += 1
+        if view.cancel_all:
+            emit({"type": "cancel", "job": "*"})
+            kept += 1
+        else:
+            for job_id in sorted(view.cancelled):
+                emit({"type": "cancel", "job": job_id})
+                kept += 1
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    return max(0, before - kept)

@@ -1,0 +1,162 @@
+"""Content-hash provenance store: ``digest -> result`` documents.
+
+Results live one JSON file per digest under
+``<state_dir>/results/<aa>/<digest>.json`` (two-level fan-out keeps
+directories small on big sweeps).  Writes land via temp-file +
+atomic rename, so a crash can never leave a half-written result that a
+resume would then trust.  With ``state_dir=None`` the store is a plain
+in-process dict (dedup within one sweep, no persistence).
+
+Retention (``repro orchestrate gc``): :func:`ResultStore.gc` prunes by
+age and count; :func:`gc_state_dir` bundles that with journal
+compaction.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any
+
+from .journal import compact_journal, replay_journal
+
+__all__ = ["ResultStore", "gc_state_dir"]
+
+RESULTS_DIR = "results"
+
+
+class ResultStore:
+    """Crash-safe cache of job results keyed by content digest."""
+
+    def __init__(self, state_dir: str | Path | None) -> None:
+        self.root: Path | None = None
+        self._mem: dict[str, Any] = {}
+        if state_dir is not None:
+            self.root = Path(state_dir) / RESULTS_DIR
+            self.root.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def persistent(self) -> bool:
+        """True when results survive this process."""
+        return self.root is not None
+
+    def path(self, digest: str) -> Path:
+        """On-disk location for one digest (persistent stores only)."""
+        if self.root is None:
+            raise ValueError("in-memory store has no paths")
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def get(self, digest: str) -> Any:
+        """The stored result, or ``None`` when absent or unreadable."""
+        if self.root is None:
+            return self._mem.get(digest)
+        path = self.path(digest)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(doc, dict) or "result" not in doc:
+            return None
+        return doc["result"]
+
+    def put(self, digest: str, result: Any) -> None:
+        """Persist one result atomically (write temp, fsync, rename)."""
+        if self.root is None:
+            self._mem[digest] = result
+            return
+        path = self.path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {"digest": digest, "stored_unix": time.time(), "result": result}
+        tmp = path.with_suffix(f".tmp-{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+
+    def __contains__(self, digest: str) -> bool:
+        return self.get(digest) is not None
+
+    def entries(self) -> list[tuple[str, float, Path]]:
+        """(digest, mtime, path) for every stored result, oldest first."""
+        if self.root is None:
+            return []
+        out: list[tuple[str, float, Path]] = []
+        for path in self.root.glob("*/*.json"):
+            try:
+                out.append((path.stem, path.stat().st_mtime, path))
+            except OSError:
+                continue
+        out.sort(key=lambda entry: (entry[1], entry[0]))
+        return out
+
+    def gc(
+        self,
+        max_age_s: float | None = None,
+        max_entries: int | None = None,
+        keep: set[str] | None = None,
+    ) -> int:
+        """Prune stored results by age and count; returns removals.
+
+        ``keep`` digests are never pruned (the live sweep's results).
+        Age is checked first; the count cap then evicts oldest-first.
+        Leftover temp files from crashed writers are always removed.
+        """
+        if self.root is None:
+            return 0
+        removed = 0
+        for tmp in self.root.glob("*/*.tmp-*"):
+            try:
+                tmp.unlink()
+            except OSError:
+                continue
+        protected = keep or set()
+        now = time.time()
+        survivors: list[tuple[str, float, Path]] = []
+        for digest, mtime, path in self.entries():
+            if digest in protected:
+                continue
+            if max_age_s is not None and now - mtime > max_age_s:
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+                continue
+            survivors.append((digest, mtime, path))
+        if max_entries is not None:
+            budget = max(0, max_entries - len(protected))
+            excess = len(survivors) - budget
+            for _, _, path in survivors[:max(0, excess)]:
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+
+def gc_state_dir(
+    state_dir: str | Path,
+    max_age_s: float | None = None,
+    max_entries: int | None = None,
+    keep_referenced: bool = True,
+) -> dict[str, int]:
+    """Retention pass over one sweep state directory.
+
+    Prunes the result store (age + count policy, keeping results the
+    journal still references when ``keep_referenced``) and compacts the
+    journal.  Returns ``{"results_removed": n, "journal_dropped": m}``.
+    """
+    view = replay_journal(state_dir)
+    keep: set[str] = set()
+    if keep_referenced:
+        keep = set(view.digests.values())
+        keep.update(spec.digest for spec in view.specs)
+    store = ResultStore(state_dir)
+    removed = store.gc(max_age_s=max_age_s, max_entries=max_entries, keep=keep)
+    dropped = compact_journal(state_dir)
+    return {"results_removed": removed, "journal_dropped": dropped}

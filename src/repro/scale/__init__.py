@@ -16,6 +16,7 @@ evaluated in the scaling-crossover study (see ``docs/scaling.md``):
   control planes.
 """
 
+from .crossover import crossover_analysis, crossover_sweep
 from .hierarchy import (
     HierarchyConfig,
     HierarchyResult,
@@ -31,6 +32,8 @@ __all__ = [
     "HierarchyConfig",
     "HierarchyResult",
     "build_tree",
+    "crossover_analysis",
+    "crossover_sweep",
     "hier_can_recover",
     "run_hierarchical",
     "SyntheticBag",

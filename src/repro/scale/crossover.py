@@ -43,12 +43,15 @@ from .workload import synthetic_bag
 __all__ = [
     "ANALYSIS_SCHEMA",
     "REGIMES",
+    "SWEEP_SCHEMA",
     "cell_scaling",
     "crossover_analysis",
+    "crossover_sweep",
     "regime_loads",
 ]
 
 ANALYSIS_SCHEMA = "repro-crossover/1"
+SWEEP_SCHEMA = "repro-crossover-sweep/1"
 
 #: Fraction of leaves that carry competing load, as ``pid % LOAD_STRIDE == 0``.
 LOAD_STRIDE = 4
@@ -162,6 +165,70 @@ def cell_scaling(
             "messages": messages,
             "winner": winner,
         },
+    }
+
+
+def crossover_sweep(
+    ps: Sequence[int] = (8, 32, 64, 128),
+    regimes: Sequence[str] = REGIMES,
+    *,
+    fanouts: Sequence[int] = (4, 8, 16),
+    seed: int = 0,
+    state_dir: str | None = None,
+    workers: int = 1,
+    timeout_s: float | None = None,
+    recorder: Any = None,
+) -> dict[str, Any]:
+    """Run the (P, regime) crossover grid as an orchestrated sweep.
+
+    Each grid point is one :func:`cell_scaling` job submitted to
+    :func:`repro.orchestrator.submit_sweep` — with a ``state_dir`` the
+    study is resumable after a crash and repeated points are served from
+    the content-hash cache.  Returns a schema-tagged document with the
+    completed cells, any failed/timeout points (the sweep degrades
+    rather than aborts), and the :func:`crossover_analysis` reduction
+    over whatever completed.
+    """
+    from ..orchestrator import JobSpec, submit_sweep
+
+    for regime in regimes:
+        if regime not in REGIMES:
+            raise ConfigError(
+                f"unknown load regime {regime!r}; choices: {', '.join(REGIMES)}"
+            )
+    specs = [
+        JobSpec(
+            id=f"P{P}_{regime}",
+            fn="repro.scale.crossover:cell_scaling",
+            params={
+                "P": int(P),
+                "regime": regime,
+                "fanouts": list(fanouts),
+                "seed": seed,
+            },
+            timeout_s=timeout_s,
+            max_retries=1,
+            backoff_s=0.1,
+        )
+        for P in ps
+        for regime in regimes
+    ]
+    sweep = submit_sweep(
+        specs,
+        state_dir=state_dir,
+        workers=workers,
+        meta={"study": "crossover", "ps": [int(P) for P in ps]},
+        recorder=recorder,
+    )
+    cells = [record.result for record in sweep.records if record.ok]
+    return {
+        "schema": SWEEP_SCHEMA,
+        "sweep_id": sweep.sweep_id,
+        "interrupted": sweep.interrupted,
+        "cells": cells,
+        "failed": [r.summary() for r in sweep.failed_records()],
+        "stats": sweep.stats,
+        "analysis": crossover_analysis(cells),
     }
 
 

@@ -1,0 +1,124 @@
+"""`repro orchestrate` flows: run / status / resume / cancel / gc."""
+
+import json
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.orchestrator.cli import main as orch_main
+from repro.orchestrator.demo import probe
+
+
+def _write_jobs(tmp_path, jobs):
+    path = tmp_path / "jobs.json"
+    path.write_text(json.dumps(jobs), encoding="utf-8")
+    return str(path)
+
+
+def _jobs(n=2, **extra):
+    return [
+        {
+            "id": f"job{i}",
+            "fn": "repro.orchestrator.demo:probe",
+            "params": {"x": i, **extra},
+            "backoff_s": 0.0,
+        }
+        for i in range(n)
+    ]
+
+
+def test_run_status_and_doc(tmp_path, capsys):
+    jobs = _write_jobs(tmp_path, _jobs(2))
+    state = str(tmp_path / "state")
+    doc_path = tmp_path / "doc.json"
+    assert orch_main(["run", jobs, "--state-dir", state,
+                      "--json", str(doc_path)]) == 0
+    out = capsys.readouterr().out
+    assert "succeeded=2" in out
+    doc = json.loads(doc_path.read_text(encoding="utf-8"))
+    assert doc["schema"] == "repro-orch-sweep/1"
+    assert doc["results"]["job1"] == probe(1)
+
+    assert orch_main(["status", "--state-dir", state]) == 0
+    out = capsys.readouterr().out
+    assert "[cached]" in out  # results sit in the content store
+
+    # Re-run of the completed sweep: zero work, byte-identical doc.
+    doc2_path = tmp_path / "doc2.json"
+    assert orch_main(["resume", "--state-dir", state,
+                      "--json", str(doc2_path)]) == 0
+    assert doc2_path.read_bytes() == doc_path.read_bytes()
+
+
+def test_run_reports_failures_with_exit_1(tmp_path, capsys):
+    jobs = _jobs(1) + [
+        {
+            "id": "bad",
+            "fn": "repro.orchestrator.demo:probe",
+            "params": {"x": 9, "fail": True},
+            "max_retries": 0,
+            "backoff_s": 0.0,
+        }
+    ]
+    assert orch_main(["run", _write_jobs(tmp_path, jobs)]) == 1
+    out = capsys.readouterr().out
+    assert "failed=1" in out
+    assert "bad" in out and "asked to fail" in out
+
+
+def test_cancel_then_resume(tmp_path, capsys):
+    jobs = _write_jobs(tmp_path, _jobs(2))
+    state = str(tmp_path / "state")
+    assert orch_main(["run", jobs, "--state-dir", state]) == 0
+    capsys.readouterr()
+    assert orch_main(["cancel", "--state-dir", state, "job1"]) == 0
+    assert "takes effect" in capsys.readouterr().out
+    # Finalized jobs stay final: resume still reports both succeeded.
+    assert orch_main(["resume", "--state-dir", state]) == 0
+    assert "succeeded=2" in capsys.readouterr().out
+
+
+def test_operator_errors_exit_2(tmp_path, capsys):
+    missing = str(tmp_path / "missing")
+    assert orch_main(["status", "--state-dir", missing]) == 0  # empty view
+    capsys.readouterr()
+    assert orch_main(["resume", "--state-dir", missing]) == 2
+    assert "nothing to resume" in capsys.readouterr().err
+    assert orch_main(["run", str(tmp_path / "nope.json")]) == 2
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"not": "a list"}', encoding="utf-8")
+    assert orch_main(["run", str(bad)]) == 2
+
+
+def test_gc_flow(tmp_path, capsys):
+    jobs = _write_jobs(tmp_path, _jobs(2))
+    state = str(tmp_path / "state")
+    assert orch_main(["run", jobs, "--state-dir", state]) == 0
+    capsys.readouterr()
+    # Referenced results survive a default gc; --drop-referenced with a
+    # zero budget clears the store.
+    assert orch_main(["gc", "--state-dir", state]) == 0
+    assert "removed 0 result(s)" in capsys.readouterr().out
+    assert orch_main(["gc", "--state-dir", state, "--max-entries", "0",
+                      "--drop-referenced"]) == 0
+    assert "removed 2 result(s)" in capsys.readouterr().out
+    # Resume after the purge re-runs the jobs rather than trusting air.
+    assert orch_main(["resume", "--state-dir", state]) == 0
+    assert "succeeded=2" in capsys.readouterr().out
+
+
+def test_self_chaos_flag_parses(tmp_path):
+    from repro.errors import FaultPlanError
+
+    jobs = _write_jobs(tmp_path, _jobs(1))
+    with pytest.raises(FaultPlanError):
+        orch_main(["run", jobs, "--self-chaos", "explode:1"])
+
+
+def test_repro_cli_delegates_orchestrate(tmp_path, capsys):
+    jobs = _write_jobs(tmp_path, _jobs(1))
+    state = str(tmp_path / "state")
+    assert repro_main(["orchestrate", "run", jobs, "--state-dir", state]) == 0
+    assert "succeeded=1" in capsys.readouterr().out
+    assert repro_main(["orchestrate", "status", "--state-dir", state]) == 0
+    assert "succeeded=1" in capsys.readouterr().out

@@ -1,0 +1,223 @@
+"""Sweep engine semantics: retries, timeouts, cache, cancel, resume."""
+
+import json
+
+import pytest
+
+from repro.orchestrator import (
+    JobSpec,
+    JobState,
+    Journal,
+    cancel_sweep,
+    resume_sweep,
+    run_callable,
+    submit_sweep,
+    sweep_status,
+)
+from repro.orchestrator.demo import probe
+from repro.orchestrator.journal import journal_path
+
+
+def _probe(i: int, **kw) -> JobSpec:
+    spec_kw = {k: kw.pop(k) for k in list(kw) if k in (
+        "priority", "timeout_s", "max_retries", "backoff_s"
+    )}
+    return JobSpec(
+        id=f"job{i}",
+        fn="repro.orchestrator.demo:probe",
+        params={"x": i, **kw},
+        **spec_kw,
+    )
+
+
+def test_inline_success_and_results():
+    sweep = submit_sweep([_probe(1), _probe(2)])
+    assert sweep.ok and not sweep.interrupted
+    assert sweep.results["job1"] == probe(1)
+    assert sweep.results["job2"]["square"] == 4
+    assert sweep.stats["succeeded"] == 2
+    assert sweep.record("job1").attempts == 1
+    with pytest.raises(KeyError):
+        sweep.record("nope")
+
+
+def test_duplicate_job_ids_rejected():
+    with pytest.raises(ValueError, match="duplicate"):
+        submit_sweep([_probe(1), _probe(1)])
+
+
+def test_failure_degrades_not_aborts(tmp_path):
+    sweep = submit_sweep(
+        [
+            _probe(1, fail=True, max_retries=1, backoff_s=0.0),
+            _probe(2),
+        ],
+        state_dir=tmp_path,
+    )
+    assert not sweep.ok
+    bad = sweep.record("job1")
+    assert bad.state is JobState.FAILED
+    assert bad.attempts == 2  # max_retries=1 -> two attempts total
+    assert "asked to fail" in (bad.error or "")
+    assert sweep.record("job2").ok  # the sweep carried on
+    assert sweep.stats["failed"] == 1 and sweep.stats["retries"] == 1
+    assert [r.spec.id for r in sweep.failed_records()] == ["job1"]
+
+
+def test_retry_until_flaky_succeeds(tmp_path):
+    spec = JobSpec(
+        id="flaky",
+        fn="repro.orchestrator.demo:flaky",
+        params={"x": 3, "fail_times": 2, "marker_dir": str(tmp_path / "m")},
+        max_retries=2,
+        backoff_s=0.0,
+    )
+    sweep = submit_sweep([spec], state_dir=tmp_path / "state")
+    record = sweep.record("flaky")
+    assert record.ok and record.attempts == 3
+    assert record.result == probe(3)
+    assert sweep.stats["retries"] == 2
+
+
+def test_inline_timeout(tmp_path):
+    sweep = submit_sweep(
+        [
+            _probe(1, sleep_s=0.3, timeout_s=0.05, max_retries=0),
+            _probe(2),
+        ],
+        state_dir=tmp_path,
+    )
+    assert sweep.record("job1").state is JobState.TIMEOUT
+    assert "budget" in (sweep.record("job1").error or "")
+    assert sweep.record("job2").ok
+    assert sweep.stats["timeout"] == 1
+
+
+def test_priority_orders_dispatch(tmp_path):
+    sweep = submit_sweep(
+        [
+            _probe(1, priority=0),
+            _probe(2, priority=5),
+            _probe(3, priority=5),
+            _probe(4, priority=1),
+        ],
+        state_dir=tmp_path,
+    )
+    assert sweep.ok
+    with open(journal_path(tmp_path), encoding="utf-8") as fh:
+        dispatched = [
+            rec["job"]
+            for rec in map(json.loads, fh)
+            if rec.get("type") == "transition" and rec["state"] == "running"
+        ]
+    # Higher priority first; ties keep submission order.
+    assert dispatched == ["job2", "job3", "job4", "job1"]
+
+
+def test_cache_hit_across_sweeps(tmp_path):
+    first = submit_sweep([_probe(7)], state_dir=tmp_path)
+    assert first.record("job7").state is JobState.SUCCEEDED
+    # Same (fn, params) under a different id: served from the store.
+    alias = JobSpec(
+        id="alias", fn="repro.orchestrator.demo:probe", params={"x": 7}
+    )
+    second = submit_sweep([alias], state_dir=tmp_path)
+    record = second.record("alias")
+    assert record.state is JobState.CACHED
+    assert record.ok and record.result == probe(7)
+    assert record.attempts == 0  # nothing executed
+    assert second.stats["cache_hits"] == 1
+
+
+def test_completed_rerun_is_zero_work_and_byte_identical(tmp_path):
+    jobs = [_probe(1), _probe(2), _probe(3)]
+    first = submit_sweep(jobs, state_dir=tmp_path, meta={"suite": "t"})
+    again = submit_sweep(jobs, state_dir=tmp_path, meta={"suite": "t"})
+    assert again.stats["resumed"] == 3  # everything restored from journal
+    assert again.stats["succeeded"] == 0  # zero simulation work
+    for record in again.records:
+        assert record.ok
+    doc_a = json.dumps(first.merged_doc(), sort_keys=True)
+    doc_b = json.dumps(again.merged_doc(), sort_keys=True)
+    assert doc_a == doc_b
+
+
+def test_resume_reruns_when_result_store_lost(tmp_path):
+    jobs = [_probe(1)]
+    submit_sweep(jobs, state_dir=tmp_path)
+    # Journal says done, but the results were GC'd away.
+    for path in (tmp_path / "results").glob("*/*.json"):
+        path.unlink()
+    again = submit_sweep(jobs, state_dir=tmp_path)
+    record = again.record("job1")
+    assert record.state is JobState.SUCCEEDED  # re-ran, not trusted blindly
+    assert record.result == probe(1)
+
+
+def test_resume_reconstructs_specs_from_journal(tmp_path):
+    submit_sweep([_probe(1), _probe(2)], state_dir=tmp_path)
+    resumed = resume_sweep(tmp_path)
+    assert {r.spec.id for r in resumed.records} == {"job1", "job2"}
+    assert all(r.ok for r in resumed.records)
+    assert resumed.stats["resumed"] == 2
+
+
+def test_resume_without_journal_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        resume_sweep(tmp_path / "nothing")
+
+
+def test_cancel_before_run(tmp_path):
+    # Journal a sweep that never executed (e.g. operator queued it).
+    with Journal(tmp_path) as journal:
+        journal.sweep_header("s1", None)
+        journal.job(_probe(1))
+        journal.job(_probe(2))
+    assert cancel_sweep(tmp_path, ["job1"]) == 1
+    with pytest.raises(KeyError):
+        cancel_sweep(tmp_path, ["missing"])
+    resumed = resume_sweep(tmp_path)
+    assert resumed.record("job1").state is JobState.CANCELLED
+    assert resumed.record("job2").state is JobState.SUCCEEDED
+    assert resumed.stats["cancelled"] == 1
+
+
+def test_cancel_all_pending(tmp_path):
+    with Journal(tmp_path) as journal:
+        journal.sweep_header("s1", None)
+        journal.job(_probe(1))
+        journal.job(_probe(2))
+    assert cancel_sweep(tmp_path) == 2
+    resumed = resume_sweep(tmp_path)
+    assert all(r.state is JobState.CANCELLED for r in resumed.records)
+
+
+def test_sweep_status_counts(tmp_path):
+    submit_sweep(
+        [_probe(1), _probe(2, fail=True, max_retries=0, backoff_s=0.0)],
+        state_dir=tmp_path,
+    )
+    status = sweep_status(tmp_path)
+    assert status["counts"] == {"succeeded": 1, "failed": 1}
+    rows = {row["id"]: row for row in status["jobs"]}
+    assert rows["job1"]["cached"] is True  # result present in the store
+    assert rows["job2"]["error"]
+
+
+def test_run_callable_builds_resolvable_path():
+    assert run_callable(probe) == "repro.orchestrator.demo:probe"
+    with pytest.raises((ImportError, AttributeError, TypeError, ValueError)):
+        run_callable(lambda x: x)
+
+
+def test_make_report_carries_orch_section():
+    sweep = submit_sweep([_probe(1)])
+    report = sweep.make_report()
+    assert report.orch["succeeded"] == 1.0
+    assert report.name == f"sweep:{sweep.sweep_id}"
+    assert "orch" in report.to_dict()
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError, match="mode"):
+        submit_sweep([_probe(1)], mode="turbo")

@@ -1,0 +1,92 @@
+"""Content-digest stability: the cache key must never depend on the process."""
+
+import json
+import math
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.orchestrator import canonical_json, content_digest
+
+# JSON-safe params: finite numbers, strings, bools, None, nested containers.
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+)
+json_values = st.recursive(
+    json_scalars,
+    lambda inner: st.one_of(
+        st.lists(inner, max_size=4),
+        st.dictionaries(st.text(max_size=8), inner, max_size=4),
+    ),
+    max_leaves=12,
+)
+json_params = st.dictionaries(st.text(max_size=8), json_values, max_size=4)
+
+
+@given(params=json_params)
+@settings(max_examples=60, deadline=None)
+def test_digest_is_canonical_under_key_order(params):
+    reordered = json.loads(
+        json.dumps(params, sort_keys=True),
+        object_pairs_hook=lambda kv: dict(reversed(kv)),
+    )
+    assert content_digest("m:f", params) == content_digest("m:f", reordered)
+
+
+@given(params=json_params)
+@settings(max_examples=30, deadline=None)
+def test_canonical_json_round_trips(params):
+    assert json.loads(canonical_json(params)) == json.loads(
+        json.dumps(params, sort_keys=True)
+    )
+
+
+def _digest_in_subprocess(hashseed: str) -> str:
+    """Compute one digest in a fresh interpreter with a forced hash seed."""
+    code = (
+        "from repro.orchestrator import content_digest;"
+        "print(content_digest('mod:fn',"
+        " {'b': [1, 2.5, None], 'a': {'z': 'x', 'y': True}}))"
+    )
+    root = Path(__file__).resolve().parents[2]
+    env = dict(os.environ, PYTHONPATH=str(root / "src"), PYTHONHASHSEED=hashseed)
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        check=True,
+        env=env,
+        cwd=str(root),
+    )
+    return out.stdout.strip()
+
+
+def test_digest_stable_across_processes_and_hash_seeds():
+    digests = {_digest_in_subprocess(seed) for seed in ("0", "1", "31337")}
+    assert len(digests) == 1
+    local = content_digest("mod:fn", {"b": [1, 2.5, None], "a": {"z": "x", "y": True}})
+    assert digests == {local}
+
+
+def test_digest_differs_by_fn_and_params():
+    base = content_digest("m:f", {"x": 1})
+    assert content_digest("m:g", {"x": 1}) != base
+    assert content_digest("m:f", {"x": 2}) != base
+
+
+def test_non_finite_and_unsafe_values_rejected():
+    with pytest.raises(ValueError):
+        canonical_json({"x": math.nan})
+    with pytest.raises(ValueError):
+        canonical_json({"x": math.inf})
+    with pytest.raises((TypeError, ValueError)):
+        canonical_json({"x": object()})

@@ -1,0 +1,108 @@
+"""Write-ahead journal: durability, torn tails, replay, compaction."""
+
+import json
+
+from repro.orchestrator import (
+    Journal,
+    JobSpec,
+    JobState,
+    compact_journal,
+    replay_journal,
+)
+from repro.orchestrator.journal import journal_path
+
+
+def _spec(i: int, **kw) -> JobSpec:
+    return JobSpec(id=f"j{i}", fn="repro.orchestrator.demo:probe",
+                   params={"x": i}, **kw)
+
+
+def test_round_trip(tmp_path):
+    with Journal(tmp_path) as journal:
+        journal.sweep_header("s1", {"suite": "t"})
+        journal.job(_spec(0))
+        journal.job(_spec(1, priority=3, timeout_s=5.0))
+        journal.transition("j0", JobState.RUNNING, 1)
+        journal.transition("j0", JobState.SUCCEEDED, 1, digest="d0")
+        journal.transition("j1", JobState.RUNNING, 1)
+    view = replay_journal(tmp_path)
+    assert view.sweep_id == "s1"
+    assert view.meta == {"suite": "t"}
+    assert [s.id for s in view.specs] == ["j0", "j1"]
+    assert view.specs[1].priority == 3
+    assert view.specs[1].timeout_s == 5.0
+    assert view.final_state("j0") is JobState.SUCCEEDED
+    assert view.digests["j0"] == "d0"
+    # j1 was RUNNING at "crash": not final, so it must re-run on resume.
+    assert view.final_state("j1") is None
+    assert [s.id for s in view.pending_specs()] == ["j1"]
+    assert view.torn_records == 0
+
+
+def test_torn_tail_tolerated(tmp_path):
+    with Journal(tmp_path) as journal:
+        journal.sweep_header("s1", None)
+        journal.job(_spec(0))
+        journal.transition("j0", JobState.SUCCEEDED, 1, digest="d0")
+    # Simulate a crash mid-append: garbage partial line at the end.
+    with open(journal_path(tmp_path), "a", encoding="utf-8") as fh:
+        fh.write('{"type": "transition", "job": "j0", "sta')
+    view = replay_journal(tmp_path)
+    assert view.torn_records == 1
+    assert view.final_state("j0") is JobState.SUCCEEDED
+
+
+def test_replay_missing_journal_is_empty(tmp_path):
+    view = replay_journal(tmp_path)
+    assert view.empty
+    assert view.pending_specs() == []
+
+
+def test_cancel_records(tmp_path):
+    with Journal(tmp_path) as journal:
+        journal.sweep_header("s1", None)
+        journal.job(_spec(0))
+        journal.job(_spec(1))
+        journal.cancel("j0")
+    view = replay_journal(tmp_path)
+    assert view.is_cancelled("j0") and not view.is_cancelled("j1")
+    with Journal(tmp_path) as journal:
+        journal.cancel("*")
+    view = replay_journal(tmp_path)
+    assert view.is_cancelled("j1")
+
+
+def test_compaction_keeps_resume_state(tmp_path):
+    with Journal(tmp_path) as journal:
+        journal.sweep_header("s1", {"k": 1})
+        journal.job(_spec(0))
+        journal.job(_spec(1))
+        # Lots of churn on j0: retries before the final state.
+        for attempt in (1, 2, 3):
+            journal.transition("j0", JobState.RUNNING, attempt)
+            journal.transition("j0", JobState.PENDING, attempt, detail="boom")
+        journal.transition("j0", JobState.FAILED, 3, detail="boom")
+        journal.cancel("j1")
+    before = replay_journal(tmp_path)
+    dropped = compact_journal(tmp_path)
+    assert dropped > 0
+    after = replay_journal(tmp_path)
+    assert after.sweep_id == before.sweep_id
+    assert after.meta == before.meta
+    assert [s.id for s in after.specs] == [s.id for s in before.specs]
+    assert after.final_state("j0") is JobState.FAILED
+    assert after.details["j0"] == "boom"
+    assert after.is_cancelled("j1")
+    # Compaction is idempotent.
+    assert compact_journal(tmp_path) == 0
+
+
+def test_appends_are_valid_json_lines(tmp_path):
+    with Journal(tmp_path) as journal:
+        journal.sweep_header("s1", None)
+        journal.job(_spec(0))
+        journal.transition("j0", JobState.RUNNING, 1)
+    with open(journal_path(tmp_path), encoding="utf-8") as fh:
+        for line in fh:
+            record = json.loads(line)
+            assert isinstance(record, dict) and "type" in record

@@ -1,0 +1,127 @@
+"""Warm pool behaviour: reuse across sweeps, crash restart, self-chaos.
+
+These run real spawn workers, so they are slower than the rest of the
+orchestrator suite; each one keeps the job count tiny.
+"""
+
+import pytest
+
+from repro.faults import SelfChaos
+from repro.orchestrator import JobSpec, JobState, submit_sweep
+from repro.orchestrator.pool import WarmPool, get_pool, shutdown_pools
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pools():
+    shutdown_pools()
+    yield
+    shutdown_pools()
+
+
+def _pid_spec(i: int) -> JobSpec:
+    # os.getpid is importable in a spawn worker and tags which worker ran
+    # the job; distinct ids keep the sweep's job list unique while the
+    # x param keeps the cache digests distinct.
+    return JobSpec(
+        id=f"pid{i}", fn="repro.orchestrator.demo:probe", params={"x": i}
+    )
+
+
+def test_pool_runs_jobs_and_stays_warm():
+    jobs = [_pid_spec(i) for i in range(4)]
+    first = submit_sweep(jobs, workers=2, mode="pool", pool_key="t-warm")
+    assert first.ok
+    assert first.stats["workers"] == 2
+    assert first.stats["pool_spawned"] == 2
+    # Second sweep on the same pool key: the warm workers are reused, so
+    # the pool-lifetime spawn count does not move.
+    again = submit_sweep(
+        [_pid_spec(i + 10) for i in range(4)],
+        workers=2,
+        mode="pool",
+        pool_key="t-warm",
+    )
+    assert again.ok
+    assert again.stats["pool_spawned"] == 2
+    assert again.stats["pool_restarted"] == 0
+
+
+def test_pool_restarts_killed_worker_and_sweep_completes(tmp_path):
+    jobs = [_pid_spec(i) for i in range(4)]
+    chaos = SelfChaos(kill_worker_dispatch=2)
+    sweep = submit_sweep(
+        jobs,
+        state_dir=tmp_path,
+        workers=2,
+        chaos=chaos,
+        pool_key="t-kill",
+    )
+    # The killed dispatch is retried on a respawned worker: every job
+    # still completes, and the sweep recorded the casualty.
+    assert all(r.state is JobState.SUCCEEDED for r in sweep.records)
+    assert sweep.stats["worker_kills"] >= 1
+    assert sweep.stats["worker_restarts"] >= 1
+    assert sweep.stats["retries"] >= 1
+    assert sweep.stats["pool_restarted"] >= 1
+
+
+def test_pool_timeout_kills_hung_worker(tmp_path):
+    jobs = [
+        JobSpec(
+            id="hung",
+            fn="repro.orchestrator.demo:probe",
+            params={"x": 1, "hang_s": 30.0},
+            timeout_s=0.5,
+            max_retries=0,
+        ),
+        _pid_spec(2),
+    ]
+    sweep = submit_sweep(jobs, state_dir=tmp_path, workers=2, mode="pool")
+    assert sweep.record("hung").state is JobState.TIMEOUT
+    assert sweep.record("pid2").state is JobState.SUCCEEDED
+    assert sweep.stats["worker_kills"] >= 1
+
+
+def test_worker_error_carries_traceback():
+    spec = JobSpec(
+        id="boom",
+        fn="repro.orchestrator.demo:probe",
+        params={"x": 1, "fail": True},
+        max_retries=0,
+        backoff_s=0.0,
+    )
+    sweep = submit_sweep([spec], workers=1, mode="pool", pool_key="t-err")
+    record = sweep.record("boom")
+    assert record.state is JobState.FAILED
+    assert "RuntimeError" in (record.error or "")
+    assert "asked to fail" in (record.error or "")
+
+
+def test_get_pool_grows_never_shrinks():
+    pool = get_pool("t-grow", 1)
+    pool.start()
+    assert len(pool.workers) == 1
+    same = get_pool("t-grow", 3)
+    assert same is pool
+    assert len(pool.workers) == 3
+    get_pool("t-grow", 2)
+    assert len(pool.workers) == 3  # shrink requests are ignored
+
+
+def test_heartbeat_detects_silently_killed_worker():
+    pool = get_pool("t-beat", 2)
+    pool.start()
+    victim = pool.workers[0]
+    victim.proc.kill()
+    victim.proc.join(timeout=5)
+    dead = pool.heartbeat()
+    assert victim in dead
+    replacement = pool.restart_worker(victim)
+    assert replacement.alive()
+    assert len(pool.workers) == 2
+    assert pool.heartbeat() == []
+
+
+def test_pool_size_validation():
+    with pytest.raises(ValueError):
+        WarmPool("bad", 0)

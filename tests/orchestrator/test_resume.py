@@ -1,0 +1,126 @@
+"""Crash-safety integration: SIGKILL the orchestrator, resume, compare.
+
+The orchestrator process is killed for real (self-chaos SIGKILLs it
+after N jobs finalize), then the sweep is resumed from the journal in
+this process.  The resumed results must match an uninterrupted run of
+the same jobs, and re-running the completed sweep must do zero work and
+serialize byte-identically.
+"""
+
+import json
+import signal
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.faults import SelfChaos
+from repro.orchestrator import JobState, resume_sweep, submit_sweep, sweep_status
+from repro.orchestrator.demo import probe
+from tests.orchestrator.test_core import _probe
+
+_ROOT = Path(__file__).resolve().parents[2]
+
+# The driver script must guard its entry point: spawn workers re-import
+# the parent's __main__ module, and an unguarded sweep would recurse.
+_DRIVER = textwrap.dedent(
+    """
+    import sys
+
+    from repro.faults import SelfChaos
+    from repro.orchestrator import JobSpec, submit_sweep
+
+    def jobs():
+        return [
+            JobSpec(
+                id=f"job{i}",
+                fn="repro.orchestrator.demo:probe",
+                params={"x": i},
+                backoff_s=0.0,
+            )
+            for i in range(4)
+        ]
+
+    if __name__ == "__main__":
+        state_dir = sys.argv[1]
+        submit_sweep(
+            jobs(),
+            state_dir=state_dir,
+            chaos=SelfChaos(kill_orchestrator_jobs=2),
+        )
+        raise SystemExit(99)  # unreachable: chaos SIGKILLs us first
+    """
+)
+
+
+@pytest.mark.slow
+def test_sigkilled_orchestrator_resumes_identically(tmp_path):
+    crashed_dir = tmp_path / "crashed"
+    script = tmp_path / "driver.py"
+    script.write_text(_DRIVER, encoding="utf-8")
+    proc = subprocess.run(
+        [sys.executable, str(script), str(crashed_dir)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env={"PYTHONPATH": str(_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        cwd=str(tmp_path),
+    )
+    # The orchestrator died by SIGKILL mid-sweep, not by finishing.
+    assert proc.returncode == -signal.SIGKILL, proc.stderr
+
+    status = sweep_status(crashed_dir)
+    done_at_crash = status["counts"].get("succeeded", 0)
+    assert 0 < done_at_crash < 4  # journal captured a genuine partial sweep
+
+    resumed = resume_sweep(crashed_dir)
+    assert resumed.ok
+    assert all(r.state in (JobState.SUCCEEDED, JobState.CACHED)
+               for r in resumed.records)
+    # Jobs finalized before the crash were restored, not re-executed.
+    assert resumed.stats["resumed"] == done_at_crash
+    assert resumed.stats["succeeded"] == 4 - done_at_crash
+
+    # Same jobs, clean run, separate state dir: results must agree.
+    clean = submit_sweep(
+        [_probe(i, backoff_s=0.0) for i in range(4)],
+        state_dir=tmp_path / "clean",
+    )
+    assert clean.ok
+    assert resumed.merged_doc()["results"] == clean.merged_doc()["results"]
+    assert resumed.results == {f"job{i}": probe(i) for i in range(4)}
+
+    # Completed sweep re-run: zero work, byte-identical document.
+    rerun = resume_sweep(crashed_dir)
+    assert rerun.stats["resumed"] == 4
+    assert rerun.stats["succeeded"] == 0 and rerun.stats["cache_hits"] == 0
+    assert json.dumps(rerun.merged_doc(), sort_keys=True) == json.dumps(
+        resumed.merged_doc(), sort_keys=True
+    )
+
+
+@pytest.mark.slow
+def test_worker_kill_midsweep_then_resume_is_byte_identical(tmp_path):
+    """Satellite check: kill a worker (not the orchestrator) mid-sweep."""
+    from repro.orchestrator.pool import shutdown_pools
+
+    state_dir = tmp_path / "state"
+    jobs = [_probe(i, backoff_s=0.0) for i in range(4)]
+    first = submit_sweep(
+        jobs,
+        state_dir=state_dir,
+        workers=2,
+        chaos=SelfChaos(kill_worker_dispatch=2),
+        pool_key="t-resume-kill",
+    )
+    shutdown_pools()
+    assert first.ok  # the kill was retried transparently
+    assert first.stats["worker_kills"] >= 1
+    second = submit_sweep(jobs, state_dir=state_dir, workers=2,
+                          pool_key="t-resume-kill")
+    assert second.stats["resumed"] == 4  # nothing re-ran
+    assert json.dumps(second.merged_doc(), sort_keys=True) == json.dumps(
+        first.merged_doc(), sort_keys=True
+    )

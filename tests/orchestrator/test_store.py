@@ -1,0 +1,112 @@
+"""Result store: atomic puts, unreadable-entry tolerance, gc retention."""
+
+import json
+import os
+import time
+
+from repro.orchestrator import Journal, JobSpec, JobState, ResultStore
+from repro.orchestrator.store import gc_state_dir
+
+
+def _fill(store: ResultStore, n: int) -> list[str]:
+    digests = [f"{i:02x}{'0' * 62}" for i in range(n)]
+    for i, digest in enumerate(digests):
+        store.put(digest, {"i": i})
+    return digests
+
+
+def test_put_get_round_trip(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put("ab" * 32, {"x": [1, 2.5], "ok": True})
+    assert store.get("ab" * 32) == {"x": [1, 2.5], "ok": True}
+    assert ("ab" * 32) in store
+    assert store.get("cd" * 32) is None
+    # Survives a fresh handle (fresh process stand-in).
+    assert ResultStore(tmp_path).get("ab" * 32) == {"x": [1, 2.5], "ok": True}
+
+
+def test_in_memory_store(tmp_path):
+    store = ResultStore(None)
+    store.put("ab" * 32, 7)
+    assert store.get("ab" * 32) == 7
+    assert not store.persistent
+    assert store.entries() == []
+    assert store.gc(max_entries=0) == 0
+
+
+def test_corrupt_entry_reads_as_miss(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put("ab" * 32, {"x": 1})
+    store.path("ab" * 32).write_text("{ torn", encoding="utf-8")
+    assert store.get("ab" * 32) is None
+
+
+def test_gc_by_count_evicts_oldest(tmp_path):
+    store = ResultStore(tmp_path)
+    digests = _fill(store, 5)
+    # Make relative ages explicit rather than racing mtime resolution.
+    now = time.time()
+    for i, digest in enumerate(digests):
+        os.utime(store.path(digest), (now - 100 + i, now - 100 + i))
+    assert store.gc(max_entries=2) == 3
+    kept = {digest for digest, _, _ in store.entries()}
+    assert kept == set(digests[-2:])
+
+
+def test_gc_by_age_and_keep(tmp_path):
+    store = ResultStore(tmp_path)
+    digests = _fill(store, 3)
+    old = time.time() - 1000
+    for digest in digests:
+        os.utime(store.path(digest), (old, old))
+    assert store.gc(max_age_s=60, keep={digests[0]}) == 2
+    assert store.get(digests[0]) == {"i": 0}
+    assert store.get(digests[1]) is None
+
+
+def test_gc_removes_stale_tmp_files(tmp_path):
+    store = ResultStore(tmp_path)
+    digest = "ab" * 32
+    store.put(digest, 1)
+    stale = store.path(digest).with_suffix(".tmp-99999")
+    stale.write_text("partial", encoding="utf-8")
+    store.gc()
+    assert not stale.exists()
+    assert store.get(digest) == 1
+
+
+def test_gc_state_dir_keeps_journal_referenced(tmp_path):
+    spec = JobSpec(
+        id="j0", fn="repro.orchestrator.demo:probe", params={"x": 1}
+    )
+    store = ResultStore(tmp_path)
+    store.put(spec.digest, {"x": 1})
+    stray = "ff" * 32
+    store.put(stray, {"stale": True})
+    old = time.time() - 1000
+    for digest in (spec.digest, stray):
+        os.utime(store.path(digest), (old, old))
+    with Journal(tmp_path) as journal:
+        journal.sweep_header("s1", None)
+        journal.job(spec)
+        journal.transition("j0", JobState.RUNNING, 1)
+        journal.transition("j0", JobState.SUCCEEDED, 1, digest=spec.digest)
+    report = gc_state_dir(tmp_path, max_age_s=60)
+    assert report["results_removed"] == 1
+    assert report["journal_dropped"] >= 1  # RUNNING record compacted away
+    assert store.get(spec.digest) == {"x": 1}
+    assert store.get(stray) is None
+    # The compacted journal still resumes: j0 stays final.
+    from repro.orchestrator import replay_journal
+
+    assert replay_journal(tmp_path).final_state("j0") is JobState.SUCCEEDED
+
+
+def test_result_files_are_plain_json(tmp_path):
+    store = ResultStore(tmp_path)
+    digest = "ab" * 32
+    store.put(digest, {"x": 1})
+    doc = json.loads(store.path(digest).read_text(encoding="utf-8"))
+    assert doc["digest"] == digest
+    assert doc["result"] == {"x": 1}
+    assert "stored_unix" in doc

@@ -261,3 +261,49 @@ def test_cli_flags_reach_the_harness(tiny_scaling, tmp_path):
     assert rc == 0
     doc = json.loads(out_path.read_text())
     assert {c["params"]["P"] for c in doc["cells"]} == {4}
+
+
+# -- failed cells degrade the document, not the run ----------------------
+
+BROKEN_SUITE = [
+    {"name": "ok", "cell": "pingpong", "params": {"n_messages": 50}},
+    {"name": "broken", "cell": "no-such-cell", "params": {}},
+]
+
+
+@pytest.fixture()
+def broken_suite(monkeypatch):
+    monkeypatch.setitem(SUITES, "tiny-broken", BROKEN_SUITE)
+    return "tiny-broken"
+
+
+def test_failed_cell_lands_in_doc_with_traceback(broken_suite):
+    doc = run_suite(broken_suite, workers=1)
+    assert validate_doc(doc) == []
+    by_name = {c["name"]: c for c in doc["cells"]}
+    assert by_name["ok"].get("status") is None
+    bad = by_name["broken"]
+    assert bad["status"] == "failed"
+    assert "KeyError" in bad["error"]
+    assert bad["metrics"] == {}
+
+
+def test_failed_cell_exits_1_and_names_the_cell(broken_suite, tmp_path, capsys):
+    out_path = tmp_path / "doc.json"
+    rc = main(["--suite", broken_suite, "--json", str(out_path)])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "did not complete" in out
+    assert "tiny-broken/broken" in out
+    doc = json.loads(out_path.read_text())
+    assert {c["name"] for c in doc["cells"]} == {"ok", "broken"}
+
+
+def test_bench_state_dir_rerun_is_zero_work(tiny_suites, tmp_path):
+    state = tmp_path / "state"
+    first = run_suite(tiny_suites, workers=1, state_dir=state)
+    again = run_suite(tiny_suites, workers=1, state_dir=state)
+    assert again["sweep"]["stats"]["resumed"] == len(first["cells"])
+    assert [c["metrics"] for c in again["cells"]] == [
+        c["metrics"] for c in first["cells"]
+    ]

@@ -51,6 +51,17 @@ MODULES = [
     "repro.faults.plan",
     "repro.faults.injector",
     "repro.faults.protocol_model",
+    "repro.faults.selfchaos",
+    "repro.faults.chaosrun",
+    "repro.orchestrator",
+    "repro.orchestrator.jobs",
+    "repro.orchestrator.digest",
+    "repro.orchestrator.journal",
+    "repro.orchestrator.store",
+    "repro.orchestrator.pool",
+    "repro.orchestrator.core",
+    "repro.orchestrator.cli",
+    "repro.orchestrator.demo",
     "repro.ckpt",
     "repro.ckpt.model",
     "repro.ckpt.coordinator",
