@@ -30,14 +30,14 @@ __all__ = [
 ]
 
 #: Planes a sweep may be filtered to.
-SWEEP_PLANES = ("centralized", "ft", "ckpt", "hier")
+SWEEP_PLANES = ("centralized", "ft", "ckpt", "hier", "steal")
 
 
 def standard_sweep(planes: tuple[str, ...] | None = None) -> list[Model]:
     """The clean models ``repro check --model`` verifies.
 
     Args:
-        planes: restrict to these planes (default: all four).
+        planes: restrict to these planes (default: all).
     """
     from ...ckpt.protocol_model import CkptConfig
     from ...ckpt.protocol_model import build_model as build_ckpt
@@ -47,6 +47,8 @@ def standard_sweep(planes: tuple[str, ...] | None = None) -> list[Model]:
     from ...runtime.protocol_model import build_model as build_central
     from ...scale.protocol_model import HierConfig
     from ...scale.protocol_model import build_model as build_hier
+    from ...strategies.protocol_model import StealConfig
+    from ...strategies.protocol_model import build_model as build_steal
 
     wanted = set(planes if planes is not None else SWEEP_PLANES)
     unknown = wanted - set(SWEEP_PLANES)
@@ -80,6 +82,11 @@ def standard_sweep(planes: tuple[str, ...] | None = None) -> list[Model]:
         models.append(
             build_hier(HierConfig(n_subs=3, units=4, crashable=("m1",)))
         )
+    if "steal" in wanted:
+        models.append(build_steal(StealConfig()))
+        models.append(
+            build_steal(StealConfig(crashable=("w0", "w1")))
+        )
     return models
 
 
@@ -98,6 +105,8 @@ def mutation_sweep() -> list[tuple[Model, tuple[str, ...]]]:
     from ...runtime.protocol_model import build_model as build_central
     from ...scale.protocol_model import HierConfig
     from ...scale.protocol_model import build_model as build_hier
+    from ...strategies.protocol_model import StealConfig
+    from ...strategies.protocol_model import build_model as build_steal
 
     pairs: list[tuple[Model, tuple[str, ...]]] = [
         (
@@ -133,6 +142,13 @@ def mutation_sweep() -> list[tuple[Model, tuple[str, ...]]]:
         ),
         (build_hier(HierConfig(), "double_count_sum"), ("RA704",)),
         (build_hier(HierConfig(), "lose_shipped_units"), ("RA701",)),
+        (
+            build_steal(StealConfig(), "drop_term"),
+            ("RA601", "RA602"),
+        ),
+        (build_steal(StealConfig(), "lose_stolen_units"), ("RA701",)),
+        (build_steal(StealConfig(), "double_serve"), ("RA702",)),
+        (build_steal(StealConfig(), "ignore_late_work"), ("RA701",)),
     ]
     return pairs
 

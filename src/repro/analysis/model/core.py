@@ -201,7 +201,8 @@ class Model:
     Attributes:
         name: stable model identifier (used as the diagnostic locus).
         plane: the control plane this model abstracts
-            (``centralized`` | ``ft`` | ``ckpt`` | ``hier``).
+            (``centralized`` | ``ft`` | ``ckpt`` | ``hier`` |
+            ``steal``).
         actors: the participating actors.
         invariants: global safety invariants, evaluated on every state.
         terminal: quiescent-success predicate over actor locals; the

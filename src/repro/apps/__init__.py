@@ -6,7 +6,7 @@ kernels the generated SPMD program calls, and a ``build(...)`` helper
 returning a compiled :class:`~repro.compiler.plan.ExecutionPlan`.
 """
 
-from .adaptive import build_adaptive
+from .adaptive import build_adaptive, build_particle
 from .base import Application
 from .lu import build_lu
 from .matmul import build_matmul
@@ -17,6 +17,7 @@ REGISTRY = {
     "sor": build_sor,
     "lu": build_lu,
     "adaptive": build_adaptive,
+    "particle": build_particle,
 }
 
 __all__ = [
@@ -25,5 +26,6 @@ __all__ = [
     "build_sor",
     "build_lu",
     "build_adaptive",
+    "build_particle",
     "REGISTRY",
 ]

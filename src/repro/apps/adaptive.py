@@ -43,7 +43,10 @@ __all__ = [
     "adaptive_program",
     "adaptive_application",
     "build_adaptive",
+    "build_particle",
+    "particle_application",
     "AdaptiveKernels",
+    "ParticleKernels",
 ]
 
 BASE_OPS = 200.0  # cost of one relaxation step of one cell
@@ -206,5 +209,63 @@ def build_adaptive(
 ) -> ExecutionPlan:
     """Compile the ADAPT application."""
     return adaptive_application().compile(
+        {"n": n, "reps": reps}, grain=grain, n_slaves_hint=n_slaves_hint
+    )
+
+
+#: Lognormal shape of the particle refinement levels; at 1.2 most cells
+#: are near-empty and a few hold most of the particles.
+PARTICLE_SIGMA = 1.2
+
+
+class ParticleKernels(AdaptiveKernels):
+    """ADAPT kernels with a heavy-tailed, scattered cost distribution.
+
+    Models a particle code: each cell's refinement level is the (log-
+    normally distributed) number of particles it holds, and hot cells
+    are scattered over the whole index space instead of packed into one
+    block.  A static block split cannot dodge the tail, and neither can
+    a contiguous shard boundary move — this is the workload class where
+    per-unit schedulers (work stealing, self-scheduling) earn their
+    keep over the paper's shard redistribution.
+    """
+
+    def make_global(self, rng: np.random.Generator) -> dict[str, Any]:
+        n = self.n
+        # Heavy-tailed levels, capped at the deep-relax maximum the
+        # cost model knows about, scattered by construction (iid).
+        levels = np.minimum(
+            rng.lognormal(mean=0.0, sigma=PARTICLE_SIGMA, size=n),
+            REFINED_EXTRA_STEPS,
+        )
+        drift = rng.uniform(0.9, 1.1, size=(self.reps, n))
+        return {"levels": levels, "drift": drift, "state": rng.standard_normal(n)}
+
+
+def particle_application() -> Application:
+    """IR + directive + kernels bundle for the particle variant."""
+    program = adaptive_program()
+    program = Program(
+        name="particle",
+        params=program.params,
+        arrays=program.arrays,
+        body=program.body,
+    )
+    return Application(
+        name="particle",
+        program=program,
+        directive=adaptive_directive(),
+        kernels_factory=lambda params: ParticleKernels(params),
+    )
+
+
+def build_particle(
+    n: int = 400,
+    reps: int = 3,
+    grain: GrainConfig | None = None,
+    n_slaves_hint: int = 8,
+) -> ExecutionPlan:
+    """Compile the heavy-tailed particle variant of ADAPT."""
+    return particle_application().compile(
         {"n": n, "reps": reps}, grain=grain, n_slaves_hint=n_slaves_hint
     )

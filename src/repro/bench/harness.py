@@ -115,6 +115,17 @@ SUITES: dict[str, list[dict[str, Any]]] = {
         _cell(f"topo_{kind}_P64", "scaling", P=64, regime="constant", topology=kind)
         for kind in ("ring", "mesh2d", "fat_tree", "two_cluster")
     ],
+    # Perturbation-robustness study: the paper's rate-filtered
+    # redistribution vs work stealing vs rDLB robust self-scheduling,
+    # over workload tails (uniform / lognormal / pareto) x perturbation
+    # regimes (flat / spike / recorded trace).  The strategy-crossover
+    # analysis is attached to the document as doc["robustness"].
+    "perturbation_robustness": [
+        _cell(f"{workload}_{regime}", "perturbation",
+              workload=workload, regime=regime, P=16)
+        for workload in ("uniform", "lognormal", "pareto")
+        for regime in ("flat", "spike", "trace")
+    ],
     # Fast PR gate: one cell per hot path, sized for stable timing but
     # bounded wall clock (used by the CI bench job).
     "ci-smoke": [
@@ -131,6 +142,8 @@ SUITES: dict[str, list[dict[str, Any]]] = {
             load_k=1,
         ),
         _cell("ckpt_sor", "checkpoint", app="sor", n=192, placement="master"),
+        _cell("perturb_pareto_spike", "perturbation",
+              workload="pareto", regime="spike", P=8, units_per_worker=12),
     ],
 }
 
@@ -294,6 +307,14 @@ def run_suite(
         from ..scale.crossover import crossover_analysis
 
         doc["crossover"] = crossover_analysis(scaling_cells)
+    perturbation_cells = [
+        c for c in cells
+        if c.get("cell") == "perturbation" and c.get("status") is None
+    ]
+    if perturbation_cells:
+        from ..strategies.robustness import robustness_analysis
+
+        doc["robustness"] = robustness_analysis(perturbation_cells)
     return doc
 
 

@@ -30,6 +30,7 @@ from ..config import (
 from ..experiments.common import PAPER_QUANTUM, PAPER_SPEED, run_point
 from ..runtime import run_application
 from ..scale.crossover import cell_scaling
+from ..strategies.robustness import cell_perturbation
 from ..sim import Cluster, Compute, ConstantLoad, Recv, Send
 
 __all__ = ["CELLS", "run_cell"]
@@ -211,6 +212,9 @@ CELLS = {
     # Crossover study cell (centralized vs hierarchical vs diffusion at
     # one P x load-regime point); lives with the scale package.
     "scaling": cell_scaling,
+    # Perturbation-robustness cell (rate vs stealing vs rdlb at one
+    # workload x regime point); lives with the strategies package.
+    "perturbation": cell_perturbation,
 }
 
 

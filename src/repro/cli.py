@@ -91,6 +91,7 @@ def _run_cfg_from_args(args: argparse.Namespace) -> RunConfig:
         execute_numerics=args.numerics,
         dlb_enabled=not args.no_dlb,
         ckpt=_ckpt_from_args(args),
+        strategy=getattr(args, "strategy", "centralized") or "centralized",
     )
 
 
@@ -108,8 +109,18 @@ def _faults_from_args(
     if fault_plan.empty:
         return None
     if fault_plan.needs_horizon:
-        base = run_application(plan, run_cfg, loads=loads, seed=args.seed)
-        fault_plan = fault_plan.resolved(base.elapsed)
+        if run_cfg.strategy == "centralized":
+            base = run_application(plan, run_cfg, loads=loads, seed=args.seed)
+            horizon = base.elapsed
+        else:
+            # Fractional fault times resolve against a fault-free run of
+            # the *same* strategy, whose horizon can differ a lot.
+            from .strategies import run_strategy
+
+            horizon = run_strategy(
+                run_cfg.strategy, plan, run_cfg, loads, seed=args.seed
+            ).elapsed
+        fault_plan = fault_plan.resolved(horizon)
     return fault_plan
 
 
@@ -118,6 +129,30 @@ def _cmd_run(args: argparse.Namespace) -> int:
     run_cfg = _run_cfg_from_args(args)
     loads = _loads_from_args(args)
     faults = _faults_from_args(args, plan, run_cfg, loads)
+    if run_cfg.strategy != "centralized":
+        from .errors import ConfigError
+        from .strategies import run_strategy
+
+        try:
+            out = run_strategy(
+                run_cfg.strategy, plan, run_cfg, loads, seed=args.seed, faults=faults
+            )
+        except ConfigError as exc:
+            print(f"run: {exc}")
+            return 2
+        print(out.summary())
+        print(
+            f"sequential: {out.sequential_time:.2f}s  "
+            f"messages: {out.message_count}  "
+            f"bytes: {out.bytes_sent / 1e6:.2f} MB"
+        )
+        if faults is not None or out.deaths or out.lost_units:
+            print(
+                f"faults[{faults.name or 'custom' if faults else 'none'}]: "
+                f"deaths={out.deaths}  lost_units={out.lost_units}  "
+                f"dead={list(out.dead_pids)}"
+            )
+        return 0
     res = run_application(
         plan, run_cfg, loads=loads, seed=args.seed, faults=faults
     )
@@ -143,6 +178,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         return 0
     if args.app is None:
         print("trace: an application is required unless --inspect is given")
+        return 2
+    if getattr(args, "strategy", "centralized") != "centralized":
+        print(
+            "trace: RunReport aggregation covers the centralized runtime; "
+            "use `repro run --strategy ...` for the other planes"
+        )
         return 2
     plan = _build_plan(args.app, args.n, args.slaves)
     run_cfg = _run_cfg_from_args(args)
@@ -214,6 +255,35 @@ def _check_hier_protocol():
     return CheckResult(subject="hier-protocol[sc.*]", diagnostics=diags)
 
 
+def _check_steal_protocol() -> list:
+    """Protocol lint (RA4xx) over the strategy control planes.
+
+    Pairs every ``st.*`` (work stealing) and ``rb.*`` (robust
+    self-scheduling) send site with a selective receive in the strategy
+    sources, so a steal/deny/terminate message that is emitted but never
+    drained fails ``repro check --steal`` exactly like an ``lb.*``
+    orphan fails the default run.
+    """
+    import inspect
+
+    from .analysis import CheckResult
+    from .analysis.protocol_lint import lint_sources, tag_families
+    from .strategies import rdlb, stealing
+    from .strategies.protocol import RobustTags, StealTags
+
+    out = []
+    for subject, module, source_name, tags_cls in (
+        ("steal-protocol[st.*]", stealing, "strategies/stealing.py", StealTags),
+        ("robust-protocol[rb.*]", rdlb, "strategies/rdlb.py", RobustTags),
+    ):
+        diags = lint_sources(
+            [(source_name, inspect.getsource(module))],
+            tag_families(tags_cls),
+        )
+        out.append(CheckResult(subject=subject, diagnostics=diags))
+    return out
+
+
 def _check_models(args: argparse.Namespace) -> list:
     """Model-check the control planes (``repro check --model``).
 
@@ -242,6 +312,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
     results: list[CheckResult] = []
     if args.hier:
         results.append(_check_hier_protocol())
+    if args.steal:
+        results.extend(_check_steal_protocol())
     if args.model:
         results.extend(_check_models(args))
     if args.events is not None:
@@ -411,6 +483,101 @@ def _cmd_chaos_hier(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_chaos_strategy(args: argparse.Namespace) -> int:
+    """Worker-crash matrix for a robust strategy plane.
+
+    For each PARALLEL_MAP application: a fault-free baseline under the
+    strategy, then one cell per targeted worker crash (an early worker
+    at 25% and the last worker at 60% of the fault-free horizon).  Every
+    cell must terminate and land on the plane's documented contract:
+    ``recovered`` (all units complete, result numerically matching the
+    baseline — rDLB's chunk reassignment) or ``lost-expected`` (work
+    stealing's explicit loss report for the dead worker's un-gathered
+    units).  A hang, silent divergence, or implausible loss accounting
+    fails the cell.  PIPELINE / REDUCTION_FRONT apps are skipped — the
+    strategy planes are PARALLEL_MAP-only.
+    """
+    import json
+
+    from .orchestrator import JobSpec, submit_sweep
+
+    apps = args.apps or sorted(REGISTRY)
+    for app in apps:
+        if app not in REGISTRY:
+            raise SystemExit(
+                f"chaos: unknown app {app!r}; choices: {', '.join(sorted(REGISTRY))}"
+            )
+    specs = [
+        JobSpec(
+            id=f"chaos-{args.control}/{app}",
+            fn="repro.faults.chaosrun:chaos_strategy_cells",
+            params={
+                "app": app,
+                "strategy": args.control,
+                "n": args.n,
+                "slaves": args.slaves,
+                "seed": args.seed,
+            },
+            max_retries=1,
+            backoff_s=0.1,
+        )
+        for app in apps
+    ]
+    sweep = submit_sweep(
+        specs,
+        state_dir=args.state_dir,
+        workers=args.workers,
+        meta={"matrix": f"chaos-{args.control}"},
+    )
+    cells: list[dict[str, object]] = []
+    failed = 0
+    for record in sweep.records:
+        if not record.ok:
+            cell = _chaos_failed_cell(record)
+            cells.append(cell)
+            failed += 1
+            print(
+                f"chaos {cell['app']:>8} x {'*':<14} FAILED  ({cell['detail']})"
+            )
+            continue
+        row = record.result
+        if row["skipped"] is not None:
+            print(
+                f"chaos {row['app']:>8} x {args.control:<14} "
+                f"skipped ({row['skipped']})"
+            )
+            continue
+        for cell in row["cells"]:
+            failed += cell["outcome"] == "FAILED"
+            cells.append(cell)
+            detail = f"  ({cell['detail']})" if "detail" in cell else ""
+            print(
+                f"chaos {cell['app']:>8} x {cell['plan']:<20} {cell['outcome']}"
+                f"  [pid={cell['crash_pid']}"
+                f" deaths={cell.get('deaths', '?')}"
+                f" lost={cell.get('lost_units', '?')}]"
+                f"{detail}"
+            )
+    ok = failed == 0
+    print(
+        f"\nchaos: {len(cells)} {args.control} cell(s), {failed} failure(s) "
+        f"[slaves={args.slaves} seed={args.seed}]"
+    )
+    if args.json is not None:
+        doc = {
+            "ok": ok,
+            "control": args.control,
+            "n": args.n,
+            "slaves": args.slaves,
+            "seed": args.seed,
+            "cells": cells,
+        }
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+        print(f"chaos results written to {args.json}")
+    return 0 if ok else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     """Run an application x fault-plan matrix and validate every cell.
 
@@ -434,6 +601,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 
     if args.control == "hier":
         return _cmd_chaos_hier(args)
+    if args.control in ("stealing", "rdlb"):
+        return _cmd_chaos_strategy(args)
 
     apps = args.apps or sorted(REGISTRY)
     plan_names = args.plans or [
@@ -593,6 +762,8 @@ def _cmd_features(_args: argparse.Namespace) -> int:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Parse arguments and dispatch to a subcommand; returns the exit code."""
+    from .strategies import available_strategies
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -616,6 +787,16 @@ def main(argv: Sequence[str] | None = None) -> int:
             "--numerics",
             action="store_true",
             help="execute real kernels (default: cost-only simulation)",
+        )
+        p.add_argument(
+            "--strategy",
+            choices=("centralized", *available_strategies()),
+            default="centralized",
+            help=(
+                "DLB control plane: 'centralized' is the paper's runtime; "
+                "the rest are the repro.strategies registry "
+                "(PARALLEL_MAP apps only)"
+            ),
         )
         p.add_argument(
             "--faults",
@@ -714,18 +895,28 @@ def main(argv: Sequence[str] | None = None) -> int:
         ),
     )
     p_check.add_argument(
+        "--steal",
+        action="store_true",
+        help=(
+            "also lint the strategy control planes' st.* (work stealing) "
+            "and rb.* (robust self-scheduling) protocols "
+            "(send/receive pairing over repro.strategies sources)"
+        ),
+    )
+    p_check.add_argument(
         "--model",
         action="store_true",
         help=(
             "also model-check the control planes: exhaustive "
             "deadlock/liveness/unit-conservation verification of the "
-            "centralized, ft, ckpt and hier protocol models (RA6xx/RA7xx)"
+            "centralized, ft, ckpt, hier and steal protocol models "
+            "(RA6xx/RA7xx)"
         ),
     )
     p_check.add_argument(
         "--model-plane",
         action="append",
-        choices=["centralized", "ft", "ckpt", "hier"],
+        choices=["centralized", "ft", "ckpt", "hier", "steal"],
         default=None,
         metavar="PLANE",
         help="restrict --model to these planes (repeatable; default: all)",
@@ -774,12 +965,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     p_chaos.add_argument(
         "--control",
-        choices=("central", "hier"),
+        choices=("central", "hier", "stealing", "rdlb"),
         default="central",
         help=(
             "control plane to stress: 'central' runs the fault-plan "
             "matrix against the central runtime (default); 'hier' runs "
-            "targeted sub-master crashes against the hierarchical plane"
+            "targeted sub-master crashes against the hierarchical plane; "
+            "'stealing' / 'rdlb' run targeted worker crashes against the "
+            "robust strategy planes"
         ),
     )
     p_chaos.add_argument(

@@ -18,7 +18,7 @@ import numpy as np
 
 from ..config import CheckpointConfig, ClusterSpec, RunConfig
 
-__all__ = ["chaos_app_cells", "chaos_hier_cells"]
+__all__ = ["chaos_app_cells", "chaos_hier_cells", "chaos_strategy_cells"]
 
 
 def _results_identical(a: object, b: object) -> bool:
@@ -180,3 +180,102 @@ def chaos_hier_cells(
             )
         cells.append(cell)
     return {"app": app, "skipped": None, "cells": cells}
+
+
+def _results_close(a: object, b: object) -> bool:
+    """Numerical closeness between two run results (dicts/arrays/None).
+
+    Strategy planes merge per-chunk partial results whose summation
+    order depends on the (fault-dependent) unit-to-worker assignment, so
+    bit identity is the wrong bar; closeness is.
+    """
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(_results_close(a[k], b[k]) for k in a)
+    if a is None or b is None:
+        return a is b
+    return bool(np.allclose(np.asarray(a), np.asarray(b)))
+
+
+def chaos_strategy_cells(
+    app: str,
+    strategy: str,
+    n: int,
+    slaves: int,
+    seed: int,
+) -> dict[str, Any]:
+    """One app's row of the robust-strategy crash matrix.
+
+    Crashes one worker mid-run under ``strategy`` (``stealing`` or
+    ``rdlb``) and checks the contract those planes promise: the run
+    terminates (never hangs), the crash is detected, and the outcome is
+    either full recovery (all units complete, result numerically equal
+    to the fault-free baseline — rDLB reassigns the dead worker's
+    chunks) or an explicit loss report (work stealing gives up the dead
+    worker's un-gathered units as ``lost_units``, with the survivors'
+    partial result intact).  Silent divergence or a hang is a failure.
+
+    Returns ``{"app", "strategy", "skipped", "cells"}`` with the same
+    shape as :func:`chaos_hier_cells`.
+    """
+    from ..compiler.plan import LoopShape
+    from ..errors import SimulationError
+    from ..faults import FaultPlan, SlaveCrash
+    from ..strategies import run_strategy
+
+    plan = _build_plan(app, n, slaves)
+    if plan.shape is not LoopShape.PARALLEL_MAP:
+        return {"app": app, "strategy": strategy, "skipped": plan.shape.name, "cells": []}
+    cfg = RunConfig(cluster=ClusterSpec(n_slaves=slaves))
+    base = run_strategy(strategy, plan, cfg, seed=seed)
+    lo, hi = plan.unit_space()
+    total = hi - lo
+    # Worker pids are 0..slaves-1 in the strategy planes (the master /
+    # coordinator sits at pid == slaves and cannot be faulted).
+    targets = [
+        ("early-crash", 1 % slaves, 0.25),
+        ("late-crash", slaves - 1, 0.6),
+    ]
+    cells: list[dict[str, Any]] = []
+    for label, pid, frac in targets:
+        faults = FaultPlan(
+            name=f"{strategy}-{label}",
+            crashes=(SlaveCrash(pid=pid, at=frac * base.elapsed),),
+        )
+        cell: dict[str, Any] = {
+            "app": app,
+            "strategy": strategy,
+            "plan": f"{strategy}-{label}",
+            "crash_pid": pid,
+        }
+        try:
+            res = run_strategy(strategy, plan, cfg, seed=seed, faults=faults)
+        except SimulationError as exc:
+            cell["outcome"] = "FAILED"
+            cell["detail"] = f"simulation did not terminate cleanly: {exc}"
+            cells.append(cell)
+            continue
+        close = _results_close(res.result, base.result)
+        cell["deaths"] = res.deaths
+        cell["dead_pids"] = list(res.dead_pids)
+        cell["lost_units"] = res.lost_units
+        cell["elapsed"] = res.elapsed
+        cell["result_matches_baseline"] = close
+        if not res.dead_pids:
+            cell["outcome"] = "FAILED"
+            cell["detail"] = "crash did not land before the run finished"
+        elif res.lost_units == 0 and close:
+            cell["outcome"] = "recovered"
+        elif 0 < res.lost_units < total:
+            cell["outcome"] = "lost-expected"
+            cell["detail"] = (
+                f"{res.lost_units}/{total} units lost with the dead worker"
+            )
+        else:
+            cell["outcome"] = "FAILED"
+            cell["detail"] = (
+                "results diverged from fault-free baseline"
+                if res.lost_units == 0
+                else f"implausible loss: {res.lost_units}/{total} units"
+            )
+        cells.append(cell)
+    return {"app": app, "strategy": strategy, "skipped": None, "cells": cells}

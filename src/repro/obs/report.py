@@ -126,6 +126,7 @@ class RunReport:
     faults: dict[str, float] = field(default_factory=dict)
     ckpt: dict[str, float] = field(default_factory=dict)
     orch: dict[str, float] = field(default_factory=dict)
+    strategies: dict[str, float] = field(default_factory=dict)
     slaves: dict[str, dict[str, object]] = field(default_factory=dict)
     imbalance: list[list[float]] = field(default_factory=list)
     overhead: dict[str, object] = field(default_factory=dict)
@@ -149,6 +150,7 @@ class RunReport:
             "faults": dict(self.faults),
             "ckpt": dict(self.ckpt),
             "orch": dict(self.orch),
+            "strategies": dict(self.strategies),
             "slaves": {pid: dict(data) for pid, data in self.slaves.items()},
             "imbalance": [list(point) for point in self.imbalance],
             "overhead": dict(self.overhead),
@@ -187,6 +189,7 @@ class RunReport:
         faults = {str(k): _as_float(v) for k, v in _obj("faults").items()}
         ckpt = {str(k): _as_float(v) for k, v in _obj("ckpt").items()}
         orch = {str(k): _as_float(v) for k, v in _obj("orch").items()}
+        strategies = {str(k): _as_float(v) for k, v in _obj("strategies").items()}
         event_counts = {str(k): _as_int(v) for k, v in _obj("event_counts").items()}
         return cls(
             schema=schema,
@@ -201,6 +204,7 @@ class RunReport:
             faults=faults,
             ckpt=ckpt,
             orch=orch,
+            strategies=strategies,
             slaves=slaves,
             imbalance=imbalance,
             overhead=_obj("overhead"),
@@ -291,6 +295,26 @@ class RunReport:
                             "timeout",
                             "retries",
                             "worker_restarts",
+                        )
+                    }
+                )
+            )
+        if any(self.strategies.values()):
+            lines.append(
+                "  strategies: steals={steal_attempts:.0f}  "
+                "hits={steal_hits:.0f}  units_stolen={steal_units:.0f}  "
+                "reassigns={robust_reassigns:.0f}  "
+                "duplicates={robust_duplicates:.0f}  "
+                "lost={lost_units:.0f}".format(
+                    **{
+                        k: self.strategies.get(k, 0.0)
+                        for k in (
+                            "steal_attempts",
+                            "steal_hits",
+                            "steal_units",
+                            "robust_reassigns",
+                            "robust_duplicates",
+                            "lost_units",
                         )
                     }
                 )
@@ -436,6 +460,22 @@ def build_run_report(result: RunResultLike, recorder: Recorder) -> RunReport:
         "worker_restarts": metrics.counter_value("orch.workers.restarted"),
     }
 
+    strategies: dict[str, float] = {
+        "steal_attempts": metrics.counter_value("steal.attempts"),
+        "steal_hits": metrics.counter_value("steal.hits"),
+        "steal_denies": metrics.counter_value("steal.denies"),
+        "steal_aborts": metrics.counter_value("steal.aborts"),
+        "steal_units": metrics.counter_value("steal.units"),
+        "steal_deaths": metrics.counter_value("steal.deaths"),
+        "robust_reassigns": metrics.counter_value("robust.reassigns"),
+        "robust_duplicates": metrics.counter_value("robust.duplicates"),
+        "robust_deaths": metrics.counter_value("robust.deaths"),
+        "lost_units": (
+            metrics.counter_value("steal.lost_units")
+            + metrics.counter_value("robust.lost_units")
+        ),
+    }
+
     ckpt: dict[str, float] = {
         "epochs_opened": metrics.counter_value("ckpt.epochs_opened"),
         "epochs_committed": metrics.counter_value("ckpt.epochs_committed"),
@@ -501,6 +541,7 @@ def build_run_report(result: RunResultLike, recorder: Recorder) -> RunReport:
         faults=faults,
         ckpt=ckpt,
         orch=orch,
+        strategies=strategies,
         slaves=slaves,
         imbalance=_imbalance_timeline(log, n),
         overhead=overhead,

@@ -12,10 +12,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from ..compiler.plan import LoopShape, MovementSpec
 from ..errors import ConfigError
 
-__all__ = ["SyntheticBag", "synthetic_bag"]
+__all__ = ["IrregularBag", "SyntheticBag", "irregular_bag", "synthetic_bag"]
 
 
 @dataclass(frozen=True)
@@ -29,6 +31,7 @@ class SyntheticBag:
     shape: LoopShape = LoopShape.PARALLEL_MAP
     unit_lo: int = 0
     reps: int = 1
+    dynamic_reps: bool = False
     kernels: None = None  # execute_numerics=False only
 
     @property
@@ -46,6 +49,93 @@ class SyntheticBag:
 
     def total_ops(self) -> float:
         return self.ops_per_unit * self.n_units
+
+
+@dataclass(frozen=True)
+class IrregularBag:
+    """A bag of independent units with heterogeneous per-unit cost.
+
+    Same plan surface as :class:`SyntheticBag`, but ``unit_cost`` is a
+    per-unit table drawn from a heavy-tailed distribution — the workload
+    class the paper's rate-filtered redistribution (which assumes every
+    iteration of a shard costs about the same) handles poorly, and the
+    robust strategies (work stealing, rDLB) are designed for.
+    """
+
+    name: str
+    costs: tuple[float, ...]
+    movement: MovementSpec
+    shape: LoopShape = LoopShape.PARALLEL_MAP
+    unit_lo: int = 0
+    reps: int = 1
+    dynamic_reps: bool = False
+    kernels: None = None  # execute_numerics=False only
+
+    @property
+    def n_units(self) -> int:
+        return len(self.costs)
+
+    @property
+    def unit_count(self) -> int:
+        return len(self.costs)
+
+    def unit_space(self) -> tuple[int, int]:
+        return (0, len(self.costs))
+
+    def unit_cost(self, rep: int, unit: int) -> float:
+        return self.costs[unit]
+
+    def units_cost(self, rep: int, units) -> float:
+        return float(sum(self.costs[u] for u in units))
+
+    def total_ops(self) -> float:
+        return float(sum(self.costs))
+
+
+def irregular_bag(
+    n_units: int,
+    mean_ops: float,
+    *,
+    tail: str = "lognormal",
+    sigma: float = 1.2,
+    alpha: float = 1.6,
+    seed: int = 0,
+    unit_bytes: int = 1024,
+    name: str = "irregular",
+) -> IrregularBag:
+    """Build a heavy-tailed bag of independent work units.
+
+    ``tail="lognormal"`` draws per-unit cost from a lognormal with shape
+    ``sigma`` (particle/adaptive-refinement style: most units cheap, a
+    few very hot); ``tail="pareto"`` draws from a Pareto with index
+    ``alpha`` (the heavier tail: at alpha<2 the cost variance diverges).
+    Both are rescaled so the *mean* unit cost is ``mean_ops``, keeping
+    total work comparable to a uniform bag of the same size, and the hot
+    units are scattered over the index space so a contiguous static
+    split cannot dodge them.
+    """
+    if n_units < 1:
+        raise ConfigError(f"need at least one unit, got {n_units}")
+    if mean_ops <= 0:
+        raise ConfigError(f"mean_ops must be positive, got {mean_ops}")
+    if tail not in ("lognormal", "pareto"):
+        raise ConfigError(f"tail must be 'lognormal' or 'pareto', got {tail!r}")
+    if sigma <= 0 or alpha <= 1.0:
+        raise ConfigError("need sigma > 0 and alpha > 1")
+    rng = np.random.default_rng([seed, n_units])
+    if tail == "lognormal":
+        draws = rng.lognormal(mean=0.0, sigma=sigma, size=n_units)
+    else:
+        draws = 1.0 + rng.pareto(alpha, size=n_units)
+    draws = draws * (mean_ops / draws.mean())
+    # Floor at 1 op so no unit is free; shuffle so the tail is scattered.
+    costs = np.maximum(draws, 1.0)
+    rng.shuffle(costs)
+    return IrregularBag(
+        name=name,
+        costs=tuple(float(c) for c in costs),
+        movement=MovementSpec(restricted=False, unit_bytes=unit_bytes),
+    )
 
 
 def synthetic_bag(

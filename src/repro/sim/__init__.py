@@ -26,6 +26,7 @@ from .load import (
     CompositeLoad,
     ConstantLoad,
     LoadGenerator,
+    LoadTrace,
     NoLoad,
     OscillatingLoad,
     StepLoad,
@@ -49,6 +50,7 @@ __all__ = [
     "Engine",
     "Message",
     "LoadGenerator",
+    "LoadTrace",
     "NoLoad",
     "ConstantLoad",
     "OscillatingLoad",

@@ -10,20 +10,58 @@ composite generators for richer scenarios.
 
 from __future__ import annotations
 
+import json
 import math
+import os
+import time as _time
 from bisect import bisect_right
-from typing import Sequence
+from pathlib import Path
+from typing import Any, Sequence
 
 from ..errors import ConfigError
 
 __all__ = [
     "LoadGenerator",
+    "LoadTrace",
     "NoLoad",
     "ConstantLoad",
     "OscillatingLoad",
     "StepLoad",
     "CompositeLoad",
 ]
+
+TRACE_SCHEMA = "repro-loadtrace/1"
+
+
+def _check_time(value: float, what: str) -> float:
+    """Validate one time-like constructor argument (finite, not NaN)."""
+    try:
+        f = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(f"{what} must be a number, got {value!r}") from exc
+    if math.isnan(f):
+        raise ConfigError(f"{what} must not be NaN")
+    return f
+
+
+def _check_count(value: int, what: str) -> int:
+    """Validate one competing-task count (finite integer >= 0).
+
+    Floats are accepted only when integral — a NaN/inf count used to
+    slip through ``k < 0`` and poison every downstream comparison.
+    """
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise ConfigError(f"{what} must be finite, got {value!r}")
+        if value != int(value):
+            raise ConfigError(f"{what} must be an integer, got {value!r}")
+    try:
+        k = int(value)
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(f"{what} must be an integer, got {value!r}") from exc
+    if k < 0:
+        raise ConfigError(f"{what} must be >= 0, got {k}")
+    return k
 
 
 class LoadGenerator:
@@ -82,13 +120,14 @@ class ConstantLoad(LoadGenerator):
     """``k`` competing tasks between ``start`` and ``stop``."""
 
     def __init__(self, k: int = 1, start: float = 0.0, stop: float = math.inf):
-        if k < 0:
-            raise ConfigError(f"competing task count must be >= 0, got {k}")
-        if stop < start:
+        self.k = _check_count(k, "competing task count")
+        self.start = _check_time(start, "start")
+        # inf is a legal stop (load forever); NaN is not.
+        self.stop = _check_time(stop, "stop")
+        if not math.isfinite(self.start):
+            raise ConfigError(f"start must be finite, got {start}")
+        if self.stop < self.start:
             raise ConfigError(f"stop {stop} before start {start}")
-        self.k = k
-        self.start = start
-        self.stop = stop
 
     def k_at(self, t: float) -> int:
         return self.k if self.start <= t < self.stop else 0
@@ -124,16 +163,20 @@ class OscillatingLoad(LoadGenerator):
         duration: float = 10.0,
         start: float = 0.0,
     ):
-        if k < 0:
-            raise ConfigError(f"competing task count must be >= 0, got {k}")
-        if period <= 0 or not 0 < duration <= period:
+        self.k = _check_count(k, "competing task count")
+        self.period = _check_time(period, "period")
+        self.duration = _check_time(duration, "duration")
+        self.start = _check_time(start, "start")
+        if not math.isfinite(self.start):
+            raise ConfigError(f"start must be finite, got {start}")
+        if (
+            not math.isfinite(self.period)
+            or self.period <= 0
+            or not 0 < self.duration <= self.period
+        ):
             raise ConfigError(
                 f"need 0 < duration <= period, got duration={duration} period={period}"
             )
-        self.k = k
-        self.period = period
-        self.duration = duration
-        self.start = start
 
     def k_at(self, t: float) -> int:
         if t < self.start:
@@ -178,13 +221,13 @@ class StepLoad(LoadGenerator):
     def __init__(self, steps: Sequence[tuple[float, int]]):
         if not steps:
             raise ConfigError("StepLoad needs at least one step")
-        times = [t for t, _ in steps]
+        times = [_check_time(t, "StepLoad time") for t, _ in steps]
+        if any(not math.isfinite(t) for t in times):
+            raise ConfigError("StepLoad times must be finite")
         if any(b <= a for a, b in zip(times, times[1:])):
             raise ConfigError("StepLoad times must be strictly increasing")
-        if any(k < 0 for _, k in steps):
-            raise ConfigError("StepLoad counts must be >= 0")
         self._times = list(times)
-        self._ks = [k for _, k in steps]
+        self._ks = [_check_count(k, "StepLoad count") for _, k in steps]
 
     def k_at(self, t: float) -> int:
         i = bisect_right(self._times, t) - 1
@@ -200,6 +243,188 @@ class StepLoad(LoadGenerator):
 
     def __repr__(self) -> str:
         return f"StepLoad({list(zip(self._times, self._ks))!r})"
+
+
+class LoadTrace(StepLoad):
+    """A recorded piecewise-constant load, replayed deterministically.
+
+    The trace is a list of ``(time, k)`` samples — the same shape
+    :class:`StepLoad` consumes — plus provenance (name, source, free-form
+    metadata) and a JSON schema (``repro-loadtrace/1``) so real-machine
+    captures can be committed to the repository and replayed bit-exactly
+    in benchmarks.  Two capture paths:
+
+    - :meth:`capture` samples another generator at its exact change
+      points (lossless: replay is identical to the source generator over
+      the captured horizon);
+    - :meth:`capture_host` records the local machine's run-queue length
+      (``os.getloadavg``) in real time.
+
+    ``clamp=True`` repairs dirty recorded samples (negative or
+    non-finite readings become the nearest legal value) instead of
+    raising; programmatic constructors get the strict :class:`StepLoad`
+    validation.
+    """
+
+    def __init__(
+        self,
+        samples: Sequence[tuple[float, int]],
+        *,
+        name: str = "trace",
+        source: str = "synthetic",
+        meta: dict[str, Any] | None = None,
+        clamp: bool = False,
+    ):
+        if clamp:
+            samples = self._clamped(samples)
+        if not samples:
+            samples = [(0.0, 0)]
+        super().__init__(samples)
+        self.name = str(name)
+        self.source = str(source)
+        self.meta = dict(meta or {})
+
+    @staticmethod
+    def _clamped(samples: Sequence[tuple[float, int]]) -> list[tuple[float, int]]:
+        """Repair recorded samples: drop unusable times, clamp counts."""
+        out: list[tuple[float, int]] = []
+        for t, k in samples:
+            tf = float(t)
+            if not math.isfinite(tf) or tf < 0:
+                continue
+            kf = float(k)
+            kc = 0 if not math.isfinite(kf) or kf < 0 else int(round(kf))
+            if out and tf <= out[-1][0]:
+                out[-1] = (out[-1][0], kc)
+            else:
+                out.append((tf, kc))
+        return out
+
+    @property
+    def samples(self) -> tuple[tuple[float, int], ...]:
+        return tuple(zip(self._times, self._ks))
+
+    @property
+    def horizon(self) -> float:
+        """Time of the last recorded sample."""
+        return self._times[-1]
+
+    def scaled(self, time_scale: float) -> LoadTrace:
+        """A copy with every sample time multiplied by ``time_scale``
+        (replay a wall-clock capture on the virtual clock at any tempo)."""
+        if not math.isfinite(time_scale) or time_scale <= 0:
+            raise ConfigError(f"time_scale must be positive, got {time_scale}")
+        return LoadTrace(
+            [(t * time_scale, k) for t, k in self.samples],
+            name=self.name,
+            source=self.source,
+            meta={**self.meta, "time_scale": time_scale},
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": TRACE_SCHEMA,
+            "name": self.name,
+            "source": self.source,
+            "samples": [[t, k] for t, k in self.samples],
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> LoadTrace:
+        if not isinstance(doc, dict) or doc.get("schema") != TRACE_SCHEMA:
+            raise ConfigError(
+                f"not a load-trace document (want schema {TRACE_SCHEMA!r}, "
+                f"got {doc.get('schema') if isinstance(doc, dict) else doc!r})"
+            )
+        samples = [(float(t), int(k)) for t, k in doc.get("samples", [])]
+        return cls(
+            samples,
+            name=doc.get("name", "trace"),
+            source=doc.get("source", "unknown"),
+            meta=doc.get("meta") or {},
+        )
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    @classmethod
+    def load(cls, path: str | Path) -> LoadTrace:
+        try:
+            doc = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigError(f"cannot read load trace {path}: {exc}") from exc
+        return cls.from_dict(doc)
+
+    @classmethod
+    def capture(
+        cls,
+        gen: LoadGenerator,
+        horizon: float,
+        *,
+        t0: float = 0.0,
+        name: str = "capture",
+    ) -> LoadTrace:
+        """Record ``gen`` over ``[t0, t0 + horizon]`` at its exact change
+        points, so replaying the trace reproduces the generator."""
+        if not math.isfinite(horizon) or horizon <= 0:
+            raise ConfigError(f"capture horizon must be positive, got {horizon}")
+        samples: list[tuple[float, int]] = [(0.0, gen.k_at(t0))]
+        t = t0
+        while True:
+            t = gen.next_change(t)
+            if t >= t0 + horizon or not math.isfinite(t):
+                break
+            k = gen.k_at(t)
+            if k != samples[-1][1]:
+                samples.append((t - t0, k))
+        return cls(
+            samples,
+            name=name,
+            source=f"capture:{gen!r}",
+            meta={"horizon": horizon, "t0": t0},
+        )
+
+    @classmethod
+    def capture_host(
+        cls,
+        duration_s: float = 10.0,
+        interval_s: float = 0.5,
+        *,
+        name: str = "host",
+    ) -> LoadTrace:
+        """Record this machine's 1-minute run-queue length in real time.
+
+        Dirty readings (negative or non-finite, seen on some platforms)
+        are clamped rather than fatal — a capture should never crash
+        halfway through a recording session.
+        """
+        if duration_s <= 0 or interval_s <= 0:
+            raise ConfigError("capture duration and interval must be positive")
+        raw: list[tuple[float, float]] = []
+        t_start = _time.monotonic()
+        while True:
+            elapsed = _time.monotonic() - t_start
+            raw.append((elapsed, os.getloadavg()[0]))
+            if elapsed >= duration_s:
+                break
+            _time.sleep(min(interval_s, duration_s - elapsed + 1e-3))
+        return cls(
+            raw,  # type: ignore[arg-type]  # floats; clamp converts
+            name=name,
+            source="getloadavg",
+            meta={"duration_s": duration_s, "interval_s": interval_s},
+            clamp=True,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"LoadTrace(name={self.name!r}, source={self.source!r}, "
+            f"samples={len(self._times)}, horizon={self.horizon})"
+        )
 
 
 class CompositeLoad(LoadGenerator):

@@ -43,6 +43,10 @@ def _tag_class(tag: str) -> str:
         return "app"
     if tag.startswith("sc."):
         return "scale"
+    if tag.startswith("st."):
+        return "steal"
+    if tag.startswith("rb."):
+        return "robust"
     return "other"
 
 

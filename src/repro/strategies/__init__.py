@@ -1,0 +1,50 @@
+"""Pluggable DLB strategy layer.
+
+One shared entry point — :func:`run_strategy` — runs a PARALLEL_MAP plan
+under any registered dynamic-load-balancing strategy and returns a
+normalized :class:`StrategyOutcome`, so the paper's rate-filtered
+redistribution can be raced head-to-head against the robust
+alternatives:
+
+- ``rate`` — the paper's design: rate-filtered proportional
+  redistribution (the flat tree of :mod:`repro.scale.hierarchy`);
+- ``hier`` — the same protocol over a sub-master tree;
+- ``diffusion`` — decentralised neighbour exchange;
+- ``stealing`` — decentralised work stealing (steal-half, randomized
+  victim selection, steal/deny/abort with termination detection);
+- ``rdlb`` — robust self-scheduling (central chunk queue with resilient
+  chunk reassignment, no rate filtering);
+- ``fsc`` / ``gss`` / ``factoring`` / ``trapezoid`` — the classic
+  self-scheduling chunking variants from :mod:`repro.baselines.self_sched`.
+
+Selection is wired through ``RunConfig.strategy`` and
+``repro run --strategy``.  The perturbation-robustness bench suite
+(:mod:`repro.strategies.robustness`) races the strategies over irregular
+workloads and recorded load traces and reports degradation versus an
+idealized oracle makespan.
+"""
+
+from .rdlb import RdlbConfig, RdlbResult, run_rdlb
+from .registry import (
+    STRATEGIES,
+    StrategyOutcome,
+    available_strategies,
+    run_strategy,
+)
+from .protocol import RobustTags, StealTags
+from .stealing import StealingConfig, StealingResult, run_stealing
+
+__all__ = [
+    "STRATEGIES",
+    "RdlbConfig",
+    "RdlbResult",
+    "RobustTags",
+    "StealTags",
+    "StealingConfig",
+    "StealingResult",
+    "StrategyOutcome",
+    "available_strategies",
+    "run_rdlb",
+    "run_stealing",
+    "run_strategy",
+]

@@ -1,0 +1,72 @@
+"""Message tags of the robust strategy control planes.
+
+Tags are prefixed (``st.`` for stealing, ``rb.`` for robust
+self-scheduling) so metrics classify them separately (see
+``repro.sim.machine._tag_class``) and ``repro check --steal`` can derive
+the tag families from these classes exactly as it does for the central
+runtime's :class:`repro.runtime.protocol.Tags` and the hierarchy's
+:class:`repro.scale.protocol.ScaleTags`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["RobustTags", "StealTags"]
+
+
+class StealTags:
+    """Tag constants for the decentralized work-stealing protocol.
+
+    Custody rule: units travel **worker to worker** (``WORK``); the
+    coordinator only counts progress and detects termination, so its
+    messages never carry work and a late coordinator cannot lose units.
+
+    Response completeness: every ``STEAL`` a live victim receives is
+    answered by exactly one ``WORK`` or ``DENY``.  A thief that stops
+    waiting (victim silent past the steal timeout) sends ``ABORT`` so a
+    reordered late ``STEAL`` is denied rather than served — but a thief
+    must still *accept* a late ``WORK`` whose request it aborted,
+    otherwise the shipped units would be lost in flight.
+    """
+
+    # Thief -> victim: {"thief", "req"} — request roughly half the
+    # victim's pending units.
+    STEAL = "st.steal"
+    # Victim -> thief: {"req", "units", "data"?} — the stolen units (and
+    # their packed state when numerics execute).
+    WORK = "st.work"
+    # Victim -> thief: {"req"} — nothing to spare (or the request was
+    # aborted before it arrived).
+    DENY = "st.deny"
+    # Thief -> victim: {"req"} — the thief timed out on this request;
+    # if it has not been served yet, deny it instead of serving it.
+    ABORT = "st.abort"
+    # Worker -> coordinator: periodic {"done" (cumulative), "remaining"}.
+    # Doubles as the heartbeat the coordinator's failure detector watches.
+    REPORT = "st.report"
+    # Coordinator -> worker: computation complete (or declared lost);
+    # workers answer with RESULT.
+    TERM = "st.term"
+    # Worker -> coordinator: final {"units", "data"?}.
+    RESULT = "st.result"
+
+
+class RobustTags:
+    """Tag constants for rDLB-style robust self-scheduling.
+
+    The master owns the chunk queue; a worker's ``REQUEST`` piggybacks
+    the previous chunk's results, and the master answers every request
+    with exactly one ``WORK`` (an empty unit tuple means "stop").  A
+    chunk held by a worker that goes silent is *reassigned* to the next
+    idle requester (bounded duplication, first result wins), which is
+    the rDLB robustness mechanism: no rates are estimated and no
+    movement decisions are made — resilience comes from reissuing work.
+    """
+
+    # Worker -> master: {"chunk", "units", "data"?} report of the
+    # previous chunk (None on the first request).  Also the heartbeat.
+    REQUEST = "rb.request"
+    # Master -> worker: {"chunk", "units", "data"?}.  units == () with
+    # "retry" set means "nothing to hand out yet, poll again" (the
+    # master never parks a request, so an idle worker keeps
+    # heartbeating); units == () without "retry" stops the worker.
+    WORK = "rb.work"

@@ -1,0 +1,529 @@
+"""Finite-state abstraction of the work-stealing control plane.
+
+Models the steal/deny/abort protocol of ``strategies/stealing.py`` for
+exhaustive verification (``repro check --model --model-plane steal``):
+
+- **Workers** compute their own units one at a time, reporting
+  ``(done, remaining)`` counts to the passive coordinator after every
+  unit.  An idle worker sends ``st.steal`` to a victim and waits; the
+  victim answers ``st.work`` (steal-half) or ``st.deny``.  A waiting
+  thief may nondeterministically time out — it sends ``st.abort`` and
+  resumes; the victim remembers aborted request ids so a late
+  (tag-selectively reordered) ``st.steal`` is denied rather than served
+  twice, while the thief accepts late ``st.work`` unconditionally
+  (stolen units must never be dropped).
+- **The coordinator** never touches units: it terminates the run
+  (``st.term`` broadcast, then gathers ``st.result``) once the reported
+  done counts cover every unit — or, after a crash, once every live
+  worker has reported itself idle (the time-free abstraction of the
+  runtime's post-death stall grace).
+- **Crashes.**  Workers named in ``crashable`` may crash at any
+  pre-termination point; an accurate-failure-detector oracle message
+  (pseudo-source ``fd``) informs the coordinator, exactly as in the FT
+  model.  Units owned by (or in flight to) a crashed worker are
+  lost-with-the-dead but never lose *custody* in the model, so the
+  conservation invariant stays exact: every unit is always held by
+  exactly one worker local or one in-flight ``st.work`` payload.
+
+The steal request counter is bounded by ``max_steals`` (a thief that
+exhausts its attempts parks until ``st.work`` or ``st.term`` arrives),
+keeping the state space finite; this under-approximates the runtime's
+unbounded retry loop but preserves every reordering race around a
+single steal transaction, which is where the protocol bugs live —
+selective receive lets the victim see the ``st.abort`` *before* the
+``st.steal`` it cancels, so the aborted-request dedup arm is reachable
+even at ``max_steals=1``.  (``max_steals=2`` multiplies the space
+roughly 60x — 225k states at the default size — and was verified clean
+during development; the sweep stays at 1 to keep ``repro check
+--model`` fast.)
+
+``MUTATIONS`` seeds protocol corruptions the checker must catch:
+dropping the termination broadcast (deadlock), forgetting stolen units
+on serve (loss), serving units twice (duplication), and a thief
+ignoring post-abort work (loss).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Mapping, NamedTuple
+
+from ..analysis.model.core import Invariant, Model, Msg, Step, selective
+
+__all__ = ["COORD", "MUTATIONS", "StealConfig", "build_model"]
+
+COORD = "co"
+
+#: Seeded protocol corruptions for the checker's test suite.
+MUTATIONS: dict[str, str] = {
+    "drop_term": "the coordinator never broadcasts st.term",
+    "lose_stolen_units": "the victim forgets stolen units when serving",
+    "double_serve": "the victim serves units it already gave away",
+    "ignore_late_work": "a thief drops st.work arriving after its abort",
+}
+
+
+@dataclass(frozen=True)
+class StealConfig:
+    """One work-stealing model configuration."""
+
+    n_workers: int = 2
+    units: int = 3
+    max_steals: int = 1
+    crashable: tuple[str, ...] = ()
+
+    def worker_names(self) -> tuple[str, ...]:
+        return tuple(f"w{i}" for i in range(self.n_workers))
+
+
+class WLocal(NamedTuple):
+    """One worker's local state."""
+
+    remaining: frozenset[int]
+    done: frozenset[int]
+    drained: frozenset[int]  # late st.work absorbed after termination
+    phase: str  # "run" | "wait" | "term" | "crashed"
+    next_req: int
+    outstanding: tuple[str, int] | None  # (victim, req) awaiting reply
+    steals_left: int
+    aborted: frozenset[tuple[str, int]]  # victim side: aborted (thief, req)
+
+
+class CLocal(NamedTuple):
+    """The coordinator's local state."""
+
+    done_of: tuple[tuple[str, int], ...]  # sorted worker -> done count
+    rem_of: tuple[tuple[str, int], ...]  # sorted worker -> remaining count
+    dead: frozenset[str]
+    termed: bool
+    results: frozenset[str]
+
+
+def _get(table: tuple[tuple[str, int], ...], name: str) -> int:
+    for key, value in table:
+        if key == name:
+            return value
+    return 0
+
+
+def _put(
+    table: tuple[tuple[str, int], ...], name: str, value: int
+) -> tuple[tuple[str, int], ...]:
+    out = dict(table)
+    out[name] = value
+    return tuple(sorted(out.items()))
+
+
+class StealWorker:
+    """One worker of the stealing plane."""
+
+    def __init__(self, name: str, cfg: StealConfig, mutation: str | None):
+        self.name = name
+        self.cfg = cfg
+        self.mutation = mutation
+        self.crashable = name in cfg.crashable
+
+    def init(self) -> Hashable:
+        units = (
+            frozenset(range(self.cfg.units))
+            if self.name == "w0"
+            else frozenset()
+        )
+        return WLocal(
+            remaining=units,
+            done=frozenset(),
+            drained=frozenset(),
+            phase="run",
+            next_req=0,
+            outstanding=None,
+            steals_left=self.cfg.max_steals,
+            aborted=frozenset(),
+        )
+
+    def _report(self, s: WLocal) -> Msg:
+        return Msg(
+            self.name,
+            COORD,
+            "st.report",
+            (len(s.done), len(s.remaining)),
+        )
+
+    def steps(
+        self, local: Hashable, pending: tuple[Msg, ...]
+    ) -> Iterable[Step]:
+        s = local
+        assert isinstance(s, WLocal)
+        if s.phase == "crashed":
+            return
+
+        # -- intake: st.work ------------------------------------------------
+        for msg in selective(pending, lambda m: m.tag == "st.work"):
+            payload = msg.payload
+            assert isinstance(payload, tuple)
+            units = frozenset(int(u) for u in payload)
+            if self.mutation == "ignore_late_work" and s.outstanding is None:
+                # BUG: the thief already aborted, so it throws the
+                # stolen units away instead of accepting them.
+                yield Step(
+                    actor=self.name,
+                    label=f"work({sorted(units)}: ignored after abort)",
+                    next_state=s,
+                    consumed=msg,
+                )
+                continue
+            if s.phase == "term":
+                # Post-termination arrival (only reachable after a
+                # crash-triggered give-up): the units' results are lost
+                # with the run, but custody is still accounted.
+                yield Step(
+                    actor=self.name,
+                    label=f"work({sorted(units)}: drained after term)",
+                    next_state=s._replace(drained=s.drained | units),
+                    consumed=msg,
+                )
+                continue
+            yield Step(
+                actor=self.name,
+                label=f"work({sorted(units)})",
+                next_state=s._replace(
+                    remaining=s.remaining | units,
+                    phase="run" if s.phase == "wait" else s.phase,
+                    outstanding=None,
+                ),
+                consumed=msg,
+            )
+
+        # -- intake: st.deny ------------------------------------------------
+        for msg in selective(pending, lambda m: m.tag == "st.deny"):
+            if s.phase == "wait" and s.outstanding is not None:
+                yield Step(
+                    actor=self.name,
+                    label="deny",
+                    next_state=s._replace(phase="run", outstanding=None),
+                    consumed=msg,
+                )
+            else:
+                yield Step(
+                    actor=self.name,
+                    label="deny(stale: dropped)",
+                    next_state=s,
+                    consumed=msg,
+                )
+
+        # -- intake: st.steal (victim side) --------------------------------
+        for msg in selective(pending, lambda m: m.tag == "st.steal"):
+            payload = msg.payload
+            assert isinstance(payload, tuple)
+            thief, req = str(payload[0]), int(payload[1])
+            k = len(s.remaining) // 2
+            if (
+                (thief, req) in s.aborted
+                or k < 1
+                or s.phase == "term"
+            ):
+                yield Step(
+                    actor=self.name,
+                    label=f"steal({thief}#{req}: deny)",
+                    next_state=s,
+                    consumed=msg,
+                    sends=(Msg(self.name, thief, "st.deny", (req,)),),
+                )
+                continue
+            booty = tuple(sorted(s.remaining)[:k])
+            kept = (
+                s.remaining
+                if self.mutation == "double_serve"
+                else s.remaining - frozenset(booty)
+            )
+            sent = (
+                () if self.mutation == "lose_stolen_units" else booty
+            )
+            yield Step(
+                actor=self.name,
+                label=f"steal({thief}#{req}: serve {list(booty)})",
+                next_state=s._replace(remaining=kept),
+                consumed=msg,
+                sends=(Msg(self.name, thief, "st.work", sent),),
+            )
+
+        # -- intake: st.abort (victim side) --------------------------------
+        for msg in selective(pending, lambda m: m.tag == "st.abort"):
+            payload = msg.payload
+            assert isinstance(payload, tuple)
+            thief, req = str(payload[0]), int(payload[1])
+            yield Step(
+                actor=self.name,
+                label=f"abort({thief}#{req})",
+                next_state=s._replace(
+                    aborted=s.aborted | {(thief, req)}
+                ),
+                consumed=msg,
+            )
+
+        # -- intake: st.term ------------------------------------------------
+        for msg in selective(pending, lambda m: m.tag == "st.term"):
+            if s.phase != "term":
+                yield Step(
+                    actor=self.name,
+                    label="term",
+                    next_state=s._replace(phase="term", outstanding=None),
+                    consumed=msg,
+                    sends=(
+                        Msg(self.name, COORD, "st.result", (len(s.done),)),
+                    ),
+                )
+            else:
+                yield Step(
+                    actor=self.name,
+                    label="term(dup: dropped)",
+                    next_state=s,
+                    consumed=msg,
+                )
+
+        # -- internal: compute one unit ------------------------------------
+        if s.phase == "run" and s.remaining:
+            u = min(s.remaining)
+            nxt = s._replace(
+                remaining=s.remaining - {u}, done=s.done | {u}
+            )
+            yield Step(
+                actor=self.name,
+                label=f"compute(u{u})",
+                next_state=nxt,
+                sends=(self._report(nxt),),
+            )
+
+        # -- internal: start a steal ---------------------------------------
+        if (
+            s.phase == "run"
+            and not s.remaining
+            and s.steals_left > 0
+            and self.cfg.n_workers > 1
+        ):
+            for victim in self.cfg.worker_names():
+                if victim == self.name:
+                    continue
+                yield Step(
+                    actor=self.name,
+                    label=f"steal->{victim}#{s.next_req}",
+                    next_state=s._replace(
+                        phase="wait",
+                        outstanding=(victim, s.next_req),
+                        next_req=s.next_req + 1,
+                        steals_left=s.steals_left - 1,
+                    ),
+                    sends=(
+                        Msg(
+                            self.name,
+                            victim,
+                            "st.steal",
+                            (self.name, s.next_req),
+                        ),
+                    ),
+                )
+
+        # -- internal: steal timeout ---------------------------------------
+        if s.phase == "wait" and s.outstanding is not None:
+            victim, req = s.outstanding
+            yield Step(
+                actor=self.name,
+                label=f"timeout({victim}#{req})",
+                next_state=s._replace(phase="run", outstanding=None),
+                sends=(
+                    Msg(self.name, victim, "st.abort", (self.name, req)),
+                ),
+            )
+
+        # -- internal: crash -----------------------------------------------
+        if self.crashable and s.phase != "term":
+            yield Step(
+                actor=self.name,
+                label="crash",
+                next_state=s._replace(phase="crashed", outstanding=None),
+                sends=(Msg("fd", COORD, "st.crash", (self.name,)),),
+            )
+
+
+class StealCoordinator:
+    """The passive termination coordinator."""
+
+    name = COORD
+
+    def __init__(self, cfg: StealConfig, mutation: str | None):
+        self.cfg = cfg
+        self.mutation = mutation
+
+    def init(self) -> Hashable:
+        zero = tuple(sorted((w, 0) for w in self.cfg.worker_names()))
+        return CLocal(
+            done_of=zero,
+            rem_of=tuple(
+                sorted(
+                    (w, self.cfg.units if w == "w0" else 0)
+                    for w in self.cfg.worker_names()
+                )
+            ),
+            dead=frozenset(),
+            termed=False,
+            results=frozenset(),
+        )
+
+    def steps(
+        self, local: Hashable, pending: tuple[Msg, ...]
+    ) -> Iterable[Step]:
+        s = local
+        assert isinstance(s, CLocal)
+
+        for msg in selective(pending, lambda m: m.tag == "st.report"):
+            payload = msg.payload
+            assert isinstance(payload, tuple)
+            done, rem = int(payload[0]), int(payload[1])
+            yield Step(
+                actor=self.name,
+                label=f"report({msg.src}: {done}/{rem})",
+                next_state=s._replace(
+                    done_of=_put(
+                        s.done_of,
+                        msg.src,
+                        max(_get(s.done_of, msg.src), done),
+                    ),
+                    rem_of=_put(s.rem_of, msg.src, rem),
+                ),
+                consumed=msg,
+            )
+
+        for msg in selective(pending, lambda m: m.tag == "st.crash"):
+            payload = msg.payload
+            assert isinstance(payload, tuple)
+            victim = str(payload[0])
+            yield Step(
+                actor=self.name,
+                label=f"crash({victim})",
+                next_state=s._replace(dead=s.dead | {victim}),
+                consumed=msg,
+            )
+
+        for msg in selective(pending, lambda m: m.tag == "st.result"):
+            yield Step(
+                actor=self.name,
+                label=f"result({msg.src})",
+                next_state=s._replace(results=s.results | {msg.src}),
+                consumed=msg,
+            )
+
+        if not s.termed and self.mutation != "drop_term":
+            done_total = sum(v for _, v in s.done_of)
+            live_idle = all(
+                v == 0
+                for w, v in s.rem_of
+                if w not in s.dead
+            )
+            if done_total >= self.cfg.units or (s.dead and live_idle):
+                yield Step(
+                    actor=self.name,
+                    label="term-broadcast",
+                    next_state=s._replace(termed=True),
+                    sends=tuple(
+                        Msg(self.name, w, "st.term", ())
+                        for w in self.cfg.worker_names()
+                    ),
+                )
+
+
+def unit_conservation(cfg: StealConfig) -> Invariant:
+    """Every unit has exactly one custodian at all times.
+
+    Custodians: any worker's ``remaining``/``done``/``drained`` set
+    (crashed workers included — units die *with* them, they do not
+    vanish), or an in-flight ``st.work`` payload on any channel
+    (including channels to a crashed thief: the message is ghost data
+    but it is where the units are).
+    """
+
+    def check(
+        locals_: Mapping[str, Hashable],
+        channels: Mapping[tuple[str, str], tuple[Msg, ...]],
+    ) -> tuple[str, str] | None:
+        counts = {u: 0 for u in range(cfg.units)}
+        for _name, local in locals_.items():
+            if not isinstance(local, WLocal):
+                continue
+            for u in local.remaining | local.done | local.drained:
+                counts[u] = counts.get(u, 0) + 1
+        for _key, msgs in channels.items():
+            for msg in msgs:
+                if msg.tag != "st.work":
+                    continue
+                payload = msg.payload
+                assert isinstance(payload, tuple)
+                for u in payload:
+                    counts[int(u)] = counts.get(int(u), 0) + 1
+        dup = sorted(u for u, c in counts.items() if c > 1)
+        if dup:
+            return (
+                "RA702",
+                f"unit(s) {dup} have more than one custodian "
+                f"(duplicated by stealing)",
+            )
+        lost = sorted(u for u, c in counts.items() if c == 0)
+        if lost:
+            return (
+                "RA701",
+                f"unit(s) {lost} have no custodian (lost by stealing)",
+            )
+        return None
+
+    return check
+
+
+def build_model(
+    cfg: StealConfig | None = None, mutation: str | None = None
+) -> Model:
+    """Build the work-stealing model for one configuration."""
+    cfg = cfg or StealConfig()
+    if mutation is not None and mutation not in MUTATIONS:
+        raise ValueError(f"unknown mutation {mutation!r}")
+
+    def terminal(locals_: Mapping[str, Hashable]) -> bool:
+        coord = locals_[COORD]
+        assert isinstance(coord, CLocal)
+        if not coord.termed:
+            return False
+        for name, local in locals_.items():
+            if not isinstance(local, WLocal):
+                continue
+            if local.phase == "crashed":
+                continue
+            if local.phase != "term" or name not in coord.results:
+                return False
+        return True
+
+    def dead_of(locals_: Mapping[str, Hashable]) -> frozenset[str]:
+        return frozenset(
+            name
+            for name, local in locals_.items()
+            if isinstance(local, WLocal) and local.phase == "crashed"
+        )
+
+    workers = [
+        StealWorker(name, cfg, mutation) for name in cfg.worker_names()
+    ]
+    tag = f"steal-P{cfg.n_workers}-u{cfg.units}"
+    if cfg.crashable:
+        tag += f"-crash[{','.join(cfg.crashable)}]"
+    if mutation:
+        tag += f"!{mutation}"
+    return Model(
+        name=tag,
+        plane="steal",
+        actors=[*workers, StealCoordinator(cfg, mutation)],
+        invariants=[unit_conservation(cfg)],
+        terminal=terminal,
+        dead_of=dead_of,
+        notes=(
+            "steal/deny/abort with tag-selective reordering; bounded "
+            f"steal attempts ({cfg.max_steals}); accurate-FD crash "
+            "oracle; coordinator termination by report counts with "
+            "post-death idle give-up"
+        ),
+    )

@@ -1,0 +1,462 @@
+"""rDLB-style robust self-scheduling: resilient chunk reassignment.
+
+Central-queue self-scheduling (the :mod:`repro.baselines.self_sched`
+family) hardened the way rDLB (Mohammed et al.) hardens DLS techniques:
+the master never blocks, watches request traffic as a heartbeat, and
+when the queue runs dry while chunks are still outstanding it *reissues*
+the oldest outstanding chunk to the next idle requester (bounded
+duplication, first result wins).  No rate filtering, no trend
+estimation, no movement decisions — robustness against both
+perturbation (a slowed worker's chunk is simply finished by someone
+else) and fail-stop crashes comes entirely from reissuing work the
+master still owns.
+
+The cost is the self-scheduling cost the paper's iteration-ownership
+design avoids — every chunk ships its input data from the master and
+returns its results — plus the duplicated compute of reassigned chunks.
+The perturbation-robustness bench makes both visible.
+
+Supports PARALLEL_MAP plans (independent iterations) only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..compiler.plan import ExecutionPlan, LoopShape
+from ..config import RunConfig
+from ..errors import ConfigError
+from ..faults import FaultInjector, FaultPlan
+from ..obs import Recorder
+from ..sim import Cluster, Compute, LoadGenerator, Poll, Recv, Send, Sleep
+from ..sim.rusage import RusageReport
+from .protocol import RobustTags
+
+# Module-level alias named `Tags` for the protocol lint's AST resolver.
+Tags = RobustTags
+
+__all__ = ["RdlbConfig", "RdlbResult", "run_rdlb"]
+
+_CHUNKINGS = ("fsc", "gss", "factoring", "trapezoid")
+
+
+@dataclass(frozen=True)
+class RdlbConfig:
+    """Parameters of the robust self-scheduling plane.
+
+    Attributes:
+        chunking: chunk-sizing policy — ``"fsc"`` (fixed-size),
+            ``"gss"`` (guided), ``"factoring"``, or ``"trapezoid"``
+            (the :mod:`repro.baselines.self_sched` policies).
+        chunk: fixed chunk size when ``chunking="fsc"``.
+        dup_max: maximum concurrent assignees per chunk (2 = one
+            reissue); bounds the duplicated compute.
+        reassign_after: how long a chunk may be outstanding before an
+            idle requester gets a copy even though the holder still
+            looks alive (perturbation robustness: a worker slowed 10x
+            by competing load is indistinguishable from a dead one).
+        retry_wait: how long a worker with nothing to do waits before
+            re-requesting.  Workers are never parked inside the master —
+            an idle worker keeps polling, which doubles as its
+            heartbeat, so a crash while idle is still detected.
+        dead_after: request-traffic silence before a worker is declared
+            dead and its assignments freed for reassignment.
+        tick: master poll-loop sleep between empty polls.
+        hard_stall: unconditional no-progress bound; the master stops
+            the run (reporting unfinished units lost) so it never hangs.
+    """
+
+    chunking: str = "factoring"
+    chunk: int = 8
+    dup_max: int = 2
+    reassign_after: float = 2.0
+    retry_wait: float = 0.2
+    dead_after: float = 4.0
+    tick: float = 0.02
+    hard_stall: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.chunking not in _CHUNKINGS:
+            raise ConfigError(
+                f"chunking must be one of {', '.join(_CHUNKINGS)}, "
+                f"got {self.chunking!r}"
+            )
+        if self.chunk < 1:
+            raise ConfigError(f"chunk must be >= 1, got {self.chunk}")
+        if self.dup_max < 1:
+            raise ConfigError(f"dup_max must be >= 1, got {self.dup_max}")
+        if self.reassign_after <= 0 or self.dead_after <= 0:
+            raise ConfigError("reassign_after and dead_after must be positive")
+        if self.retry_wait <= 0 or self.retry_wait >= self.dead_after:
+            raise ConfigError("retry_wait must be positive and < dead_after")
+        if self.tick <= 0:
+            raise ConfigError("tick must be positive")
+        if self.hard_stall <= self.dead_after:
+            raise ConfigError("hard_stall must exceed dead_after")
+
+
+@dataclass
+class RdlbResult:
+    """Outcome and metrics of one robust self-scheduling run."""
+
+    name: str
+    chunking: str
+    n_slaves: int
+    elapsed: float
+    sequential_time: float
+    rusage: RusageReport
+    message_count: int
+    bytes_sent: int
+    chunks_served: int
+    reassigns: int
+    duplicate_results: int
+    completed_units: int
+    lost_units: int
+    deaths: int
+    result: Any = None
+    dead_pids: tuple[int, ...] = ()
+    recorder: Recorder | None = None
+
+    @property
+    def speedup(self) -> float:
+        return self.sequential_time / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def efficiency(self) -> float:
+        return self.rusage.efficiency(self.sequential_time, list(range(self.n_slaves)))
+
+    def summary(self) -> str:
+        lost = f" lost={self.lost_units}" if self.lost_units else ""
+        return (
+            f"{self.name}: P={self.n_slaves} ({self.chunking}) "
+            f"elapsed={self.elapsed:.2f}s speedup={self.speedup:.2f} "
+            f"chunks={self.chunks_served} reassigns={self.reassigns} "
+            f"deaths={self.deaths}{lost} msgs={self.message_count}"
+        )
+
+
+def _make_policy(rc: RdlbConfig, total: int, n_slaves: int):
+    from ..baselines.self_sched import (
+        ChunkPolicy,
+        FactoringPolicy,
+        GuidedPolicy,
+        TrapezoidPolicy,
+    )
+
+    if rc.chunking == "fsc":
+        return ChunkPolicy(rc.chunk)
+    if rc.chunking == "gss":
+        return GuidedPolicy()
+    if rc.chunking == "trapezoid":
+        return TrapezoidPolicy(total, n_slaves)
+    return FactoringPolicy()
+
+
+class _Chunk:
+    """Master-side state of one outstanding chunk."""
+
+    __slots__ = ("units", "assignees", "issued_at")
+
+    def __init__(self, units: tuple[int, ...], pid: int, now: float):
+        self.units = units
+        self.assignees = {pid}
+        self.issued_at = now
+
+
+def _rdlb_worker(ctx, plan: ExecutionPlan, rc: RdlbConfig, exec_num: bool):
+    kernels = plan.kernels
+    master = ctx.master_pid
+    report: dict[str, Any] | None = None
+    while True:
+        yield Send(master, Tags.REQUEST, report, 32)
+        msg = yield Recv(src=master, tag=Tags.WORK)
+        report = None
+        units = msg.payload["units"]
+        if not units:
+            if msg.payload.get("retry"):
+                # Nothing to hand out right now; keep polling (this is
+                # also the idle worker's heartbeat).
+                yield Sleep(rc.retry_wait)
+                continue
+            return
+        arr = np.asarray(units)
+        local = msg.payload.get("data")
+        # All reps of the chunk run back to back: PARALLEL_MAP units are
+        # independent, so per-chunk rep collapsing is exact
+        # (dynamic-reps plans are rejected at entry).
+        ops = sum(plan.units_cost(rep, units) for rep in range(plan.reps))
+
+        def _do(local=local, arr=arr):
+            for rep in range(plan.reps):
+                kernels.run_units(local, rep, arr)
+
+        yield Compute(ops, fn=_do if exec_num and local is not None else None)
+        report = {"chunk": msg.payload["chunk"], "units": units}
+        if exec_num and local is not None:
+            report["data"] = kernels.local_result(local)
+
+
+def _rdlb_master(
+    ctx,
+    plan: ExecutionPlan,
+    rc: RdlbConfig,
+    exec_num: bool,
+    global_state,
+    n_workers: int,
+    stats: dict,
+    sink: dict,
+):
+    obs = ctx.obs
+    kernels = plan.kernels
+    lo, hi = plan.unit_space()
+    total = hi - lo
+    queue = list(range(lo, hi))
+    policy = _make_policy(rc, total, n_workers)
+    now = ctx.now
+    outstanding: dict[int, _Chunk] = {}
+    next_chunk = 0
+    done_units = 0
+    chunks_served = 0
+    results: dict[int, list] = {p: [] for p in range(n_workers)}
+    last_heard = {pid: now for pid in range(n_workers)}
+    dead: set[int] = set()
+    stopped: set[int] = set()
+    last_progress = now
+
+    def _cut(pid: int, now: float):
+        """Issue the next queue chunk, or reissue an outstanding one."""
+        nonlocal next_chunk, chunks_served
+        if queue:
+            size = policy.next_chunk(len(queue), n_workers)
+            units, del_ = tuple(queue[:size]), queue[:size]
+            del queue[: len(del_)]
+            cid = next_chunk
+            next_chunk += 1
+            outstanding[cid] = _Chunk(units, pid, now)
+            chunks_served += 1
+            return cid, units
+        # Queue dry: reissue the oldest eligible outstanding chunk.
+        best: int | None = None
+        for cid, ch in outstanding.items():
+            if pid in ch.assignees or len(ch.assignees) >= rc.dup_max:
+                continue
+            live_holders = [a for a in ch.assignees if a not in dead]
+            if live_holders and now - ch.issued_at <= rc.reassign_after:
+                continue  # holder looks healthy and recent; don't duplicate
+            if best is None or ch.issued_at < outstanding[best].issued_at:
+                best = cid
+        if best is None:
+            return None
+        ch = outstanding[best]
+        ch.assignees.add(pid)
+        stats["reassigns"] = stats.get("reassigns", 0) + 1
+        if obs.enabled:
+            obs.metrics.counter("robust.reassigns").inc()
+            obs.emit_counter(
+                "robust", "reassign", now, float(len(ch.units)),
+                pid=ctx.pid, meta={"chunk": best, "to": pid},
+            )
+        return best, ch.units
+
+    def _serve(pid: int, now: float):
+        """Answer one request: work, a reissue, retry-later, or stop."""
+        cut = _cut(pid, now)
+        if cut is None:
+            if done_units >= total or (queue == [] and not outstanding):
+                stopped.add(pid)
+                yield Send(pid, Tags.WORK, {"chunk": -1, "units": ()}, 16)
+            else:
+                # No chunk to give (all outstanding ones are held by
+                # live recent workers); tell the worker to poll again.
+                yield Send(
+                    pid, Tags.WORK, {"chunk": -1, "units": (), "retry": True}, 16
+                )
+            return
+        cid, units = cut
+        payload: dict[str, Any] = {"chunk": cid, "units": units}
+        if exec_num:
+            payload["data"] = kernels.make_local(global_state, np.asarray(units))
+        nbytes = (
+            kernels.input_bytes(len(units))
+            if exec_num
+            else len(units) * plan.movement.unit_bytes
+        )
+        yield Send(pid, Tags.WORK, payload, nbytes)
+
+    while len(stopped | dead) < n_workers:
+        msg = yield Poll(tag=Tags.REQUEST)
+        now = ctx.now
+        if msg is not None:
+            pid = msg.src
+            last_heard[pid] = now
+            dead.discard(pid)  # a false positive resurfaces harmlessly
+            p = msg.payload
+            if p is not None:
+                cid = int(p["chunk"])
+                ch = outstanding.pop(cid, None)
+                if ch is not None:
+                    done_units += len(ch.units)
+                    last_progress = now
+                    results[pid].append((p["units"], p.get("data")))
+                else:
+                    # The other assignee finished first: duplicate result.
+                    stats["duplicates"] = stats.get("duplicates", 0) + 1
+                    if obs.enabled:
+                        obs.metrics.counter("robust.duplicates").inc()
+            yield from _serve(pid, now)
+        else:
+            yield Sleep(rc.tick)
+        now = ctx.now
+        for pid in range(n_workers):
+            if (
+                pid not in dead
+                and pid not in stopped
+                and now - last_heard[pid] > rc.dead_after
+            ):
+                dead.add(pid)
+                stats["deaths"] = stats.get("deaths", 0) + 1
+                for ch in outstanding.values():
+                    ch.assignees.discard(pid)
+                if obs.enabled:
+                    obs.metrics.counter("robust.deaths").inc()
+                    obs.emit_counter(
+                        "robust", "death", now, 1.0, pid=ctx.pid,
+                        meta={"dead": pid},
+                    )
+        if now - last_progress > rc.hard_stall and outstanding:
+            # Never hang: declare whatever is still outstanding lost.
+            stats["lost_units"] = stats.get("lost_units", 0) + sum(
+                len(ch.units) for ch in outstanding.values()
+            )
+            outstanding.clear()
+            queue.clear()
+            last_progress = now
+
+    # Late stop broadcast: the silence detector cannot distinguish a
+    # crashed worker from a live one stuck in a long compute (a
+    # heavy-tailed unit under competing load can exceed dead_after).  A
+    # falsely-dead worker finishes eventually, sends one more REQUEST,
+    # and blocks in Recv — queue a stop reply now so that Recv
+    # terminates it.  Sends to genuinely crashed pids are dropped.
+    for pid in range(n_workers):
+        if pid not in stopped:
+            yield Send(pid, Tags.WORK, {"chunk": -1, "units": ()}, 16)
+
+    lost = stats.get("lost_units", 0) + sum(
+        len(ch.units) for ch in outstanding.values()
+    )
+    if queue:
+        lost += len(queue)
+    stats["lost_units"] = lost
+    if lost and obs.enabled:
+        obs.metrics.counter("robust.lost_units").inc(lost)
+    stats["chunks"] = chunks_served
+    stats["done_units"] = done_units
+    sink["results"] = results
+
+
+def run_rdlb(
+    plan: ExecutionPlan,
+    run_cfg: RunConfig | None = None,
+    loads: Mapping[int, LoadGenerator] | None = None,
+    *,
+    rdlb: RdlbConfig | None = None,
+    seed: int = 0,
+    recorder: Recorder | None = None,
+    faults: FaultPlan | None = None,
+) -> RdlbResult:
+    """Run ``plan`` under rDLB-style robust self-scheduling."""
+    run_cfg = run_cfg or RunConfig()
+    rc = rdlb or RdlbConfig()
+    if plan.shape is not LoopShape.PARALLEL_MAP:
+        raise ConfigError(
+            "robust self-scheduling supports PARALLEL_MAP plans "
+            f"(independent iterations) only; plan {plan.name!r} has shape "
+            f"{plan.shape.name}. PIPELINE and REDUCTION_FRONT loops need "
+            "the central runtime (repro.runtime.run_application)."
+        )
+    if plan.dynamic_reps:
+        raise ConfigError(
+            "robust self-scheduling cannot run dynamic-reps (WHILE) "
+            f"plans: plan {plan.name!r} decides its repetition count "
+            "from a global convergence test, which needs the central "
+            "runtime's sweep barrier."
+        )
+    n = run_cfg.cluster.n_slaves
+    loads = dict(loads or {})
+    for pid in loads:
+        if not 0 <= pid < n:
+            raise ConfigError(f"competing load assigned to non-worker pid {pid}")
+    injector = None
+    if faults is not None and not faults.empty:
+        faults.validate_for(n)
+        injector = FaultInjector(faults, master_pid=run_cfg.cluster.master_pid)
+    cluster = Cluster(run_cfg.cluster, loads, recorder, injector)
+    exec_num = run_cfg.execute_numerics
+    rng = np.random.default_rng(seed)
+    global_state = plan.kernels.make_global(rng) if exec_num else None
+    stats: dict[str, int] = {}
+    sink: dict[str, Any] = {}
+    for pid in range(n):
+        cluster.spawn(pid, _rdlb_worker, plan, rc, exec_num)
+    cluster.spawn(
+        run_cfg.cluster.master_pid,
+        _rdlb_master,
+        plan,
+        rc,
+        exec_num,
+        global_state,
+        n,
+        stats,
+        sink,
+    )
+    cluster.run(until=run_cfg.max_virtual_time)
+    if "results" not in sink:
+        from ..errors import SimulationError
+
+        if cluster.engine.pending():
+            raise SimulationError(
+                f"rdlb run exceeded max_virtual_time={run_cfg.max_virtual_time}"
+            )
+        cluster.run()  # surfaces DeadlockError diagnostics
+        raise SimulationError("master never finished the schedule")
+    elapsed = max(
+        cluster.task_finish_time(pid)
+        for pid in range(run_cfg.cluster.n_processors)
+        if pid not in cluster.dead_pids
+    )
+    completed = stats.get("done_units", 0)
+    result = None
+    if exec_num:
+        # One part per accepted chunk: merge_results selects each
+        # part's rows by its unit list, and accepted chunks are
+        # disjoint (duplicates were discarded on receipt), so chunk
+        # granularity composes for every app regardless of payload type.
+        merged: dict[int, Any] = {}
+        for items in sink["results"].values():
+            for units, data in items:
+                if data is not None:
+                    merged[len(merged)] = (np.asarray(units), data)
+        result = plan.kernels.merge_results(global_state, merged) if merged else None
+    return RdlbResult(
+        name=plan.name,
+        chunking=rc.chunking,
+        n_slaves=n,
+        elapsed=elapsed,
+        sequential_time=plan.total_ops() / run_cfg.cluster.processor.speed,
+        rusage=cluster.rusage(elapsed),
+        message_count=cluster.message_count,
+        bytes_sent=cluster.bytes_sent,
+        chunks_served=stats.get("chunks", 0),
+        reassigns=stats.get("reassigns", 0),
+        duplicate_results=stats.get("duplicates", 0),
+        completed_units=completed,
+        lost_units=stats.get("lost_units", 0),
+        deaths=stats.get("deaths", 0),
+        result=result,
+        dead_pids=tuple(sorted(cluster.dead_pids)),
+        recorder=recorder,
+    )

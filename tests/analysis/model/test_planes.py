@@ -18,6 +18,8 @@ from repro.runtime.protocol_model import CentralConfig
 from repro.runtime.protocol_model import build_model as build_central
 from repro.scale.protocol_model import HierConfig
 from repro.scale.protocol_model import build_model as build_hier
+from repro.strategies.protocol_model import StealConfig
+from repro.strategies.protocol_model import build_model as build_steal
 
 _SMALL_CLEAN = [
     build_central(CentralConfig()),
@@ -25,6 +27,8 @@ _SMALL_CLEAN = [
     build_ft(FTConfig()),
     build_ckpt(CkptConfig()),
     build_hier(HierConfig()),
+    build_steal(StealConfig()),
+    build_steal(StealConfig(crashable=("w0",))),
 ]
 
 _CACHE: dict = {}
@@ -99,7 +103,7 @@ class TestSeededMutations:
 class TestSweepRegistry:
     def test_standard_sweep_covers_all_planes(self):
         planes = {m.plane for m in standard_sweep()}
-        assert planes == {"centralized", "ft", "ckpt", "hier"}
+        assert planes == {"centralized", "ft", "ckpt", "hier", "steal"}
 
     def test_plane_filter(self):
         models = standard_sweep(("ft",))
@@ -112,16 +116,18 @@ class TestSweepRegistry:
         from repro.faults import protocol_model as ft
         from repro.runtime import protocol_model as central
         from repro.scale import protocol_model as hier
+        from repro.strategies import protocol_model as steal
 
+        mods = (central, ft, ckpt, hier, steal)
         declared = set()
-        for mod in (central, ft, ckpt, hier):
+        for mod in mods:
             declared |= {
                 f"{mod.__name__}:{name}" for name in mod.MUTATIONS
             }
         swept = set()
         for model, _ in mutation_sweep():
             mutation = model.name.split("!", 1)[1]
-            for mod in (central, ft, ckpt, hier):
+            for mod in mods:
                 if mutation in mod.MUTATIONS:
                     swept.add(f"{mod.__name__}:{mutation}")
         assert swept == declared

@@ -1,0 +1,106 @@
+"""LoadTrace: JSON round-trip fidelity, capture, and dirty-sample repair."""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.sim.load import (
+    TRACE_SCHEMA,
+    LoadTrace,
+    OscillatingLoad,
+    StepLoad,
+)
+from repro.strategies.robustness import TRACE_PATH
+
+
+@st.composite
+def trace_samples(draw):
+    """Strictly increasing times with non-negative run-queue counts."""
+    deltas = draw(
+        st.lists(st.floats(1e-3, 10.0), min_size=1, max_size=8)
+    )
+    ks = draw(
+        st.lists(
+            st.integers(0, 6), min_size=len(deltas), max_size=len(deltas)
+        )
+    )
+    t, samples = 0.0, []
+    for dt, k in zip(deltas, ks):
+        samples.append((t, k))
+        t += dt
+    return samples
+
+
+@given(samples=trace_samples())
+def test_round_trip_through_json_is_lossless(samples):
+    """capture -> to_dict -> json -> from_dict replays identically."""
+    trace = LoadTrace(samples, name="prop", source="synthetic")
+    doc = json.loads(json.dumps(trace.to_dict()))
+    back = LoadTrace.from_dict(doc)
+    assert back.samples == trace.samples
+    assert back.name == trace.name and back.source == trace.source
+    # Replay parity at sample points, between them, and past the horizon.
+    probes = [t for t, _ in samples]
+    probes += [t + 1e-4 for t in probes] + [trace.horizon + 5.0]
+    for t in probes:
+        assert back.k_at(t) == trace.k_at(t)
+        assert back.next_change(t) == trace.next_change(t)
+
+
+def test_save_and_load_paths(tmp_path):
+    trace = LoadTrace([(0.0, 1), (2.0, 0)], name="disk")
+    path = tmp_path / "t.json"
+    trace.save(path)
+    assert LoadTrace.load(path).samples == trace.samples
+    with pytest.raises(ConfigError):
+        LoadTrace.load(tmp_path / "missing.json")
+    (tmp_path / "bad.json").write_text('{"schema": "nope"}')
+    with pytest.raises(ConfigError):
+        LoadTrace.load(tmp_path / "bad.json")
+
+
+def test_capture_of_generator_is_lossless():
+    gen = OscillatingLoad(k=2, period=8.0, duration=3.0)
+    trace = LoadTrace.capture(gen, horizon=20.0)
+    for i in range(200):
+        t = i * 0.1
+        assert trace.k_at(t) == gen.k_at(t), t
+
+
+def test_clamp_repairs_dirty_samples():
+    dirty = [
+        (-1.0, 1),  # negative time: dropped
+        (0.0, float("nan")),  # non-finite count: clamped to 0
+        (1.0, -3),  # negative count: clamped to 0
+        (2.0, 2.6),  # fractional count: rounded
+    ]
+    trace = LoadTrace(dirty, clamp=True)
+    assert trace.samples == ((0.0, 0), (1.0, 0), (2.0, 3))
+    # Without clamp, the strict StepLoad validation applies.
+    with pytest.raises(ConfigError):
+        LoadTrace([(0.0, -3)])
+    with pytest.raises(ConfigError):
+        StepLoad([(0.0, float("nan"))])
+
+
+def test_scaled_replays_at_tempo():
+    trace = LoadTrace([(0.0, 1), (10.0, 0)])
+    fast = trace.scaled(0.5)
+    assert fast.samples == ((0.0, 1), (5.0, 0))
+    assert fast.meta["time_scale"] == 0.5
+    with pytest.raises(ConfigError):
+        trace.scaled(0.0)
+    with pytest.raises(ConfigError):
+        trace.scaled(math.inf)
+
+
+def test_committed_host_trace_is_valid():
+    """The checked-in real-machine capture must stay loadable."""
+    trace = LoadTrace.load(TRACE_PATH)
+    assert trace.source == "getloadavg"
+    assert trace.horizon > 0
+    assert trace.to_dict()["schema"] == TRACE_SCHEMA
+    assert all(k >= 0 for _, k in trace.samples)

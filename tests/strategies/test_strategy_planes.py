@@ -1,0 +1,141 @@
+"""Strategy-layer contract tests.
+
+Every PARALLEL_MAP strategy must produce the exact sequential result,
+terminate under a crashed victim (work stealing's steal/deny/abort
+protocol must never hang), account custody honestly (``lost_units``),
+and reject plan shapes it cannot schedule.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.apps import REGISTRY
+from repro.config import ClusterSpec, RunConfig
+from repro.errors import ConfigError
+from repro.faults import FaultPlan, SlaveCrash
+from repro.strategies import run_strategy
+from repro.strategies.robustness import (
+    cell_perturbation,
+    oracle_makespan,
+    perturbation_loads,
+)
+from repro.scale.workload import synthetic_bag
+
+SEED = 7
+SLAVES = 4
+
+
+def _plan(app="adaptive", n=32):
+    return REGISTRY[app](n=n, n_slaves_hint=SLAVES)
+
+
+def _truth(plan, seed=SEED):
+    kernels = plan.kernels
+    gs = kernels.make_global(np.random.default_rng(seed))
+    return kernels.sequential(gs)
+
+
+def _close(a, b):
+    assert set(a) == set(b)
+    return all(np.allclose(a[k], b[k]) for k in a)
+
+
+class TestNumericsMatchSequential:
+    @pytest.mark.parametrize(
+        "strategy", ["stealing", "rdlb", "fsc", "gss", "factoring"]
+    )
+    def test_adaptive_multi_rep(self, strategy):
+        """reps=3 with data-dependent costs: per-unit rep collapsing
+        must be exact for PARALLEL_MAP."""
+        plan = _plan("adaptive")
+        cfg = RunConfig(cluster=ClusterSpec(n_slaves=SLAVES))
+        out = run_strategy(strategy, plan, cfg, seed=SEED)
+        assert out.lost_units == 0 and out.deaths == 0
+        assert _close(out.result, _truth(plan))
+
+    @pytest.mark.parametrize("strategy", ["stealing", "rdlb"])
+    def test_heavy_tailed_particle(self, strategy):
+        plan = _plan("particle")
+        cfg = RunConfig(cluster=ClusterSpec(n_slaves=SLAVES))
+        out = run_strategy(strategy, plan, cfg, seed=SEED)
+        assert _close(out.result, _truth(plan))
+
+
+class TestCrashTermination:
+    def test_stealing_terminates_with_crashed_victim(self):
+        """Crash the initial owner of a shard mid-run: the run must end
+        (no hung Recv), report the death, and give up at most that
+        worker's un-gathered units."""
+        plan = _plan("adaptive")
+        cfg = RunConfig(cluster=ClusterSpec(n_slaves=SLAVES))
+        base = run_strategy("stealing", plan, cfg, seed=SEED)
+        faults = FaultPlan(
+            name="victim-crash",
+            crashes=(SlaveCrash(pid=0, at=0.3 * base.elapsed),),
+        )
+        out = run_strategy("stealing", plan, cfg, seed=SEED, faults=faults)
+        lo, hi = plan.unit_space()
+        assert out.dead_pids == (0,)
+        assert out.deaths == 1
+        assert 0 <= out.lost_units < (hi - lo)
+
+    def test_rdlb_reassigns_dead_workers_chunks(self):
+        plan = _plan("adaptive")
+        cfg = RunConfig(cluster=ClusterSpec(n_slaves=SLAVES))
+        base = run_strategy("rdlb", plan, cfg, seed=SEED)
+        faults = FaultPlan(
+            name="holder-crash",
+            crashes=(SlaveCrash(pid=1, at=0.25 * base.elapsed),),
+        )
+        out = run_strategy("rdlb", plan, cfg, seed=SEED, faults=faults)
+        assert out.dead_pids == (1,)
+        assert out.lost_units == 0
+        assert _close(out.result, _truth(plan))
+
+
+class TestPlanShapeGuards:
+    @pytest.mark.parametrize("strategy", ["stealing", "rdlb"])
+    def test_dynamic_reps_rejected(self, strategy):
+        bag = dataclasses.replace(
+            synthetic_bag(16, 1e4), dynamic_reps=True
+        )
+        cfg = RunConfig(
+            cluster=ClusterSpec(n_slaves=SLAVES), execute_numerics=False
+        )
+        with pytest.raises(ConfigError):
+            run_strategy(strategy, bag, cfg, seed=SEED)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigError):
+            run_strategy("nope", _plan(), RunConfig())
+
+
+class TestRobustnessHarness:
+    def test_perturbation_loads_validation(self):
+        with pytest.raises(ConfigError):
+            perturbation_loads("nonsense", 4)
+
+    def test_spike_regime_only_hits_every_fourth_worker(self):
+        loads = perturbation_loads("spike", 8)
+        assert set(loads) == {0, 4}
+
+    def test_oracle_bounds_every_strategy(self):
+        """No strategy can beat the oracle's perfect-knowledge makespan."""
+        cell = cell_perturbation(
+            workload="lognormal",
+            regime="spike",
+            P=4,
+            units_per_worker=8,
+            strategies=("rate", "stealing", "rdlb"),
+        )
+        oracle = cell["meta"]["oracle_makespan"]
+        assert oracle > 0
+        for strategy, makespan in cell["meta"]["makespans"].items():
+            assert makespan >= 0.99 * oracle, strategy
+        assert cell["meta"]["winner"] in cell["meta"]["makespans"]
+
+    def test_oracle_matches_closed_form_on_flat_loads(self):
+        # No competing load: makespan is total_ops / (P * speed).
+        assert oracle_makespan(4e6, 1e6, {}, 4) == pytest.approx(1.0)

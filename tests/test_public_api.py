@@ -99,6 +99,13 @@ MODULES = [
     "repro.baselines",
     "repro.baselines.self_sched",
     "repro.baselines.diffusion",
+    "repro.strategies",
+    "repro.strategies.protocol",
+    "repro.strategies.protocol_model",
+    "repro.strategies.registry",
+    "repro.strategies.stealing",
+    "repro.strategies.rdlb",
+    "repro.strategies.robustness",
     "repro.scale",
     "repro.scale.protocol",
     "repro.scale.protocol_model",
