@@ -1,0 +1,187 @@
+"""Differential engine equivalence (RA8xx): batch vs reference traces.
+
+The batch event core (:class:`repro.sim.BatchEngine`) promises *byte
+identity*: every observed run must produce exactly the same structured
+event trace and numeric results as the reference engine.  This pass
+checks the promise differentially — each case runs twice, once per
+engine mode, and the JSONL trace bytes, numeric result digest, and run
+metrics are compared.  Any divergence is an ``RA801``/``RA802`` error
+naming the case and the first point of disagreement.
+
+The case set mirrors the golden-trace suite: the three paper apps
+(MM/SOR/LU with competing loads), a checkpointed SOR run, the
+hierarchical control plane, and the work-stealing / robust
+self-scheduling strategy planes.  It is wired into ``repro check
+--engines`` so the equivalence contract is lintable locally and in CI
+(see ``.github/workflows/ci.yml``'s differential-equivalence step).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Callable
+
+import numpy as np
+
+from ..config import CheckpointConfig, ClusterSpec, ProcessorSpec, RunConfig
+from .diagnostics import Diagnostic
+
+__all__ = ["ENGINE_CASES", "run_case", "check_engine_equivalence"]
+
+
+def _digest(obj: Any, h: "hashlib._Hash") -> None:
+    if obj is None:
+        h.update(b"none")
+    elif isinstance(obj, dict):
+        for key in sorted(obj):
+            h.update(str(key).encode())
+            _digest(obj[key], h)
+    else:
+        arr = np.ascontiguousarray(np.asarray(obj))
+        h.update(str(arr.dtype).encode())
+        h.update(str(arr.shape).encode())
+        h.update(arr.tobytes())
+
+
+def _cfg(engine: str, ckpt: bool = False) -> RunConfig:
+    return RunConfig(
+        cluster=ClusterSpec(n_slaves=4, processor=ProcessorSpec(speed=3e4)),
+        ckpt=CheckpointConfig(enabled=ckpt, interval=0.5),
+        engine=engine,
+    )
+
+
+def _fingerprint(res: Any, recorder: Any) -> dict[str, Any]:
+    trace = recorder.log.to_jsonl().encode("utf-8")
+    rh = hashlib.sha256()
+    _digest(getattr(res, "result", None), rh)
+    return {
+        "trace_sha256": hashlib.sha256(trace).hexdigest(),
+        "result_sha256": rh.hexdigest(),
+        "elapsed": res.elapsed,
+        "message_count": res.message_count,
+        "trace_events": len(recorder.log),
+    }
+
+
+def _case_app(app: str, engine: str, ckpt: bool = False) -> dict[str, Any]:
+    from ..apps import build_lu, build_matmul, build_sor
+    from ..obs import Recorder
+    from ..runtime import run_application
+    from ..sim import ConstantLoad
+
+    plan = {
+        "matmul": lambda: build_matmul(n=64),
+        "sor": lambda: build_sor(n=48, maxiter=6),
+        "lu": lambda: build_lu(n=60),
+    }[app]()
+    recorder = Recorder()
+    res = run_application(
+        plan,
+        _cfg(engine, ckpt=ckpt),
+        loads={0: ConstantLoad(k=1)},
+        seed=7,
+        recorder=recorder,
+    )
+    return _fingerprint(res, recorder)
+
+
+def _case_hier(engine: str) -> dict[str, Any]:
+    from ..apps import build_matmul
+    from ..obs import Recorder
+    from ..scale import run_hierarchical
+    from ..sim import ConstantLoad
+
+    recorder = Recorder()
+    res = run_hierarchical(
+        build_matmul(n=48),
+        RunConfig(
+            cluster=ClusterSpec(n_slaves=8, processor=ProcessorSpec(speed=3e4)),
+            engine=engine,
+        ),
+        {0: ConstantLoad(k=1)},
+        fanout=2,
+        seed=7,
+        recorder=recorder,
+    )
+    return _fingerprint(res, recorder)
+
+
+def _case_strategy(strategy: str, engine: str) -> dict[str, Any]:
+    from ..apps import build_matmul
+    from ..obs import Recorder
+    from ..sim import ConstantLoad
+    from ..strategies import run_strategy
+
+    recorder = Recorder()
+    out = run_strategy(
+        strategy,
+        build_matmul(n=48),
+        RunConfig(
+            cluster=ClusterSpec(n_slaves=4, processor=ProcessorSpec(speed=3e4)),
+            engine=engine,
+        ),
+        {0: ConstantLoad(k=1)},
+        seed=7,
+        recorder=recorder,
+    )
+    return _fingerprint(out, recorder)
+
+
+ENGINE_CASES: dict[str, Callable[[str], dict[str, Any]]] = {
+    "matmul": lambda engine: _case_app("matmul", engine),
+    "sor": lambda engine: _case_app("sor", engine),
+    "lu": lambda engine: _case_app("lu", engine),
+    "sor_ckpt": lambda engine: _case_app("sor", engine, ckpt=True),
+    "hier_matmul": _case_hier,
+    "steal_matmul": lambda engine: _case_strategy("stealing", engine),
+    "rdlb_matmul": lambda engine: _case_strategy("rdlb", engine),
+}
+
+
+def run_case(name: str, engine: str) -> dict[str, Any]:
+    """Fingerprint one equivalence case under one engine mode."""
+    return ENGINE_CASES[name](engine)
+
+
+def check_engine_equivalence(
+    cases: list[str] | None = None,
+) -> list[Diagnostic]:
+    """Run every case under both engines and diff the fingerprints."""
+    diags: list[Diagnostic] = []
+    for name in cases if cases is not None else sorted(ENGINE_CASES):
+        ref = run_case(name, "reference")
+        bat = run_case(name, "batch")
+        if bat["trace_sha256"] != ref["trace_sha256"]:
+            diags.append(
+                Diagnostic.new(
+                    "RA801",
+                    f"batch-engine trace diverges from reference on "
+                    f"{name!r} ({bat['trace_events']} vs "
+                    f"{ref['trace_events']} events)",
+                    locus=name,
+                    details={
+                        "reference_sha256": ref["trace_sha256"],
+                        "batch_sha256": bat["trace_sha256"],
+                    },
+                )
+            )
+        drift = {
+            key: (ref[key], bat[key])
+            for key in ("result_sha256", "elapsed", "message_count")
+            if ref[key] != bat[key]
+        }
+        if drift:
+            diags.append(
+                Diagnostic.new(
+                    "RA802",
+                    f"batch-engine run outcome diverges from reference "
+                    f"on {name!r}: {sorted(drift)}",
+                    locus=name,
+                    details={
+                        k: {"reference": r, "batch": b}
+                        for k, (r, b) in drift.items()
+                    },
+                )
+            )
+    return diags

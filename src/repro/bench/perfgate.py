@@ -1,0 +1,247 @@
+"""Engine-mode perf gate for the CI ``perf`` lane.
+
+Consumes two fresh ``simulator_throughput`` documents — one per engine
+mode — and enforces the batch-core throughput contract:
+
+1. **10x gate** (vs the committed pre-PR-5 numbers in
+   ``benchmarks/results/BENCH_baseline.json``): the compute-dominated
+   cells must show at least ``--min-speedup`` events/sec after
+   calibration normalization.  ``compute_batch`` simulates the exact
+   compute_loop schedule through the vectorized syscall, so it is gated
+   against the baseline's ``compute_loop`` row (the pre-PR-5 engine had
+   no batch syscall to measure).
+2. **Regression gate** (vs ``benchmarks/results/BENCH_engine_baseline.json``):
+   the batch-mode doc must stay within ``--threshold`` of the committed
+   engine baseline on every gated metric (plain
+   :func:`repro.bench.harness.compare_docs` semantics).
+
+The emitted JSON artifact carries the per-cell mode comparison
+(batch vs reference rates and their ratio), both gate verdicts, and the
+raw rows, so a failing run is diagnosable from the artifact alone.
+
+Speedups are host-normalized exactly like :func:`compare_docs`: a rate
+measured on the current host is converted into baseline-host units via
+the pure-python calibration ratio before comparing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+from .harness import DEFAULT_THRESHOLD, compare_docs, validate_doc
+
+__all__ = ["GATE_CELLS", "mode_comparison", "speedup_gate", "main"]
+
+# Gated (compute-dominated) cells -> the baseline row each is measured
+# against.  compute_batch has no pre-PR-5 row; it runs the identical
+# simulated schedule as compute_loop, so that row is its baseline.
+GATE_CELLS: dict[str, str] = {
+    "compute_batch": "compute_loop",
+    "compute_loop": "compute_loop",
+}
+
+# The cell(s) that must individually clear --min-speedup for the gate
+# to pass: the vectorized compute path is where the 10x target lives.
+REQUIRED_CELLS = ("compute_batch",)
+
+
+def _rate(doc: dict[str, Any], cell_name: str) -> float | None:
+    for cell in doc.get("cells", []):
+        if cell.get("name") == cell_name and cell.get("status") is None:
+            rate = cell.get("metrics", {}).get("events_per_sec")
+            return float(rate) if rate is not None else None
+    return None
+
+
+def speedup_gate(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    min_speedup: float,
+) -> dict[str, Any]:
+    """Events/sec speedup of the gated cells vs the pre-PR-5 baseline.
+
+    Host normalization matches :func:`compare_docs`: with
+    ``scale = base_cal / cur_cal``, the current rate in baseline-host
+    units is ``cur_rate / scale`` and the reported speedup is
+    ``(cur_rate / scale) / base_rate``.
+    """
+    scale = baseline["calibration_s"] / current["calibration_s"]
+    base_rates = {
+        c["name"]: c.get("metrics", {}).get("events_per_sec")
+        for c in baseline.get("cells", [])
+        if c.get("suite") == "simulator_throughput"
+    }
+    rows: list[dict[str, Any]] = []
+    ok = True
+    for cell_name, base_name in sorted(GATE_CELLS.items()):
+        cur_raw = _rate(current, cell_name)
+        base_raw = base_rates.get(base_name)
+        row: dict[str, Any] = {
+            "cell": cell_name,
+            "baseline_cell": base_name,
+            "required": cell_name in REQUIRED_CELLS,
+        }
+        if cur_raw is None or base_raw is None:
+            row["status"] = "missing"
+            if cell_name in REQUIRED_CELLS:
+                ok = False
+            rows.append(row)
+            continue
+        normalized = cur_raw / scale
+        speedup = normalized / base_raw if base_raw > 0 else float("inf")
+        passed = speedup >= min_speedup
+        row.update(
+            baseline_rate=base_raw,
+            current_rate=cur_raw,
+            normalized_rate=normalized,
+            speedup=speedup,
+            passed=passed,
+        )
+        if cell_name in REQUIRED_CELLS and not passed:
+            ok = False
+        rows.append(row)
+    return {
+        "min_speedup": min_speedup,
+        "calibration_scale": scale,
+        "rows": rows,
+        "ok": ok,
+    }
+
+
+def mode_comparison(
+    batch: dict[str, Any], reference: dict[str, Any]
+) -> list[dict[str, Any]]:
+    """Per-cell batch vs reference rates and wall times (same host)."""
+    ref_cells = {c["name"]: c for c in reference.get("cells", [])}
+    rows: list[dict[str, Any]] = []
+    for cell in batch.get("cells", []):
+        if cell.get("status") is not None:
+            continue
+        ref = ref_cells.get(cell["name"])
+        if ref is None or ref.get("status") is not None:
+            continue
+        row: dict[str, Any] = {
+            "cell": cell["name"],
+            "wall_s_batch": cell["metrics"].get("wall_s"),
+            "wall_s_reference": ref["metrics"].get("wall_s"),
+        }
+        b_rate = cell["metrics"].get("events_per_sec")
+        r_rate = ref["metrics"].get("events_per_sec")
+        if b_rate is not None and r_rate is not None:
+            row["events_per_sec_batch"] = b_rate
+            row["events_per_sec_reference"] = r_rate
+            row["batch_over_reference"] = (
+                b_rate / r_rate if r_rate > 0 else float("inf")
+            )
+        sim_b = cell.get("meta", {}).get("sim_elapsed")
+        sim_r = ref.get("meta", {}).get("sim_elapsed")
+        row["sim_elapsed_match"] = sim_b == sim_r
+        rows.append(row)
+    return rows
+
+
+def _load(path: str) -> dict[str, Any]:
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    problems = validate_doc(doc)
+    if problems:
+        raise SystemExit(
+            f"perfgate: invalid document {path}:\n"
+            + "\n".join(f"  - {p}" for p in problems)
+        )
+    return doc
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point: run the speedup + regression gates, write the
+    mode-comparison artifact, and return the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-perfgate",
+        description="gate batch-engine events/sec against committed baselines",
+    )
+    parser.add_argument("--batch", required=True, help="batch-mode bench doc")
+    parser.add_argument(
+        "--reference", required=True, help="reference-mode bench doc"
+    )
+    parser.add_argument(
+        "--baseline",
+        required=True,
+        help="pre-PR-5 BENCH_baseline.json (10x speedup gate)",
+    )
+    parser.add_argument(
+        "--engine-baseline",
+        default=None,
+        help="committed BENCH_engine_baseline.json (regression gate)",
+    )
+    parser.add_argument("--min-speedup", type=float, default=10.0)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed fractional regression vs the engine baseline",
+    )
+    parser.add_argument(
+        "--out", default=None, help="write the mode-comparison JSON artifact"
+    )
+    args = parser.parse_args(argv)
+
+    batch_doc = _load(args.batch)
+    ref_doc = _load(args.reference)
+    baseline_doc = _load(args.baseline)
+
+    gate = speedup_gate(batch_doc, baseline_doc, args.min_speedup)
+    regression = None
+    if args.engine_baseline is not None:
+        regression = compare_docs(
+            batch_doc, _load(args.engine_baseline), threshold=args.threshold
+        )
+
+    artifact = {
+        "schema": "repro-perfgate/1",
+        "min_speedup": args.min_speedup,
+        "speedup_gate": gate,
+        "regression_gate": regression,
+        "mode_comparison": mode_comparison(batch_doc, ref_doc),
+    }
+    text = json.dumps(artifact, indent=2, sort_keys=True)
+    if args.out is not None:
+        Path(args.out).write_text(text + "\n", encoding="utf-8")
+    else:
+        print(text)
+
+    failed = False
+    for row in gate["rows"]:
+        if "speedup" in row:
+            mark = "PASS" if row["passed"] else ("FAIL" if row["required"] else "info")
+            print(
+                f"perfgate: {row['cell']}: {row['speedup']:.1f}x vs "
+                f"baseline {row['baseline_cell']} [{mark}]"
+            )
+        else:
+            print(f"perfgate: {row['cell']}: missing measurement")
+    if not gate["ok"]:
+        print(
+            f"perfgate: FAIL — required cell(s) below "
+            f"{args.min_speedup:.0f}x vs pre-PR-5 baseline"
+        )
+        failed = True
+    if regression is not None:
+        for row in regression["rows"]:
+            if row["regression"]:
+                print(
+                    f"perfgate: regression {row['suite']}/{row['cell']} "
+                    f"{row['metric']}: {row['baseline']:.1f} -> "
+                    f"{row['normalized']:.1f} (normalized)"
+                )
+        if not regression["ok"]:
+            print("perfgate: FAIL — batch path regressed vs engine baseline")
+            failed = True
+    if not failed:
+        print("perfgate: OK")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

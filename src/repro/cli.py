@@ -92,6 +92,7 @@ def _run_cfg_from_args(args: argparse.Namespace) -> RunConfig:
         dlb_enabled=not args.no_dlb,
         ckpt=_ckpt_from_args(args),
         strategy=getattr(args, "strategy", "centralized") or "centralized",
+        engine=getattr(args, "engine", "auto") or "auto",
     )
 
 
@@ -316,13 +317,22 @@ def _cmd_check(args: argparse.Namespace) -> int:
         results.extend(_check_steal_protocol())
     if args.model:
         results.extend(_check_models(args))
+    if args.engines:
+        from .analysis.equivalence import check_engine_equivalence
+
+        results.append(
+            CheckResult(
+                subject="engine-equivalence[batch=reference]",
+                diagnostics=check_engine_equivalence(),
+            )
+        )
     if args.events is not None:
         results.append(
             CheckResult(
                 subject=args.events, diagnostics=check_log_file(args.events)
             )
         )
-    focused = args.events is not None or args.model
+    focused = args.events is not None or args.model or args.engines
     if not focused or args.apps or args.plan_factory:
         protocol_pending = True
         for name, plan in _check_subjects(args):
@@ -799,6 +809,16 @@ def main(argv: Sequence[str] | None = None) -> int:
             ),
         )
         p.add_argument(
+            "--engine",
+            choices=("auto", "reference", "batch"),
+            default="auto",
+            help=(
+                "event core: 'batch' is the vectorized pooled-heap core, "
+                "'reference' the original loop; 'auto' (default) picks "
+                "batch unless fault injection forces the reference path"
+            ),
+        )
+        p.add_argument(
             "--faults",
             metavar="NAME_OR_PATH",
             default=None,
@@ -911,6 +931,15 @@ def main(argv: Sequence[str] | None = None) -> int:
             "deadlock/liveness/unit-conservation verification of the "
             "centralized, ft, ckpt, hier and steal protocol models "
             "(RA6xx/RA7xx)"
+        ),
+    )
+    p_check.add_argument(
+        "--engines",
+        action="store_true",
+        help=(
+            "also run the differential engine-equivalence suite: every "
+            "golden-trace app under engine=reference and engine=batch, "
+            "diffing trace bytes and run outcomes (RA8xx)"
         ),
     )
     p_check.add_argument(

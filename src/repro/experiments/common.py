@@ -40,6 +40,7 @@ def run_point(
     grain: GrainConfig | None = None,
     network: NetworkSpec | None = None,
     recorder: Recorder | None = None,
+    engine: str = "auto",
 ) -> RunResult:
     """One simulated run with paper-calibrated defaults."""
     cfg = RunConfig(
@@ -55,6 +56,7 @@ def run_point(
         execute_numerics=execute_numerics,
         dlb_enabled=dlb,
         trace_enabled=trace,
+        engine=engine,
     )
     return run_application(plan, cfg, loads=loads, seed=seed, recorder=recorder)
 

@@ -28,7 +28,7 @@ from typing import Any, Callable
 
 import numpy as np
 
-__all__ = ["fast_state_copy", "snapshot_payload"]
+__all__ = ["PASSTHROUGH", "fast_state_copy", "payload_copier", "snapshot_payload"]
 
 # Types that can never expose mutable numeric state: safe to pass
 # through by reference on every path.
@@ -54,6 +54,7 @@ def _copy_tuple(payload: tuple) -> tuple:
 
 
 def _passthrough(payload: Any) -> Any:
+    """Share ``payload`` by reference (exported as :data:`PASSTHROUGH`)."""
     return payload
 
 
@@ -82,6 +83,25 @@ def _payload_copier_for(cls: type) -> Callable[[Any], Any]:
 
 
 _PAYLOAD_COPIERS: dict[type, Callable[[Any], Any]] = {}
+
+#: Sentinel copier for types that are safe to share by reference.
+#: Callers that dispatch through :func:`payload_copier` compare against
+#: this to skip the copy call entirely on immutable payloads.
+PASSTHROUGH = _passthrough
+
+
+def payload_copier(cls: type) -> Callable[[Any], Any]:
+    """Resolved (and cached) send-time copier for a payload type.
+
+    Hot send paths use this to dispatch once per message instead of
+    calling :func:`snapshot_payload` (which repeats the cache lookup);
+    a :data:`PASSTHROUGH` result means the payload may be shared by
+    reference with no call at all.
+    """
+    copier = _PAYLOAD_COPIERS.get(cls)
+    if copier is None:
+        copier = _PAYLOAD_COPIERS[cls] = _payload_copier_for(cls)
+    return copier
 
 
 def snapshot_payload(payload: Any) -> Any:

@@ -632,7 +632,14 @@ def run_hierarchical(
     injector = None
     if faults is not None and not faults.empty:
         injector = FaultInjector(faults, master_pid=tree.root)
-    cluster = Cluster(spec, loads, recorder, injector, fabric_attach=attach)
+    cluster = Cluster(
+        spec,
+        loads,
+        recorder,
+        injector,
+        fabric_attach=attach,
+        engine=run_cfg.engine,
+    )
     if recorder is not None and recorder.enabled:
         recorder.metrics.gauge("scale.levels").set(float(tree.levels))
         recorder.metrics.gauge("scale.n_internal").set(float(tree.n_internal))

@@ -1,0 +1,137 @@
+"""Differential equivalence: the batch event core vs the reference loop.
+
+Two contracts from the engine-mode design are pinned here:
+
+1. **Event-for-event equivalence** (property test): for randomized
+   compute-segment staircases — mixed block sizes, zero-length
+   segments, competing loads, and chatty rendezvous between blocks —
+   the batch engine produces the same clock, the same event count, the
+   same task finish times and CPU accounting as the reference engine,
+   and on observed runs the *byte-identical* JSONL trace.  Unobserved
+   runs exercise the vectorized numpy advance; observed runs pin the
+   per-segment fallback chain.
+
+2. **Faults force the safe path** (regression): arming any message
+   fault plan must resolve ``engine="batch"`` (and ``"auto"``) to the
+   reference engine, so fault-injected runs remain bit-identical to
+   the message-fault goldens established before the batch core existed.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import build_matmul
+from repro.config import ClusterSpec, ProcessorSpec, RunConfig
+from repro.faults import named_plan
+from repro.obs import Recorder
+from repro.runtime import run_application
+from repro.sim import Cluster, ComputeBatch, ConstantLoad, Recv, Send
+
+# ----------------------------------------------------------------------
+# 1. Property: randomized staircases, batch == reference event-for-event
+# ----------------------------------------------------------------------
+
+_SEGMENT = st.floats(
+    min_value=0.0, max_value=3000.0, allow_nan=False, allow_infinity=False
+)
+_BLOCK = st.lists(_SEGMENT, min_size=0, max_size=10)
+_ROUNDS = st.lists(st.tuples(_BLOCK, _BLOCK), min_size=1, max_size=4)
+
+
+def _execute(engine, rounds, chat, load, observe):
+    loads = {1: ConstantLoad(k=1)} if load else None
+    rec = Recorder() if observe else None
+    cluster = Cluster(
+        ClusterSpec(n_slaves=2, processor=ProcessorSpec()),
+        loads,
+        rec,
+        engine=engine,
+    )
+
+    def left(ctx):
+        for block, _ in rounds:
+            yield ComputeBatch(list(block))
+            if chat:
+                yield Send(1, "x", None, 64)
+                yield Recv(src=1, tag="y")
+
+    def right(ctx):
+        for _, block in rounds:
+            yield ComputeBatch(list(block))
+            if chat:
+                yield Recv(src=0, tag="x")
+                yield Send(0, "y", None, 64)
+
+    cluster.spawn(0, left)
+    cluster.spawn(1, right)
+    cluster.run()
+    fingerprint = (
+        cluster.engine.now,
+        cluster.engine.events_processed,
+        cluster.task_finish_time(0),
+        cluster.task_finish_time(1),
+        tuple(p.app_cpu_total for p in cluster.processors),
+        cluster.message_count,
+    )
+    trace = rec.log.to_jsonl() if rec is not None else None
+    return fingerprint, trace
+
+
+@settings(max_examples=30, deadline=None)
+@given(rounds=_ROUNDS, chat=st.booleans(), load=st.booleans())
+def test_staircases_match_reference_event_for_event(rounds, chat, load):
+    # Unobserved: the batch engine takes the vectorized advance where
+    # the safety window allows; only the aggregate outcome is visible.
+    fast_batch, _ = _execute("batch", rounds, chat, load, observe=False)
+    fast_ref, _ = _execute("reference", rounds, chat, load, observe=False)
+    assert fast_batch == fast_ref
+
+    # Observed: vectorization is disabled, the per-segment chain must
+    # reproduce the reference trace byte-for-byte.
+    obs_batch, trace_batch = _execute("batch", rounds, chat, load, observe=True)
+    obs_ref, trace_ref = _execute("reference", rounds, chat, load, observe=True)
+    assert obs_batch == obs_ref
+    assert trace_batch == trace_ref
+
+    # Observation must never change the simulated outcome in any mode.
+    assert obs_batch == fast_batch
+
+
+# ----------------------------------------------------------------------
+# 2. Regression: an armed FaultPlan forces the safe path
+# ----------------------------------------------------------------------
+
+
+def _cfg(engine):
+    return RunConfig(
+        cluster=ClusterSpec(n_slaves=4, processor=ProcessorSpec(speed=1e6)),
+        engine=engine,
+    )
+
+
+@pytest.mark.parametrize("plan_name", ["message-light", "message-heavy", "dup-reorder"])
+@pytest.mark.parametrize("engine", ["batch", "auto"])
+def test_fault_plans_force_reference_bit_identity(plan_name, engine):
+    baseline = run_application(build_matmul(n=32), _cfg("reference"), seed=11)
+    injected = run_application(
+        build_matmul(n=32),
+        _cfg(engine),
+        seed=11,
+        faults=named_plan(plan_name, seed=5),
+    )
+    reference = run_application(
+        build_matmul(n=32),
+        _cfg("reference"),
+        seed=11,
+        faults=named_plan(plan_name, seed=5),
+    )
+    # Requesting the batch core with faults armed must be *exactly* the
+    # reference fault run — same numerics, clock, and wire traffic —
+    # and the transport layer must still hide the perturbation.
+    np.testing.assert_array_equal(injected.result, baseline.result)
+    np.testing.assert_array_equal(injected.result, reference.result)
+    assert injected.elapsed == reference.elapsed
+    assert injected.message_count == reference.message_count
+    assert injected.dead_pids == ()

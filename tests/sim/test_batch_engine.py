@@ -1,0 +1,331 @@
+"""Unit coverage for the batch event core and its pooled hot paths.
+
+The batch engine (``RunConfig.engine = "batch"``, the ``auto`` default
+on fault-free runs) must be *observably indistinguishable* from the
+reference loop: same clock, same event counts, same task finish times,
+same accounting.  These tests pin the mode-resolution rules, the
+ComputeBatch syscall's chain-equivalence in every dispatch table, the
+heap-entry/message freelists, and the index-recycled mailbox.
+"""
+
+import math
+
+import pytest
+
+from repro.config import ClusterSpec, ConfigError, ProcessorSpec, RunConfig
+from repro.errors import SimulationError
+from repro.faults import FaultInjector, named_plan
+from repro.obs import Recorder
+from repro.sim import (
+    BatchEngine,
+    Cluster,
+    Compute,
+    ComputeBatch,
+    ConstantLoad,
+    Engine,
+    Recv,
+    Send,
+)
+from repro.sim.events import Message
+from repro.sim.network import Mailbox
+
+
+def _spec(n=1):
+    return ClusterSpec(n_slaves=n, processor=ProcessorSpec())
+
+
+class TestModeResolution:
+    def test_auto_picks_batch_without_injector(self):
+        c = Cluster(_spec())
+        assert c.engine_mode == "batch"
+        assert type(c.engine) is BatchEngine
+
+    def test_reference_is_explicit(self):
+        c = Cluster(_spec(), engine="reference")
+        assert c.engine_mode == "reference"
+        assert type(c.engine) is Engine
+
+    def test_armed_injector_forces_reference(self):
+        injector = FaultInjector(named_plan("message-light", seed=5), master_pid=4)
+        for mode in ("auto", "batch"):
+            c = Cluster(_spec(4), injector=injector, engine=mode)
+            assert c.engine_mode == "reference"
+            assert type(c.engine) is Engine
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SimulationError, match="unknown engine mode"):
+            Cluster(_spec(), engine="turbo")
+
+    def test_run_config_validates_engine(self):
+        with pytest.raises(ConfigError):
+            RunConfig(engine="turbo")
+        assert RunConfig(engine="batch").engine == "batch"
+
+
+def _outcome(cluster):
+    return (
+        cluster.engine.now,
+        cluster.engine.events_processed,
+        cluster.task_finish_time(0),
+        cluster.processors[0].app_cpu_total,
+    )
+
+
+def _run_chain(engine, ops, loads=None, observe=False):
+    rec = Recorder() if observe else None
+    c = Cluster(_spec(), loads, rec, engine=engine)
+
+    def worker(ctx):
+        for op in ops:
+            yield Compute(op)
+
+    c.spawn(0, worker)
+    c.run()
+    return _outcome(c)
+
+
+def _run_batch(engine, ops, loads=None, observe=False, block=None):
+    rec = Recorder() if observe else None
+    c = Cluster(_spec(), loads, rec, engine=engine)
+
+    def worker(ctx):
+        if block is None:
+            yield ComputeBatch(list(ops))
+        else:
+            for i in range(0, len(ops), block):
+                yield ComputeBatch(list(ops[i : i + block]))
+
+    c.spawn(0, worker)
+    c.run()
+    return _outcome(c)
+
+
+OPS_SETS = [
+    [1000.0] * 64,
+    [1.0, 0.0, 5e-13, 250.0, 3.5, 0.0, 1e6],
+    [0.0, 0.0, 0.0],
+    [7.25],
+]
+
+
+class TestComputeBatchChainEquivalence:
+    @pytest.mark.parametrize("ops", OPS_SETS)
+    @pytest.mark.parametrize("engine", ["batch", "reference"])
+    def test_batch_equals_compute_chain(self, ops, engine):
+        assert _run_batch(engine, ops) == _run_chain(engine, ops)
+
+    @pytest.mark.parametrize("ops", OPS_SETS)
+    def test_batch_engine_equals_reference_engine(self, ops):
+        assert _run_batch("batch", ops) == _run_batch("reference", ops)
+
+    @pytest.mark.parametrize("ops", OPS_SETS)
+    def test_blocked_batches_equal_one_batch(self, ops):
+        assert _run_batch("batch", ops, block=2) == _run_batch("batch", ops)
+
+    def test_loaded_processor_falls_back_per_segment(self):
+        ops = [1000.0, 2500.0, 10.0, 4000.0]
+        loads = {0: ConstantLoad(k=2)}
+        assert _run_batch("batch", ops, loads=loads) == _run_chain(
+            "batch", ops, loads=loads
+        )
+        assert _run_batch("batch", ops, loads=loads) == _run_chain(
+            "reference", ops, loads=loads
+        )
+
+    def test_observed_run_stays_equivalent(self):
+        ops = [1000.0, 0.0, 2500.0]
+        assert _run_batch("batch", ops, observe=True) == _run_chain(
+            "reference", ops, observe=True
+        )
+
+    def test_empty_batch_resumes_at_now(self):
+        for engine in ("batch", "reference"):
+            out = _run_batch(engine, [])
+            assert out[0] == 0.0
+            assert out[2] == 0.0
+
+    def test_fns_run_at_segment_starts(self):
+        order = []
+
+        def run(engine):
+            order.clear()
+            c = Cluster(_spec(), engine=engine)
+
+            def worker(ctx):
+                fns = [lambda i=i: order.append((i, ctx.now)) for i in range(3)]
+                yield ComputeBatch([10.0, 20.0, 30.0], fns=fns)
+
+            c.spawn(0, worker)
+            c.run()
+            return list(order), c.engine.now
+
+        batch = run("batch")
+        ref = run("reference")
+        assert batch == ref
+        marks, _ = batch
+        assert [i for i, _t in marks] == [0, 1, 2]
+        speed = ProcessorSpec().speed
+        assert marks[1][1] == pytest.approx(10.0 / speed)
+        assert marks[2][1] == pytest.approx(30.0 / speed)
+
+    @pytest.mark.parametrize("engine", ["batch", "reference"])
+    def test_fns_length_mismatch_rejected(self, engine):
+        c = Cluster(_spec(), engine=engine)
+
+        def worker(ctx):
+            yield ComputeBatch([1.0, 2.0], fns=[None])
+
+        c.spawn(0, worker)
+        with pytest.raises(SimulationError, match="fns"):
+            c.run()
+
+    @pytest.mark.parametrize("engine", ["batch", "reference"])
+    def test_negative_segment_rejected(self, engine):
+        c = Cluster(_spec(), engine=engine)
+
+        def worker(ctx):
+            yield ComputeBatch([1.0, -2.0])
+
+        c.spawn(0, worker)
+        with pytest.raises(SimulationError, match="negative"):
+            c.run()
+
+
+class TestRunWindow:
+    def test_until_bound_respected_and_resumable(self):
+        def build(engine):
+            c = Cluster(_spec(), engine=engine)
+
+            def worker(ctx):
+                yield ComputeBatch([1000.0] * 100)
+                yield Compute(1000.0)
+
+            c.spawn(0, worker)
+            return c
+
+        speed = ProcessorSpec().speed
+        cut = 37 * 1000.0 / speed  # mid-batch
+        cb, cr = build("batch"), build("reference")
+        assert cb.run(until=cut) == cr.run(until=cut)
+        assert cb.engine.events_processed == cr.engine.events_processed
+        assert cb.run() == cr.run()
+        assert _outcome(cb) == _outcome(cr)
+
+
+class TestFreelists:
+    def test_heap_entries_recycle(self):
+        c = Cluster(_spec())
+
+        def worker(ctx):
+            for _ in range(50):
+                yield Compute(1000.0)
+
+        c.spawn(0, worker)
+        c.run()
+        assert not c.engine._heap
+        pool = c.engine._pool
+        assert pool, "drained events must land in the freelist"
+        # Recycled entries must not pin args tuples (payload lifetime).
+        assert all(entry[3] is None for entry in pool)
+
+    def test_message_shells_recycle(self):
+        spec = ClusterSpec(n_slaves=2, processor=ProcessorSpec())
+        c = Cluster(spec)
+
+        def ping(ctx):
+            for i in range(20):
+                yield Send(1, "ping", i, 8)
+                yield Recv(src=1, tag="pong")
+
+        def pong(ctx):
+            for _ in range(20):
+                msg = yield Recv(src=0, tag="ping")
+                yield Send(0, "pong", msg.payload, 8)
+
+        c.spawn(0, ping)
+        c.spawn(1, pong)
+        c.run()
+        assert c._msg_pool, "message shells must return to the pool"
+        assert all(m.payload is None for m in c._msg_pool)
+        assert c.message_count == 40
+
+    def test_received_message_valid_until_next_receive(self):
+        spec = ClusterSpec(n_slaves=2, processor=ProcessorSpec())
+        c = Cluster(spec)
+        seen = []
+
+        def sender(ctx):
+            yield Send(1, "t", {"v": 1}, 8)
+            yield Send(1, "t", {"v": 2}, 8)
+
+        def receiver(ctx):
+            first = yield Recv(tag="t")
+            held = first.payload  # may be read until the next receive
+            second = yield Recv(tag="t")
+            seen.append((held["v"], second.payload["v"]))
+
+        c.spawn(0, sender)
+        c.spawn(1, receiver)
+        c.run()
+        assert seen == [(1, 2)]
+
+
+class TestMailboxRecycling:
+    def _msg(self, src, tag, i):
+        return Message(src, 0, tag, i, 8, float(i))
+
+    def test_fifo_per_filter_with_holes(self):
+        box = Mailbox(0)
+        for i in range(6):
+            box.deliver(self._msg(src=i % 2, tag="t", i=i))
+        assert len(box) == 6
+        # Drain src=1 first, punching holes mid-queue.
+        got = [box.take(src=1).payload for _ in range(3)]
+        assert got == [1, 3, 5]
+        assert len(box) == 3
+        got = [box.take(src=0).payload for _ in range(3)]
+        assert got == [0, 2, 4]
+        assert len(box) == 0
+        assert box.take() is None
+        assert not box._queue, "emptied mailbox must release its slots"
+
+    def test_head_prefix_recycles(self):
+        box = Mailbox(0)
+        n = 200
+        for i in range(n):
+            box.deliver(self._msg(0, "t", i))
+        for i in range(n):
+            assert box.take(tag="t").payload == i
+            # The backing list must stay bounded by live entries times
+            # the compaction hysteresis, not grow with total traffic.
+            assert len(box._queue) <= 2 * (n - i) + 34
+        assert len(box) == 0
+
+    def test_peek_skips_holes(self):
+        box = Mailbox(0)
+        box.deliver(self._msg(0, "a", 1))
+        box.deliver(self._msg(0, "b", 2))
+        assert box.take(tag="a").payload == 1
+        assert box.peek().payload == 2
+        assert box.peek(tag="a") is None
+        assert len(box) == 1
+
+
+class TestBatchEngineDirect:
+    def test_call_at_validation_matches_reference(self):
+        for cls in (Engine, BatchEngine):
+            eng = cls()
+            with pytest.raises(SimulationError):
+                eng.call_at(math.nan, lambda: None)
+            with pytest.raises(SimulationError):
+                eng.call_at(-1.0, lambda: None)
+
+    def test_pooled_call_at_fifo_at_same_time(self):
+        eng = BatchEngine()
+        order = []
+        for i in range(5):
+            eng.call_at(1.0, order.append, i)
+        eng.run()
+        assert order == [0, 1, 2, 3, 4]
+        assert eng.events_processed == 5
+        assert eng.now == 1.0

@@ -18,6 +18,7 @@ MODULES = [
     "repro.cli",
     "repro.bench",
     "repro.bench.harness",
+    "repro.bench.perfgate",
     "repro.bench.workloads",
     "repro.sim",
     "repro.sim.engine",
@@ -35,6 +36,7 @@ MODULES = [
     "repro.obs.report",
     "repro.analysis",
     "repro.analysis.diagnostics",
+    "repro.analysis.equivalence",
     "repro.analysis.ownership",
     "repro.analysis.communication",
     "repro.analysis.movement",
